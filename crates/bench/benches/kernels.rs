@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! paper's runtime analysis (Table IX): logic simulation, fault
+//! simulation, heterogeneous-graph construction, back-tracing, and GCN
+//! inference.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use m3d_dft::ObsMode;
+use m3d_fault_localization::{
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
+    InjectionKind, TestEnv,
+};
+use m3d_hetgraph::{back_trace, HetGraph};
+use m3d_netlist::generate::Benchmark;
+use m3d_part::DesignConfig;
+use m3d_tdf::Simulator;
+
+fn setup() -> (TestEnv, Vec<DiagSample>, FaultLocalizer) {
+    let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(1200));
+    let samples = {
+        let fsim = env.fault_sim();
+        generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 40, 1)
+    };
+    let refs: Vec<&DiagSample> = samples.iter().collect();
+    let fw = FaultLocalizer::train(&refs, &FrameworkConfig::default());
+    (env, samples, fw)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (env, samples, fw) = setup();
+    let fsim = env.fault_sim();
+
+    c.bench_function("logic_sim_block_64patterns", |b| {
+        let sim = Simulator::new(env.design.netlist());
+        let block = &env.test_set.patterns.blocks()[0];
+        b.iter(|| sim.run_block(block));
+    });
+
+    c.bench_function("fault_sim_full_pattern_set", |b| {
+        let faults = env.detected_faults();
+        let mut det = fsim.detector();
+        let mut i = 0usize;
+        b.iter(|| {
+            let f = faults[i % faults.len()];
+            i += 1;
+            fsim.detections(&mut det, &[f])
+        });
+    });
+
+    c.bench_function("hetgraph_construction", |b| {
+        b.iter(|| HetGraph::new(&env.design));
+    });
+
+    c.bench_function("back_trace_single_fault_log", |b| {
+        let sample = samples
+            .iter()
+            .find(|s| !s.log.is_empty())
+            .expect("non-empty log");
+        b.iter(|| back_trace(&env.het, &fsim, &env.scan, &sample.log));
+    });
+
+    c.bench_function("tier_predictor_inference", |b| {
+        let sg = samples
+            .iter()
+            .find_map(|s| s.subgraph.as_ref())
+            .expect("some subgraph");
+        b.iter(|| fw.tier.predict(sg));
+    });
+
+    c.bench_function("miv_pinpointer_inference", |b| {
+        // Use a sub-graph that actually contains MIV nodes, or the model
+        // short-circuits and the number is meaningless.
+        let sg = samples
+            .iter()
+            .filter_map(|s| s.subgraph.as_ref())
+            .find(|sg| !sg.miv_nodes.is_empty())
+            .expect("some subgraph with MIV nodes");
+        b.iter(|| fw.miv.predict_faulty_mivs(sg));
+    });
+
+    c.bench_function("sample_generation_one_chip", |b| {
+        let fsim2 = env.fault_sim();
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                seed
+            },
+            |s| {
+                generate_samples(
+                    &env,
+                    &fsim2,
+                    ObsMode::Bypass,
+                    InjectionKind::Single,
+                    1,
+                    s,
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(kernels);

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the deployed pipeline (Fig. 9): `T_ATPG`
+//! (diagnosis of one failure log), `T_GNN` (model inference), and
+//! `T_update` (candidate pruning and reordering) — the three runtime
+//! components of Table IX.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use m3d_dft::ObsMode;
+use m3d_diagnosis::{Diagnoser, DiagnosisConfig};
+use m3d_fault_localization::{
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
+    InjectionKind, TestEnv,
+};
+use m3d_netlist::generate::Benchmark;
+use m3d_part::DesignConfig;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let env = TestEnv::build(Benchmark::Tate, DesignConfig::Syn1, Some(1200));
+    let samples = {
+        let fsim = env.fault_sim();
+        generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 30, 1)
+    };
+    let refs: Vec<&DiagSample> = samples.iter().collect();
+    let fw = FaultLocalizer::train(&refs, &FrameworkConfig::default());
+    let fsim = env.fault_sim();
+    let diagnoser =
+        Diagnoser::new(&fsim, &env.scan, ObsMode::Bypass, DiagnosisConfig::default());
+    let reports: Vec<_> =
+        samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
+
+    c.bench_function("t_atpg_diagnose_one_log", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &samples[i % samples.len()];
+            i += 1;
+            diagnoser.diagnose(&s.log)
+        });
+    });
+
+    c.bench_function("t_gnn_localize_one_chip", |b| {
+        let sg = samples
+            .iter()
+            .find_map(|s| s.subgraph.as_ref())
+            .expect("some subgraph");
+        b.iter(|| (fw.tier.predict(sg), fw.miv.predict_faulty_mivs(sg)));
+    });
+
+    c.bench_function("t_update_prune_reorder_one_report", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let k = i % samples.len();
+            i += 1;
+            fw.enhance(&env.design, &reports[k], &samples[k])
+        });
+    });
+
+    c.bench_function("end_to_end_one_failing_chip", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &samples[i % samples.len()];
+            i += 1;
+            let report = diagnoser.diagnose(&s.log);
+            fw.enhance(&env.design, &report, s)
+        });
+    });
+
+    c.bench_function("framework_training_30_samples", |b| {
+        b.iter(|| FaultLocalizer::train(&refs, &FrameworkConfig::default()));
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(pipeline);

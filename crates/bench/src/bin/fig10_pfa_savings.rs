@@ -1,0 +1,72 @@
+//! Fig. 10: PFA time saved by the proposed framework vs the plain ATPG
+//! flow, as a function of the per-candidate PFA cost `x`.
+//!
+//! `T_total(ATPG) = T_ATPG + FHI_ATPG · x`;
+//! `T_total(proposed) = max(T_ATPG, T_GNN) + T_update + FHI_update · x`.
+//! Prints `T_diff(x)` series per benchmark over the Syn-2 test set.
+//!
+//! Run: `cargo run --release -p m3d-bench --bin fig10_pfa_savings`
+
+use std::time::Instant;
+
+use m3d_bench::{test_samples, train_transferred, Scale};
+use m3d_dft::ObsMode;
+use m3d_diagnosis::{Diagnoser, DiagnosisConfig};
+use m3d_netlist::generate::Benchmark;
+use m3d_part::DesignConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mode = ObsMode::Bypass;
+    let xs: Vec<f64> = vec![1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0];
+    println!("design,x_seconds,t_diff_seconds");
+    for bench in Benchmark::ALL {
+        let (_corpus, fw) = train_transferred(bench, mode, &scale);
+        let (env, samples) = test_samples(bench, DesignConfig::Syn2, mode, &scale);
+        let fsim = env.fault_sim();
+        let diagnoser =
+            Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
+
+        let t0 = Instant::now();
+        let reports: Vec<_> =
+            samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
+        let t_atpg = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let outcomes: Vec<_> = samples
+            .iter()
+            .zip(&reports)
+            .map(|(s, r)| fw.enhance(&env.design, r, s))
+            .collect();
+        let t_gnn_update = t1.elapsed().as_secs_f64();
+
+        // Sum FHI over the test set (misses cost the full report length).
+        let fhi_sum = |reports: &[&m3d_diagnosis::DiagnosisReport]| -> f64 {
+            reports
+                .iter()
+                .zip(&samples)
+                .map(|(r, s)| {
+                    r.first_hit_index(&s.injected)
+                        .unwrap_or(r.resolution().max(1)) as f64
+                })
+                .sum()
+        };
+        let atpg_refs: Vec<&_> = reports.iter().collect();
+        let upd_refs: Vec<&_> = outcomes.iter().map(|o| &o.report).collect();
+        let fhi_atpg = fhi_sum(&atpg_refs);
+        let fhi_upd = fhi_sum(&upd_refs);
+
+        for &x in &xs {
+            // GNN inference overlaps the ATPG diagnosis (Fig. 9); only the
+            // update step adds serial latency.
+            let t_diff = (t_atpg + fhi_atpg * x)
+                - (t_atpg + t_gnn_update + fhi_upd * x);
+            println!("{},{x},{t_diff:.2}", bench.name());
+        }
+        eprintln!(
+            "[{}] FHI sum {fhi_atpg:.0} -> {fhi_upd:.0} over {} chips",
+            bench.name(),
+            samples.len()
+        );
+    }
+}

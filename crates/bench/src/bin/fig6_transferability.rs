@@ -1,0 +1,66 @@
+//! Fig. 6: accuracy of dedicated vs transferred GNN models on the Tate
+//! benchmark across the four design configurations.
+//!
+//! *Dedicated* models train on the evaluated configuration itself;
+//! the *transferred* model trains once on Syn-1 + two randomly-partitioned
+//! netlists and is applied to every configuration without retraining.
+//!
+//! Run: `cargo run --release -p m3d-bench --bin fig6_transferability`
+
+use m3d_bench::{print_table, test_samples, train_transferred, Scale};
+use m3d_dft::ObsMode;
+use m3d_fault_localization::{
+    generate_samples, DiagSample, InjectionKind, MivPinpointer, TierPredictor,
+};
+use m3d_netlist::generate::Benchmark;
+use m3d_part::DesignConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mode = ObsMode::Bypass;
+    let bench = Benchmark::Tate;
+    let cfg = scale.framework_config().model;
+
+    let (_corpus, transferred) = train_transferred(bench, mode, &scale);
+
+    let mut rows = Vec::new();
+    for config in DesignConfig::ALL {
+        // Dedicated: train and test on this configuration.
+        let (env, test) = test_samples(bench, config, mode, &scale);
+        let train: Vec<DiagSample> = {
+            let fsim = env.fault_sim();
+            generate_samples(
+                &env,
+                &fsim,
+                mode,
+                InjectionKind::Single,
+                scale.train_per_netlist * 3,
+                777,
+            )
+        };
+        let train_refs: Vec<&DiagSample> = train.iter().collect();
+        let dedicated_tier = TierPredictor::train(&train_refs, &cfg);
+        let dedicated_miv = MivPinpointer::train(&train_refs, &cfg);
+
+        let test_refs: Vec<&DiagSample> = test.iter().collect();
+        rows.push(vec![
+            config.name().to_string(),
+            format!("{:.3}", dedicated_tier.accuracy(&test_refs)),
+            format!("{:.3}", transferred.tier.accuracy(&test_refs)),
+            format!("{:.3}", dedicated_miv.accuracy(&test_refs)),
+            format!("{:.3}", transferred.miv.accuracy(&test_refs)),
+        ]);
+        eprintln!("[{}] done", config.name());
+    }
+    print_table(
+        "Fig. 6: dedicated vs transferred model accuracy (Tate)",
+        &[
+            "Config",
+            "Dedicated Tier",
+            "Transferred Tier",
+            "Dedicated MIV",
+            "Transferred MIV",
+        ],
+        &rows,
+    );
+}

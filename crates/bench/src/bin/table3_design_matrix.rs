@@ -1,0 +1,46 @@
+//! Table III: the design matrix of the M3D benchmarks — gate count, MIVs,
+//! scan chains/channels, chain length, pattern count, and fault coverage.
+//!
+//! Run: `cargo run --release -p m3d-bench --bin table3_design_matrix`
+
+use m3d_bench::{pct, print_table, Scale};
+use m3d_fault_localization::TestEnv;
+use m3d_netlist::generate::Benchmark;
+use m3d_part::DesignConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows: Vec<Vec<String>> = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let env = TestEnv::build(bench, DesignConfig::Syn1, scale.target);
+            let stats = env.design.netlist().stats();
+            vec![
+                bench.name().to_string(),
+                stats.gates.to_string(),
+                env.design.miv_count().to_string(),
+                format!(
+                    "{} ({})",
+                    env.scan.chain_count(),
+                    env.scan.channel_count()
+                ),
+                env.scan.max_chain_length().to_string(),
+                env.test_set.pattern_count().to_string(),
+                pct(env.test_set.fault_coverage),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table III: design matrix of M3D benchmarks",
+        &[
+            "Design",
+            "Gates",
+            "#MIVs",
+            "Nsc (Nch)",
+            "Chain len",
+            "#Patterns",
+            "FC",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,17 @@
+//! Table VI: effectiveness of delay-fault localization *without* response
+//! compaction — the 2D baseline \[11\], the proposed framework standalone,
+//! and the combined GNN + \[11\] flow, plus tier-level localization rates.
+//!
+//! Run: `cargo run --release -p m3d-bench --bin table6_effectiveness`
+
+use m3d_bench::{print_effectiveness, run_effectiveness, Scale};
+use m3d_dft::ObsMode;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = run_effectiveness(ObsMode::Bypass, &scale);
+    print_effectiveness(
+        "Table VI: delay fault-localization effectiveness (no compaction)",
+        &rows,
+    );
+}

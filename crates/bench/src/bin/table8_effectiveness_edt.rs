@@ -1,0 +1,16 @@
+//! Table VIII: effectiveness of delay-fault localization *with* response
+//! compaction (20× XOR compactor): baseline \[11\], GNN standalone, and combined flows.
+//!
+//! Run: `cargo run --release -p m3d-bench --bin table8_effectiveness_edt`
+
+use m3d_bench::{print_effectiveness, run_effectiveness, Scale};
+use m3d_dft::ObsMode;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = run_effectiveness(ObsMode::Compacted, &scale);
+    print_effectiveness(
+        "Table VIII: delay fault-localization effectiveness (with compaction)",
+        &rows,
+    );
+}

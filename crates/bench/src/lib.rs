@@ -1,0 +1,325 @@
+//! Shared experiment harness for the table/figure reproduction binaries.
+//!
+//! Every `src/bin/tableX_*.rs` / `figY_*.rs` binary builds on this module:
+//! scenario construction (benchmark × design configuration × observation
+//! mode), transferred-framework training exactly as in the paper (Syn-1
+//! samples plus two randomly-partitioned netlists), and plain-text table
+//! formatting.
+//!
+//! Scale is controlled by the `M3D_QUICK` environment variable: unset runs
+//! the paper-shaped defaults; `M3D_QUICK=1` runs a fast smoke version of
+//! every experiment (same code paths, smaller designs and sample counts).
+
+#![warn(missing_docs)]
+
+use m3d_dft::ObsMode;
+use m3d_fault_localization::{
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
+    InjectionKind, ModelConfig, TestEnv,
+};
+use m3d_gnn::TrainConfig;
+use m3d_netlist::generate::Benchmark;
+use m3d_part::DesignConfig;
+
+/// Experiment scale: design size and dataset sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Gate-count target (`None` = the benchmark's paper-shaped default).
+    pub target: Option<usize>,
+    /// Training samples drawn *per source netlist* (Syn-1 + 2 augmented).
+    pub train_per_netlist: usize,
+    /// Test samples per evaluated configuration (the paper uses 750;
+    /// scaled here).
+    pub test_n: usize,
+    /// Training epochs.
+    pub epochs: usize,
+}
+
+impl Scale {
+    /// The default paper-shaped scale.
+    pub fn full() -> Self {
+        Scale {
+            target: None,
+            train_per_netlist: 120,
+            test_n: 80,
+            epochs: 60,
+        }
+    }
+
+    /// The smoke-test scale.
+    pub fn quick() -> Self {
+        Scale {
+            target: Some(400),
+            train_per_netlist: 25,
+            test_n: 12,
+            epochs: 15,
+        }
+    }
+
+    /// Reads `M3D_QUICK` from the environment.
+    pub fn from_env() -> Self {
+        if std::env::var_os("M3D_QUICK").is_some() {
+            Scale::quick()
+        } else {
+            Scale::full()
+        }
+    }
+
+    /// The framework configuration at this scale.
+    pub fn framework_config(&self) -> FrameworkConfig {
+        FrameworkConfig {
+            model: ModelConfig {
+                train: TrainConfig {
+                    epochs: self.epochs,
+                    ..TrainConfig::default()
+                },
+                ..ModelConfig::default()
+            },
+            ..FrameworkConfig::default()
+        }
+    }
+}
+
+/// A training corpus: the Syn-1 environment plus augmented environments
+/// and the pooled training samples (owned).
+pub struct TrainingCorpus {
+    /// The Syn-1 environment (kept for runtime analysis).
+    pub syn1: TestEnv,
+    /// Pooled training samples from Syn-1 + 2 random partitions.
+    pub samples: Vec<DiagSample>,
+}
+
+/// Builds the paper's transferred training corpus for a benchmark: samples
+/// from Syn-1 and from two randomly-partitioned variants of the same
+/// netlist (the data-augmentation solution of Section IV).
+pub fn transferred_corpus(
+    benchmark: Benchmark,
+    mode: ObsMode,
+    scale: &Scale,
+    kind: InjectionKind,
+) -> TrainingCorpus {
+    let syn1 = TestEnv::build(benchmark, DesignConfig::Syn1, scale.target);
+    let mut samples = Vec::new();
+    {
+        let fsim = syn1.fault_sim();
+        samples.extend(generate_samples(
+            &syn1,
+            &fsim,
+            mode,
+            kind,
+            scale.train_per_netlist,
+            11,
+        ));
+    }
+    for k in 0..2u64 {
+        let aug = TestEnv::build_augmented(benchmark, k, scale.target);
+        let fsim = aug.fault_sim();
+        samples.extend(generate_samples(
+            &aug,
+            &fsim,
+            mode,
+            kind,
+            scale.train_per_netlist,
+            21 + k,
+        ));
+    }
+    TrainingCorpus { syn1, samples }
+}
+
+/// Trains the transferred framework for a benchmark at the given scale.
+pub fn train_transferred(
+    benchmark: Benchmark,
+    mode: ObsMode,
+    scale: &Scale,
+) -> (TrainingCorpus, FaultLocalizer) {
+    let corpus =
+        transferred_corpus(benchmark, mode, scale, InjectionKind::Single);
+    let refs: Vec<&DiagSample> = corpus.samples.iter().collect();
+    let fw = FaultLocalizer::train(&refs, &scale.framework_config());
+    (corpus, fw)
+}
+
+/// Builds the test environment + samples for one configuration.
+pub fn test_samples(
+    benchmark: Benchmark,
+    config: DesignConfig,
+    mode: ObsMode,
+    scale: &Scale,
+) -> (TestEnv, Vec<DiagSample>) {
+    let env = TestEnv::build(benchmark, config, scale.target);
+    let samples = {
+        let fsim = env.fault_sim();
+        generate_samples(&env, &fsim, mode, InjectionKind::Single, scale.test_n, 1001)
+    };
+    (env, samples)
+}
+
+/// Formats a percentage like the paper's tables (`98.8%`).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats the paper's improvement delta: `(+51.9%)` means the metric
+/// shrank from `old` to `new` by 51.9% (smaller is better for resolution
+/// and FHI).
+pub fn delta_pct(new: f64, old: f64) -> String {
+    if old.abs() < 1e-12 {
+        return "(n/a)".into();
+    }
+    format!("({:+.1}%)", (old - new) / old * 100.0)
+}
+
+/// Formats `mean (std)` like the paper's resolution/FHI cells.
+pub fn mean_std_cell(mean: f64, std: f64) -> String {
+    format!("{mean:.1} ({std:.1})")
+}
+
+/// Prints a simple aligned table: a header row and data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.test_n < f.test_n);
+        assert!(q.train_per_netlist < f.train_per_netlist);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.988), "98.8%");
+        assert_eq!(mean_std_cell(5.25, 5.46), "5.2 (5.5)");
+        // Paper convention: improvement of resolution 5.2 -> 2.5 ≈ +51.9%.
+        assert_eq!(delta_pct(2.5, 5.2), "(+51.9%)");
+        assert_eq!(delta_pct(2.5, 0.0), "(n/a)");
+    }
+}
+
+/// One effectiveness cell: every method's quality for a benchmark/config.
+pub struct EffectivenessRow {
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Configuration name.
+    pub config: &'static str,
+    /// Per-method aggregate quality.
+    pub eval: m3d_fault_localization::MethodEval,
+}
+
+/// Runs the full Tables V–VIII protocol for one observation mode: train the
+/// transferred framework per benchmark, evaluate every configuration.
+pub fn run_effectiveness(mode: ObsMode, scale: &Scale) -> Vec<EffectivenessRow> {
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let t0 = std::time::Instant::now();
+        let (_corpus, fw) = train_transferred(bench, mode, scale);
+        eprintln!(
+            "[{}] framework trained in {:.1}s (Tp = {:.3})",
+            bench.name(),
+            t0.elapsed().as_secs_f64(),
+            fw.tp_threshold
+        );
+        for config in DesignConfig::ALL {
+            let t1 = std::time::Instant::now();
+            let (env, samples) = test_samples(bench, config, mode, scale);
+            let fsim = env.fault_sim();
+            let eval = m3d_fault_localization::evaluate_methods(
+                &env, &fsim, &fw, mode, &samples,
+            );
+            eprintln!(
+                "[{} {}] {} samples evaluated in {:.1}s",
+                bench.name(),
+                config.name(),
+                samples.len(),
+                t1.elapsed().as_secs_f64()
+            );
+            rows.push(EffectivenessRow {
+                bench: bench.name(),
+                config: config.name(),
+                eval,
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the paper-style effectiveness tables (VI or VIII) from rows.
+pub fn print_effectiveness(title: &str, rows: &[EffectivenessRow]) {
+    use m3d_diagnosis::ReportQuality;
+    let method_table = |name: &str, get: &dyn Fn(&EffectivenessRow) -> &ReportQuality| {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let atpg = &r.eval.atpg;
+                let q = get(r);
+                vec![
+                    r.bench.to_string(),
+                    r.config.to_string(),
+                    format!("{} ({:+.1}%)", pct(q.accuracy), (q.accuracy - atpg.accuracy) * 100.0),
+                    format!(
+                        "{} {}",
+                        mean_std_cell(q.mean_resolution, q.std_resolution),
+                        delta_pct(q.mean_resolution, atpg.mean_resolution)
+                    ),
+                    format!(
+                        "{} {}",
+                        mean_std_cell(q.mean_fhi, q.std_fhi),
+                        delta_pct(q.mean_fhi, atpg.mean_fhi)
+                    ),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("{title} — {name}"),
+            &["Design", "Config", "Acc (Δ)", "Resolution μ(σ) (Δ)", "FHI μ(σ) (Δ)"],
+            &table,
+        );
+    };
+    method_table("baseline [11]", &|r| &r.eval.baseline);
+    method_table("proposed framework, GNN standalone", &|r| &r.eval.gnn);
+    method_table("proposed framework, GNN + [11]", &|r| &r.eval.combined);
+
+    let tier: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bench.to_string(),
+                r.config.to_string(),
+                pct(r.eval.baseline.tier_localization),
+                pct(r.eval.gnn.tier_localization),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{title} — tier-level localization"),
+        &["Design", "Config", "[11]", "Proposed"],
+        &tier,
+    );
+}

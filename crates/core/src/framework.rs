@@ -1,0 +1,155 @@
+//! The end-to-end fault-localization framework (Fig. 1).
+
+use m3d_diagnosis::DiagnosisReport;
+use m3d_part::M3dDesign;
+
+use crate::classifier::PruneClassifier;
+use crate::models::{MivPinpointer, ModelConfig, TierPredictor};
+use crate::policy::{prune_and_reorder, PolicyOutcome};
+use crate::sample::DiagSample;
+
+/// Framework-level configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrameworkConfig {
+    /// GNN architecture and training knobs.
+    pub model: ModelConfig,
+    /// Precision target selecting `T_p` on the training PR curve (the
+    /// paper uses 99%).
+    pub precision_target: f64,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            model: ModelConfig::default(),
+            precision_target: 0.99,
+        }
+    }
+}
+
+/// The trained framework: Tier-predictor, MIV-pinpointer, the `T_p`
+/// confidence threshold, and the transfer-learned Classifier.
+///
+/// # Examples
+///
+/// ```no_run
+/// use m3d_dft::ObsMode;
+/// use m3d_fault_localization::{
+///     generate_samples, FaultLocalizer, FrameworkConfig, InjectionKind, TestEnv,
+/// };
+/// use m3d_netlist::generate::Benchmark;
+/// use m3d_part::DesignConfig;
+///
+/// let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300));
+/// let fsim = env.fault_sim();
+/// let train = generate_samples(
+///     &env, &fsim, ObsMode::Bypass, InjectionKind::Single, 100, 1,
+/// );
+/// let refs: Vec<&_> = train.iter().collect();
+/// let framework = FaultLocalizer::train(&refs, &FrameworkConfig::default());
+/// println!("Tp = {}", framework.tp_threshold);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultLocalizer {
+    /// The tier-level graph classifier.
+    pub tier: TierPredictor,
+    /// The MIV node classifier.
+    pub miv: MivPinpointer,
+    /// The prune/reorder Classifier (absent when no Predicted Positive
+    /// training samples existed).
+    pub classifier: Option<PruneClassifier>,
+    /// The `T_p` confidence threshold derived from the training PR curve.
+    pub tp_threshold: f64,
+}
+
+impl FaultLocalizer {
+    /// Trains the full framework on labelled samples.
+    pub fn train(samples: &[&DiagSample], cfg: &FrameworkConfig) -> Self {
+        let tier = TierPredictor::train(samples, &cfg.model);
+        let tp_threshold = tier
+            .pr_curve(samples)
+            .threshold_for_precision(cfg.precision_target);
+        let miv = MivPinpointer::train(samples, &cfg.model);
+        let classifier =
+            PruneClassifier::train(&tier, samples, tp_threshold, &cfg.model);
+        FaultLocalizer {
+            tier,
+            miv,
+            classifier,
+            tp_threshold,
+        }
+    }
+
+    /// Runs the localization models and the pruning/reordering policy on
+    /// one diagnosed sample, producing the final report.
+    ///
+    /// Samples without a sub-graph (empty back-trace) pass through
+    /// unchanged.
+    pub fn enhance(
+        &self,
+        design: &M3dDesign,
+        report: &DiagnosisReport,
+        sample: &DiagSample,
+    ) -> PolicyOutcome {
+        let Some(sg) = &sample.subgraph else {
+            return PolicyOutcome::pass_through(report.clone());
+        };
+        let predicted_tier = self.tier.predict(sg);
+        let predicted_mivs = self.miv.predict_faulty_mivs(sg);
+        let approves = self
+            .classifier
+            .as_ref()
+            .is_some_and(|c| c.should_prune(sg));
+        prune_and_reorder(
+            design,
+            report,
+            predicted_tier,
+            &predicted_mivs,
+            self.tp_threshold,
+            approves,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::TestEnv;
+    use crate::sample::{generate_samples, InjectionKind};
+    use m3d_dft::ObsMode;
+    use m3d_gnn::TrainConfig;
+    use m3d_netlist::generate::Benchmark;
+    use m3d_part::DesignConfig;
+
+    #[test]
+    fn framework_trains_and_enhances() {
+        let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300));
+        let fsim = env.fault_sim();
+        let samples = generate_samples(
+            &env,
+            &fsim,
+            ObsMode::Bypass,
+            InjectionKind::Single,
+            60,
+            1,
+        );
+        let refs: Vec<&DiagSample> = samples.iter().collect();
+        let cfg = FrameworkConfig {
+            model: crate::models::ModelConfig {
+                train: TrainConfig {
+                    epochs: 20,
+                    ..TrainConfig::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let fw = FaultLocalizer::train(&refs, &cfg);
+        assert!((0.0..=1.0).contains(&fw.tp_threshold));
+
+        // Enhance a trivial report: must not panic and must keep shape.
+        let report = DiagnosisReport::default();
+        let out = fw.enhance(&env.design, &report, &samples[0]);
+        assert_eq!(out.report.resolution(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Dataset generation: the paper's Fig. 4 flow.
+//!
+//! Each sample injects fault(s) into the design, runs logic simulation
+//! against the TDF patterns to obtain a failure log, back-traces the log to
+//! a sub-graph, and labels the sample with the ground truth (faulty tier
+//! and/or MIV).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use m3d_dft::ObsMode;
+use m3d_hetgraph::{back_trace, SubGraph};
+use m3d_netlist::SitePos;
+use m3d_part::Tier;
+use m3d_tdf::{Fault, FailureLog, FaultSim};
+
+use crate::env::TestEnv;
+
+/// What to inject per sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectionKind {
+    /// One TDF at a random detected site (gate pin or MIV).
+    Single,
+    /// One TDF at a random detected MIV site.
+    MivOnly,
+    /// 2–5 TDFs clustered in one tier (the systematic-defect scenario of
+    /// Section VII-A).
+    MultiSameTier,
+}
+
+/// One labelled diagnosis sample.
+#[derive(Clone, Debug)]
+pub struct DiagSample {
+    /// The injected ground-truth fault(s).
+    pub injected: Vec<Fault>,
+    /// The tester failure log.
+    pub log: FailureLog,
+    /// The back-traced sub-graph (absent when back-tracing is empty).
+    pub subgraph: Option<SubGraph>,
+    /// Ground-truth faulty tier (`None` for pure-MIV injections).
+    pub faulty_tier: Option<Tier>,
+    /// Ground-truth faulty MIV indices.
+    pub miv_truth: Vec<u32>,
+}
+
+impl DiagSample {
+    /// Whether the sample has a usable sub-graph and tier label (the
+    /// Tier-predictor training criterion).
+    pub fn tier_trainable(&self) -> bool {
+        self.subgraph.is_some() && self.faulty_tier.is_some()
+    }
+}
+
+/// Generates `n` samples under the given observation mode. Deterministic in
+/// `seed`; samples whose failure log is empty (aliased away by the
+/// compactor) are skipped and regenerated.
+pub fn generate_samples(
+    env: &TestEnv,
+    fsim: &FaultSim<'_>,
+    mode: ObsMode,
+    kind: InjectionKind,
+    n: usize,
+    seed: u64,
+) -> Vec<DiagSample> {
+    let detected = env.detected_faults();
+    assert!(!detected.is_empty(), "no detectable faults to inject");
+    let miv_faults: Vec<Fault> = detected
+        .iter()
+        .copied()
+        .filter(|f| matches!(env.design.sites().pos(f.site), SitePos::Miv(_)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    let mut detector = fsim.detector();
+    while out.len() < n && attempts < n * 20 {
+        attempts += 1;
+        let injected: Vec<Fault> = match kind {
+            InjectionKind::Single => {
+                vec![detected[rng.gen_range(0..detected.len())]]
+            }
+            InjectionKind::MivOnly => {
+                if miv_faults.is_empty() {
+                    vec![detected[rng.gen_range(0..detected.len())]]
+                } else {
+                    vec![miv_faults[rng.gen_range(0..miv_faults.len())]]
+                }
+            }
+            InjectionKind::MultiSameTier => {
+                let tier = if rng.gen_bool(0.5) {
+                    Tier::Top
+                } else {
+                    Tier::Bottom
+                };
+                let pool: Vec<Fault> = detected
+                    .iter()
+                    .copied()
+                    .filter(|f| env.design.tier_of_site(f.site) == Some(tier))
+                    .collect();
+                if pool.len() < 2 {
+                    continue;
+                }
+                let k = rng.gen_range(2..=5usize).min(pool.len());
+                pool.choose_multiple(&mut rng, k).copied().collect()
+            }
+        };
+        let dets = fsim.detections(&mut detector, &injected);
+        let log = FailureLog::from_detections(&dets, &env.scan, mode);
+        if log.is_empty() {
+            continue;
+        }
+        let subgraph = back_trace(&env.het, fsim, &env.scan, &log);
+        let faulty_tier = injected_tier(env, &injected);
+        let miv_truth = injected
+            .iter()
+            .filter_map(|f| match env.design.sites().pos(f.site) {
+                SitePos::Miv(m) => Some(m),
+                _ => None,
+            })
+            .collect();
+        out.push(DiagSample {
+            injected,
+            log,
+            subgraph,
+            faulty_tier,
+            miv_truth,
+        });
+    }
+    out
+}
+
+/// The common tier of the injected faults, if they share one.
+fn injected_tier(env: &TestEnv, injected: &[Fault]) -> Option<Tier> {
+    let mut tier = None;
+    for f in injected {
+        match env.design.tier_of_site(f.site) {
+            None => return None, // MIV faults belong to no tier
+            Some(t) => match tier {
+                None => tier = Some(t),
+                Some(prev) if prev != t => return None,
+                _ => {}
+            },
+        }
+    }
+    tier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::generate::Benchmark;
+    use m3d_part::DesignConfig;
+
+    fn env() -> TestEnv {
+        TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300))
+    }
+
+    #[test]
+    fn single_fault_samples_are_labelled() {
+        let e = env();
+        let fsim = e.fault_sim();
+        let samples =
+            generate_samples(&e, &fsim, ObsMode::Bypass, InjectionKind::Single, 12, 3);
+        assert_eq!(samples.len(), 12);
+        for s in &samples {
+            assert_eq!(s.injected.len(), 1);
+            assert!(!s.log.is_empty());
+            let sg = s.subgraph.as_ref().expect("single faults back-trace");
+            assert!(sg.node_of(s.injected[0].site).is_some());
+            // Tier label XOR MIV label.
+            assert!(s.faulty_tier.is_some() ^ !s.miv_truth.is_empty());
+        }
+    }
+
+    #[test]
+    fn miv_samples_target_mivs() {
+        let e = env();
+        let fsim = e.fault_sim();
+        let samples =
+            generate_samples(&e, &fsim, ObsMode::Bypass, InjectionKind::MivOnly, 6, 5);
+        assert!(samples.iter().filter(|s| !s.miv_truth.is_empty()).count() >= 5);
+    }
+
+    #[test]
+    fn multi_fault_samples_share_a_tier() {
+        let e = env();
+        let fsim = e.fault_sim();
+        let samples = generate_samples(
+            &e,
+            &fsim,
+            ObsMode::Bypass,
+            InjectionKind::MultiSameTier,
+            8,
+            7,
+        );
+        assert_eq!(samples.len(), 8);
+        for s in &samples {
+            assert!(s.injected.len() >= 2 && s.injected.len() <= 5);
+            assert!(s.faulty_tier.is_some(), "same-tier injection has a tier");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let e = env();
+        let fsim = e.fault_sim();
+        let a = generate_samples(&e, &fsim, ObsMode::Compacted, InjectionKind::Single, 5, 11);
+        let b = generate_samples(&e, &fsim, ObsMode::Compacted, InjectionKind::Single, 5, 11);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.injected, y.injected);
+            assert_eq!(x.log, y.log);
+        }
+    }
+}

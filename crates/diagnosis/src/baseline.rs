@@ -1,0 +1,143 @@
+//! The 2D baseline fault-localization algorithm (paper reference [11]).
+//!
+//! PADRE's first-level classifier improves diagnostic resolution by
+//! filtering unlikely candidates from a diagnosis report using per-candidate
+//! features, without any notion of M3D tiers. The paper compares against
+//! exactly this first level (the deeper levels trade too much accuracy).
+//!
+//! This implementation follows the same recipe: extract a quality score per
+//! candidate from its signature-match features, split the report into a
+//! *likely* and an *unlikely* cluster with unsupervised 1-D 2-means, and
+//! keep the likely cluster (always including the top-ranked candidate).
+
+use crate::report::{Candidate, DiagnosisReport};
+
+/// Applies the first-level baseline filter to a diagnosis report.
+///
+/// Returns a report containing only the retained candidates, in the
+/// original rank order. The top candidate is always retained, so the filter
+/// can only lose accuracy when the ground truth ranked below a cluster
+/// boundary — matching the near-zero accuracy loss of [11].
+///
+/// # Examples
+///
+/// ```
+/// use m3d_diagnosis::{baseline_filter, DiagnosisReport};
+///
+/// let empty = baseline_filter(&DiagnosisReport::default());
+/// assert_eq!(empty.resolution(), 0);
+/// ```
+pub fn baseline_filter(report: &DiagnosisReport) -> DiagnosisReport {
+    let cands = report.candidates();
+    if cands.len() <= 2 {
+        return report.clone();
+    }
+    let scores: Vec<f64> = cands.iter().map(candidate_quality).collect();
+    let keep = two_means_upper(&scores);
+    let kept: Vec<Candidate> = cands
+        .iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(c, _)| *c)
+        .collect();
+    report.with_candidates(kept)
+}
+
+/// Per-candidate quality in `[-1, 1]`: the normalized signature match.
+fn candidate_quality(c: &Candidate) -> f64 {
+    c.score.quality()
+}
+
+/// 1-D 2-means: returns a keep-mask selecting the upper cluster. The
+/// element with the maximum score is always kept; if the clusters collapse
+/// (all scores equal) everything is kept.
+fn two_means_upper(scores: &[f64]) -> Vec<bool> {
+    let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < 1e-12 {
+        return vec![true; scores.len()];
+    }
+    let mut lo = min;
+    let mut hi = max;
+    for _ in 0..32 {
+        let mid = (lo + hi) / 2.0;
+        let (mut sum_lo, mut n_lo, mut sum_hi, mut n_hi) = (0.0, 0u32, 0.0, 0u32);
+        for &s in scores {
+            if (s - lo).abs() <= (s - hi).abs() {
+                sum_lo += s;
+                n_lo += 1;
+            } else {
+                sum_hi += s;
+                n_hi += 1;
+            }
+        }
+        let _ = mid;
+        let new_lo = if n_lo > 0 { sum_lo / f64::from(n_lo) } else { lo };
+        let new_hi = if n_hi > 0 { sum_hi / f64::from(n_hi) } else { hi };
+        if (new_lo - lo).abs() < 1e-9 && (new_hi - hi).abs() < 1e-9 {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    scores
+        .iter()
+        .map(|&s| (s - hi).abs() < (s - lo).abs() || (s - max).abs() < 1e-12)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::MatchScore;
+    use m3d_netlist::SiteId;
+    use m3d_part::Tier;
+    use m3d_tdf::{Fault, Polarity};
+
+    fn cand(site: usize, tfsf: u32, tfsp: u32, tpsf: u32) -> Candidate {
+        Candidate {
+            fault: Fault::new(SiteId::new(site), Polarity::SlowToRise),
+            score: MatchScore { tfsf, tfsp, tpsf },
+            tier: Some(if site % 2 == 0 { Tier::Top } else { Tier::Bottom }),
+        }
+    }
+
+    #[test]
+    fn filter_keeps_perfect_and_drops_poor_candidates() {
+        let report = DiagnosisReport::new(vec![
+            cand(0, 8, 0, 0),
+            cand(1, 8, 0, 0),
+            cand(2, 3, 5, 4),
+            cand(3, 2, 6, 7),
+        ]);
+        let filtered = baseline_filter(&report);
+        assert_eq!(filtered.resolution(), 2);
+        assert!(filtered
+            .candidates()
+            .iter()
+            .all(|c| c.score.is_perfect()));
+    }
+
+    #[test]
+    fn filter_never_drops_the_top_candidate() {
+        let report = DiagnosisReport::new(vec![
+            cand(0, 5, 1, 0),
+            cand(1, 1, 5, 5),
+        ]);
+        let filtered = baseline_filter(&report);
+        assert_eq!(filtered.candidates()[0].fault.site, SiteId::new(0));
+    }
+
+    #[test]
+    fn uniform_reports_pass_through() {
+        let report =
+            DiagnosisReport::new(vec![cand(0, 4, 0, 0), cand(1, 4, 0, 0), cand(2, 4, 0, 0)]);
+        assert_eq!(baseline_filter(&report).resolution(), 3);
+    }
+
+    #[test]
+    fn tiny_reports_are_untouched() {
+        let report = DiagnosisReport::new(vec![cand(0, 1, 9, 9)]);
+        assert_eq!(baseline_filter(&report).resolution(), 1);
+    }
+}

@@ -1,0 +1,536 @@
+//! Cause-effect ATPG diagnosis (the commercial-tool stand-in).
+//!
+//! Given a failure log, the engine (1) extracts suspect sites by tracing
+//! the fan-in cones of failing observation points, filtered to sites that
+//! transition under the failing pattern, (2) fault-simulates each suspect
+//! and scores its predicted failure signature against the log, and (3)
+//! ranks and retains candidates. When no single fault explains the log
+//! (systematic multi-fault chips), an iterative-cover pass selects a set of
+//! faults that jointly explain the failures.
+
+use std::collections::{HashMap, HashSet};
+
+use m3d_dft::{ObsMode, ScanChains};
+use m3d_netlist::{GateId, NetId, SiteId};
+use m3d_tdf::{FailEntry, Fault, FailureLog, FaultSim, Polarity};
+
+use crate::report::{Candidate, DiagnosisReport, MatchScore};
+
+/// Retention knobs for the ranked report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiagnosisConfig {
+    /// Keep candidates explaining at least this fraction of the failures
+    /// the best candidate explains (`tfsf` relative cut).
+    pub retain_ratio: f64,
+    /// Hard cap on report length.
+    pub max_candidates: usize,
+    /// Suspect-frequency cap for simulation (extraction and the
+    /// multi-fault cover phase).
+    pub max_cover_suspects: usize,
+    /// A site becomes a suspect when it appears in at least this fraction
+    /// of the per-entry suspect sets (1.0 = strict intersection; real
+    /// tools over-approximate, which is where reported resolution > 1
+    /// comes from).
+    pub suspect_entry_frac: f64,
+}
+
+impl Default for DiagnosisConfig {
+    fn default() -> Self {
+        DiagnosisConfig {
+            retain_ratio: 0.55,
+            max_candidates: 64,
+            max_cover_suspects: 160,
+            suspect_entry_frac: 0.5,
+        }
+    }
+}
+
+/// The diagnosis engine, reusable across failure logs of one test setup.
+///
+/// # Examples
+///
+/// ```no_run
+/// use m3d_dft::{ObsMode, ScanChains, ScanConfig};
+/// use m3d_diagnosis::{Diagnoser, DiagnosisConfig};
+/// use m3d_netlist::generate::Benchmark;
+/// use m3d_part::DesignConfig;
+/// use m3d_tdf::{generate_patterns, AtpgConfig, FaultSim};
+///
+/// let design = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+/// let ts = generate_patterns(&design, &AtpgConfig::new(1, 256));
+/// let scan = ScanChains::new(
+///     design.netlist(),
+///     ScanConfig::for_flop_count(design.netlist().flops().len()),
+/// );
+/// let fsim = FaultSim::new(&design, &ts.patterns);
+/// let diagnoser =
+///     Diagnoser::new(&fsim, &scan, ObsMode::Bypass, DiagnosisConfig::default());
+/// ```
+#[derive(Debug)]
+pub struct Diagnoser<'a> {
+    fsim: &'a FaultSim<'a>,
+    scan: &'a ScanChains,
+    mode: ObsMode,
+    config: DiagnosisConfig,
+    /// Per flop: every fault site in its structural fan-in cone.
+    cone_sites: Vec<Vec<SiteId>>,
+}
+
+impl<'a> Diagnoser<'a> {
+    /// Builds the engine, precomputing per-flop fan-in cones (done once per
+    /// test setup, amortized over every failure log — the same argument the
+    /// paper makes for its top-level graph).
+    pub fn new(
+        fsim: &'a FaultSim<'a>,
+        scan: &'a ScanChains,
+        mode: ObsMode,
+        config: DiagnosisConfig,
+    ) -> Self {
+        let design = fsim.design();
+        let nl = design.netlist();
+        let cone_sites = nl
+            .flops()
+            .iter()
+            .map(|&fg| {
+                let mut sites = Vec::new();
+                let mut seen_gates = vec![false; nl.gate_count()];
+                let mut seen_nets = vec![false; nl.net_count()];
+                // The flop's own D pin is a suspect.
+                sites.push(design.sites().input_site(fg, 0));
+                let mut stack: Vec<NetId> = vec![nl.gate(fg).inputs()[0]];
+                while let Some(net) = stack.pop() {
+                    if seen_nets[net.index()] {
+                        continue;
+                    }
+                    seen_nets[net.index()] = true;
+                    if let Some(m) = design.miv_on_net(net) {
+                        sites.push(design.miv_site(m as usize));
+                    }
+                    let driver: GateId = nl.net(net).driver();
+                    if seen_gates[driver.index()] {
+                        continue;
+                    }
+                    seen_gates[driver.index()] = true;
+                    if let Some(out) =
+                        design.sites().output_site(nl, driver)
+                    {
+                        sites.push(out);
+                    }
+                    if nl.gate(driver).kind().is_combinational() {
+                        for (pin, &inp) in
+                            nl.gate(driver).inputs().iter().enumerate()
+                        {
+                            sites.push(design.sites().input_site(driver, pin as u8));
+                            stack.push(inp);
+                        }
+                    }
+                }
+                sites.sort_unstable();
+                sites.dedup();
+                sites
+            })
+            .collect();
+        Diagnoser {
+            fsim,
+            scan,
+            mode,
+            config,
+            cone_sites,
+        }
+    }
+
+    /// The observation mode the engine diagnoses under.
+    pub fn mode(&self) -> ObsMode {
+        self.mode
+    }
+
+    /// Suspect sites for one failing log entry: cone sites of every scan
+    /// cell the observation could map to, filtered to sites transitioning
+    /// under the failing pattern.
+    fn entry_suspects(&self, entry: &FailEntry) -> HashSet<SiteId> {
+        let (blk, bit) = self.fsim.patterns().locate(entry.pattern);
+        let mut set = HashSet::new();
+        for flop in self.scan.candidate_flops(entry.obs) {
+            for &site in &self.cone_sites[flop.index()] {
+                if self.fsim.transition_mask(site, blk) & (1u64 << bit) != 0 {
+                    set.insert(site);
+                }
+            }
+        }
+        set
+    }
+
+    /// Predicted failure entries for a fault set.
+    fn predicted_entries(&self, faults: &[Fault]) -> HashSet<FailEntry> {
+        let mut det = self.fsim.detector();
+        let dets = self.fsim.detections(&mut det, faults);
+        FailureLog::from_detections(&dets, self.scan, self.mode)
+            .entries()
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    fn score_against(
+        predicted: &HashSet<FailEntry>,
+        tester: &HashSet<FailEntry>,
+    ) -> MatchScore {
+        let tfsf = tester.intersection(predicted).count() as u32;
+        MatchScore {
+            tfsf,
+            tfsp: tester.len() as u32 - tfsf,
+            tpsf: predicted.len() as u32 - tfsf,
+        }
+    }
+
+    /// Simulates both polarities of a site and keeps the better match.
+    fn best_candidate(
+        &self,
+        site: SiteId,
+        tester: &HashSet<FailEntry>,
+    ) -> (Candidate, HashSet<FailEntry>) {
+        let design = self.fsim.design();
+        let mut best: Option<(Candidate, HashSet<FailEntry>)> = None;
+        for pol in Polarity::ALL {
+            let fault = Fault::new(site, pol);
+            let predicted = self.predicted_entries(&[fault]);
+            let score = Self::score_against(&predicted, tester);
+            let cand = Candidate {
+                fault,
+                score,
+                tier: design.tier_of_site(site),
+            };
+            let better = match &best {
+                None => true,
+                Some((b, _)) => score.value() > b.score.value(),
+            };
+            if better {
+                best = Some((cand, predicted));
+            }
+        }
+        best.expect("both polarities evaluated")
+    }
+
+    /// Diagnoses one failure log into a ranked candidate report.
+    ///
+    /// An empty log (the chip passed) yields an empty report.
+    pub fn diagnose(&self, log: &FailureLog) -> DiagnosisReport {
+        if log.is_empty() {
+            return DiagnosisReport::default();
+        }
+        let tester: HashSet<FailEntry> = log.entries().iter().copied().collect();
+
+        // Phase 1: frequency-based suspect extraction. A strict
+        // intersection would under-approximate what commercial tools
+        // report; sites appearing in most per-entry cones are suspects.
+        let mut freq: HashMap<SiteId, u32> = HashMap::new();
+        for entry in log.entries() {
+            for s in self.entry_suspects(entry) {
+                *freq.entry(s).or_insert(0) += 1;
+            }
+        }
+        let n_entries = log.entries().len() as u32;
+        let needed = ((f64::from(n_entries) * self.config.suspect_entry_frac)
+            .ceil() as u32)
+            .max(1);
+        let mut suspects: Vec<(SiteId, u32)> = freq
+            .iter()
+            .filter(|&(_, &c)| c >= needed)
+            .map(|(&s, &c)| (s, c))
+            .collect();
+        suspects.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        suspects.truncate(self.config.max_cover_suspects);
+
+        let scored: Vec<(Candidate, HashSet<FailEntry>)> = suspects
+            .iter()
+            .map(|&(s, _)| self.best_candidate(s, &tester))
+            .collect();
+
+        let single_explains = scored
+            .iter()
+            .any(|(c, _)| c.score.is_perfect());
+
+        if !single_explains {
+            // Phase 2: iterative cover for multi-fault chips. Every
+            // selected candidate explains a *disjoint share* of the log,
+            // so the single-fault retention floor does not apply — the
+            // cover itself is the retention decision.
+            let selected = self.cover_diagnosis(log, &tester, scored);
+            return self.rank_cover(selected);
+        }
+
+        self.rank_and_retain(scored)
+    }
+
+    /// Greedy cover: repeatedly pick the suspect explaining the most
+    /// residual failures, until the log is explained or progress stops.
+    fn cover_diagnosis(
+        &self,
+        log: &FailureLog,
+        tester: &HashSet<FailEntry>,
+        seed: Vec<(Candidate, HashSet<FailEntry>)>,
+    ) -> Vec<(Candidate, HashSet<FailEntry>)> {
+        // Frequency-ranked union of per-entry suspects.
+        let mut freq: HashMap<SiteId, u32> = HashMap::new();
+        for entry in log.entries() {
+            for s in self.entry_suspects(entry) {
+                *freq.entry(s).or_insert(0) += 1;
+            }
+        }
+        let mut by_freq: Vec<(SiteId, u32)> = freq.into_iter().collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        by_freq.truncate(self.config.max_cover_suspects);
+
+        let mut pool: HashMap<SiteId, (Candidate, HashSet<FailEntry>)> = seed
+            .into_iter()
+            .map(|(c, p)| (c.fault.site, (c, p)))
+            .collect();
+        for (site, _) in &by_freq {
+            pool.entry(*site)
+                .or_insert_with(|| self.best_candidate(*site, tester));
+        }
+
+        let mut residual: HashSet<FailEntry> = tester.clone();
+        let mut selected: Vec<(Candidate, HashSet<FailEntry>)> = Vec::new();
+        let mut used: HashSet<SiteId> = HashSet::new();
+        for _round in 0..6 {
+            if residual.is_empty() {
+                break;
+            }
+            // Pick the unused candidate explaining the most residual
+            // failures with the fewest mispredictions.
+            let best = pool
+                .values()
+                .filter(|(c, _)| !used.contains(&c.fault.site))
+                .map(|(c, p)| {
+                    let explained =
+                        residual.intersection(p).count() as i64;
+                    let extra = p.difference(tester).count() as i64;
+                    (explained * 2 - extra, c.fault.site)
+                })
+                .max_by_key(|&(gain, site)| (gain, std::cmp::Reverse(site)));
+            let Some((gain, site)) = best else { break };
+            if gain <= 0 {
+                break;
+            }
+            used.insert(site);
+            let (cand, pred) = pool[&site].clone();
+            residual.retain(|e| !pred.contains(e));
+            selected.push((cand, pred));
+        }
+
+        // Add signature-equivalent suspects of every selected candidate
+        // (indistinguishable faults inflate resolution, as on real tools).
+        let selected_sigs: Vec<HashSet<FailEntry>> =
+            selected.iter().map(|(_, p)| p.clone()).collect();
+        for (site, _) in &by_freq {
+            if used.contains(site) {
+                continue;
+            }
+            if let Some((cand, pred)) = pool.get(site) {
+                if selected_sigs.iter().any(|sig| sig == pred) && !pred.is_empty() {
+                    selected.push((*cand, pred.clone()));
+                    used.insert(*site);
+                }
+            }
+        }
+        selected
+    }
+
+    /// Ranks a multi-fault cover: candidates sorted by explained failures,
+    /// all retained (each one carries a distinct share of the log).
+    fn rank_cover(
+        &self,
+        mut selected: Vec<(Candidate, HashSet<FailEntry>)>,
+    ) -> DiagnosisReport {
+        selected.retain(|(c, _)| c.score.tfsf > 0);
+        selected.sort_by(|(a, _), (b, _)| {
+            b.score
+                .tfsf
+                .cmp(&a.score.tfsf)
+                .then(a.fault.site.cmp(&b.fault.site))
+        });
+        let candidates: Vec<Candidate> = selected
+            .into_iter()
+            .take(self.config.max_candidates)
+            .map(|(c, _)| c)
+            .collect();
+        DiagnosisReport::new(candidates)
+    }
+
+    /// Ranks candidates the way commercial delay diagnosis does — by
+    /// explained failures (`tfsf`). Simulated-but-unseen failures (`tpsf`)
+    /// do *not* rank within a class: gross-delay simulation over-predicts
+    /// for real small-delay defects, so a candidate with extra predicted
+    /// failures may still be the defect. Ties order structurally.
+    fn rank_and_retain(
+        &self,
+        mut scored: Vec<(Candidate, HashSet<FailEntry>)>,
+    ) -> DiagnosisReport {
+        scored.retain(|(c, _)| c.score.tfsf > 0);
+        let best_tfsf = scored
+            .iter()
+            .map(|(c, _)| c.score.tfsf)
+            .max()
+            .unwrap_or(0);
+        // Candidates explaining within half of the best are statistically
+        // indistinguishable under small-delay uncertainty; they share a
+        // rank band and order structurally inside it.
+        let band = |tfsf: u32| -> u32 { u32::from(tfsf * 2 > best_tfsf) };
+        scored.sort_by(|(a, _), (b, _)| {
+            band(b.score.tfsf)
+                .cmp(&band(a.score.tfsf))
+                .then(a.fault.site.cmp(&b.fault.site))
+        });
+        let floor =
+            (f64::from(best_tfsf) * self.config.retain_ratio).ceil() as u32;
+        let candidates: Vec<Candidate> = scored
+            .into_iter()
+            .filter(|(c, _)| c.score.is_perfect() || c.score.tfsf >= floor)
+            .take(self.config.max_candidates)
+            .map(|(c, _)| c)
+            .collect();
+        DiagnosisReport::new(candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_dft::ScanConfig;
+    use m3d_netlist::generate::Benchmark;
+    use m3d_part::DesignConfig;
+    use m3d_tdf::{generate_patterns, AtpgConfig};
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+    struct Env {
+        design: m3d_part::M3dDesign,
+        ts: m3d_tdf::TestSet,
+        scan: ScanChains,
+    }
+
+    fn env() -> Env {
+        let design = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+        let ts = generate_patterns(&design, &AtpgConfig::new(1, 256));
+        let scan = ScanChains::new(
+            design.netlist(),
+            ScanConfig::for_flop_count(design.netlist().flops().len()),
+        );
+        Env { design, ts, scan }
+    }
+
+    fn detected_faults(e: &Env) -> Vec<Fault> {
+        m3d_tdf::full_fault_list(&e.design)
+            .into_iter()
+            .zip(&e.ts.detected)
+            .filter(|&(_, &d)| d)
+            .map(|(f, _)| f)
+            .collect()
+    }
+
+    #[test]
+    fn single_fault_diagnosis_is_accurate() {
+        let e = env();
+        let fsim = FaultSim::new(&e.design, &e.ts.patterns);
+        let diag = Diagnoser::new(
+            &fsim,
+            &e.scan,
+            ObsMode::Bypass,
+            DiagnosisConfig::default(),
+        );
+        let faults = detected_faults(&e);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut accurate = 0;
+        let trials = 12;
+        for _ in 0..trials {
+            let f = faults[rng.gen_range(0..faults.len())];
+            let mut det = fsim.detector();
+            let dets = fsim.detections(&mut det, &[f]);
+            let log =
+                FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
+            let report = diag.diagnose(&log);
+            assert!(report.resolution() >= 1);
+            if report.is_accurate(&[f]) {
+                accurate += 1;
+            }
+        }
+        assert!(
+            accurate >= trials - 1,
+            "bypass single-fault accuracy {accurate}/{trials}"
+        );
+    }
+
+    #[test]
+    fn compaction_degrades_resolution() {
+        let e = env();
+        let fsim = FaultSim::new(&e.design, &e.ts.patterns);
+        let faults = detected_faults(&e);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut res = [0usize; 2];
+        for _ in 0..8 {
+            let f = faults[rng.gen_range(0..faults.len())];
+            let mut det = fsim.detector();
+            let dets = fsim.detections(&mut det, &[f]);
+            for (i, mode) in ObsMode::ALL.into_iter().enumerate() {
+                let diag = Diagnoser::new(
+                    &fsim,
+                    &e.scan,
+                    mode,
+                    DiagnosisConfig::default(),
+                );
+                let log = FailureLog::from_detections(&dets, &e.scan, mode);
+                res[i] += diag.diagnose(&log).resolution();
+            }
+        }
+        assert!(
+            res[1] >= res[0],
+            "compacted resolution ({}) should not beat bypass ({})",
+            res[1],
+            res[0]
+        );
+    }
+
+    #[test]
+    fn multi_fault_cover_explains_logs() {
+        let e = env();
+        let fsim = FaultSim::new(&e.design, &e.ts.patterns);
+        let diag = Diagnoser::new(
+            &fsim,
+            &e.scan,
+            ObsMode::Bypass,
+            DiagnosisConfig::default(),
+        );
+        let faults = detected_faults(&e);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut any_hit = 0;
+        for _ in 0..5 {
+            let picks: Vec<Fault> = faults
+                .choose_multiple(&mut rng, 3)
+                .copied()
+                .collect();
+            let mut det = fsim.detector();
+            let dets = fsim.detections(&mut det, &picks);
+            let log =
+                FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
+            let report = diag.diagnose(&log);
+            if report.first_hit_index(&picks).is_some() {
+                any_hit += 1;
+            }
+        }
+        assert!(any_hit >= 4, "cover diagnosis hit {any_hit}/5");
+    }
+
+    #[test]
+    fn empty_log_gives_empty_report() {
+        let e = env();
+        let fsim = FaultSim::new(&e.design, &e.ts.patterns);
+        let diag = Diagnoser::new(
+            &fsim,
+            &e.scan,
+            ObsMode::Bypass,
+            DiagnosisConfig::default(),
+        );
+        assert_eq!(diag.diagnose(&FailureLog::default()).resolution(), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! ATPG-style cause-effect delay-fault diagnosis for M3D designs.
+//!
+//! This crate stands in for the commercial fault-diagnosis tool of the
+//! paper's flow: it turns a tester [`m3d_tdf::FailureLog`] into a ranked
+//! [`DiagnosisReport`] of suspect fault sites, with the three quality
+//! measures the paper evaluates — diagnostic resolution, accuracy, and
+//! first-hit index. It also implements the paper's 2D comparison baseline
+//! ([`baseline_filter`], reference [11]/PADRE first-level classifier).
+//!
+//! See [`Diagnoser`] for the engine and [`QualityAccumulator`] for the
+//! table metrics.
+
+#![warn(missing_docs)]
+
+mod baseline;
+mod engine;
+mod metrics;
+mod report;
+
+pub use baseline::baseline_filter;
+pub use engine::{Diagnoser, DiagnosisConfig};
+pub use metrics::{mean_std, QualityAccumulator, ReportQuality};
+pub use report::{miv_equivalent, Candidate, DiagnosisReport, MatchScore};

@@ -1,0 +1,168 @@
+//! Aggregate report-quality metrics (the columns of Tables V–VIII).
+
+use m3d_tdf::Fault;
+
+use crate::report::DiagnosisReport;
+
+/// Aggregated diagnosis quality over a set of failing chips.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReportQuality {
+    /// Fraction of chips whose report contains every ground-truth site.
+    pub accuracy: f64,
+    /// Mean diagnostic resolution (report length).
+    pub mean_resolution: f64,
+    /// Standard deviation of resolution.
+    pub std_resolution: f64,
+    /// Mean first-hit index over *accurate-or-hitting* reports.
+    pub mean_fhi: f64,
+    /// Standard deviation of FHI.
+    pub std_fhi: f64,
+    /// Fraction of reports whose candidates all sit in one tier, counted
+    /// over the chips considered (see [`QualityAccumulator::tier_rate`]).
+    pub tier_localization: f64,
+    /// Number of chips aggregated.
+    pub samples: usize,
+}
+
+/// Streaming accumulator for [`ReportQuality`].
+///
+/// # Examples
+///
+/// ```
+/// use m3d_diagnosis::{DiagnosisReport, QualityAccumulator};
+///
+/// let mut acc = QualityAccumulator::new();
+/// acc.add(&DiagnosisReport::default(), &[]);
+/// let q = acc.finish();
+/// assert_eq!(q.samples, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct QualityAccumulator {
+    resolutions: Vec<f64>,
+    fhis: Vec<f64>,
+    accurate: usize,
+    tier_localized: usize,
+    tier_considered: usize,
+    samples: usize,
+}
+
+impl QualityAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        QualityAccumulator::default()
+    }
+
+    /// Adds one diagnosed chip.
+    pub fn add(&mut self, report: &DiagnosisReport, ground_truth: &[Fault]) {
+        self.samples += 1;
+        self.resolutions.push(report.resolution() as f64);
+        if !ground_truth.is_empty() && report.is_accurate(ground_truth) {
+            self.accurate += 1;
+        }
+        if let Some(fhi) = report.first_hit_index(ground_truth) {
+            self.fhis.push(fhi as f64);
+        }
+    }
+
+    /// Adds one chip's tier-localization outcome. The paper excludes
+    /// reports already localized by ATPG from this rate, so callers decide
+    /// which chips count.
+    pub fn add_tier_outcome(&mut self, localized: bool) {
+        self.tier_considered += 1;
+        if localized {
+            self.tier_localized += 1;
+        }
+    }
+
+    /// Fraction of considered chips localized to one tier.
+    pub fn tier_rate(&self) -> f64 {
+        if self.tier_considered == 0 {
+            0.0
+        } else {
+            self.tier_localized as f64 / self.tier_considered as f64
+        }
+    }
+
+    /// Finalizes the aggregate metrics.
+    pub fn finish(&self) -> ReportQuality {
+        let (mr, sr) = mean_std(&self.resolutions);
+        let (mf, sf) = mean_std(&self.fhis);
+        ReportQuality {
+            accuracy: if self.samples == 0 {
+                0.0
+            } else {
+                self.accurate as f64 / self.samples as f64
+            },
+            mean_resolution: mr,
+            std_resolution: sr,
+            mean_fhi: mf,
+            std_fhi: sf,
+            tier_localization: self.tier_rate(),
+            samples: self.samples,
+        }
+    }
+}
+
+/// Sample mean and (population) standard deviation.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Candidate, MatchScore};
+    use m3d_netlist::SiteId;
+    use m3d_part::Tier;
+    use m3d_tdf::Polarity;
+
+    fn report(sites: &[usize]) -> DiagnosisReport {
+        DiagnosisReport::new(
+            sites
+                .iter()
+                .map(|&s| Candidate {
+                    fault: Fault::new(SiteId::new(s), Polarity::SlowToRise),
+                    score: MatchScore {
+                        tfsf: 1,
+                        tfsp: 0,
+                        tpsf: 0,
+                    },
+                    tier: Some(Tier::Top),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn accumulator_computes_paper_metrics() {
+        let mut acc = QualityAccumulator::new();
+        let gt = vec![Fault::new(SiteId::new(2), Polarity::SlowToRise)];
+        acc.add(&report(&[2, 5]), &gt); // accurate, FHI 1, res 2
+        acc.add(&report(&[5, 9, 2]), &gt); // accurate, FHI 3, res 3
+        acc.add(&report(&[7]), &gt); // miss, res 1
+        acc.add_tier_outcome(true);
+        acc.add_tier_outcome(false);
+        let q = acc.finish();
+        assert_eq!(q.samples, 3);
+        assert!((q.accuracy - 2.0 / 3.0).abs() < 1e-12);
+        assert!((q.mean_resolution - 2.0).abs() < 1e-12);
+        assert!((q.mean_fhi - 2.0).abs() < 1e-12);
+        assert!((q.tier_localization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_handles_edges() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        let (m, s) = mean_std(&[3.0]);
+        assert_eq!((m, s), (3.0, 0.0));
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+    }
+}

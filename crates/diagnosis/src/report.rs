@@ -1,0 +1,281 @@
+//! Diagnosis reports: ranked candidate lists and their quality metrics.
+
+use m3d_netlist::{SiteId, SitePos};
+use m3d_part::{M3dDesign, Tier};
+use m3d_tdf::Fault;
+
+/// Failure-signature match counts for one candidate fault.
+///
+/// Following standard cause-effect diagnosis terminology:
+/// * `tfsf` — tester-fail, simulation-fail (explained failures),
+/// * `tfsp` — tester-fail, simulation-pass (unexplained failures),
+/// * `tpsf` — tester-pass, simulation-fail (mispredicted failures).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchScore {
+    /// Observations failing on both the tester and in simulation.
+    pub tfsf: u32,
+    /// Tester failures the candidate does not explain.
+    pub tfsp: u32,
+    /// Simulated failures the tester did not show.
+    pub tpsf: u32,
+}
+
+impl MatchScore {
+    /// A perfect candidate explains every failure and predicts no extras.
+    #[inline]
+    pub fn is_perfect(&self) -> bool {
+        self.tfsf > 0 && self.tfsp == 0 && self.tpsf == 0
+    }
+
+    /// Scalar ranking score: explained failures minus penalties for
+    /// unexplained and mispredicted ones.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        f64::from(self.tfsf) - 0.5 * f64::from(self.tfsp) - 0.5 * f64::from(self.tpsf)
+    }
+
+    /// Normalized match quality in `[-1, 1]` (1 = perfect).
+    #[inline]
+    pub fn quality(&self) -> f64 {
+        let total = self.tfsf + self.tfsp + self.tpsf;
+        if total == 0 {
+            return -1.0;
+        }
+        (f64::from(self.tfsf) - f64::from(self.tfsp) - f64::from(self.tpsf))
+            / f64::from(total)
+    }
+}
+
+/// One ranked suspect in a diagnosis report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// The suspected fault.
+    pub fault: Fault,
+    /// Signature match counts against the failure log.
+    pub score: MatchScore,
+    /// Tier of the site (`None` for MIV sites).
+    pub tier: Option<Tier>,
+}
+
+/// A ranked diagnosis report (most probable candidate first).
+///
+/// # Examples
+///
+/// ```
+/// use m3d_diagnosis::DiagnosisReport;
+///
+/// let report = DiagnosisReport::new(Vec::new());
+/// assert_eq!(report.resolution(), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DiagnosisReport {
+    candidates: Vec<Candidate>,
+}
+
+impl DiagnosisReport {
+    /// Wraps a ranked candidate list.
+    pub fn new(candidates: Vec<Candidate>) -> Self {
+        DiagnosisReport { candidates }
+    }
+
+    /// The ranked candidates.
+    #[inline]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Diagnostic resolution: the number of reported candidates (paper
+    /// Section II-B; smaller is better, ideal is 1).
+    #[inline]
+    pub fn resolution(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the report pinpoints every ground-truth site (the paper's
+    /// accuracy criterion; for multi-fault chips *all* injected faults must
+    /// appear — Section VII-A).
+    pub fn is_accurate(&self, ground_truth: &[Fault]) -> bool {
+        ground_truth.iter().all(|gt| {
+            self.candidates
+                .iter()
+                .any(|c| c.fault.site == gt.site)
+        })
+    }
+
+    /// First-hit index: 1-based rank of the first candidate matching a
+    /// ground-truth site; `None` when the report misses entirely.
+    pub fn first_hit_index(&self, ground_truth: &[Fault]) -> Option<usize> {
+        self.candidates
+            .iter()
+            .position(|c| ground_truth.iter().any(|gt| gt.site == c.fault.site))
+            .map(|i| i + 1)
+    }
+
+    /// The distinct tiers of the candidates (MIV candidates excluded).
+    pub fn candidate_tiers(&self) -> Vec<Tier> {
+        let mut tiers: Vec<Tier> =
+            self.candidates.iter().filter_map(|c| c.tier).collect();
+        tiers.sort();
+        tiers.dedup();
+        tiers
+    }
+
+    /// `true` when every tiered candidate lies in a single tier — the
+    /// paper's per-report *tier-level localization* criterion.
+    pub fn is_tier_localized(&self) -> bool {
+        self.candidate_tiers().len() <= 1
+    }
+
+    /// Replaces the candidate list (used by pruning/reordering policies).
+    pub fn with_candidates(&self, candidates: Vec<Candidate>) -> Self {
+        DiagnosisReport { candidates }
+    }
+}
+
+/// The MIV a candidate site is *equivalent* to, if any: the MIV site
+/// itself, the driving output pin of the cut net, or a far-side input pin.
+/// Used by the policy step that prioritizes predicted-faulty MIVs.
+pub fn miv_equivalent(design: &M3dDesign, site: SiteId) -> Option<u32> {
+    match design.sites().pos(site) {
+        SitePos::Miv(m) => Some(m),
+        SitePos::Output(g) => design
+            .netlist()
+            .gate(g)
+            .output()
+            .and_then(|n| design.miv_on_net(n)),
+        SitePos::Input(g, pin) => {
+            let net = design.netlist().gate(g).inputs()[pin as usize];
+            let m = design.miv_on_net(net)?;
+            let far = design.tier_of_gate(g) != design.mivs()[m as usize].driver_tier;
+            far.then_some(m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::SiteId;
+    use m3d_tdf::Polarity;
+
+    fn cand(site: usize, tfsf: u32, tfsp: u32, tier: Option<Tier>) -> Candidate {
+        Candidate {
+            fault: Fault::new(SiteId::new(site), Polarity::SlowToRise),
+            score: MatchScore {
+                tfsf,
+                tfsp,
+                tpsf: 0,
+            },
+            tier,
+        }
+    }
+
+    #[test]
+    fn perfect_scores_rank_highest() {
+        let perfect = MatchScore {
+            tfsf: 4,
+            tfsp: 0,
+            tpsf: 0,
+        };
+        let partial = MatchScore {
+            tfsf: 4,
+            tfsp: 2,
+            tpsf: 1,
+        };
+        assert!(perfect.is_perfect());
+        assert!(!partial.is_perfect());
+        assert!(perfect.value() > partial.value());
+        assert_eq!(perfect.quality(), 1.0);
+        assert!(partial.quality() < 1.0);
+    }
+
+    #[test]
+    fn accuracy_and_fhi_follow_ground_truth() {
+        let gt = vec![Fault::new(SiteId::new(7), Polarity::SlowToFall)];
+        let report = DiagnosisReport::new(vec![
+            cand(3, 5, 0, Some(Tier::Top)),
+            cand(7, 5, 0, Some(Tier::Bottom)),
+        ]);
+        assert!(report.is_accurate(&gt));
+        assert_eq!(report.first_hit_index(&gt), Some(2));
+        assert_eq!(report.resolution(), 2);
+        let miss = vec![Fault::new(SiteId::new(9), Polarity::SlowToFall)];
+        assert!(!report.is_accurate(&miss));
+        assert_eq!(report.first_hit_index(&miss), None);
+    }
+
+    #[test]
+    fn multi_fault_accuracy_requires_all_sites() {
+        let gt = vec![
+            Fault::new(SiteId::new(3), Polarity::SlowToRise),
+            Fault::new(SiteId::new(9), Polarity::SlowToRise),
+        ];
+        let report = DiagnosisReport::new(vec![cand(3, 2, 0, Some(Tier::Top))]);
+        assert!(!report.is_accurate(&gt));
+        assert_eq!(report.first_hit_index(&gt), Some(1));
+    }
+
+    #[test]
+    fn tier_localization_ignores_miv_candidates() {
+        let report = DiagnosisReport::new(vec![
+            cand(1, 1, 0, Some(Tier::Top)),
+            cand(2, 1, 0, None),
+        ]);
+        assert!(report.is_tier_localized());
+        let both = DiagnosisReport::new(vec![
+            cand(1, 1, 0, Some(Tier::Top)),
+            cand(2, 1, 0, Some(Tier::Bottom)),
+        ]);
+        assert!(!both.is_tier_localized());
+    }
+}
+
+impl std::fmt::Display for DiagnosisReport {
+    /// Formats the ranked candidate list the way a diagnosis engineer
+    /// would read it.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "diagnosis report: {} candidate(s)", self.resolution())?;
+        for (i, c) in self.candidates.iter().enumerate() {
+            writeln!(
+                f,
+                "  #{:<3} {:?} {:?} tier={} tfsf={} tfsp={} tpsf={}",
+                i + 1,
+                c.fault.site,
+                c.fault.polarity,
+                c.tier.map_or("MIV".into(), |t| t.to_string()),
+                c.score.tfsf,
+                c.score.tfsp,
+                c.score.tpsf
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use m3d_netlist::SiteId;
+    use m3d_tdf::Polarity;
+
+    #[test]
+    fn report_display_lists_every_candidate() {
+        let report = DiagnosisReport::new(vec![
+            Candidate {
+                fault: Fault::new(SiteId::new(4), Polarity::SlowToFall),
+                score: MatchScore { tfsf: 2, tfsp: 0, tpsf: 1 },
+                tier: Some(Tier::Top),
+            },
+            Candidate {
+                fault: Fault::new(SiteId::new(9), Polarity::SlowToRise),
+                score: MatchScore { tfsf: 2, tfsp: 0, tpsf: 0 },
+                tier: None,
+            },
+        ]);
+        let text = report.to_string();
+        assert!(text.contains("2 candidate(s)"));
+        assert!(text.contains("#1"));
+        assert!(text.contains("tier=top"));
+        assert!(text.contains("tier=MIV"));
+    }
+}

@@ -1,0 +1,172 @@
+//! CSR graphs and the mean-neighbour aggregation of the paper's GCN.
+
+use crate::matrix::Matrix;
+
+/// An undirected graph in CSR form with self-loops, ready for GCN
+/// aggregation (paper eq. (1): mean over neighbours).
+///
+/// # Examples
+///
+/// ```
+/// use m3d_gnn::GcnGraph;
+///
+/// let g = GcnGraph::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.degree(1), 3); // two neighbours + self-loop
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GcnGraph {
+    n: usize,
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl GcnGraph {
+    /// Builds the graph from undirected edges over `n` nodes; duplicate
+    /// edges are merged and self-loops are added to every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32]).collect();
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} nodes");
+            if a != b {
+                adj[a].push(b as u32);
+                adj[b].push(a as u32);
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u32);
+        }
+        GcnGraph {
+            n,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Degree of a node (self-loop included).
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Neighbours of `v` (self-loop included), ascending.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.neighbors
+            [self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Mean-neighbour aggregation: `out[v] = (1/|N(v)|) Σ_{u∈N(v)} x[u]`.
+    pub fn aggregate(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.n, "feature rows must match nodes");
+        let mut out = Matrix::zeros(self.n, x.cols());
+        for v in 0..self.n {
+            let ns = self.neighbors(v);
+            let inv = 1.0 / ns.len() as f32;
+            let row = out.row_mut(v);
+            for &u in ns {
+                for (o, &val) in row.iter_mut().zip(x.row(u as usize)) {
+                    *o += val;
+                }
+            }
+            for o in row {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    /// Transposed aggregation (`Mᵀ x`), needed for backpropagation:
+    /// `out[u] += x[v] / |N(v)|` for every `v` with `u ∈ N(v)`.
+    pub fn aggregate_transpose(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.n, "feature rows must match nodes");
+        let mut out = Matrix::zeros(self.n, x.cols());
+        for v in 0..self.n {
+            let ns = self.neighbors(v);
+            let inv = 1.0 / ns.len() as f32;
+            for &u in ns {
+                let row = out.row_mut(u as usize);
+                for (o, &val) in row.iter_mut().zip(x.row(v)) {
+                    *o += val * inv;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_averages_neighbours() {
+        // Path 0-1-2 with features = node index.
+        let g = GcnGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let agg = g.aggregate(&x);
+        // node0: mean(0,1)=0.5; node1: mean(0,1,2)=1; node2: mean(1,2)=1.5
+        assert!((agg[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!((agg[(1, 0)] - 1.0).abs() < 1e-6);
+        assert!((agg[(2, 0)] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_aggregation_is_adjoint() {
+        // <M x, y> == <x, Mᵀ y> for random x, y.
+        let g = GcnGraph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (1, 2)],
+        );
+        let x = Matrix::xavier(6, 3, 1);
+        let y = Matrix::xavier(6, 3, 2);
+        let mx = g.aggregate(&x);
+        let mty = g.aggregate_transpose(&y);
+        let lhs: f32 = mx
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(mty.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let g = GcnGraph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_self_loops() {
+        let g = GcnGraph::from_edges(3, &[]);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 1);
+        }
+        let x = Matrix::from_rows(&[&[5.0], &[6.0], &[7.0]]);
+        assert_eq!(g.aggregate(&x), x);
+    }
+}

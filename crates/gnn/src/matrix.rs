@@ -1,0 +1,303 @@
+//! A small dense `f32` matrix for the GNN kernels.
+//!
+//! Row-major storage; sized for the workloads here (hundreds of rows,
+//! tens of columns), so the kernels favour clarity over blocking.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major matrix of `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_gnn::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization, deterministic in `seed`.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                out[(i, j)] = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+            }
+        }
+        out
+    }
+
+    /// `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sets every element to zero (reusing the allocation).
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Column means (used by graph mean-pooling and PCA centering).
+    pub fn col_means(&self) -> Vec<f32> {
+        let mut means = vec![0.0f32; self.cols];
+        for i in 0..self.rows {
+            for (m, &v) in means.iter_mut().zip(self.row(i)) {
+                *m += v;
+            }
+        }
+        if self.rows > 0 {
+            let inv = 1.0 / self.rows as f32;
+            for m in &mut means {
+                *m *= inv;
+            }
+        }
+        means
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn transposed_products_agree_with_naive() {
+        let a = Matrix::xavier(5, 3, 1);
+        let b = Matrix::xavier(5, 4, 2);
+        let t1 = a.t_matmul(&b);
+        // naive Aᵀ B
+        for i in 0..3 {
+            for j in 0..4 {
+                let want: f32 = (0..5).map(|r| a[(r, i)] * b[(r, j)]).sum();
+                assert!((t1[(i, j)] - want).abs() < 1e-5);
+            }
+        }
+        let c = Matrix::xavier(4, 3, 3);
+        let t2 = a.matmul_t(&c); // 5×4
+        for i in 0..5 {
+            for j in 0..4 {
+                let want: f32 = (0..3).map(|k| a[(i, k)] * c[(j, k)]).sum();
+                assert!((t2[(i, j)] - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::xavier(4, 4, 9);
+        let prod = a.matmul(&Matrix::eye(4));
+        for (x, y) in prod.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn col_means_and_norm() {
+        let a = Matrix::from_rows(&[&[1.0, 3.0], &[3.0, 5.0]]);
+        assert_eq!(a.col_means(), vec![2.0, 4.0]);
+        assert!((a.norm() - (1.0f32 + 9.0 + 9.0 + 25.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn xavier_is_deterministic_and_bounded() {
+        let a = Matrix::xavier(10, 10, 5);
+        assert_eq!(a, Matrix::xavier(10, 10, 5));
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(a.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

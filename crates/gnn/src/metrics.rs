@@ -1,0 +1,311 @@
+//! Precision-recall analysis for the confidence-threshold policy.
+//!
+//! The paper classifies a diagnosis sample as *Predicted Positive* when the
+//! Tier-predictor's winning probability exceeds a threshold `T_p`, chosen
+//! as the smallest threshold whose training-set precision is ≥ 99%
+//! (Section V-B). This module computes the PR curve over scored samples
+//! and extracts that threshold.
+
+/// One scored sample: the classifier's confidence and whether the
+/// prediction was actually correct.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredSample {
+    /// Confidence of the winning class, `max(p_top, p_bottom)`.
+    pub score: f64,
+    /// Whether the prediction matched the ground truth (*Actual Positive*).
+    pub correct: bool,
+}
+
+/// A point on the precision-recall curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrPoint {
+    /// Classification threshold producing this point.
+    pub threshold: f64,
+    /// `TP / (TP + FP)`.
+    pub precision: f64,
+    /// `TP / (TP + FN)`.
+    pub recall: f64,
+}
+
+/// The precision-recall curve of a scored sample set.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_gnn::{PrCurve, ScoredSample};
+///
+/// let samples = vec![
+///     ScoredSample { score: 0.9, correct: true },
+///     ScoredSample { score: 0.8, correct: true },
+///     ScoredSample { score: 0.7, correct: false },
+/// ];
+/// let curve = PrCurve::from_samples(&samples);
+/// let tp = curve.threshold_for_precision(0.99);
+/// // Predicted Positive is score > Tp, so Tp = 0.7 cuts the wrong sample.
+/// assert!(tp >= 0.7 && tp < 0.8);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PrCurve {
+    points: Vec<PrPoint>,
+}
+
+impl PrCurve {
+    /// Sweeps the threshold over every distinct score.
+    ///
+    /// Per the paper's confusion matrix (Table IV): *Predicted Positive* =
+    /// `score > threshold`; true positives are correct predicted-positive
+    /// samples; false negatives are correct samples below the threshold.
+    pub fn from_samples(samples: &[ScoredSample]) -> Self {
+        let mut thresholds: Vec<f64> = samples.iter().map(|s| s.score).collect();
+        thresholds.push(0.0);
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        thresholds.dedup();
+        let points = thresholds
+            .iter()
+            .map(|&threshold| {
+                let mut tp = 0u32;
+                let mut fp = 0u32;
+                let mut fne = 0u32;
+                for s in samples {
+                    let predicted_positive = s.score > threshold;
+                    match (s.correct, predicted_positive) {
+                        (true, true) => tp += 1,
+                        (false, true) => fp += 1,
+                        (true, false) => fne += 1,
+                        (false, false) => {}
+                    }
+                }
+                PrPoint {
+                    threshold,
+                    precision: if tp + fp == 0 {
+                        1.0
+                    } else {
+                        f64::from(tp) / f64::from(tp + fp)
+                    },
+                    recall: if tp + fne == 0 {
+                        0.0
+                    } else {
+                        f64::from(tp) / f64::from(tp + fne)
+                    },
+                }
+            })
+            .collect();
+        PrCurve { points }
+    }
+
+    /// The curve points, by ascending threshold.
+    pub fn points(&self) -> &[PrPoint] {
+        &self.points
+    }
+
+    /// The smallest threshold whose precision is at least `min_precision`
+    /// (the paper's `T_p`). Falls back to the largest threshold when no
+    /// point qualifies.
+    pub fn threshold_for_precision(&self, min_precision: f64) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.precision >= min_precision)
+            .or_else(|| self.points.last())
+            .map(|p| p.threshold)
+            .unwrap_or(1.0)
+    }
+}
+
+/// Plain classification accuracy of boolean outcomes.
+pub fn accuracy(outcomes: &[bool]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|&&b| b).count() as f64 / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ScoredSample> {
+        vec![
+            ScoredSample { score: 0.95, correct: true },
+            ScoredSample { score: 0.9, correct: true },
+            ScoredSample { score: 0.85, correct: false },
+            ScoredSample { score: 0.8, correct: true },
+            ScoredSample { score: 0.6, correct: false },
+        ]
+    }
+
+    #[test]
+    fn precision_rises_and_recall_falls_with_threshold() {
+        let curve = PrCurve::from_samples(&samples());
+        let pts = curve.points();
+        assert!(pts.first().unwrap().recall >= pts.last().unwrap().recall);
+        // At threshold 0: precision = 3/5; at 0.9: precision = 1/1.
+        let p0 = pts.iter().find(|p| p.threshold == 0.0).unwrap();
+        assert!((p0.precision - 0.6).abs() < 1e-12);
+        assert!((p0.recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tp_excludes_incorrect_high_scores() {
+        let curve = PrCurve::from_samples(&samples());
+        let tp = curve.threshold_for_precision(0.99);
+        // Threshold must be at least 0.85 so the wrong 0.85 sample is cut.
+        assert!(tp >= 0.85);
+        // And the correct 0.9/0.95 samples remain above it.
+        assert!(tp < 0.9);
+    }
+
+    #[test]
+    fn degenerate_all_wrong_falls_back() {
+        let s = vec![ScoredSample { score: 0.5, correct: false }];
+        let curve = PrCurve::from_samples(&s);
+        let tp = curve.threshold_for_precision(0.99);
+        assert!(tp >= 0.5, "fallback excludes everything");
+    }
+
+    #[test]
+    fn accuracy_helper() {
+        assert_eq!(accuracy(&[]), 0.0);
+        assert_eq!(accuracy(&[true, false, true, true]), 0.75);
+    }
+}
+
+/// A point on the receiver-operating-characteristic curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RocPoint {
+    /// Classification threshold producing this point.
+    pub threshold: f64,
+    /// True-positive rate, `TP / (TP + FN)`.
+    pub tpr: f64,
+    /// False-positive rate, `FP / (FP + TN)`.
+    pub fpr: f64,
+}
+
+/// The ROC curve of a scored sample set.
+///
+/// The paper chooses PR over ROC for selecting `T_p` because the
+/// Tier-predictor's dataset is highly imbalanced (§V-B, citing Davis &
+/// Goadrich); both curves are provided so that comparison is reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_gnn::{RocCurve, ScoredSample};
+///
+/// let samples = vec![
+///     ScoredSample { score: 0.9, correct: true },
+///     ScoredSample { score: 0.2, correct: false },
+/// ];
+/// let roc = RocCurve::from_samples(&samples);
+/// assert!((roc.auc() - 1.0).abs() < 1e-9, "perfect separation");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Sweeps the threshold over every distinct score (plus 0).
+    pub fn from_samples(samples: &[ScoredSample]) -> Self {
+        let mut thresholds: Vec<f64> =
+            samples.iter().map(|s| s.score).collect();
+        thresholds.push(0.0);
+        thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        thresholds.dedup();
+        let pos = samples.iter().filter(|s| s.correct).count() as f64;
+        let neg = samples.len() as f64 - pos;
+        let points = thresholds
+            .iter()
+            .map(|&threshold| {
+                let tp = samples
+                    .iter()
+                    .filter(|s| s.correct && s.score > threshold)
+                    .count() as f64;
+                let fp = samples
+                    .iter()
+                    .filter(|s| !s.correct && s.score > threshold)
+                    .count() as f64;
+                RocPoint {
+                    threshold,
+                    tpr: if pos == 0.0 { 0.0 } else { tp / pos },
+                    fpr: if neg == 0.0 { 0.0 } else { fp / neg },
+                }
+            })
+            .collect();
+        RocCurve { points }
+    }
+
+    /// The curve points by ascending threshold (descending FPR).
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the curve by trapezoidal integration (0.5 = chance,
+    /// 1.0 = perfect ranking).
+    pub fn auc(&self) -> f64 {
+        // Points are ordered by ascending threshold → descending FPR.
+        let mut auc = 0.0;
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            auc += (a.fpr - b.fpr) * (a.tpr + b.tpr) / 2.0;
+        }
+        // Close the curve at (0,0) and (1,1).
+        if let (Some(first), Some(last)) = (self.points.first(), self.points.last()) {
+            auc += (1.0 - first.fpr) * (1.0 + first.tpr) / 2.0;
+            auc += last.fpr * last.tpr / 2.0;
+        }
+        auc
+    }
+}
+
+#[cfg(test)]
+mod roc_tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let samples = vec![
+            ScoredSample { score: 0.9, correct: true },
+            ScoredSample { score: 0.8, correct: true },
+            ScoredSample { score: 0.3, correct: false },
+            ScoredSample { score: 0.1, correct: false },
+        ];
+        assert!((RocCurve::from_samples(&samples).auc() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero() {
+        let samples = vec![
+            ScoredSample { score: 0.1, correct: true },
+            ScoredSample { score: 0.9, correct: false },
+        ];
+        assert!(RocCurve::from_samples(&samples).auc() < 1e-9);
+    }
+
+    #[test]
+    fn random_ranking_is_near_half() {
+        // Alternating scores/labels → AUC 0.5 by symmetry.
+        let samples: Vec<ScoredSample> = (0..40)
+            .map(|i| ScoredSample {
+                score: f64::from(i) / 40.0,
+                correct: i % 2 == 0,
+            })
+            .collect();
+        let auc = RocCurve::from_samples(&samples).auc();
+        assert!((auc - 0.5).abs() < 0.05, "auc {auc}");
+    }
+
+    #[test]
+    fn tpr_and_fpr_are_monotone_in_threshold() {
+        let samples: Vec<ScoredSample> = (0..25)
+            .map(|i| ScoredSample {
+                score: f64::from(i * 7 % 25) / 25.0,
+                correct: i % 3 != 0,
+            })
+            .collect();
+        let roc = RocCurve::from_samples(&samples);
+        for w in roc.points().windows(2) {
+            assert!(w[0].tpr >= w[1].tpr);
+            assert!(w[0].fpr >= w[1].fpr);
+        }
+    }
+}

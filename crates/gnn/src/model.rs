@@ -1,0 +1,532 @@
+//! GCN models: graph-level classification (Tier-predictor / Classifier)
+//! and node-level classification (MIV-pinpointer).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::graph::GcnGraph;
+use crate::layers::{sigmoid, softmax, softmax_ce, sigmoid_bce, DenseLayer, GcnCache, GcnLayer};
+use crate::matrix::Matrix;
+
+/// One graph with its node feature matrix.
+#[derive(Clone, Debug)]
+pub struct GraphData {
+    /// The (sub-)graph topology.
+    pub graph: GcnGraph,
+    /// Node features, `n × f`.
+    pub features: Matrix,
+}
+
+impl GraphData {
+    /// Bundles a graph and its features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if feature rows don't match the node count.
+    pub fn new(graph: GcnGraph, features: Matrix) -> Self {
+        assert_eq!(graph.node_count(), features.rows());
+        GraphData { graph, features }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Gradient-accumulation batch size.
+    pub batch_size: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 40,
+            learning_rate: 0.01,
+            batch_size: 16,
+            seed: 1,
+        }
+    }
+}
+
+/// A GCN graph classifier: stacked GCN layers, mean graph pooling, and a
+/// dense softmax head (the paper's Tier-predictor architecture, with the
+/// two-dimensional `[p_top, p_bottom]` output).
+///
+/// # Examples
+///
+/// ```
+/// use m3d_gnn::{GcnClassifier, GcnGraph, GraphData, Matrix, TrainConfig};
+///
+/// let data = GraphData::new(
+///     GcnGraph::from_edges(3, &[(0, 1), (1, 2)]),
+///     Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]),
+/// );
+/// let model = GcnClassifier::new(2, 8, 2, 2, 1);
+/// let probs = model.predict_proba(&data);
+/// assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GcnClassifier {
+    layers: Vec<GcnLayer>,
+    /// Optional hidden classification layer (ReLU), used by transfer
+    /// models ("trainable classification layers" in the paper).
+    head_hidden: Option<DenseLayer>,
+    head: DenseLayer,
+    /// When `true`, the GCN backbone is not updated during training
+    /// (network-based transfer learning: pre-trained hidden layers +
+    /// trainable classification layers).
+    pub freeze_backbone: bool,
+}
+
+impl GcnClassifier {
+    /// A fresh model: `num_layers` GCN layers of width `hidden`, then a
+    /// dense head to `num_classes` logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0`.
+    pub fn new(
+        in_dim: usize,
+        hidden: usize,
+        num_layers: usize,
+        num_classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_layers > 0, "need at least one GCN layer");
+        let mut layers = Vec::with_capacity(num_layers);
+        for l in 0..num_layers {
+            let d_in = if l == 0 { in_dim } else { hidden };
+            layers.push(GcnLayer::new(d_in, hidden, seed.wrapping_add(l as u64)));
+        }
+        GcnClassifier {
+            layers,
+            head_hidden: None,
+            head: DenseLayer::new(hidden, num_classes, seed.wrapping_add(97)),
+            freeze_backbone: false,
+        }
+    }
+
+    /// Builds a transfer model: the pre-trained backbone of `base` with a
+    /// fresh classification head (the paper's GNN-based Classifier).
+    pub fn transfer_from(base: &GcnClassifier, num_classes: usize, seed: u64) -> Self {
+        let hidden = base.layers.last().expect("non-empty").out_dim();
+        GcnClassifier {
+            layers: base.layers.clone(),
+            head_hidden: Some(DenseLayer::new(hidden, hidden, seed.wrapping_add(7))),
+            head: DenseLayer::new(hidden, num_classes, seed),
+            freeze_backbone: true,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Runs the backbone; returns per-layer caches and the final node
+    /// embedding matrix.
+    fn backbone(&self, data: &GraphData) -> (Vec<(Matrix, GcnCache)>, Matrix) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut h = data.features.clone();
+        for layer in &self.layers {
+            let (next, cache) = layer.forward(&data.graph, &h);
+            caches.push((h, cache));
+            h = next;
+        }
+        (caches, h)
+    }
+
+    /// Mean-pooled graph embedding (pre-head). Used for the paper's
+    /// PCA feature visualization (Fig. 5) and as the transfer interface.
+    pub fn pooled_embedding(&self, data: &GraphData) -> Vec<f32> {
+        let (_, h) = self.backbone(data);
+        h.col_means()
+    }
+
+    /// Class probabilities for one graph.
+    pub fn predict_proba(&self, data: &GraphData) -> Vec<f32> {
+        let pooled = Matrix::from_vec(
+            1,
+            self.layers.last().expect("non-empty").out_dim(),
+            self.pooled_embedding(data),
+        );
+        let pre_head = self.apply_head_hidden(&pooled).0;
+        softmax(self.head.forward(&pre_head).row(0))
+    }
+
+    /// Applies the optional hidden head layer with ReLU; returns the
+    /// activated output and the pre-activation (for backprop).
+    fn apply_head_hidden(&self, pooled: &Matrix) -> (Matrix, Option<Matrix>) {
+        match &self.head_hidden {
+            None => (pooled.clone(), None),
+            Some(layer) => {
+                let z = layer.forward(pooled);
+                let mut h = z.clone();
+                for v in h.data_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                (h, Some(z))
+            }
+        }
+    }
+
+    /// The most probable class.
+    pub fn predict(&self, data: &GraphData) -> usize {
+        let p = self.predict_proba(data);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Trains with Adam on softmax cross-entropy; returns the final-epoch
+    /// mean training loss.
+    pub fn fit(&mut self, samples: &[(&GraphData, usize)], cfg: &TrainConfig) -> f32 {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut t = 0u64;
+        let mut last_loss = 0.0f32;
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            for chunk in order.chunks(cfg.batch_size) {
+                self.zero_grads();
+                for &idx in chunk {
+                    let (data, label) = samples[idx];
+                    epoch_loss += self.backward_one(data, label);
+                }
+                t += 1;
+                self.step(cfg.learning_rate, t);
+            }
+            last_loss = epoch_loss / samples.len().max(1) as f32;
+        }
+        last_loss
+    }
+
+    /// Forward + backward for one sample; returns the loss.
+    fn backward_one(&mut self, data: &GraphData, label: usize) -> f32 {
+        let (caches, h) = self.backbone(data);
+        let n = h.rows().max(1);
+        let hidden = h.cols();
+        let pooled = Matrix::from_vec(1, hidden, h.col_means());
+        let (pre_head, head_z) = self.apply_head_hidden(&pooled);
+        let logits = self.head.forward(&pre_head);
+        let (loss, dlogits) = softmax_ce(logits.row(0), label);
+        let dlogits = Matrix::from_vec(1, logits.cols(), dlogits);
+        let mut dpooled = self.head.backward(&pre_head, &dlogits);
+        if let (Some(layer), Some(z)) = (self.head_hidden.as_mut(), head_z) {
+            // ReLU backward on the hidden head, then its dense backward.
+            for (d, &zv) in dpooled.data_mut().iter_mut().zip(z.data()) {
+                if zv <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+            dpooled = layer.backward(&pooled, &dpooled);
+        }
+        if self.freeze_backbone {
+            return loss;
+        }
+        // Mean-pool backward: broadcast /n to every node row.
+        let mut dh = Matrix::zeros(h.rows(), hidden);
+        for r in 0..h.rows() {
+            for (d, &g) in dh.row_mut(r).iter_mut().zip(dpooled.row(0)) {
+                *d = g / n as f32;
+            }
+        }
+        for (layer, (_, cache)) in
+            self.layers.iter_mut().zip(&caches).rev()
+        {
+            dh = layer.backward(&data.graph, cache, &dh);
+        }
+        loss
+    }
+
+    fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+        if let Some(h) = &mut self.head_hidden {
+            h.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+
+    fn step(&mut self, lr: f32, t: u64) {
+        if !self.freeze_backbone {
+            for l in &mut self.layers {
+                l.step(lr, t);
+            }
+        }
+        if let Some(h) = &mut self.head_hidden {
+            h.step(lr, t);
+        }
+        self.head.step(lr, t);
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn accuracy(&self, samples: &[(&GraphData, usize)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let hits = samples
+            .iter()
+            .filter(|(d, l)| self.predict(d) == *l)
+            .count();
+        hits as f64 / samples.len() as f64
+    }
+}
+
+/// A GCN node classifier: stacked GCN layers and a per-node sigmoid head
+/// (the paper's MIV-pinpointer — node classification over MIV nodes, where
+/// local information matters more than the global pooled representation).
+#[derive(Clone, Debug)]
+pub struct NodeClassifier {
+    layers: Vec<GcnLayer>,
+    head: DenseLayer,
+}
+
+impl NodeClassifier {
+    /// A fresh model with `num_layers` GCN layers of width `hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_layers == 0`.
+    pub fn new(in_dim: usize, hidden: usize, num_layers: usize, seed: u64) -> Self {
+        assert!(num_layers > 0, "need at least one GCN layer");
+        let mut layers = Vec::with_capacity(num_layers);
+        for l in 0..num_layers {
+            let d_in = if l == 0 { in_dim } else { hidden };
+            layers.push(GcnLayer::new(d_in, hidden, seed.wrapping_add(11 + l as u64)));
+        }
+        NodeClassifier {
+            layers,
+            head: DenseLayer::new(hidden, 1, seed.wrapping_add(131)),
+        }
+    }
+
+    fn backbone(&self, data: &GraphData) -> (Vec<(Matrix, GcnCache)>, Matrix) {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut h = data.features.clone();
+        for layer in &self.layers {
+            let (next, cache) = layer.forward(&data.graph, &h);
+            caches.push((h, cache));
+            h = next;
+        }
+        (caches, h)
+    }
+
+    /// Fault probability for the listed nodes.
+    pub fn predict_nodes(&self, data: &GraphData, nodes: &[usize]) -> Vec<f32> {
+        let (_, h) = self.backbone(data);
+        let logits = self.head.forward(&h);
+        nodes.iter().map(|&n| sigmoid(logits[(n, 0)])).collect()
+    }
+
+    /// Trains on per-node binary labels; `pos_weight` scales the loss of
+    /// positive (faulty) nodes to counter class imbalance. Returns the
+    /// final-epoch mean loss.
+    pub fn fit(
+        &mut self,
+        samples: &[(&GraphData, &[(usize, bool)])],
+        pos_weight: f32,
+        cfg: &TrainConfig,
+    ) -> f32 {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut t = 0u64;
+        let mut last_loss = 0.0f32;
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f32;
+            for chunk in order.chunks(cfg.batch_size) {
+                for l in &mut self.layers {
+                    l.zero_grad();
+                }
+                self.head.zero_grad();
+                for &idx in chunk {
+                    let (data, labels) = samples[idx];
+                    epoch_loss += self.backward_one(data, labels, pos_weight);
+                }
+                t += 1;
+                for l in &mut self.layers {
+                    l.step(cfg.learning_rate, t);
+                }
+                self.head.step(cfg.learning_rate, t);
+            }
+            last_loss = epoch_loss / samples.len().max(1) as f32;
+        }
+        last_loss
+    }
+
+    fn backward_one(
+        &mut self,
+        data: &GraphData,
+        labels: &[(usize, bool)],
+        pos_weight: f32,
+    ) -> f32 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let (caches, h) = self.backbone(data);
+        let logits = self.head.forward(&h);
+        let mut dlogits = Matrix::zeros(logits.rows(), 1);
+        let mut loss = 0.0f32;
+        let norm = 1.0 / labels.len() as f32;
+        for &(node, target) in labels {
+            let w = if target { pos_weight } else { 1.0 };
+            let (l, d) = sigmoid_bce(logits[(node, 0)], target, w);
+            loss += l * norm;
+            dlogits[(node, 0)] = d * norm;
+        }
+        let mut dh = self.head.backward(&h, &dlogits);
+        for (layer, (_, cache)) in self.layers.iter_mut().zip(&caches).rev() {
+            dh = layer.backward(&data.graph, cache, &dh);
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A toy separable task: class = whether the mean of feature 0 is
+    /// positive.
+    fn toy_dataset(n: usize, seed: u64) -> Vec<(GraphData, usize)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let nodes = rng.gen_range(4..9);
+                let label = rng.gen_range(0..2usize);
+                let edges: Vec<(usize, usize)> =
+                    (1..nodes).map(|v| (v - 1, v)).collect();
+                let mut feats = Matrix::zeros(nodes, 3);
+                for r in 0..nodes {
+                    let base = if label == 0 { 1.0 } else { -1.0 };
+                    feats[(r, 0)] = base + rng.gen_range(-0.3..0.3);
+                    feats[(r, 1)] = rng.gen_range(-1.0..1.0);
+                    feats[(r, 2)] = rng.gen_range(-1.0..1.0);
+                }
+                (
+                    GraphData::new(GcnGraph::from_edges(nodes, &edges), feats),
+                    label,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn classifier_learns_a_separable_task() {
+        let data = toy_dataset(60, 3);
+        let refs: Vec<(&GraphData, usize)> =
+            data.iter().map(|(d, l)| (d, *l)).collect();
+        let mut model = GcnClassifier::new(3, 8, 2, 2, 5);
+        let before = model.accuracy(&refs);
+        model.fit(&refs, &TrainConfig {
+            epochs: 30,
+            ..TrainConfig::default()
+        });
+        let after = model.accuracy(&refs);
+        assert!(
+            after > 0.95 && after > before,
+            "training must learn: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn transfer_model_freezes_backbone() {
+        let data = toy_dataset(30, 7);
+        let refs: Vec<(&GraphData, usize)> =
+            data.iter().map(|(d, l)| (d, *l)).collect();
+        let mut base = GcnClassifier::new(3, 8, 2, 2, 5);
+        base.fit(&refs, &TrainConfig::default());
+        let backbone_before: Vec<f32> =
+            base.layers[0].w.value.data().to_vec();
+        let mut transfer = GcnClassifier::transfer_from(&base, 2, 42);
+        assert!(transfer.freeze_backbone);
+        transfer.fit(&refs, &TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        });
+        assert_eq!(
+            transfer.layers[0].w.value.data(),
+            backbone_before.as_slice(),
+            "frozen backbone must not move"
+        );
+    }
+
+    #[test]
+    fn probabilities_are_normalized() {
+        let data = toy_dataset(1, 9);
+        let model = GcnClassifier::new(3, 8, 2, 2, 1);
+        let p = model.predict_proba(&data[0].0);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn node_classifier_learns_node_labels() {
+        // Label = neighbourhood mean of feature 0 is positive — a target a
+        // mean-aggregating GCN can express exactly.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut samples = Vec::new();
+        for _ in 0..30 {
+            let nodes = 8usize;
+            let edges: Vec<(usize, usize)> =
+                (1..nodes).map(|v| (v - 1, v)).collect();
+            let mut feats = Matrix::zeros(nodes, 2);
+            for r in 0..nodes {
+                feats[(r, 0)] = rng.gen_range(-1.0f32..1.0);
+                feats[(r, 1)] = rng.gen_range(-0.2..0.2);
+            }
+            let mut labels = Vec::new();
+            for r in 0..nodes {
+                let lo = r.saturating_sub(1);
+                let hi = (r + 1).min(nodes - 1);
+                let mean: f32 = (lo..=hi).map(|i| feats[(i, 0)]).sum::<f32>()
+                    / (hi - lo + 1) as f32;
+                labels.push((r, mean > 0.0));
+            }
+            samples.push((
+                GraphData::new(GcnGraph::from_edges(nodes, &edges), feats),
+                labels,
+            ));
+        }
+        let refs: Vec<(&GraphData, &[(usize, bool)])> = samples
+            .iter()
+            .map(|(d, l)| (d, l.as_slice()))
+            .collect();
+        let mut model = NodeClassifier::new(2, 16, 1, 3);
+        model.fit(&refs, 1.0, &TrainConfig {
+            epochs: 120,
+            ..TrainConfig::default()
+        });
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (d, labels) in &refs {
+            let nodes: Vec<usize> = labels.iter().map(|&(n, _)| n).collect();
+            let probs = model.predict_nodes(d, &nodes);
+            for ((_, want), p) in labels.iter().zip(probs) {
+                total += 1;
+                if (p > 0.5) == *want {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits as f64 / total as f64 > 0.9,
+            "node accuracy {hits}/{total}"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Principal component analysis via power iteration (for the paper's
+//! Fig. 5 feature-distribution visualization).
+
+use crate::matrix::Matrix;
+
+/// Projects samples (rows of `data`) onto their top `k` principal
+/// components. Returns an `n × k` matrix of scores.
+///
+/// Components are extracted by power iteration with deflation on the
+/// covariance matrix; deterministic for a given input.
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the feature dimension.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_gnn::{pca_project, Matrix};
+///
+/// // Points on a line y = 2x: the first PC captures ~all variance.
+/// let data = Matrix::from_rows(&[
+///     &[1.0, 2.0],
+///     &[2.0, 4.0],
+///     &[3.0, 6.0],
+///     &[4.0, 8.0],
+/// ]);
+/// let proj = pca_project(&data, 2);
+/// let var2: f32 = (0..4).map(|i| proj[(i, 1)].powi(2)).sum();
+/// assert!(var2 < 1e-3, "second PC variance must vanish");
+/// ```
+pub fn pca_project(data: &Matrix, k: usize) -> Matrix {
+    let f = data.cols();
+    assert!(k <= f, "cannot extract {k} components from {f} features");
+    let n = data.rows();
+    if n == 0 || k == 0 {
+        return Matrix::zeros(n, k);
+    }
+
+    // Center the data.
+    let means = data.col_means();
+    let mut centered = data.clone();
+    for r in 0..n {
+        for (v, m) in centered.row_mut(r).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+
+    // Covariance (f × f).
+    let mut cov = centered.t_matmul(&centered);
+    cov.scale(1.0 / n.max(1) as f32);
+
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+    for comp in 0..k {
+        let mut v: Vec<f32> = (0..f)
+            .map(|i| if i % (comp + 1) == 0 { 1.0 } else { 0.5 })
+            .collect();
+        normalize(&mut v);
+        for _ in 0..100 {
+            // w = cov · v
+            let mut w = vec![0.0f32; f];
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi = cov
+                    .row(i)
+                    .iter()
+                    .zip(&v)
+                    .map(|(&c, &x)| c * x)
+                    .sum();
+            }
+            // Deflate against previous components.
+            for prev in &components {
+                let dot: f32 = w.iter().zip(prev).map(|(&a, &b)| a * b).sum();
+                for (wi, &p) in w.iter_mut().zip(prev) {
+                    *wi -= dot * p;
+                }
+            }
+            let norm = normalize(&mut w);
+            if norm < 1e-12 {
+                // Remaining variance is zero: a null component projects
+                // everything to 0 rather than leaking a stale direction.
+                v = vec![0.0; f];
+                break;
+            }
+            let delta: f32 = w
+                .iter()
+                .zip(&v)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0, f32::max);
+            v = w;
+            if delta < 1e-7 {
+                break;
+            }
+        }
+        components.push(v);
+    }
+
+    // Project.
+    let mut out = Matrix::zeros(n, k);
+    for r in 0..n {
+        for (c, comp) in components.iter().enumerate() {
+            out[(r, c)] = centered
+                .row(r)
+                .iter()
+                .zip(comp)
+                .map(|(&x, &w)| x * w)
+                .sum();
+        }
+    }
+    out
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        // Anisotropic Gaussian cloud: variance 100:1 along x vs y.
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<f32>> = (0..200)
+            .map(|_| {
+                vec![
+                    rng.gen_range(-10.0..10.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-0.1..0.1),
+                ]
+            })
+            .collect();
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let data = Matrix::from_rows(&refs);
+        let proj = pca_project(&data, 2);
+        let var =
+            |c: usize| (0..200).map(|r| proj[(r, c)].powi(2)).sum::<f32>();
+        assert!(var(0) > var(1) * 5.0, "PC1 must dominate PC2");
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let data = Matrix::from_rows(&[&[1.0, 5.0], &[3.0, 9.0], &[5.0, 1.0]]);
+        let proj = pca_project(&data, 2);
+        for c in 0..2 {
+            let mean: f32 = (0..3).map(|r| proj[(r, c)]).sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_components_gives_empty_projection() {
+        let data = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let proj = pca_project(&data, 0);
+        assert_eq!((proj.rows(), proj.cols()), (2, 0));
+    }
+}

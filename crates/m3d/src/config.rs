@@ -1,0 +1,143 @@
+//! The paper's design configurations (Section IV).
+//!
+//! A benchmark is evaluated under four configurations: the training
+//! configuration *Syn-1*, a test-point-inserted variant *TPI*, a
+//! re-synthesized variant *Syn-2*, and a re-partitioned variant *Par*.
+//! Randomly-partitioned variants augment the training set.
+
+use m3d_netlist::generate::{Benchmark, GenParams};
+use m3d_netlist::tpi::insert_test_points;
+
+use crate::design::M3dDesign;
+use crate::partition::PartitionAlgo;
+
+/// A design configuration from the paper's transferability study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DesignConfig {
+    /// Baseline synthesis + min-cut partition (training configuration).
+    Syn1,
+    /// Syn-1 netlist with ~1% observation test points inserted.
+    Tpi,
+    /// Re-synthesized netlist (different clock constraint), re-partitioned.
+    Syn2,
+    /// Syn-1 netlist partitioned with the alternative partitioner.
+    Par,
+}
+
+impl DesignConfig {
+    /// All four configurations in paper order.
+    pub const ALL: [DesignConfig; 4] = [
+        DesignConfig::Syn1,
+        DesignConfig::Tpi,
+        DesignConfig::Syn2,
+        DesignConfig::Par,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignConfig::Syn1 => "Syn-1",
+            DesignConfig::Tpi => "TPI",
+            DesignConfig::Syn2 => "Syn-2",
+            DesignConfig::Par => "Par",
+        }
+    }
+
+    /// Builds the configured M3D design for a benchmark at the default
+    /// gate target.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use m3d_netlist::generate::Benchmark;
+    /// use m3d_part::DesignConfig;
+    ///
+    /// let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+    /// assert!(d.miv_count() > 0);
+    /// ```
+    pub fn build(self, benchmark: Benchmark) -> M3dDesign {
+        self.build_sized(benchmark, None)
+    }
+
+    /// Builds the configured design with an explicit gate target
+    /// (`None` = the benchmark default).
+    pub fn build_sized(self, benchmark: Benchmark, target: Option<usize>) -> M3dDesign {
+        let sized = |mut p: GenParams| {
+            if let Some(t) = target {
+                p = p.with_target(t);
+            }
+            p
+        };
+        match self {
+            DesignConfig::Syn1 => {
+                let nl = benchmark.generate(&sized(GenParams::new(1)));
+                let part = PartitionAlgo::MinCut.partition(&nl, 1);
+                M3dDesign::new(nl, part)
+            }
+            DesignConfig::Tpi => {
+                let nl = benchmark.generate(&sized(GenParams::new(1)));
+                let nl = insert_test_points(nl, 0.01, 1);
+                let part = PartitionAlgo::MinCut.partition(&nl, 1);
+                M3dDesign::new(nl, part)
+            }
+            DesignConfig::Syn2 => {
+                let nl = benchmark.generate(&sized(GenParams::new(2)));
+                let part = PartitionAlgo::MinCut.partition(&nl, 2);
+                M3dDesign::new(nl, part)
+            }
+            DesignConfig::Par => {
+                let nl = benchmark.generate(&sized(GenParams::new(1)));
+                let part = PartitionAlgo::LevelBanded.partition(&nl, 1);
+                M3dDesign::new(nl, part)
+            }
+        }
+    }
+}
+
+/// Builds a randomly-partitioned variant of the Syn-1 netlist: the paper's
+/// data-augmentation design (`k` selects the random partition).
+pub fn augmented_design(benchmark: Benchmark, k: u64, target: Option<usize>) -> M3dDesign {
+    let mut p = GenParams::new(1);
+    if let Some(t) = target {
+        p = p.with_target(t);
+    }
+    let nl = benchmark.generate(&p);
+    let part = PartitionAlgo::Random.partition(&nl, 1000 + k);
+    M3dDesign::new(nl, part)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_share_architecture_but_differ_in_structure() {
+        let syn1 = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+        let syn2 = DesignConfig::Syn2.build_sized(Benchmark::Aes, Some(300));
+        let tpi = DesignConfig::Tpi.build_sized(Benchmark::Aes, Some(300));
+        let par = DesignConfig::Par.build_sized(Benchmark::Aes, Some(300));
+
+        // Same flop-bank architecture for same-netlist configs.
+        assert!(tpi.netlist().stats().flops > syn1.netlist().stats().flops);
+        assert_ne!(
+            syn1.netlist().gate_count(),
+            syn2.netlist().gate_count(),
+            "re-synthesis changes gate count"
+        );
+        // Par shares the netlist with Syn-1 but cuts differently.
+        assert_eq!(par.netlist().gate_count(), syn1.netlist().gate_count());
+        assert_ne!(par.miv_count(), syn1.miv_count());
+    }
+
+    #[test]
+    fn augmented_designs_vary_by_k() {
+        let a = augmented_design(Benchmark::Aes, 0, Some(300));
+        let b = augmented_design(Benchmark::Aes, 1, Some(300));
+        assert_eq!(a.netlist().gate_count(), b.netlist().gate_count());
+        assert_ne!(
+            a.partition().tiers(),
+            b.partition().tiers(),
+            "different random partitions"
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! Tier-partitioning algorithms.
+//!
+//! Three partitioners cover the paper's configurations:
+//!
+//! * [`PartitionAlgo::MinCut`] — an FM-style min-cut, area-balanced
+//!   bipartitioner, standing in for the placement-driven partitioner of
+//!   Panth et al. used for the Syn-1/Syn-2/TPI netlists.
+//! * [`PartitionAlgo::LevelBanded`] — a topological-band partitioner,
+//!   standing in for the alternative TP-GNN-style partitioner of the *Par*
+//!   configuration.
+//! * [`PartitionAlgo::Random`] — balanced random assignment, the paper's
+//!   *data-augmentation* partitioner for transferable training sets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use m3d_netlist::{GateId, GateKind, Netlist};
+
+use crate::tier::Tier;
+
+/// A tier assignment for every gate of a netlist.
+///
+/// Primary input/output pseudo cells are always assigned to the bottom tier
+/// (pads bond to the bottom tier in M3D flows).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    tiers: Vec<Tier>,
+}
+
+impl Partition {
+    /// Wraps a raw per-gate tier vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers.len()` differs from the netlist gate count.
+    pub fn from_tiers(netlist: &Netlist, tiers: Vec<Tier>) -> Self {
+        assert_eq!(tiers.len(), netlist.gate_count(), "one tier per gate");
+        Partition { tiers }
+    }
+
+    /// The tier of a gate.
+    #[inline]
+    pub fn tier(&self, gate: GateId) -> Tier {
+        self.tiers[gate.index()]
+    }
+
+    /// Per-gate tiers in [`GateId`] order.
+    #[inline]
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tiers
+    }
+
+    /// Nets cut by the partition (driver and some sink on different tiers).
+    pub fn cut_nets(&self, netlist: &Netlist) -> Vec<m3d_netlist::NetId> {
+        (0..netlist.net_count())
+            .map(m3d_netlist::NetId::new)
+            .filter(|&n| {
+                let net = netlist.net(n);
+                let dt = self.tier(net.driver());
+                net.sinks().iter().any(|&(s, _)| self.tier(s) != dt)
+            })
+            .collect()
+    }
+
+    /// Area occupied by each tier, `[top, bottom]`.
+    pub fn area_by_tier(&self, netlist: &Netlist) -> [f32; 2] {
+        let mut area = [0.0f32; 2];
+        for (i, g) in netlist.gates().iter().enumerate() {
+            area[self.tiers[i].index()] += g.kind().area();
+        }
+        area
+    }
+
+    /// Area imbalance as `|top - bottom| / total` (0 = perfectly balanced).
+    pub fn imbalance(&self, netlist: &Netlist) -> f32 {
+        let [t, b] = self.area_by_tier(netlist);
+        if t + b == 0.0 {
+            0.0
+        } else {
+            (t - b).abs() / (t + b)
+        }
+    }
+}
+
+/// The partitioning algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PartitionAlgo {
+    /// FM-style min-cut with area balancing (the paper's default flow).
+    MinCut,
+    /// Topological level bands (the *Par* configuration's partitioner).
+    LevelBanded,
+    /// Balanced random assignment (training-set augmentation).
+    Random,
+}
+
+impl PartitionAlgo {
+    /// Runs the algorithm on `netlist` with the given seed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use m3d_netlist::generate::{Benchmark, GenParams};
+    /// use m3d_part::PartitionAlgo;
+    ///
+    /// let nl = Benchmark::Aes.generate(&GenParams::small(1));
+    /// let part = PartitionAlgo::MinCut.partition(&nl, 1);
+    /// assert!(part.imbalance(&nl) < 0.2);
+    /// ```
+    pub fn partition(self, netlist: &Netlist, seed: u64) -> Partition {
+        let mut part = match self {
+            PartitionAlgo::MinCut => min_cut(netlist, seed),
+            PartitionAlgo::LevelBanded => level_banded(netlist, seed),
+            PartitionAlgo::Random => random_balanced(netlist, seed),
+        };
+        pin_pseudo_cells(netlist, &mut part);
+        Partition::from_tiers(netlist, part)
+    }
+}
+
+/// I/O pads bond to the bottom tier.
+fn pin_pseudo_cells(netlist: &Netlist, tiers: &mut [Tier]) {
+    for (i, g) in netlist.gates().iter().enumerate() {
+        if matches!(g.kind(), GateKind::Input | GateKind::Output) {
+            tiers[i] = Tier::Bottom;
+        }
+    }
+}
+
+fn partitionable(netlist: &Netlist) -> Vec<GateId> {
+    (0..netlist.gate_count())
+        .map(GateId::new)
+        .filter(|&g| {
+            !matches!(
+                netlist.gate(g).kind(),
+                GateKind::Input | GateKind::Output
+            )
+        })
+        .collect()
+}
+
+/// Balanced random assignment: shuffle gates, fill tiers alternately by area.
+fn random_balanced(netlist: &Netlist, seed: u64) -> Vec<Tier> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5244_4f4d); // "RDOM"
+    let mut tiers = vec![Tier::Bottom; netlist.gate_count()];
+    let mut order = partitionable(netlist);
+    order.shuffle(&mut rng);
+    let mut area = [0.0f32; 2];
+    for g in order {
+        let t = if area[0] <= area[1] {
+            Tier::Top
+        } else {
+            Tier::Bottom
+        };
+        tiers[g.index()] = t;
+        area[t.index()] += netlist.gate(g).kind().area();
+    }
+    tiers
+}
+
+/// Topological-band partitioner: early levels to the bottom tier, late
+/// levels to the top, with the boundary placed to balance area. Models a
+/// placement-driven flow where pipeline front-ends sit near the pads.
+fn level_banded(netlist: &Netlist, seed: u64) -> Vec<Tier> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4c56_4c42); // "LVLB"
+    let cells = partitionable(netlist);
+    let mut by_level: Vec<(u32, GateId)> = cells
+        .iter()
+        .map(|&g| {
+            // Flops take the level of their driving cone's depth.
+            let lvl = netlist
+                .fanin_gates(g)
+                .map(|p| netlist.level(p))
+                .max()
+                .unwrap_or(0);
+            (lvl * 8 + rng.gen_range(0..8), g)
+        })
+        .collect();
+    by_level.sort_by_key(|&(l, g)| (l, g));
+
+    let total: f32 = cells
+        .iter()
+        .map(|&g| netlist.gate(g).kind().area())
+        .sum();
+    let mut tiers = vec![Tier::Bottom; netlist.gate_count()];
+    let mut acc = 0.0f32;
+    for (_, g) in by_level {
+        let t = if acc < total / 2.0 {
+            Tier::Bottom
+        } else {
+            Tier::Top
+        };
+        tiers[g.index()] = t;
+        acc += netlist.gate(g).kind().area();
+    }
+    tiers
+}
+
+/// FM-style min-cut refinement over a balanced random start.
+fn min_cut(netlist: &Netlist, seed: u64) -> Vec<Tier> {
+    let mut tiers = random_balanced(netlist, seed ^ 0x464d_5f49); // "FM_I"
+    let cells = partitionable(netlist);
+    let total: f32 = cells
+        .iter()
+        .map(|&g| netlist.gate(g).kind().area())
+        .sum();
+    let max_skew = total * 0.08;
+
+    // A small number of full FM passes with gate locking per pass.
+    for _pass in 0..3 {
+        let mut locked = vec![false; netlist.gate_count()];
+        let mut area = area_by(netlist, &tiers);
+        let mut improved = false;
+        for &g in &cells {
+            if locked[g.index()] {
+                continue;
+            }
+            let gain = move_gain(netlist, &tiers, g);
+            if gain <= 0 {
+                continue;
+            }
+            let from = tiers[g.index()];
+            let to = from.other();
+            let a = netlist.gate(g).kind().area();
+            let new_skew =
+                (area[to.index()] + a - (area[from.index()] - a)).abs();
+            if new_skew > max_skew {
+                continue;
+            }
+            tiers[g.index()] = to;
+            area[from.index()] -= a;
+            area[to.index()] += a;
+            locked[g.index()] = true;
+            improved = true;
+        }
+        if !improved {
+            break;
+        }
+    }
+    tiers
+}
+
+fn area_by(netlist: &Netlist, tiers: &[Tier]) -> [f32; 2] {
+    let mut area = [0.0f32; 2];
+    for (i, g) in netlist.gates().iter().enumerate() {
+        area[tiers[i].index()] += g.kind().area();
+    }
+    area
+}
+
+/// Cut-size reduction if `g` moves to the other tier: counts incident nets
+/// that stop/start being cut.
+fn move_gain(netlist: &Netlist, tiers: &[Tier], g: GateId) -> i32 {
+    let mut gain = 0i32;
+    let mine = tiers[g.index()];
+    let mut visit = |net: m3d_netlist::NetId| {
+        let n = netlist.net(net);
+        let driver = n.driver();
+        let cut_now = {
+            let dt = tiers[driver.index()];
+            n.sinks().iter().any(|&(s, _)| tiers[s.index()] != dt)
+        };
+        let cut_after = {
+            let t_of = |x: GateId| {
+                if x == g {
+                    mine.other()
+                } else {
+                    tiers[x.index()]
+                }
+            };
+            let dt = t_of(driver);
+            n.sinks().iter().any(|&(s, _)| t_of(s) != dt)
+        };
+        gain += i32::from(cut_now) - i32::from(cut_after);
+    };
+    for &net in netlist.gate(g).inputs() {
+        visit(net);
+    }
+    if let Some(net) = netlist.gate(g).output() {
+        visit(net);
+    }
+    gain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::generate::{Benchmark, GenParams};
+
+    fn nl() -> Netlist {
+        Benchmark::Tate.generate(&GenParams::small(1))
+    }
+
+    #[test]
+    fn all_algorithms_are_balanced() {
+        let netlist = nl();
+        for algo in [
+            PartitionAlgo::MinCut,
+            PartitionAlgo::LevelBanded,
+            PartitionAlgo::Random,
+        ] {
+            let p = algo.partition(&netlist, 3);
+            assert!(
+                p.imbalance(&netlist) < 0.25,
+                "{algo:?} imbalance {}",
+                p.imbalance(&netlist)
+            );
+        }
+    }
+
+    #[test]
+    fn min_cut_beats_random_on_cut_size() {
+        let netlist = nl();
+        let rand_cut = PartitionAlgo::Random
+            .partition(&netlist, 5)
+            .cut_nets(&netlist)
+            .len();
+        let fm_cut = PartitionAlgo::MinCut
+            .partition(&netlist, 5)
+            .cut_nets(&netlist)
+            .len();
+        assert!(
+            fm_cut < rand_cut,
+            "FM ({fm_cut}) should beat random ({rand_cut})"
+        );
+    }
+
+    #[test]
+    fn pseudo_cells_stay_on_bottom_tier() {
+        let netlist = nl();
+        let p = PartitionAlgo::Random.partition(&netlist, 11);
+        for &io in netlist.inputs().iter().chain(netlist.outputs()) {
+            assert_eq!(p.tier(io), Tier::Bottom);
+        }
+    }
+
+    #[test]
+    fn partitioning_is_deterministic() {
+        let netlist = nl();
+        let a = PartitionAlgo::MinCut.partition(&netlist, 9);
+        let b = PartitionAlgo::MinCut.partition(&netlist, 9);
+        assert_eq!(a, b);
+        let c = PartitionAlgo::MinCut.partition(&netlist, 10);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn cut_nets_match_tier_labels() {
+        let netlist = nl();
+        let p = PartitionAlgo::LevelBanded.partition(&netlist, 2);
+        for n in p.cut_nets(&netlist) {
+            let net = netlist.net(n);
+            let dt = p.tier(net.driver());
+            assert!(net.sinks().iter().any(|&(s, _)| p.tier(s) != dt));
+        }
+    }
+}
+
+/// Serializes a partition to a line-oriented text format
+/// (`<gate-index> top|bottom`, one line per gate).
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::generate::{Benchmark, GenParams};
+/// use m3d_part::{read_partition, write_partition, PartitionAlgo};
+///
+/// # fn main() -> Result<(), String> {
+/// let nl = Benchmark::Aes.generate(&GenParams::small(1));
+/// let p = PartitionAlgo::MinCut.partition(&nl, 1);
+/// let text = write_partition(&p);
+/// assert_eq!(read_partition(&nl, &text)?, p);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_partition(partition: &Partition) -> String {
+    let mut out = String::from("# m3d-partition v1\n");
+    for (i, t) in partition.tiers().iter().enumerate() {
+        out.push_str(&format!("{i} {t}\n"));
+    }
+    out
+}
+
+/// Parses a partition file back for `netlist`.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input or a
+/// gate-count mismatch.
+pub fn read_partition(netlist: &Netlist, text: &str) -> Result<Partition, String> {
+    let mut tiers = vec![None; netlist.gate_count()];
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (idx, tier) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("line {}: expected `<gate> <tier>`", ln + 1))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| format!("line {}: bad gate index `{idx}`", ln + 1))?;
+        if idx >= tiers.len() {
+            return Err(format!("line {}: gate {idx} out of range", ln + 1));
+        }
+        tiers[idx] = Some(match tier.trim() {
+            "top" => Tier::Top,
+            "bottom" => Tier::Bottom,
+            other => return Err(format!("line {}: bad tier `{other}`", ln + 1)),
+        });
+    }
+    let tiers: Vec<Tier> = tiers
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| t.ok_or(format!("gate {i} has no tier assignment")))
+        .collect::<Result<_, _>>()?;
+    Ok(Partition::from_tiers(netlist, tiers))
+}
+
+#[cfg(test)]
+mod io_tests {
+    use super::*;
+    use m3d_netlist::generate::{Benchmark, GenParams};
+
+    #[test]
+    fn partition_io_round_trips() {
+        let nl = Benchmark::Tate.generate(&GenParams::small(3));
+        for algo in [
+            PartitionAlgo::MinCut,
+            PartitionAlgo::LevelBanded,
+            PartitionAlgo::Random,
+        ] {
+            let p = algo.partition(&nl, 5);
+            let text = write_partition(&p);
+            assert_eq!(read_partition(&nl, &text).expect("round trip"), p);
+        }
+    }
+
+    #[test]
+    fn partition_io_rejects_garbage() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        assert!(read_partition(&nl, "0 middle\n").is_err());
+        assert!(read_partition(&nl, "999999 top\n").is_err());
+        assert!(read_partition(&nl, "0 top\n")
+            .unwrap_err()
+            .contains("no tier assignment"));
+    }
+}

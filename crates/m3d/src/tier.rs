@@ -1,0 +1,93 @@
+//! Device tiers of a monolithic 3D design.
+
+use std::fmt;
+
+/// A device tier in a two-tier M3D stack.
+///
+/// The paper demonstrates its framework on two-tier designs (and notes the
+/// graph-representation vector extends to more tiers); this workspace follows
+/// suit. The *top* tier suffers low-temperature-process device degradation,
+/// the *bottom* tier suffers tungsten-interconnect RC delay — the two
+/// systematic-defect populations that motivate tier-level localization.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_part::Tier;
+///
+/// assert_eq!(Tier::Top.other(), Tier::Bottom);
+/// assert_eq!(Tier::Bottom.index(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Tier {
+    /// Upper device tier (fabricated with the low-temperature process).
+    Top,
+    /// Lower device tier (under the inter-layer dielectric).
+    Bottom,
+}
+
+impl Tier {
+    /// Both tiers, top first (the paper's `[p_top, p_bottom]` order).
+    pub const ALL: [Tier; 2] = [Tier::Top, Tier::Bottom];
+
+    /// The opposite tier.
+    #[inline]
+    pub fn other(self) -> Tier {
+        match self {
+            Tier::Top => Tier::Bottom,
+            Tier::Bottom => Tier::Top,
+        }
+    }
+
+    /// Dense index: `Top = 0`, `Bottom = 1` (matches `[p_top, p_bottom]`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Top => 0,
+            Tier::Bottom => 1,
+        }
+    }
+
+    /// The tier with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    #[inline]
+    pub fn from_index(index: usize) -> Tier {
+        match index {
+            0 => Tier::Top,
+            1 => Tier::Bottom,
+            _ => panic!("two-tier design: tier index {index} out of range"),
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tier::Top => "top",
+            Tier::Bottom => "bottom",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_round_trips() {
+        for t in Tier::ALL {
+            assert_eq!(Tier::from_index(t.index()), t);
+            assert_eq!(t.other().other(), t);
+            assert_ne!(t.other(), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn third_tier_is_rejected() {
+        let _ = Tier::from_index(2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Incremental netlist construction.
+
+use crate::error::BuildNetlistError;
+use crate::gate::GateKind;
+use crate::ids::{GateId, NetId};
+use crate::netlist::{Gate, Net, Netlist};
+
+/// Builds a [`Netlist`] gate by gate ([C-BUILDER]).
+///
+/// Port names passed to [`add_input`](NetlistBuilder::add_input) and
+/// [`add_output`](NetlistBuilder::add_output) document the builder code; the
+/// finished netlist identifies ports positionally by [`GateId`].
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), m3d_netlist::BuildNetlistError> {
+/// let mut b = NetlistBuilder::new("half-adder");
+/// let a = b.add_input("a");
+/// let c = b.add_input("b");
+/// let sum = b.add_gate(GateKind::Xor, &[a, c]);
+/// let carry = b.add_gate(GateKind::And, &[a, c]);
+/// let q0 = b.add_dff(sum);
+/// let q1 = b.add_dff(carry);
+/// b.add_output("sum", q0);
+/// b.add_output("carry", q1);
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.stats().gates, 4);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    gates: Vec<Gate>,
+    nets: Vec<Net>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a design called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            gates: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    fn push_gate(&mut self, kind: GateKind, inputs: Vec<NetId>, drives: bool) -> (GateId, Option<NetId>) {
+        let gid = GateId::new(self.gates.len());
+        let out = if drives {
+            let nid = NetId::new(self.nets.len());
+            self.nets.push(Net::new(gid));
+            Some(nid)
+        } else {
+            None
+        };
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].add_sink(gid, pin as u8);
+        }
+        self.gates.push(Gate::new(kind, inputs, out));
+        (gid, out)
+    }
+
+    /// Adds a primary input and returns the net it drives.
+    pub fn add_input(&mut self, _name: &str) -> NetId {
+        self.push_gate(GateKind::Input, Vec::new(), true)
+            .1
+            .expect("input drives a net")
+    }
+
+    /// Adds a combinational gate over `inputs` and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not combinational; arity violations surface as a
+    /// [`BuildNetlistError`] from [`finish`](NetlistBuilder::finish).
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        assert!(kind.is_combinational(), "use add_input/add_dff/add_output");
+        self.push_gate(kind, inputs.to_vec(), true)
+            .1
+            .expect("combinational gate drives a net")
+    }
+
+    /// Adds a D flip-flop with data input `d` and returns its `Q` net.
+    pub fn add_dff(&mut self, d: NetId) -> NetId {
+        self.push_gate(GateKind::Dff, vec![d], true)
+            .1
+            .expect("flop drives a net")
+    }
+
+    /// Adds a primary output sink on `net`.
+    pub fn add_output(&mut self, _name: &str, net: NetId) -> GateId {
+        self.push_gate(GateKind::Output, vec![net], false).0
+    }
+
+    /// Adds a gate whose inputs will be connected later with
+    /// [`connect_deferred`](NetlistBuilder::connect_deferred); returns the
+    /// output net and the gate id. Useful for feedback-shaped construction
+    /// in tests and transforms.
+    pub fn add_gate_deferred(&mut self, kind: GateKind, arity: usize) -> (NetId, GateId) {
+        assert!(kind.is_combinational(), "deferred gates are combinational");
+        let (gid, out) = self.push_gate(kind, Vec::with_capacity(arity), true);
+        (out.expect("combinational gate drives a net"), gid)
+    }
+
+    /// Connects the inputs of a gate created with
+    /// [`add_gate_deferred`](NetlistBuilder::add_gate_deferred).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate already has inputs connected.
+    pub fn connect_deferred(&mut self, gate: GateId, inputs: &[NetId]) {
+        assert!(
+            self.gates[gate.index()].inputs().is_empty(),
+            "gate {gate} already connected"
+        );
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].add_sink(gate, pin as u8);
+        }
+        let kind = self.gates[gate.index()].kind();
+        let out = self.gates[gate.index()].output();
+        self.gates[gate.index()] = Gate::new(kind, inputs.to_vec(), out);
+    }
+
+    /// Number of gates added so far (useful for sizing loops in generators).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Nets that currently have no sinks. Generators sweep these into an
+    /// observability register before finishing.
+    pub fn dangling_nets(&self) -> Vec<NetId> {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.sinks().is_empty())
+            .map(|(i, _)| NetId::new(i))
+            .collect()
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildNetlistError`] if any net dangles, any gate has an
+    /// illegal arity, the combinational core is cyclic, or the design has no
+    /// flip-flops.
+    pub fn finish(self) -> Result<Netlist, BuildNetlistError> {
+        Netlist::from_parts(self.name, self.gates, self.nets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_gate_count() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        assert_eq!(b.gate_count(), 1);
+        let x = b.add_gate(GateKind::Inv, &[a]);
+        let q = b.add_dff(x);
+        b.add_output("q", q);
+        assert_eq!(b.gate_count(), 4);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.gate_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_input")]
+    fn add_gate_rejects_pseudo_kinds() {
+        let mut b = NetlistBuilder::new("t");
+        let _ = b.add_gate(GateKind::Input, &[]);
+    }
+
+    #[test]
+    fn deferred_connection_builds_valid_netlist() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let (late, gid) = b.add_gate_deferred(GateKind::And, 2);
+        b.connect_deferred(gid, &[a, c]);
+        let q = b.add_dff(late);
+        b.add_output("q", q);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.stats().combinational, 1);
+    }
+}

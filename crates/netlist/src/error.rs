@@ -1,0 +1,76 @@
+//! Error types for netlist construction and transformation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{GateId, NetId};
+
+/// Error raised while building or validating a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildNetlistError {
+    /// A gate was created with an illegal number of input pins.
+    BadArity {
+        /// The offending gate.
+        gate: GateId,
+        /// Number of pins supplied.
+        got: usize,
+    },
+    /// A gate references a net that does not exist.
+    UnknownNet {
+        /// The offending gate.
+        gate: GateId,
+        /// The dangling net reference.
+        net: NetId,
+    },
+    /// A net has no driver or no sinks after construction.
+    DanglingNet {
+        /// The dangling net.
+        net: NetId,
+    },
+    /// The combinational core contains a cycle (through the listed gate).
+    CombinationalCycle {
+        /// A gate on the cycle.
+        gate: GateId,
+    },
+    /// The design has no flip-flops, so no scan test is possible.
+    NoFlops,
+}
+
+impl fmt::Display for BuildNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetlistError::BadArity { gate, got } => {
+                write!(f, "gate {gate} constructed with illegal arity {got}")
+            }
+            BuildNetlistError::UnknownNet { gate, net } => {
+                write!(f, "gate {gate} references unknown net {net}")
+            }
+            BuildNetlistError::DanglingNet { net } => {
+                write!(f, "net {net} has no driver or no sinks")
+            }
+            BuildNetlistError::CombinationalCycle { gate } => {
+                write!(f, "combinational cycle through gate {gate}")
+            }
+            BuildNetlistError::NoFlops => write!(f, "design contains no flip-flops"),
+        }
+    }
+}
+
+impl Error for BuildNetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = BuildNetlistError::BadArity {
+            gate: GateId::new(3),
+            got: 9,
+        };
+        let msg = format!("{e}");
+        assert!(msg.starts_with("gate g3"));
+        assert!(!msg.ends_with('.'));
+    }
+}

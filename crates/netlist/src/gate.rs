@@ -1,0 +1,241 @@
+//! Gate primitives of the standard-cell-like library used by the generators.
+//!
+//! The library mirrors the combinational subset of Nangate45 that the paper's
+//! synthesized benchmarks use, plus pseudo cells for primary inputs/outputs
+//! and a D flip-flop. Every combinational kind evaluates bitwise over `u64`
+//! words, so 64 test patterns are simulated per call (parallel-pattern
+//! simulation).
+
+use std::fmt;
+
+/// The functional kind of a gate.
+///
+/// `Input` and `Output` are pseudo cells marking primary inputs and outputs;
+/// `Dff` is the only sequential element (scan insertion happens in
+/// `m3d-dft`, the netlist itself stays technology-plain).
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::GateKind;
+///
+/// assert_eq!(GateKind::Nand.eval(&[0b1100, 0b1010]), !(0b1100 & 0b1010));
+/// assert!(GateKind::Xor.is_combinational());
+/// assert!(!GateKind::Dff.is_combinational());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum GateKind {
+    /// Primary input (no input pins, one output net).
+    Input,
+    /// Primary output (one input pin, no output net).
+    Output,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// N-input AND.
+    And,
+    /// N-input NAND.
+    Nand,
+    /// N-input OR.
+    Or,
+    /// N-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2:1 multiplexer; pins are `(select, a, b)`, output `a` when select=0.
+    Mux2,
+    /// AND-OR-invert 2-1: `!((a & b) | c)`.
+    Aoi21,
+    /// OR-AND-invert 2-1: `!((a | b) & c)`.
+    Oai21,
+    /// D flip-flop; one data pin `D`, output `Q`.
+    Dff,
+}
+
+impl GateKind {
+    /// Returns `true` for kinds whose output is a pure function of the
+    /// current input values.
+    #[inline]
+    pub fn is_combinational(self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Output | GateKind::Dff)
+    }
+
+    /// Returns `true` if this kind drives a net (everything except `Output`).
+    #[inline]
+    pub fn has_output(self) -> bool {
+        !matches!(self, GateKind::Output)
+    }
+
+    /// The exact pin count this kind requires, or `None` for variadic kinds
+    /// (`And`/`Nand`/`Or`/`Nor` accept 2..=4 inputs).
+    pub fn fixed_arity(self) -> Option<usize> {
+        match self {
+            GateKind::Input => Some(0),
+            GateKind::Output | GateKind::Buf | GateKind::Inv | GateKind::Dff => Some(1),
+            GateKind::Xor | GateKind::Xnor => Some(2),
+            GateKind::Mux2 | GateKind::Aoi21 | GateKind::Oai21 => Some(3),
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => None,
+        }
+    }
+
+    /// Checks whether `n` input pins are legal for this kind.
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self.fixed_arity() {
+            Some(k) => n == k,
+            None => (2..=4).contains(&n),
+        }
+    }
+
+    /// Evaluates the gate function bitwise over 64-pattern words.
+    ///
+    /// `Input` evaluates to 0 (inputs are driven externally); `Output` and
+    /// `Dff` pass their data pin through (the two-frame semantics of flops
+    /// are handled by the simulator, not here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a legal arity for the kind.
+    pub fn eval(self, inputs: &[u64]) -> u64 {
+        debug_assert!(
+            self == GateKind::Input || self.arity_ok(inputs.len()),
+            "bad arity {} for {:?}",
+            inputs.len(),
+            self
+        );
+        match self {
+            GateKind::Input => 0,
+            GateKind::Output | GateKind::Buf | GateKind::Dff => inputs[0],
+            GateKind::Inv => !inputs[0],
+            GateKind::And => inputs.iter().fold(!0u64, |a, &b| a & b),
+            GateKind::Nand => !inputs.iter().fold(!0u64, |a, &b| a & b),
+            GateKind::Or => inputs.iter().fold(0u64, |a, &b| a | b),
+            GateKind::Nor => !inputs.iter().fold(0u64, |a, &b| a | b),
+            GateKind::Xor => inputs[0] ^ inputs[1],
+            GateKind::Xnor => !(inputs[0] ^ inputs[1]),
+            GateKind::Mux2 => (!inputs[0] & inputs[1]) | (inputs[0] & inputs[2]),
+            GateKind::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            GateKind::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+        }
+    }
+
+    /// A relative area weight (in NAND2-equivalents) used by the partitioners
+    /// for area balancing.
+    pub fn area(self) -> f32 {
+        match self {
+            GateKind::Input | GateKind::Output => 0.0,
+            GateKind::Buf | GateKind::Inv => 0.7,
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => 1.0,
+            GateKind::Xor | GateKind::Xnor => 1.8,
+            GateKind::Mux2 | GateKind::Aoi21 | GateKind::Oai21 => 1.5,
+            GateKind::Dff => 4.5,
+        }
+    }
+
+    /// All gate kinds, in declaration order. Handy for exhaustive tests.
+    pub const ALL: [GateKind; 14] = [
+        GateKind::Input,
+        GateKind::Output,
+        GateKind::Buf,
+        GateKind::Inv,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux2,
+        GateKind::Aoi21,
+        GateKind::Oai21,
+        GateKind::Dff,
+    ];
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "INPUT",
+            GateKind::Output => "OUTPUT",
+            GateKind::Buf => "BUF",
+            GateKind::Inv => "INV",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Mux2 => "MUX2",
+            GateKind::Aoi21 => "AOI21",
+            GateKind::Oai21 => "OAI21",
+            GateKind::Dff => "DFF",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables_single_bit() {
+        // Exercise every kind on exhaustive single-bit inputs.
+        for a in [0u64, 1] {
+            for b in [0u64, 1] {
+                assert_eq!(GateKind::And.eval(&[a, b]) & 1, a & b);
+                assert_eq!(GateKind::Nand.eval(&[a, b]) & 1, 1 ^ (a & b));
+                assert_eq!(GateKind::Or.eval(&[a, b]) & 1, a | b);
+                assert_eq!(GateKind::Nor.eval(&[a, b]) & 1, 1 ^ (a | b));
+                assert_eq!(GateKind::Xor.eval(&[a, b]) & 1, a ^ b);
+                assert_eq!(GateKind::Xnor.eval(&[a, b]) & 1, 1 ^ a ^ b);
+                for c in [0u64, 1] {
+                    assert_eq!(
+                        GateKind::Mux2.eval(&[a, b, c]) & 1,
+                        if a == 0 { b } else { c }
+                    );
+                    assert_eq!(GateKind::Aoi21.eval(&[a, b, c]) & 1, 1 ^ ((a & b) | c));
+                    assert_eq!(GateKind::Oai21.eval(&[a, b, c]) & 1, 1 ^ ((a | b) & c));
+                }
+            }
+        }
+        assert_eq!(GateKind::Inv.eval(&[0]) & 1, 1);
+        assert_eq!(GateKind::Buf.eval(&[0b101]), 0b101);
+    }
+
+    #[test]
+    fn variadic_gates_accept_two_to_four_inputs() {
+        assert_eq!(GateKind::And.eval(&[!0, !0, !0, 0]), 0);
+        assert_eq!(GateKind::Or.eval(&[0, 0, 1]), 1);
+        assert!(GateKind::And.arity_ok(3));
+        assert!(!GateKind::And.arity_ok(5));
+        assert!(!GateKind::Xor.arity_ok(3));
+    }
+
+    #[test]
+    fn bitwise_parallelism_matches_scalar() {
+        // Evaluating a word must equal evaluating each bit lane separately.
+        let a = 0xDEAD_BEEF_0123_4567u64;
+        let b = 0x0F0F_F0F0_AAAA_5555u64;
+        let word = GateKind::Xnor.eval(&[a, b]);
+        for bit in 0..64 {
+            let la = (a >> bit) & 1;
+            let lb = (b >> bit) & 1;
+            assert_eq!((word >> bit) & 1, GateKind::Xnor.eval(&[la, lb]) & 1);
+        }
+    }
+
+    #[test]
+    fn metadata_is_consistent() {
+        for kind in GateKind::ALL {
+            if let Some(n) = kind.fixed_arity() {
+                assert!(kind.arity_ok(n));
+            }
+            assert!(kind.area() >= 0.0);
+            assert!(!format!("{kind}").is_empty());
+        }
+        assert!(GateKind::Dff.has_output());
+        assert!(!GateKind::Output.has_output());
+    }
+}

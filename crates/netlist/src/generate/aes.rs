@@ -1,0 +1,102 @@
+//! AES-like benchmark: unrolled substitution-permutation rounds.
+//!
+//! Architecture (scaled from the 128-bit OpenCores AES): a `W`-bit state,
+//! key-XOR layer, S-box substitution layer built from random 4-bit blocks,
+//! a fixed bit permutation, and a flop bank per round. The number of rounds
+//! is derived from the gate target with a style-independent estimate so the
+//! flop-bank architecture is identical across synthesis seeds.
+
+use rand::Rng;
+
+use super::Synth;
+use crate::gate::GateKind;
+use crate::ids::NetId;
+
+/// State width (scaled from AES's 128 bits).
+const W: usize = 32;
+/// Style-independent estimate of combinational gates per round.
+const EST_GATES_PER_ROUND: usize = 280;
+
+pub(crate) fn build(ctx: &mut Synth) {
+    let rounds = (ctx.target / EST_GATES_PER_ROUND).max(1);
+
+    let pt: Vec<NetId> = (0..W).map(|i| ctx.b.add_input(&format!("pt{i}"))).collect();
+    let key: Vec<NetId> = (0..W).map(|i| ctx.b.add_input(&format!("key{i}"))).collect();
+
+    // Input whitening: state <- DFF(pt ^ key).
+    let mut state: Vec<NetId> = Vec::with_capacity(W);
+    for i in 0..W {
+        let x = ctx.xor(pt[i], key[i]);
+        state.push(ctx.b.add_dff(x));
+    }
+    // Key register bank (round keys are derived from it each round).
+    let key_reg: Vec<NetId> = key.iter().map(|&k| ctx.b.add_dff(k)).collect();
+
+    for round in 0..rounds {
+        // Round-key derivation: rotation + sparse XOR taps of the key bank.
+        let rot = 5 * round + 1;
+        let rk: Vec<NetId> = (0..W)
+            .map(|i| {
+                let a = key_reg[(i + rot) % W];
+                let c = key_reg[(i * 3 + round) % W];
+                ctx.xor(a, c)
+            })
+            .collect();
+
+        // S-box substitution layer: W/4 random 4-bit blocks.
+        let mut subbed: Vec<NetId> = Vec::with_capacity(W);
+        for blk in 0..W / 4 {
+            let inp = [
+                state[4 * blk],
+                state[4 * blk + 1],
+                state[4 * blk + 2],
+                state[4 * blk + 3],
+            ];
+            subbed.extend(ctx.sbox4(inp));
+        }
+
+        // Fixed permutation (drawn from the architectural stream).
+        let mut perm: Vec<usize> = (0..W).collect();
+        for i in (1..W).rev() {
+            let j = ctx.arch.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+
+        // Key mixing + next-state flop bank.
+        let mut next: Vec<NetId> = Vec::with_capacity(W);
+        for i in 0..W {
+            let mixed = ctx.xor(subbed[perm[i]], rk[i]);
+            let buffered = ctx.maybe_buffer(mixed);
+            next.push(ctx.b.add_dff(buffered));
+        }
+        state = next;
+    }
+
+    for (i, &s) in state.iter().enumerate() {
+        ctx.b.add_output(&format!("ct{i}"), s);
+    }
+    // Key bank must also be observable (it feeds every round).
+    let parity = ctx.reduce(GateKind::Xor, &key_reg);
+    let parity_q = ctx.b.add_dff(parity);
+    ctx.b.add_output("key_parity", parity_q);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate::{Benchmark, GenParams};
+
+    #[test]
+    fn aes_round_count_scales_with_target() {
+        let one = Benchmark::Aes.generate(&GenParams::small(1));
+        let big = Benchmark::Aes.generate(&GenParams::small(1).with_target(1200));
+        assert!(big.stats().flops > one.stats().flops);
+    }
+
+    #[test]
+    fn aes_has_wide_io() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        assert_eq!(nl.stats().inputs, 64);
+        // 32 ciphertext bits + key parity + optional sweep digest.
+        assert!(nl.stats().outputs >= 33);
+    }
+}

@@ -1,0 +1,153 @@
+//! leon3mp-like benchmark: replicated processor cores on a shared bus.
+//!
+//! The ISPD-2012 `leon3mp` is a multi-core SPARC SoC. Each stand-in core
+//! has an ALU (ripple adder + logic unit + result mux), a register file
+//! read mux tree, and an FSM with random next-state logic; cores share a
+//! bus mux with repeater chains.
+
+use rand::Rng;
+
+use super::Synth;
+use crate::gate::GateKind;
+use crate::ids::NetId;
+
+/// Datapath width per core.
+const W: usize = 8;
+/// Registers in each core's register file.
+const REGS: usize = 4;
+/// Style-independent estimate of gates per core.
+const EST_GATES_PER_CORE: usize = 260;
+
+pub(crate) fn build(ctx: &mut Synth) {
+    let cores = (ctx.target / EST_GATES_PER_CORE).max(1);
+
+    let op_a: Vec<NetId> = (0..W).map(|i| ctx.b.add_input(&format!("a{i}"))).collect();
+    let op_sel: Vec<NetId> = (0..2).map(|i| ctx.b.add_input(&format!("op{i}"))).collect();
+    let reg_sel: Vec<NetId> = (0..2).map(|i| ctx.b.add_input(&format!("rs{i}"))).collect();
+
+    let op_sel_q: Vec<NetId> = op_sel.iter().map(|&n| ctx.b.add_dff(n)).collect();
+    let reg_sel_q: Vec<NetId> = reg_sel.iter().map(|&n| ctx.b.add_dff(n)).collect();
+    let a_q: Vec<NetId> = op_a.iter().map(|&n| ctx.b.add_dff(n)).collect();
+
+    let mut bus: Vec<NetId> = a_q.clone();
+    let mut core_results: Vec<Vec<NetId>> = Vec::with_capacity(cores);
+
+    for core in 0..cores {
+        // Register file: REGS registers × W bits, shifting data in from the
+        // bus with per-register enable derived from the FSM below.
+        let regs: Vec<Vec<NetId>> = (0..REGS)
+            .map(|r| {
+                (0..W)
+                    .map(|i| {
+                        let rot = bus[(i + r + core) % W];
+                        ctx.b.add_dff(rot)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Read port: per-bit mux tree over the registers.
+        let rd: Vec<NetId> = (0..W)
+            .map(|i| {
+                let leaves: Vec<NetId> = (0..REGS).map(|r| regs[r][i]).collect();
+                ctx.mux_tree(&reg_sel_q, &leaves)
+            })
+            .collect();
+
+        // ALU: ripple adder, AND/XOR logic unit, op-select mux.
+        let mut carry = op_sel_q[0];
+        let mut add_out: Vec<NetId> = Vec::with_capacity(W);
+        for i in 0..W {
+            let (s, c) = ctx.full_adder(bus[i], rd[i], carry);
+            add_out.push(s);
+            carry = c;
+        }
+        let alu: Vec<NetId> = (0..W)
+            .map(|i| {
+                let land = ctx.b.add_gate(GateKind::And, &[bus[i], rd[i]]);
+                let lxor = ctx.xor(bus[i], rd[i]);
+                let logic = ctx.b.add_gate(GateKind::Mux2, &[op_sel_q[1], land, lxor]);
+                ctx.b.add_gate(GateKind::Mux2, &[op_sel_q[0], add_out[i], logic])
+            })
+            .collect();
+
+        // FSM: 3 state flops with random next-state logic over state + flags.
+        let flag_zero = {
+            let ors = ctx.reduce(GateKind::Or, &alu);
+            ctx.b.add_gate(GateKind::Inv, &[ors])
+        };
+        let mut state_q: Vec<NetId> = Vec::with_capacity(3);
+        for s in 0..3 {
+            let t1 = alu[(2 * s + core) % W];
+            let t2 = bus[(s + 1) % W];
+            let nxt = match ctx.arch.gen_range(0..3) {
+                0 => ctx.and_or(t1, flag_zero, t2),
+                1 => {
+                    let x = ctx.xor(t1, t2);
+                    ctx.b.add_gate(GateKind::Or, &[x, flag_zero])
+                }
+                _ => ctx.b.add_gate(GateKind::Oai21, &[t1, t2, flag_zero]),
+            };
+            state_q.push(ctx.b.add_dff(nxt));
+        }
+
+        // Result register, gated by the FSM state parity.
+        let gate_sig = ctx.reduce(GateKind::Xor, &state_q);
+        let res_q: Vec<NetId> = alu
+            .iter()
+            .map(|&v| {
+                let gated = ctx.b.add_gate(GateKind::And, &[v, gate_sig]);
+                let gated = ctx.maybe_buffer(gated);
+                ctx.b.add_dff(gated)
+            })
+            .collect();
+        core_results.push(res_q.clone());
+
+        // Bus update: repeater chains from the core back to the shared bus.
+        bus = res_q
+            .iter()
+            .map(|&r| ctx.repeater_chain(r, 6 + core % 3))
+            .collect();
+    }
+
+    // Shared output bus: mux over core results per bit.
+    let out: Vec<NetId> = (0..W)
+        .map(|i| {
+            let leaves: Vec<NetId> = core_results.iter().map(|r| r[i]).collect();
+            if leaves.len() == 1 {
+                leaves[0]
+            } else {
+                ctx.mux_tree(&reg_sel_q, &leaves)
+            }
+        })
+        .collect();
+    for (i, &n) in out.iter().enumerate() {
+        let q = ctx.b.add_dff(n);
+        ctx.b.add_output(&format!("bus{i}"), q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate::{Benchmark, GenParams};
+    use crate::GateKind;
+
+    #[test]
+    fn leon3mp_has_mux_trees() {
+        let nl = Benchmark::Leon3mp.generate(&GenParams::small(1));
+        let muxes = nl
+            .gates()
+            .iter()
+            .filter(|g| g.kind() == GateKind::Mux2)
+            .count();
+        assert!(muxes >= 24, "regfile/ALU should be mux-rich, got {muxes}");
+    }
+
+    #[test]
+    fn leon3mp_scales_by_core_replication() {
+        let one = Benchmark::Leon3mp.generate(&GenParams::small(1));
+        let two =
+            Benchmark::Leon3mp.generate(&GenParams::small(1).with_target(1100));
+        assert!(two.stats().flops > one.stats().flops);
+    }
+}

@@ -1,0 +1,130 @@
+//! netcard-like benchmark: wide datapath with FIFOs, CRC, and high-fanout
+//! control.
+//!
+//! The ISPD-2012 `netcard` design is a network controller: packet FIFOs,
+//! CRC checksum logic, and wide control distribution. This stand-in builds
+//! several banks, each with a shift-register FIFO, tap-select mux trees, a
+//! CRC XOR ladder, a heavily-buffered enable network, and long repeater
+//! chains — the structure that drives the paper's poor diagnostic
+//! resolution on this design (many equivalent candidates along chains).
+
+use rand::Rng;
+
+use super::Synth;
+use crate::gate::GateKind;
+use crate::ids::NetId;
+
+/// Datapath width per bank.
+const W: usize = 8;
+/// FIFO depth (flops per lane).
+const DEPTH: usize = 4;
+/// Style-independent estimate of gates per bank.
+const EST_GATES_PER_BANK: usize = 130;
+
+pub(crate) fn build(ctx: &mut Synth) {
+    let banks = (ctx.target / EST_GATES_PER_BANK).max(1);
+
+    let data: Vec<NetId> = (0..W).map(|i| ctx.b.add_input(&format!("d{i}"))).collect();
+    let sel: Vec<NetId> = (0..3).map(|i| ctx.b.add_input(&format!("sel{i}"))).collect();
+    let enable = ctx.b.add_input("en");
+
+    // Registered select/enable, shared by every bank (high fan-out control).
+    let sel_q: Vec<NetId> = sel.iter().map(|&s| ctx.b.add_dff(s)).collect();
+    let en_q = ctx.b.add_dff(enable);
+
+    let mut crc_feedback: Vec<NetId> = Vec::new();
+    let mut carry_in: Vec<NetId> = data.clone();
+
+    for bank in 0..banks {
+        // Buffered enable spine: one control net repeated into the bank.
+        let en_local = ctx.repeater_chain(en_q, 10 + bank % 4);
+
+        // FIFO: W lanes × DEPTH flops, gated by the enable.
+        let mut taps: Vec<Vec<NetId>> = Vec::with_capacity(W);
+        for lane in 0..W {
+            let mut v = ctx.b.add_gate(GateKind::And, &[carry_in[lane], en_local]);
+            let mut lane_taps = Vec::with_capacity(DEPTH);
+            for _ in 0..DEPTH {
+                v = ctx.b.add_dff(v);
+                lane_taps.push(v);
+            }
+            taps.push(lane_taps);
+        }
+
+        // Tap-select mux tree per lane (random tap wiring).
+        let mut selected: Vec<NetId> = Vec::with_capacity(W);
+        for lane_taps in &taps {
+            let mut leaves = lane_taps.clone();
+            // pad to 4 leaves with random taps from other lanes
+            while leaves.len() < 4 {
+                let l = ctx.arch.gen_range(0..taps.len());
+                let t = ctx.arch.gen_range(0..DEPTH);
+                leaves.push(taps[l][t]);
+            }
+            selected.push(ctx.mux_tree(&sel_q[..2], &leaves[..4]));
+        }
+
+        // CRC ladder: running XOR with rotation taps and feedback.
+        let mut crc: Vec<NetId> = Vec::with_capacity(W);
+        for (i, &s) in selected.iter().enumerate() {
+            let prev = if crc_feedback.is_empty() {
+                selected[(i + 3) % W]
+            } else {
+                crc_feedback[(i + 1) % crc_feedback.len()]
+            };
+            let x = ctx.xor(s, prev);
+            let x = if i % 3 == 0 {
+                let chained = ctx.repeater_chain(x, 8);
+                chained
+            } else {
+                x
+            };
+            crc.push(x);
+        }
+        // Bank output register; its D pins observe the CRC logic.
+        let crc_q: Vec<NetId> = crc
+            .iter()
+            .map(|&c| {
+                let c = ctx.maybe_buffer(c);
+                ctx.b.add_dff(c)
+            })
+            .collect();
+        crc_feedback = crc_q.clone();
+        carry_in = crc_q;
+    }
+
+    for (i, &n) in carry_in.iter().enumerate() {
+        ctx.b.add_output(&format!("crc{i}"), n);
+    }
+    // Make the select register observable.
+    let sel_digest = ctx.reduce(GateKind::Xor, &sel_q);
+    let q = ctx.b.add_dff(sel_digest);
+    ctx.b.add_output("sel_digest", q);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate::{Benchmark, GenParams};
+    use crate::GateKind;
+
+    #[test]
+    fn netcard_has_long_repeater_chains() {
+        let nl = Benchmark::Netcard.generate(&GenParams::small(1));
+        let invs = nl
+            .gates()
+            .iter()
+            .filter(|g| g.kind() == GateKind::Inv)
+            .count();
+        assert!(invs >= 16, "expected repeater chains, found {invs} inverters");
+    }
+
+    #[test]
+    fn netcard_is_flop_heavy() {
+        let nl = Benchmark::Netcard.generate(&GenParams::small(1));
+        let s = nl.stats();
+        assert!(
+            s.flops * 4 > s.combinational,
+            "FIFO banks make netcard flop-heavy: {s:?}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Tate-pairing-like benchmark: GF(2^m) multiply-accumulate stages.
+//!
+//! The OpenCores Tate Bilinear Pairing core is dominated by GF(2^m)
+//! multipliers. This stand-in builds a pipeline of digit-serial multiplier
+//! stages: each stage forms partial products (AND), reduces them with XOR
+//! trees including modular feedback taps, and accumulates into a flop bank.
+
+use super::Synth;
+use crate::gate::GateKind;
+use crate::ids::NetId;
+
+/// Field size (scaled down from GF(2^239)-class fields).
+const M: usize = 24;
+/// Bit-steps folded into one pipeline stage.
+const DIGITS: usize = 4;
+/// Style-independent estimate of combinational gates per stage.
+const EST_GATES_PER_STAGE: usize = 330;
+
+pub(crate) fn build(ctx: &mut Synth) {
+    let stages = (ctx.target / EST_GATES_PER_STAGE).max(1);
+
+    let a_in: Vec<NetId> = (0..M).map(|i| ctx.b.add_input(&format!("a{i}"))).collect();
+    let b_in: Vec<NetId> = (0..M).map(|i| ctx.b.add_input(&format!("b{i}"))).collect();
+
+    // Operand registers.
+    let a_reg: Vec<NetId> = a_in.iter().map(|&n| ctx.b.add_dff(n)).collect();
+    let b_reg: Vec<NetId> = b_in.iter().map(|&n| ctx.b.add_dff(n)).collect();
+
+    // Accumulator starts as a ^ b (gives the first stage transitions).
+    let mut acc: Vec<NetId> = (0..M)
+        .map(|i| {
+            let x = ctx.xor(a_reg[i], b_reg[i]);
+            ctx.b.add_dff(x)
+        })
+        .collect();
+
+    for stage in 0..stages {
+        let mut cur: Vec<NetId> = acc.clone();
+        for d in 0..DIGITS {
+            let bit = b_reg[(stage * DIGITS + d) % M];
+            // Partial products: a & b_i.
+            let pp: Vec<NetId> = a_reg
+                .iter()
+                .map(|&a| ctx.b.add_gate(GateKind::And, &[a, bit]))
+                .collect();
+            // Shift-and-reduce: cur = (cur << 1) ^ pp, with modular feedback
+            // taps folding the overflow bit back at fixed positions
+            // (x^m = x^t + 1 style pentanomial taps).
+            let overflow = cur[M - 1];
+            let mut next: Vec<NetId> = Vec::with_capacity(M);
+            for i in 0..M {
+                let shifted = if i == 0 { overflow } else { cur[i - 1] };
+                let mut v = ctx.xor(shifted, pp[i]);
+                if i == 3 || i == 7 {
+                    // feedback taps
+                    v = ctx.xor(v, overflow);
+                }
+                next.push(v);
+            }
+            cur = next;
+        }
+        // Stage flop bank.
+        acc = cur.into_iter().map(|n| {
+            let n = ctx.maybe_buffer(n);
+            ctx.b.add_dff(n)
+        }).collect();
+    }
+
+    for (i, &n) in acc.iter().enumerate() {
+        ctx.b.add_output(&format!("p{i}"), n);
+    }
+    // Fold the operand registers into an observable digest so every flop
+    // has observable fan-out.
+    let digest_a = ctx.reduce(GateKind::Xor, &a_reg);
+    let digest_b = ctx.reduce(GateKind::Xor, &b_reg);
+    let digest = ctx.xor(digest_a, digest_b);
+    let q = ctx.b.add_dff(digest);
+    ctx.b.add_output("digest", q);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate::{Benchmark, GenParams};
+
+    #[test]
+    fn tate_is_xor_dominated() {
+        let nl = Benchmark::Tate.generate(&GenParams::small(1));
+        let xorish = nl
+            .gates()
+            .iter()
+            .filter(|g| {
+                matches!(
+                    g.kind(),
+                    crate::GateKind::Xor | crate::GateKind::Xnor | crate::GateKind::Nand
+                )
+            })
+            .count();
+        assert!(
+            xorish * 2 > nl.stats().combinational,
+            "GF arithmetic should be XOR/NAND dominated"
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Strongly-typed identifiers for netlist objects.
+//!
+//! All identifiers are thin `u32` newtypes ([C-NEWTYPE]): they are `Copy`,
+//! order by creation index, and convert to `usize` for table indexing.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw table index.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the identifier as a table index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a gate (including pseudo input/output cells and flip-flops).
+    GateId,
+    "g"
+);
+id_type!(
+    /// Identifier of a net (a driver output pin plus its fan-out branches).
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a fault site (a gate pin, or an MIV once partitioned).
+    SiteId,
+    "s"
+);
+id_type!(
+    /// Identifier of a D flip-flop, dense over the flops of a netlist.
+    FlopId,
+    "f"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        let g = GateId::new(42);
+        assert_eq!(g.index(), 42);
+        assert_eq!(usize::from(g), 42);
+        assert_eq!(format!("{g}"), "g42");
+        assert_eq!(format!("{g:?}"), "g42");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(SiteId::default(), SiteId::new(0));
+    }
+}

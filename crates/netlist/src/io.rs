@@ -1,0 +1,314 @@
+//! Plain-text netlist serialization.
+//!
+//! A minimal line-oriented structural format, lossless for everything this
+//! workspace models:
+//!
+//! ```text
+//! # comment
+//! design aes
+//! g0 INPUT -> n0
+//! g1 INPUT -> n1
+//! g2 NAND n0 n1 -> n2
+//! g3 DFF n2 -> n3
+//! g4 OUTPUT n3
+//! ```
+//!
+//! Gates appear in [`GateId`](crate::GateId) order; `n<k>` names net `k`
+//! in [`NetId`](crate::NetId) order. The reader validates exactly like
+//! [`NetlistBuilder::finish`](crate::NetlistBuilder::finish).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::gate::GateKind;
+use crate::ids::{GateId, NetId};
+use crate::netlist::{Gate, Net, Netlist};
+use crate::BuildNetlistError;
+
+/// Error raised while parsing the text netlist format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseNetlistError {
+    /// The `design <name>` header line is missing.
+    MissingHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Gates were valid individually but the netlist failed validation.
+    Invalid(BuildNetlistError),
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::MissingHeader => {
+                write!(f, "missing `design <name>` header")
+            }
+            ParseNetlistError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseNetlistError::Invalid(e) => {
+                write!(f, "invalid netlist: {e}")
+            }
+        }
+    }
+}
+
+impl Error for ParseNetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseNetlistError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildNetlistError> for ParseNetlistError {
+    fn from(e: BuildNetlistError) -> Self {
+        ParseNetlistError::Invalid(e)
+    }
+}
+
+fn kind_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Input => "INPUT",
+        GateKind::Output => "OUTPUT",
+        GateKind::Buf => "BUF",
+        GateKind::Inv => "INV",
+        GateKind::And => "AND",
+        GateKind::Nand => "NAND",
+        GateKind::Or => "OR",
+        GateKind::Nor => "NOR",
+        GateKind::Xor => "XOR",
+        GateKind::Xnor => "XNOR",
+        GateKind::Mux2 => "MUX2",
+        GateKind::Aoi21 => "AOI21",
+        GateKind::Oai21 => "OAI21",
+        GateKind::Dff => "DFF",
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        GateKind::ALL
+            .into_iter()
+            .find(|&k| kind_name(k) == s)
+            .ok_or_else(|| format!("unknown gate kind `{s}`"))
+    }
+}
+
+/// Serializes a netlist to the text format.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::generate::{Benchmark, GenParams};
+/// use m3d_netlist::io::{read_netlist, write_netlist};
+///
+/// # fn main() -> Result<(), m3d_netlist::io::ParseNetlistError> {
+/// let nl = Benchmark::Aes.generate(&GenParams::small(1));
+/// let text = write_netlist(&nl);
+/// let back = read_netlist(&text)?;
+/// assert_eq!(back.gate_count(), nl.gate_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_netlist(netlist: &Netlist) -> String {
+    let mut out = String::with_capacity(netlist.gate_count() * 24);
+    out.push_str("# m3d-netlist v1\n");
+    out.push_str(&format!("design {}\n", netlist.name()));
+    for (i, g) in netlist.gates().iter().enumerate() {
+        out.push_str(&format!("g{i} {}", kind_name(g.kind())));
+        for net in g.inputs() {
+            out.push_str(&format!(" n{}", net.index()));
+        }
+        if let Some(o) = g.output() {
+            out.push_str(&format!(" -> n{}", o.index()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text format back into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on malformed lines, dangling references,
+/// or a netlist failing structural validation.
+pub fn read_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut name: Option<String> = None;
+    // Collected per gate: (kind, input nets, output net).
+    let mut raw: Vec<(GateKind, Vec<u32>, Option<u32>)> = Vec::new();
+    let mut max_net: Option<u32> = None;
+
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let lineno = ln + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("design ") {
+            name = Some(rest.trim().to_owned());
+            continue;
+        }
+        let bad = |reason: &str| ParseNetlistError::BadLine {
+            line: lineno,
+            reason: reason.to_owned(),
+        };
+        let mut tokens = line.split_whitespace();
+        let gate_tok = tokens.next().ok_or_else(|| bad("empty gate line"))?;
+        let expect_id = format!("g{}", raw.len());
+        if gate_tok != expect_id {
+            return Err(bad(&format!(
+                "expected `{expect_id}` (gates must appear in id order), got `{gate_tok}`"
+            )));
+        }
+        let kind: GateKind = tokens
+            .next()
+            .ok_or_else(|| bad("missing gate kind"))?
+            .parse()
+            .map_err(|e: String| bad(&e))?;
+        let mut inputs = Vec::new();
+        let mut output = None;
+        let mut arrow_seen = false;
+        for tok in tokens {
+            if tok == "->" {
+                arrow_seen = true;
+                continue;
+            }
+            let idx: u32 = tok
+                .strip_prefix('n')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad(&format!("bad net token `{tok}`")))?;
+            max_net = Some(max_net.map_or(idx, |m: u32| m.max(idx)));
+            if arrow_seen {
+                if output.is_some() {
+                    return Err(bad("multiple output nets"));
+                }
+                output = Some(idx);
+            } else {
+                inputs.push(idx);
+            }
+        }
+        if kind.has_output() && output.is_none() {
+            return Err(bad("driving gate missing `-> n<k>`"));
+        }
+        raw.push((kind, inputs, output));
+    }
+
+    let name = name.ok_or(ParseNetlistError::MissingHeader)?;
+    let net_count = max_net.map_or(0, |m| m as usize + 1);
+
+    // Reconstruct nets: the gate with `-> n<k>` drives net k.
+    let mut drivers: Vec<Option<GateId>> = vec![None; net_count];
+    for (i, (_, _, out)) in raw.iter().enumerate() {
+        if let Some(o) = out {
+            if drivers[*o as usize].is_some() {
+                return Err(ParseNetlistError::BadLine {
+                    line: 0,
+                    reason: format!("net n{o} has two drivers"),
+                });
+            }
+            drivers[*o as usize] = Some(GateId::new(i));
+        }
+    }
+    let mut nets: Vec<Net> = (0..net_count)
+        .map(|k| {
+            drivers[k]
+                .map(Net::new)
+                .ok_or(ParseNetlistError::BadLine {
+                    line: 0,
+                    reason: format!("net n{k} has no driver"),
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let mut gates: Vec<Gate> = Vec::with_capacity(raw.len());
+    for (i, (kind, inputs, output)) in raw.into_iter().enumerate() {
+        for (pin, &n) in inputs.iter().enumerate() {
+            nets[n as usize].add_sink(GateId::new(i), pin as u8);
+        }
+        gates.push(Gate::new(
+            kind,
+            inputs.into_iter().map(|n| NetId(n)).collect(),
+            output.map(NetId),
+        ));
+    }
+    Ok(Netlist::from_parts(name, gates, nets)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{Benchmark, GenParams};
+
+    #[test]
+    fn round_trip_preserves_every_benchmark() {
+        for bench in Benchmark::ALL {
+            let nl = bench.generate(&GenParams::small(2));
+            let text = write_netlist(&nl);
+            let back = read_netlist(&text).expect("round trip");
+            assert_eq!(back.name(), nl.name());
+            assert_eq!(back.gate_count(), nl.gate_count());
+            assert_eq!(back.net_count(), nl.net_count());
+            for i in 0..nl.gate_count() {
+                assert_eq!(back.gate(GateId::new(i)), nl.gate(GateId::new(i)));
+            }
+            // Round-tripping again is byte-identical (canonical form).
+            assert_eq!(write_netlist(&back), text);
+        }
+    }
+
+    #[test]
+    fn header_and_comments_are_handled() {
+        let text = "\n# hello\ndesign t\ng0 INPUT -> n0\ng1 DFF n0 -> n1\ng2 OUTPUT n1\n";
+        let nl = read_netlist(text).expect("minimal netlist parses");
+        assert_eq!(nl.name(), "t");
+        assert_eq!(nl.flops().len(), 1);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = read_netlist("g0 INPUT -> n0\n").unwrap_err();
+        assert_eq!(err, ParseNetlistError::MissingHeader);
+        assert!(err.to_string().contains("design"));
+    }
+
+    #[test]
+    fn bad_lines_report_position_and_reason() {
+        let cases = [
+            ("design t\ng1 INPUT -> n0\n", "expected `g0`"),
+            ("design t\ng0 FROB -> n0\n", "unknown gate kind"),
+            ("design t\ng0 INPUT -> x9\n", "bad net token"),
+            ("design t\ng0 BUF n1\n", "missing `->"),
+        ];
+        for (text, needle) in cases {
+            let err = read_netlist(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "`{msg}` should contain `{needle}`");
+        }
+    }
+
+    #[test]
+    fn structural_validation_still_applies() {
+        // Dangling net: n0 never consumed.
+        let text = "design t\ng0 INPUT -> n0\ng1 INPUT -> n1\ng2 DFF n1 -> n2\ng3 OUTPUT n2\n";
+        let err = read_netlist(text).unwrap_err();
+        assert!(matches!(err, ParseNetlistError::Invalid(_)));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn two_drivers_are_rejected() {
+        let text = "design t\ng0 INPUT -> n0\ng1 INV n0 -> n0\n";
+        let err = read_netlist(text).unwrap_err();
+        assert!(err.to_string().contains("two drivers"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Gate-level netlist substrate for M3D delay-fault diagnosis.
+//!
+//! This crate is the foundation of the workspace reproducing *"Transferable
+//! Graph Neural Network-based Delay-Fault Localization for Monolithic 3D
+//! ICs"* (DATE 2022). It provides:
+//!
+//! * an immutable, validated [`Netlist`] of standard-cell-like gates,
+//! * fault-site enumeration over gate pins ([`SiteTable`]),
+//! * seeded generators for the paper's four benchmark architectures
+//!   ([`generate::Benchmark`]),
+//! * plain-text netlist serialization ([`io::write_netlist`] /
+//!   [`io::read_netlist`]),
+//! * the TPI design-configuration transform ([`tpi::insert_test_points`]),
+//! * the dummy-buffer oversampling transform
+//!   ([`transform::insert_buffer_after`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use m3d_netlist::generate::{Benchmark, GenParams};
+//!
+//! let netlist = Benchmark::Aes.generate(&GenParams::small(1));
+//! let stats = netlist.stats();
+//! println!("{}: {} gates, depth {}", netlist.name(), stats.gates, stats.depth);
+//! assert!(stats.flops > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod gate;
+mod ids;
+mod netlist;
+mod site;
+
+pub mod generate;
+pub mod io;
+pub mod tpi;
+pub mod transform;
+
+pub use builder::NetlistBuilder;
+pub use error::BuildNetlistError;
+pub use gate::GateKind;
+pub use ids::{FlopId, GateId, NetId, SiteId};
+pub use netlist::{Gate, Net, Netlist, NetlistStats};
+pub use site::{is_output_site, SitePos, SiteTable};

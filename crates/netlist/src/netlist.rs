@@ -1,0 +1,482 @@
+//! The gate-level netlist: gates, nets, topological structure and statistics.
+
+use crate::error::BuildNetlistError;
+use crate::gate::GateKind;
+use crate::ids::{FlopId, GateId, NetId};
+
+/// A gate instance: its kind, input nets (pin order matters) and output net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    output: Option<NetId>,
+}
+
+impl Gate {
+    pub(crate) fn new(kind: GateKind, inputs: Vec<NetId>, output: Option<NetId>) -> Self {
+        Gate {
+            kind,
+            inputs,
+            output,
+        }
+    }
+
+    /// The functional kind of the gate.
+    #[inline]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Input nets in pin order.
+    #[inline]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The net driven by this gate, if any (`Output` cells drive nothing).
+    #[inline]
+    pub fn output(&self) -> Option<NetId> {
+        self.output
+    }
+}
+
+/// A net: one driver and a list of `(sink gate, sink pin index)` branches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Net {
+    driver: GateId,
+    sinks: Vec<(GateId, u8)>,
+}
+
+impl Net {
+    pub(crate) fn new(driver: GateId) -> Self {
+        Net {
+            driver,
+            sinks: Vec::new(),
+        }
+    }
+
+    pub(crate) fn add_sink(&mut self, gate: GateId, pin: u8) {
+        self.sinks.push((gate, pin));
+    }
+
+    /// The gate driving this net.
+    #[inline]
+    pub fn driver(&self) -> GateId {
+        self.driver
+    }
+
+    /// Fan-out branches as `(sink gate, input pin index)` pairs.
+    #[inline]
+    pub fn sinks(&self) -> &[(GateId, u8)] {
+        &self.sinks
+    }
+}
+
+/// Aggregate statistics of a netlist, matching the columns of the paper's
+/// design matrix (Table III).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NetlistStats {
+    /// Total gate count (combinational + flops; pseudo I/O cells excluded).
+    pub gates: usize,
+    /// Combinational gate count.
+    pub combinational: usize,
+    /// Flip-flop count.
+    pub flops: usize,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Maximum combinational depth (levels).
+    pub depth: u32,
+    /// Total cell area in NAND2 equivalents.
+    pub area: f32,
+}
+
+/// An immutable, validated gate-level netlist.
+///
+/// Construct one with [`NetlistBuilder`](crate::NetlistBuilder) or a
+/// generator from [`generate`](crate::generate). Validation guarantees:
+/// every net has a driver and at least one sink, arities are legal, and the
+/// combinational core is acyclic; [`topo_order`](Netlist::topo_order) is a
+/// valid evaluation order.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), m3d_netlist::BuildNetlistError> {
+/// let mut b = NetlistBuilder::new("demo");
+/// let a = b.add_input("a");
+/// let q = b.add_dff(a);
+/// let n = b.add_gate(GateKind::Inv, &[q]);
+/// b.add_output("y", n);
+/// let nl = b.finish()?;
+/// assert_eq!(nl.stats().flops, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    nets: Vec<Net>,
+    inputs: Vec<GateId>,
+    outputs: Vec<GateId>,
+    flops: Vec<GateId>,
+    /// Index into `flops` for each gate that is a flop.
+    flop_index: Vec<Option<FlopId>>,
+    /// Combinational gates in topological order.
+    topo: Vec<GateId>,
+    /// Per-gate topological level; sources (PIs, flop outputs) are 0.
+    level: Vec<u32>,
+}
+
+impl Netlist {
+    pub(crate) fn from_parts(
+        name: String,
+        gates: Vec<Gate>,
+        nets: Vec<Net>,
+    ) -> Result<Self, BuildNetlistError> {
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut flops = Vec::new();
+        let mut flop_index = vec![None; gates.len()];
+
+        for (i, g) in gates.iter().enumerate() {
+            let id = GateId::new(i);
+            if let Some(n) = g.fixed_arity_violation() {
+                return Err(BuildNetlistError::BadArity { gate: id, got: n });
+            }
+            for &net in &g.inputs {
+                if net.index() >= nets.len() {
+                    return Err(BuildNetlistError::UnknownNet { gate: id, net });
+                }
+            }
+            match g.kind {
+                GateKind::Input => inputs.push(id),
+                GateKind::Output => outputs.push(id),
+                GateKind::Dff => {
+                    flop_index[i] = Some(FlopId::new(flops.len()));
+                    flops.push(id);
+                }
+                _ => {}
+            }
+        }
+        if flops.is_empty() {
+            return Err(BuildNetlistError::NoFlops);
+        }
+        for (i, n) in nets.iter().enumerate() {
+            if n.sinks.is_empty() {
+                return Err(BuildNetlistError::DanglingNet {
+                    net: NetId::new(i),
+                });
+            }
+        }
+
+        let (topo, level) = levelize(&gates, &nets)?;
+        Ok(Netlist {
+            name,
+            gates,
+            nets,
+            inputs,
+            outputs,
+            flops,
+            flop_index,
+            topo,
+            level,
+        })
+    }
+
+    /// The design name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates, indexed by [`GateId`].
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All nets, indexed by [`NetId`].
+    #[inline]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// The gate with the given id.
+    #[inline]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// The net with the given id.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Primary-input pseudo cells.
+    #[inline]
+    pub fn inputs(&self) -> &[GateId] {
+        &self.inputs
+    }
+
+    /// Primary-output pseudo cells.
+    #[inline]
+    pub fn outputs(&self) -> &[GateId] {
+        &self.outputs
+    }
+
+    /// Flip-flops in [`FlopId`] order.
+    #[inline]
+    pub fn flops(&self) -> &[GateId] {
+        &self.flops
+    }
+
+    /// The dense flop index of a gate, if the gate is a flip-flop.
+    #[inline]
+    pub fn flop_of(&self, gate: GateId) -> Option<FlopId> {
+        self.flop_index[gate.index()]
+    }
+
+    /// Combinational gates in a valid evaluation (topological) order.
+    #[inline]
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// Topological level of a gate (sources are level 0).
+    #[inline]
+    pub fn level(&self, gate: GateId) -> u32 {
+        self.level[gate.index()]
+    }
+
+    /// Number of gates (of any kind, including pseudo cells).
+    #[inline]
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Computes aggregate statistics (Table III style).
+    pub fn stats(&self) -> NetlistStats {
+        let mut s = NetlistStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            flops: self.flops.len(),
+            nets: self.nets.len(),
+            ..NetlistStats::default()
+        };
+        for g in &self.gates {
+            if g.kind.is_combinational() {
+                s.combinational += 1;
+            }
+            s.area += g.kind.area();
+        }
+        s.gates = s.combinational + s.flops;
+        s.depth = self.level.iter().copied().max().unwrap_or(0);
+        s
+    }
+
+    /// Iterates over the gates that drive the inputs of `gate`.
+    pub fn fanin_gates(&self, gate: GateId) -> impl Iterator<Item = GateId> + '_ {
+        self.gate(gate)
+            .inputs()
+            .iter()
+            .map(move |&n| self.net(n).driver())
+    }
+
+    /// Iterates over the gates fed by the output of `gate` (empty for
+    /// `Output` cells).
+    pub fn fanout_gates(&self, gate: GateId) -> impl Iterator<Item = GateId> + '_ {
+        self.gate(gate)
+            .output()
+            .into_iter()
+            .flat_map(move |n| self.net(n).sinks().iter().map(|&(g, _)| g))
+    }
+
+    /// Decomposes the netlist back into raw parts for transformation
+    /// (used by test-point insertion and oversampling transforms).
+    pub(crate) fn into_parts(self) -> (String, Vec<Gate>, Vec<Net>) {
+        (self.name, self.gates, self.nets)
+    }
+}
+
+impl Gate {
+    /// Returns `Some(got)` if the gate violates its kind's arity rules.
+    fn fixed_arity_violation(&self) -> Option<usize> {
+        let n = self.inputs.len();
+        if self.kind == GateKind::Input {
+            return (n != 0).then_some(n);
+        }
+        (!self.kind.arity_ok(n)).then_some(n)
+    }
+}
+
+/// Kahn's algorithm over the combinational core. Flop outputs and primary
+/// inputs act as sources; flop D pins and primary outputs as sinks.
+fn levelize(
+    gates: &[Gate],
+    nets: &[Net],
+) -> Result<(Vec<GateId>, Vec<u32>), BuildNetlistError> {
+    let n = gates.len();
+    let mut indeg = vec![0u32; n];
+    let mut level = vec![0u32; n];
+    let mut queue = std::collections::VecDeque::new();
+
+    for (i, g) in gates.iter().enumerate() {
+        if !g.kind.is_combinational() {
+            continue;
+        }
+        // Count only combinational predecessors: inputs driven by
+        // combinational gates impose ordering; PI/flop-driven inputs do not.
+        let d = g
+            .inputs
+            .iter()
+            .filter(|&&net| gates[nets[net.index()].driver.index()].kind.is_combinational())
+            .count() as u32;
+        indeg[i] = d;
+        if d == 0 {
+            queue.push_back(GateId::new(i));
+            level[i] = 1;
+        }
+    }
+
+    let comb_total = gates.iter().filter(|g| g.kind.is_combinational()).count();
+    let mut topo = Vec::with_capacity(comb_total);
+    while let Some(id) = queue.pop_front() {
+        topo.push(id);
+        if let Some(out) = gates[id.index()].output {
+            for &(sink, _) in &nets[out.index()].sinks {
+                let si = sink.index();
+                if !gates[si].kind.is_combinational() {
+                    continue;
+                }
+                level[si] = level[si].max(level[id.index()] + 1);
+                indeg[si] -= 1;
+                if indeg[si] == 0 {
+                    queue.push_back(sink);
+                }
+            }
+        }
+    }
+    if topo.len() != comb_total {
+        // Some combinational gate never reached in-degree 0: a cycle.
+        let on_cycle = (0..n)
+            .find(|&i| gates[i].kind.is_combinational() && indeg[i] > 0)
+            .expect("cycle implies a gate with positive residual in-degree");
+        return Err(BuildNetlistError::CombinationalCycle {
+            gate: GateId::new(on_cycle),
+        });
+    }
+    Ok((topo, level))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.add_input("a");
+        let bnet = b.add_input("b");
+        let x = b.add_gate(GateKind::Nand, &[a, bnet]);
+        let q = b.add_dff(x);
+        let y = b.add_gate(GateKind::Xor, &[q, a]);
+        b.add_output("y", y);
+        b.finish().expect("tiny netlist is valid")
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let nl = tiny();
+        let pos: std::collections::HashMap<_, _> = nl
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        for &g in nl.topo_order() {
+            for pred in nl.fanin_gates(g).collect::<Vec<_>>() {
+                if nl.gate(pred).kind().is_combinational() {
+                    assert!(pos[&pred] < pos[&g], "{pred} must precede {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_gates_and_depth() {
+        let nl = tiny();
+        let s = nl.stats();
+        assert_eq!(s.flops, 1);
+        assert_eq!(s.combinational, 2);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert!(s.depth >= 1);
+        assert!(s.area > 0.0);
+    }
+
+    #[test]
+    fn fanin_fanout_are_inverse_relations() {
+        let nl = tiny();
+        for i in 0..nl.gate_count() {
+            let g = GateId::new(i);
+            for f in nl.fanout_gates(g).collect::<Vec<_>>() {
+                assert!(
+                    nl.fanin_gates(f).any(|p| p == g),
+                    "{g} in fanin of its fanout {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        // Build a combinational loop by hand through the builder's raw API.
+        let mut b = NetlistBuilder::new("loop");
+        let a = b.add_input("a");
+        // placeholder net for the feedback arc
+        let (fb_net, fb_gate) = b.add_gate_deferred(GateKind::And, 2);
+        let x = b.add_gate(GateKind::Or, &[a, fb_net]);
+        b.connect_deferred(fb_gate, &[x, a]);
+        let q = b.add_dff(x);
+        let z = b.add_gate(GateKind::Buf, &[fb_net]);
+        b.add_output("z", z);
+        b.add_output("q", q);
+        let err = b.finish().expect_err("combinational loop must be rejected");
+        assert!(matches!(err, BuildNetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn missing_flops_is_rejected() {
+        let mut b = NetlistBuilder::new("comb-only");
+        let a = b.add_input("a");
+        let x = b.add_gate(GateKind::Inv, &[a]);
+        b.add_output("y", x);
+        assert_eq!(b.finish().unwrap_err(), BuildNetlistError::NoFlops);
+    }
+
+    #[test]
+    fn dangling_net_is_rejected() {
+        let mut b = NetlistBuilder::new("dangle");
+        let a = b.add_input("a");
+        let _unused = b.add_gate(GateKind::Inv, &[a]);
+        let q = b.add_dff(a);
+        b.add_output("q", q);
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, BuildNetlistError::DanglingNet { .. }));
+    }
+}

@@ -1,0 +1,232 @@
+//! Fault-site enumeration.
+//!
+//! Every gate pin is a potential transition-delay fault site, exactly as in
+//! the paper's heterogeneous graph ("each fault site, i.e. every pin of a
+//! gate, forms a node"). MIV sites are appended by the `m3d-part` crate once
+//! the design is partitioned.
+
+use crate::gate::GateKind;
+use crate::ids::{GateId, SiteId};
+use crate::netlist::Netlist;
+
+/// The physical position of a fault site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SitePos {
+    /// The output pin of a gate.
+    Output(GateId),
+    /// Input pin `pin` of a gate.
+    Input(GateId, u8),
+    /// The `index`-th monolithic inter-tier via (appended after partitioning).
+    Miv(u32),
+}
+
+impl SitePos {
+    /// The gate this site belongs to, or `None` for MIV sites.
+    #[inline]
+    pub fn gate(self) -> Option<GateId> {
+        match self {
+            SitePos::Output(g) | SitePos::Input(g, _) => Some(g),
+            SitePos::Miv(_) => None,
+        }
+    }
+}
+
+/// A dense table mapping [`SiteId`] to [`SitePos`] and back.
+///
+/// Layout: for each gate in id order, first its input pins (pin order), then
+/// its output pin if it drives a net; MIV sites follow all pin sites.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::{GateKind, NetlistBuilder, SiteTable, SitePos};
+///
+/// # fn main() -> Result<(), m3d_netlist::BuildNetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.add_input("a");
+/// let q = b.add_dff(a);
+/// b.add_output("q", q);
+/// let nl = b.finish()?;
+/// let sites = SiteTable::from_netlist(&nl);
+/// // input pin: 1 output site; dff: D + Q; output cell: 1 input pin.
+/// assert_eq!(sites.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SiteTable {
+    positions: Vec<SitePos>,
+    /// Per gate, the first site id of its pin block.
+    gate_base: Vec<u32>,
+    /// Number of pin sites (MIV sites start at this index).
+    pin_sites: usize,
+}
+
+impl SiteTable {
+    /// Enumerates the pin sites of a netlist.
+    pub fn from_netlist(netlist: &Netlist) -> Self {
+        let mut positions = Vec::new();
+        let mut gate_base = Vec::with_capacity(netlist.gate_count());
+        for (i, g) in netlist.gates().iter().enumerate() {
+            let id = GateId::new(i);
+            gate_base.push(positions.len() as u32);
+            for pin in 0..g.inputs().len() {
+                positions.push(SitePos::Input(id, pin as u8));
+            }
+            if g.kind().has_output() {
+                positions.push(SitePos::Output(id));
+            }
+        }
+        let pin_sites = positions.len();
+        SiteTable {
+            positions,
+            gate_base,
+            pin_sites,
+        }
+    }
+
+    /// Appends `count` MIV sites (called by the partitioner).
+    pub fn with_mivs(mut self, count: usize) -> Self {
+        debug_assert_eq!(
+            self.positions.len(),
+            self.pin_sites,
+            "MIV sites may only be appended once"
+        );
+        for i in 0..count {
+            self.positions.push(SitePos::Miv(i as u32));
+        }
+        self
+    }
+
+    /// Total number of sites (pins plus MIVs).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if the table has no sites.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of pin sites; MIV sites occupy ids `pin_site_count()..len()`.
+    #[inline]
+    pub fn pin_site_count(&self) -> usize {
+        self.pin_sites
+    }
+
+    /// The position of a site.
+    #[inline]
+    pub fn pos(&self, site: SiteId) -> SitePos {
+        self.positions[site.index()]
+    }
+
+    /// The site id of input pin `pin` of `gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin does not exist.
+    #[inline]
+    pub fn input_site(&self, gate: GateId, pin: u8) -> SiteId {
+        let s = SiteId(self.gate_base[gate.index()] + u32::from(pin));
+        debug_assert_eq!(self.pos(s), SitePos::Input(gate, pin));
+        s
+    }
+
+    /// The site id of the output pin of `gate`, or `None` for `Output` cells.
+    #[inline]
+    pub fn output_site(&self, netlist: &Netlist, gate: GateId) -> Option<SiteId> {
+        let g = netlist.gate(gate);
+        g.kind().has_output().then(|| {
+            SiteId(self.gate_base[gate.index()] + g.inputs().len() as u32)
+        })
+    }
+
+    /// The site id of the `index`-th MIV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer MIV sites were appended.
+    #[inline]
+    pub fn miv_site(&self, index: usize) -> SiteId {
+        let s = SiteId::new(self.pin_sites + index);
+        assert!(
+            s.index() < self.positions.len(),
+            "MIV index {index} out of range"
+        );
+        s
+    }
+
+    /// Iterates over `(SiteId, SitePos)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, SitePos)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (SiteId::new(i), p))
+    }
+}
+
+/// Classifies whether a site sits on a gate output (used as the `Out`
+/// feature in the paper's Table I/II).
+pub fn is_output_site(pos: SitePos) -> bool {
+    matches!(pos, SitePos::Output(_))
+}
+
+// `GateKind` is re-checked here to keep the invariant local.
+const _: fn(GateKind) -> bool = GateKind::has_output;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn nl() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let x = b.add_gate(GateKind::Nand, &[a, c]);
+        let q = b.add_dff(x);
+        b.add_output("q", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn site_layout_is_dense_and_consistent() {
+        let netlist = nl();
+        let t = SiteTable::from_netlist(&netlist);
+        // inputs: 2 outputs; nand: 2 in + 1 out; dff: 1 in + 1 out; output: 1 in
+        assert_eq!(t.len(), 2 + 3 + 2 + 1);
+        assert_eq!(t.pin_site_count(), t.len());
+        for (id, pos) in t.iter() {
+            match pos {
+                SitePos::Input(g, p) => assert_eq!(t.input_site(g, p), id),
+                SitePos::Output(g) => {
+                    assert_eq!(t.output_site(&netlist, g), Some(id))
+                }
+                SitePos::Miv(_) => unreachable!("no MIVs yet"),
+            }
+        }
+    }
+
+    #[test]
+    fn miv_sites_append_after_pins() {
+        let netlist = nl();
+        let t = SiteTable::from_netlist(&netlist).with_mivs(3);
+        assert_eq!(t.len(), t.pin_site_count() + 3);
+        assert_eq!(t.pos(t.miv_site(2)), SitePos::Miv(2));
+        assert!(!is_output_site(t.pos(t.miv_site(0))));
+    }
+
+    #[test]
+    fn output_cells_have_no_output_site() {
+        let netlist = nl();
+        let t = SiteTable::from_netlist(&netlist);
+        let out_cell = netlist.outputs()[0];
+        assert_eq!(t.output_site(&netlist, out_cell), None);
+        assert_eq!(
+            t.pos(t.input_site(out_cell, 0)),
+            SitePos::Input(out_cell, 0)
+        );
+    }
+}

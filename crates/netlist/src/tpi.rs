@@ -1,0 +1,114 @@
+//! Test-point insertion (the paper's TPI design configuration).
+//!
+//! The paper inserts up to 1% of the gate count as test points chosen by an
+//! ATPG tool. This module inserts *observation points*: scan flops whose D
+//! input taps a hard-to-observe net. Observation points do not change the
+//! circuit function, but they shorten propagation paths and change how each
+//! fault is detected — exactly the perturbation the transferability study
+//! needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gate::GateKind;
+use crate::ids::NetId;
+use crate::netlist::{Gate, Net, Netlist};
+
+/// Inserts observation test points on up to `max_frac` × gate-count nets.
+///
+/// Candidate nets are ranked by *observation hardness*: deep topological
+/// level of the driver and small fan-out. A seeded RNG breaks ties so
+/// insertion is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::generate::{Benchmark, GenParams};
+/// use m3d_netlist::tpi::insert_test_points;
+///
+/// let nl = Benchmark::Aes.generate(&GenParams::small(1));
+/// let before = nl.stats();
+/// let tpi = insert_test_points(nl, 0.01, 42);
+/// let after = tpi.stats();
+/// assert!(after.flops > before.flops);
+/// assert!(after.flops <= before.flops + before.gates / 100 + 1);
+/// ```
+pub fn insert_test_points(netlist: Netlist, max_frac: f64, seed: u64) -> Netlist {
+    let stats = netlist.stats();
+    let budget = ((stats.gates as f64) * max_frac).floor() as usize;
+    if budget == 0 {
+        return netlist;
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Score: driver level (deeper = harder to observe) minus fanout penalty.
+    let mut scored: Vec<(i64, NetId)> = (0..netlist.net_count())
+        .map(|i| {
+            let id = NetId::new(i);
+            let net = netlist.net(id);
+            let lvl = i64::from(netlist.level(net.driver()));
+            let fanout = net.sinks().len() as i64;
+            let jitter = rng.gen_range(0..4);
+            (lvl * 4 - fanout * 2 + jitter, id)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let picks: Vec<NetId> = scored.into_iter().take(budget).map(|(_, n)| n).collect();
+
+    let name = format!("{}-tpi", netlist.name());
+    let (_, mut gates, mut nets) = netlist.into_parts();
+    for net in picks {
+        // Observation flop: D = tapped net, Q feeds a fresh primary output.
+        let flop_id = crate::ids::GateId::new(gates.len());
+        let q_net = NetId::new(nets.len());
+        nets[net.index()].add_sink(flop_id, 0);
+        let mut q = Net::new(flop_id);
+        let out_id = crate::ids::GateId::new(gates.len() + 1);
+        q.add_sink(out_id, 0);
+        nets.push(q);
+        gates.push(Gate::new(GateKind::Dff, vec![net], Some(q_net)));
+        gates.push(Gate::new(GateKind::Output, vec![q_net], None));
+    }
+    Netlist::from_parts(name, gates, nets)
+        .expect("observation points preserve validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{Benchmark, GenParams};
+
+    #[test]
+    fn tpi_preserves_combinational_logic() {
+        let nl = Benchmark::Tate.generate(&GenParams::small(1));
+        let before = nl.stats();
+        let tpi = insert_test_points(nl, 0.01, 7);
+        let after = tpi.stats();
+        assert_eq!(before.combinational, after.combinational);
+        assert!(after.flops > before.flops);
+        assert!(tpi.name().ends_with("-tpi"));
+    }
+
+    #[test]
+    fn tpi_is_deterministic() {
+        let a = insert_test_points(
+            Benchmark::Aes.generate(&GenParams::small(1)),
+            0.02,
+            9,
+        );
+        let b = insert_test_points(
+            Benchmark::Aes.generate(&GenParams::small(1)),
+            0.02,
+            9,
+        );
+        assert_eq!(a.gate_count(), b.gate_count());
+    }
+
+    #[test]
+    fn zero_budget_is_identity() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        let n = nl.gate_count();
+        let same = insert_test_points(nl, 0.0, 1);
+        assert_eq!(same.gate_count(), n);
+    }
+}

@@ -1,0 +1,114 @@
+//! Function-preserving netlist transforms.
+//!
+//! The paper's oversampling algorithm for the GNN-based Classifier
+//! synthesizes minority-class samples by "appending one buffer at the output
+//! of each node, one at a time". [`insert_buffer_after`] is that transform:
+//! it splits a gate's output net with a non-inverting buffer, leaving the
+//! circuit function untouched while perturbing the graph topology.
+
+use crate::gate::GateKind;
+use crate::ids::{GateId, NetId};
+use crate::netlist::{Gate, Net, Netlist};
+
+/// Inserts a buffer after the output of `gate`, moving all existing fan-out
+/// branches onto the buffered net.
+///
+/// Returns the new netlist and the [`GateId`] of the inserted buffer.
+/// Returns `None` if `gate` drives nothing (an `Output` pseudo cell).
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::{GateKind, NetlistBuilder};
+/// use m3d_netlist::transform::insert_buffer_after;
+/// use m3d_netlist::GateId;
+///
+/// # fn main() -> Result<(), m3d_netlist::BuildNetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.add_input("a");
+/// let x = b.add_gate(GateKind::Inv, &[a]);
+/// let q = b.add_dff(x);
+/// b.add_output("q", q);
+/// let nl = b.finish()?;
+/// let n = nl.gate_count();
+/// let (buffered, _buf) = insert_buffer_after(nl, GateId::new(1)).expect("inv drives a net");
+/// assert_eq!(buffered.gate_count(), n + 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn insert_buffer_after(netlist: Netlist, gate: GateId) -> Option<(Netlist, GateId)> {
+    let out_net = netlist.gate(gate).output()?;
+    let name = netlist.name().to_owned();
+    let (_, mut gates, mut nets) = netlist.into_parts();
+
+    let buf_id = GateId::new(gates.len());
+    let new_net = NetId::new(nets.len());
+
+    // Move the original sinks to the buffered net.
+    let mut moved = Net::new(buf_id);
+    for &(sink, pin) in nets[out_net.index()].sinks() {
+        moved.add_sink(sink, pin);
+        // Rewire the sink gate's input reference.
+        let g = &mut gates[sink.index()];
+        let mut inputs = g.inputs().to_vec();
+        inputs[pin as usize] = new_net;
+        *g = Gate::new(g.kind(), inputs, g.output());
+    }
+    nets.push(moved);
+    // The original net now feeds only the buffer.
+    nets[out_net.index()] = {
+        let mut n = Net::new(gate);
+        n.add_sink(buf_id, 0);
+        n
+    };
+    gates.push(Gate::new(GateKind::Buf, vec![out_net], Some(new_net)));
+
+    let rebuilt = Netlist::from_parts(name, gates, nets)
+        .expect("buffer insertion preserves validity");
+    Some((rebuilt, buf_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::generate::{Benchmark, GenParams};
+
+    #[test]
+    fn buffer_insertion_preserves_topology_invariants() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        let n_before = nl.gate_count();
+        let target = nl.topo_order()[n_before % nl.topo_order().len()];
+        let (after, buf) = insert_buffer_after(nl, target).expect("combinational gate");
+        assert_eq!(after.gate_count(), n_before + 1);
+        assert_eq!(after.gate(buf).kind(), GateKind::Buf);
+        // The buffer's single fan-in is the original gate.
+        assert_eq!(after.fanin_gates(buf).next(), Some(target));
+    }
+
+    #[test]
+    fn output_cells_cannot_be_buffered() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        let q = b.add_dff(a);
+        let out = b.add_output("q", q);
+        let nl = b.finish().unwrap();
+        assert!(insert_buffer_after(nl, out).is_none());
+    }
+
+    #[test]
+    fn repeated_insertion_grows_chains() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        let x = b.add_gate(GateKind::Inv, &[a]);
+        let q = b.add_dff(x);
+        b.add_output("q", q);
+        let mut nl = b.finish().unwrap();
+        let inv = GateId::new(1);
+        for expected in 0..3 {
+            assert_eq!(nl.gate_count(), 4 + expected);
+            let (next, _) = insert_buffer_after(nl, inv).unwrap();
+            nl = next;
+        }
+    }
+}

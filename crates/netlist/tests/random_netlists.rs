@@ -1,0 +1,101 @@
+//! Property tests over randomly *constructed* netlists (builder-driven
+//! DAGs, not the benchmark generators): structural invariants of the
+//! netlist core must hold for arbitrary valid circuits.
+
+use proptest::prelude::*;
+
+use m3d_netlist::io::{read_netlist, write_netlist};
+use m3d_netlist::{GateKind, NetId, NetlistBuilder, SiteTable};
+
+/// Builds a random layered DAG netlist from a proptest plan.
+/// `plan[i] = (kind_choice, src_a, src_b, src_c)` adds one gate whose
+/// inputs are drawn (mod available) from already-created nets.
+fn build(plan: &[(u8, u16, u16, u16)], n_inputs: usize) -> m3d_netlist::Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let mut nets: Vec<NetId> = (0..n_inputs)
+        .map(|i| b.add_input(&format!("i{i}")))
+        .collect();
+    for &(kind, a, c, d) in plan {
+        let pick = |k: u16| nets[k as usize % nets.len()];
+        let net = match kind % 7 {
+            0 => b.add_gate(GateKind::Inv, &[pick(a)]),
+            1 => b.add_gate(GateKind::And, &[pick(a), pick(c)]),
+            2 => b.add_gate(GateKind::Nor, &[pick(a), pick(c)]),
+            3 => b.add_gate(GateKind::Xor, &[pick(a), pick(c)]),
+            4 => b.add_gate(GateKind::Mux2, &[pick(a), pick(c), pick(d)]),
+            5 => b.add_gate(GateKind::Aoi21, &[pick(a), pick(c), pick(d)]),
+            _ => b.add_dff(pick(a)),
+        };
+        nets.push(net);
+    }
+    // Make every net observable: sweep danglers into one big OR tree fed
+    // to a flop; also guarantees at least one flop exists.
+    let dangling = b.dangling_nets();
+    let mut acc = dangling[0];
+    for &n in &dangling[1..] {
+        acc = b.add_gate(GateKind::Or, &[acc, n]);
+    }
+    let q = b.add_dff(acc);
+    b.add_output("q", q);
+    b.finish().expect("random DAG construction is always valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_netlists_validate_and_levelize(
+        plan in prop::collection::vec((0u8..7, any::<u16>(), any::<u16>(), any::<u16>()), 3..120),
+        n_inputs in 1usize..6,
+    ) {
+        let nl = build(&plan, n_inputs);
+        // Levelization: every combinational gate deeper than its comb preds.
+        for &g in nl.topo_order() {
+            for p in nl.fanin_gates(g) {
+                if nl.gate(p).kind().is_combinational() {
+                    prop_assert!(nl.level(p) < nl.level(g));
+                }
+            }
+        }
+        prop_assert!(nl.stats().flops >= 1);
+    }
+
+    #[test]
+    fn random_netlists_round_trip_through_text(
+        plan in prop::collection::vec((0u8..7, any::<u16>(), any::<u16>(), any::<u16>()), 3..80),
+        n_inputs in 1usize..5,
+    ) {
+        let nl = build(&plan, n_inputs);
+        let text = write_netlist(&nl);
+        let back = read_netlist(&text).expect("round trip parses");
+        prop_assert_eq!(back.gate_count(), nl.gate_count());
+        prop_assert_eq!(write_netlist(&back), text, "canonical form");
+    }
+
+    #[test]
+    fn site_tables_cover_every_pin_exactly_once(
+        plan in prop::collection::vec((0u8..7, any::<u16>(), any::<u16>(), any::<u16>()), 3..80),
+        n_inputs in 1usize..5,
+    ) {
+        let nl = build(&plan, n_inputs);
+        let sites = SiteTable::from_netlist(&nl);
+        let expected: usize = nl
+            .gates()
+            .iter()
+            .map(|g| g.inputs().len() + usize::from(g.kind().has_output()))
+            .sum();
+        prop_assert_eq!(sites.len(), expected);
+        // Bijectivity: every site maps back to itself.
+        for (id, pos) in sites.iter() {
+            match pos {
+                m3d_netlist::SitePos::Input(g, p) => {
+                    prop_assert_eq!(sites.input_site(g, p), id)
+                }
+                m3d_netlist::SitePos::Output(g) => {
+                    prop_assert_eq!(sites.output_site(&nl, g), Some(id))
+                }
+                m3d_netlist::SitePos::Miv(_) => unreachable!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Event-driven transition-delay fault simulation.
+//!
+//! Faults are simulated against the fault-free two-frame baseline: a fault
+//! is *activated* in the lanes where its site has the sensitizing
+//! transition; in those lanes the site's frame-2 value is delayed (held at
+//! its frame-1 value), and the difference is propagated event-driven through
+//! the frame-2 logic to the scan-capture points. Activation is evaluated on
+//! the fault-free frames — the standard single-transition approximation of
+//! TDF simulation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use m3d_netlist::{FlopId, GateId, GateKind, NetId};
+use m3d_part::M3dDesign;
+
+use crate::fault::{injection_scope, site_net, Fault, InjectionScope};
+use crate::pattern::{PatternId, PatternSet};
+use crate::sim::{BlockSim, Simulator};
+
+/// One failing scan capture: pattern id plus the failing cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Detection {
+    /// The failing pattern.
+    pub pattern: PatternId,
+    /// The scan cell that captured a faulty value.
+    pub flop: FlopId,
+}
+
+/// Reusable scratch state for block-level fault propagation.
+///
+/// Create once (allocation-heavy) and reuse across faults and blocks; every
+/// call resets only the entries it touched.
+#[derive(Debug)]
+pub struct BlockDetector<'a> {
+    design: &'a M3dDesign,
+    /// Faulty frame-2 net values; valid only where `net_dirty`.
+    overlay: Vec<u64>,
+    net_dirty: Vec<bool>,
+    touched_nets: Vec<u32>,
+    /// Per-gate heap membership (dedup).
+    in_heap: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Topological position per gate (`u32::MAX` for non-combinational).
+    topo_pos: Vec<u32>,
+    /// Sparse branch flips: key = gate << 8 | pin.
+    branch_flips: Vec<(u64, u64)>,
+}
+
+impl<'a> BlockDetector<'a> {
+    /// Creates scratch state for a design.
+    pub fn new(design: &'a M3dDesign) -> Self {
+        let nl = design.netlist();
+        let mut topo_pos = vec![u32::MAX; nl.gate_count()];
+        for (i, &g) in nl.topo_order().iter().enumerate() {
+            topo_pos[g.index()] = i as u32;
+        }
+        BlockDetector {
+            design,
+            overlay: vec![0; nl.net_count()],
+            net_dirty: vec![false; nl.net_count()],
+            touched_nets: Vec::new(),
+            in_heap: vec![false; nl.gate_count()],
+            heap: BinaryHeap::new(),
+            topo_pos,
+            branch_flips: Vec::new(),
+        }
+    }
+
+    fn branch_flip(&self, gate: GateId, pin: u8) -> u64 {
+        let key = (gate.index() as u64) << 8 | u64::from(pin);
+        self.branch_flips
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map_or(0, |&(_, f)| f)
+    }
+
+    fn add_branch_flip(&mut self, gate: GateId, pin: u8, flip: u64) {
+        let key = (gate.index() as u64) << 8 | u64::from(pin);
+        if let Some(e) = self.branch_flips.iter_mut().find(|(k, _)| *k == key) {
+            e.1 |= flip;
+        } else {
+            self.branch_flips.push((key, flip));
+        }
+    }
+
+    fn push_gate(&mut self, gate: GateId) {
+        let pos = self.topo_pos[gate.index()];
+        if pos == u32::MAX || self.in_heap[gate.index()] {
+            return;
+        }
+        self.in_heap[gate.index()] = true;
+        self.heap.push(Reverse((pos, gate.index() as u32)));
+    }
+
+    fn set_net(&mut self, net: NetId, value: u64) {
+        if !self.net_dirty[net.index()] {
+            self.net_dirty[net.index()] = true;
+            self.touched_nets.push(net.index() as u32);
+        }
+        self.overlay[net.index()] = value;
+    }
+
+    #[inline]
+    fn net_value(&self, base: &BlockSim, net: NetId) -> u64 {
+        if self.net_dirty[net.index()] {
+            self.overlay[net.index()]
+        } else {
+            base.f2[net.index()]
+        }
+    }
+
+    /// Simulates `faults` simultaneously against one block and returns the
+    /// failing `(lane, flop)` pairs.
+    ///
+    /// Multiple faults model the paper's tier-specific systematic defects
+    /// (Section VII-A); activation of each fault uses the fault-free frames.
+    pub fn detect(&mut self, base: &BlockSim, faults: &[Fault]) -> Vec<(u8, FlopId)> {
+        let nl = self.design.netlist();
+
+        // 1. Compute activations and seed injections. Duplicate faults are
+        // skipped: stem injections flip bits, so a repeated fault would
+        // otherwise cancel itself.
+        let mut unique: Vec<Fault> = faults.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        for fault in &unique {
+            let net = site_net(self.design, fault.site);
+            let act = fault
+                .polarity
+                .activation(base.f1[net.index()], base.f2[net.index()])
+                & base.lanes;
+            if act == 0 {
+                continue;
+            }
+            match injection_scope(self.design, fault.site) {
+                InjectionScope::Net(n) => {
+                    let v = self.net_value(base, n) ^ act;
+                    self.set_net(n, v);
+                    for &(sink, _) in nl.net(n).sinks() {
+                        self.push_gate(sink);
+                    }
+                }
+                InjectionScope::Branch(g, pin) => {
+                    self.add_branch_flip(g, pin, act);
+                    self.push_gate(g);
+                }
+                InjectionScope::MivBranches(branches) => {
+                    for (g, pin) in branches {
+                        self.add_branch_flip(g, pin, act);
+                        self.push_gate(g);
+                    }
+                }
+            }
+        }
+
+        // 2. Event-driven frame-2 propagation in topological order.
+        while let Some(Reverse((_, gi))) = self.heap.pop() {
+            let gate = GateId::new(gi as usize);
+            self.in_heap[gate.index()] = false;
+            let g = nl.gate(gate);
+            let mut inputs = [0u64; 4];
+            for (pin, &n) in g.inputs().iter().enumerate() {
+                inputs[pin] =
+                    self.net_value(base, n) ^ self.branch_flip(gate, pin as u8);
+            }
+            let out = g
+                .output()
+                .expect("only combinational gates enter the heap");
+            let new = g.kind().eval(&inputs[..g.inputs().len()]);
+            if new != self.net_value(base, out) {
+                self.set_net(out, new);
+                for &(sink, _) in nl.net(out).sinks() {
+                    self.push_gate(sink);
+                }
+            }
+        }
+
+        // 3. Compare scan captures (flop D pins, including direct branch
+        // flips on D).
+        let mut detections = Vec::new();
+        for (fi, &fgate) in nl.flops().iter().enumerate() {
+            let d_net = nl.gate(fgate).inputs()[0];
+            let val = self.net_value(base, d_net) ^ self.branch_flip(fgate, 0);
+            let diff = (val ^ base.capture2[fi]) & base.lanes;
+            if diff != 0 {
+                let mut m = diff;
+                while m != 0 {
+                    let bit = m.trailing_zeros() as u8;
+                    m &= m - 1;
+                    detections.push((bit, FlopId::new(fi)));
+                }
+            }
+        }
+
+        // 4. Reset scratch.
+        for &n in &self.touched_nets {
+            self.net_dirty[n as usize] = false;
+        }
+        self.touched_nets.clear();
+        self.branch_flips.clear();
+        detections.sort_unstable();
+        detections
+    }
+}
+
+/// Fault simulation over a full pattern set, with the fault-free baseline
+/// cached per block.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::generate::Benchmark;
+/// use m3d_part::DesignConfig;
+/// use m3d_tdf::{full_fault_list, FaultSim, PatternSet};
+///
+/// let design = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+/// let patterns = PatternSet::random(design.netlist(), 64, 1);
+/// let sim = FaultSim::new(&design, &patterns);
+/// let fault = full_fault_list(&design)[0];
+/// let _hits = sim.detections(&mut sim.detector(), &[fault]);
+/// ```
+#[derive(Debug)]
+pub struct FaultSim<'a> {
+    design: &'a M3dDesign,
+    patterns: &'a PatternSet,
+    blocks: Vec<BlockSim>,
+}
+
+impl<'a> FaultSim<'a> {
+    /// Runs the fault-free baseline over every block.
+    pub fn new(design: &'a M3dDesign, patterns: &'a PatternSet) -> Self {
+        let sim = Simulator::new(design.netlist());
+        let blocks = patterns.blocks().iter().map(|b| sim.run_block(b)).collect();
+        FaultSim {
+            design,
+            patterns,
+            blocks,
+        }
+    }
+
+    /// The design under simulation.
+    #[inline]
+    pub fn design(&self) -> &'a M3dDesign {
+        self.design
+    }
+
+    /// The simulated pattern set.
+    #[inline]
+    pub fn patterns(&self) -> &'a PatternSet {
+        self.patterns
+    }
+
+    /// The cached fault-free baseline per block.
+    #[inline]
+    pub fn block_sims(&self) -> &[BlockSim] {
+        &self.blocks
+    }
+
+    /// Creates reusable propagation scratch for this design.
+    pub fn detector(&self) -> BlockDetector<'a> {
+        BlockDetector::new(self.design)
+    }
+
+    /// Simulates an injected fault set against every pattern and returns
+    /// all failing `(pattern, flop)` captures.
+    pub fn detections(
+        &self,
+        detector: &mut BlockDetector<'_>,
+        faults: &[Fault],
+    ) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for (bi, base) in self.blocks.iter().enumerate() {
+            for (bit, flop) in detector.detect(base, faults) {
+                out.push(Detection {
+                    pattern: self.patterns.id_at(bi, bit),
+                    flop,
+                });
+            }
+        }
+        out
+    }
+
+    /// Lanes of `block` in which `site` transitions (fault-free).
+    #[inline]
+    pub fn transition_mask(&self, site: m3d_netlist::SiteId, block: usize) -> u64 {
+        let net = site_net(self.design, site);
+        self.blocks[block].transition(net)
+    }
+
+    /// Number of patterns in which `site` transitions — the `Tpat` feature
+    /// of the paper's Table I.
+    pub fn transition_count(&self, site: m3d_netlist::SiteId) -> u32 {
+        (0..self.blocks.len())
+            .map(|b| self.transition_mask(site, b).count_ones())
+            .sum()
+    }
+}
+
+// GateKind is used only through eval here; keep the import honest.
+const _: fn(GateKind, &[u64]) -> u64 = GateKind::eval;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{full_fault_list, Polarity};
+    use m3d_netlist::generate::Benchmark;
+    use m3d_netlist::SitePos;
+    use m3d_part::DesignConfig;
+
+    fn env() -> (M3dDesign, PatternSet) {
+        let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+        let p = PatternSet::random(d.netlist(), 128, 17);
+        (d, p)
+    }
+
+    #[test]
+    fn unactivated_faults_produce_no_detections() {
+        let (d, p) = env();
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        // A site that never transitions can never be detected.
+        for (site, _) in d.sites().iter() {
+            if sim.transition_count(site) == 0 {
+                for pol in Polarity::ALL {
+                    assert!(sim
+                        .detections(&mut det, &[Fault::new(site, pol)])
+                        .is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn some_faults_are_detected() {
+        let (d, p) = env();
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        let detected = full_fault_list(&d)
+            .iter()
+            .filter(|f| !sim.detections(&mut det, &[**f]).is_empty())
+            .count();
+        assert!(
+            detected > d.sites().len() / 2,
+            "random patterns should detect many faults, got {detected}"
+        );
+    }
+
+    #[test]
+    fn detection_requires_activation() {
+        let (d, p) = env();
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        for f in full_fault_list(&d).iter().take(400) {
+            let dets = sim.detections(&mut det, &[*f]);
+            for dt in dets {
+                let (blk, bit) = p.locate(dt.pattern);
+                let net = site_net(&d, f.site);
+                let act = f.polarity.activation(
+                    sim.block_sims()[blk].f1[net.index()],
+                    sim.block_sims()[blk].f2[net.index()],
+                );
+                assert_ne!(act & (1 << bit), 0, "detected without activation");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reset_makes_runs_independent() {
+        let (d, p) = env();
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        let faults = full_fault_list(&d);
+        let a = sim.detections(&mut det, &[faults[11]]);
+        let _noise = sim.detections(&mut det, &[faults[23], faults[44]]);
+        let b = sim.detections(&mut det, &[faults[11]]);
+        assert_eq!(a, b, "detector state must fully reset between calls");
+    }
+
+    #[test]
+    fn stem_fault_detections_superset_branch_single_sink() {
+        // For a net with one sink, the output-pin fault and the input-pin
+        // fault on that sink are equivalent.
+        let (d, p) = env();
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        let nl = d.netlist();
+        let mut checked = 0;
+        for (site, pos) in d.sites().iter() {
+            if checked >= 5 {
+                break;
+            }
+            if let SitePos::Output(g) = pos {
+                let Some(out) = nl.gate(g).output() else {
+                    continue;
+                };
+                let sinks = nl.net(out).sinks();
+                if sinks.len() != 1 {
+                    continue;
+                }
+                let (sg, sp) = sinks[0];
+                if !nl.gate(sg).kind().is_combinational()
+                    && nl.gate(sg).kind() != m3d_netlist::GateKind::Dff
+                {
+                    continue;
+                }
+                let branch_site = d.sites().input_site(sg, sp);
+                for pol in Polarity::ALL {
+                    let stem = sim.detections(&mut det, &[Fault::new(site, pol)]);
+                    let branch =
+                        sim.detections(&mut det, &[Fault::new(branch_site, pol)]);
+                    assert_eq!(stem, branch, "single-sink stem ≡ branch");
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "test needs at least one single-sink net");
+    }
+
+    #[test]
+    fn multi_fault_injection_detects_at_least_union_sites() {
+        let (d, p) = env();
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        let faults = full_fault_list(&d);
+        let f1 = faults[101];
+        let f2 = faults[333];
+        let both = sim.detections(&mut det, &[f1, f2]);
+        let single1 = sim.detections(&mut det, &[f1]);
+        if !single1.is_empty() && !both.is_empty() {
+            // Multi-fault behaviour is not a strict union (masking exists),
+            // but the joint injection must fail somewhere if f1 alone does.
+            assert!(!both.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod polarity_tests {
+    use super::*;
+    use crate::fault::{Fault, Polarity};
+    use crate::pattern::PatternSet;
+    use m3d_netlist::generate::Benchmark;
+    use m3d_part::DesignConfig;
+
+    /// A slow-to-rise fault must only fail patterns where the site rises;
+    /// the complementary polarity must fail a disjoint pattern set.
+    #[test]
+    fn polarities_fail_disjoint_pattern_sets() {
+        let d = DesignConfig::Syn1.build_sized(Benchmark::Tate, Some(300));
+        let p = PatternSet::random(d.netlist(), 192, 5);
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        let mut checked = 0;
+        for (site, _) in d.sites().iter() {
+            let rise: std::collections::BTreeSet<u32> = sim
+                .detections(&mut det, &[Fault::new(site, Polarity::SlowToRise)])
+                .into_iter()
+                .map(|x| x.pattern)
+                .collect();
+            let fall: std::collections::BTreeSet<u32> = sim
+                .detections(&mut det, &[Fault::new(site, Polarity::SlowToFall)])
+                .into_iter()
+                .map(|x| x.pattern)
+                .collect();
+            if rise.is_empty() || fall.is_empty() {
+                continue;
+            }
+            assert!(
+                rise.is_disjoint(&fall),
+                "site {site}: a pattern cannot activate both polarities"
+            );
+            checked += 1;
+            if checked >= 10 {
+                break;
+            }
+        }
+        assert!(checked > 0, "need sites detectable in both polarities");
+    }
+
+    /// Injecting the same fault twice must equal injecting it once
+    /// (idempotent flips).
+    #[test]
+    fn duplicate_fault_injection_is_idempotent() {
+        let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+        let p = PatternSet::random(d.netlist(), 64, 9);
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        let f = crate::fault::full_fault_list(&d)[40];
+        let once = sim.detections(&mut det, &[f]);
+        let twice = sim.detections(&mut det, &[f, f]);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,176 @@
+//! Tester failure logs.
+//!
+//! A failure log is what the tester emits for one failing chip: the list of
+//! `(pattern, observation point)` pairs that mis-compared. In bypass mode
+//! observation points are scan cells; under response compaction they are
+//! `(channel, cycle)` pairs. The log — together with the netlist — is the
+//! *only* input the paper's framework needs.
+
+use m3d_dft::{ObsMode, ObsPoint, ScanChains};
+
+use crate::fsim::Detection;
+use crate::pattern::PatternId;
+
+/// One mis-comparing tester observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FailEntry {
+    /// The failing pattern.
+    pub pattern: PatternId,
+    /// Where the failure was observed.
+    pub obs: ObsPoint,
+}
+
+/// A failure log: all erroneous output responses of one failing chip.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_dft::{ObsMode, ObsPoint, ScanChains, ScanConfig};
+/// use m3d_netlist::generate::{Benchmark, GenParams};
+/// use m3d_netlist::FlopId;
+/// use m3d_tdf::{Detection, FailureLog};
+///
+/// let nl = Benchmark::Aes.generate(&GenParams::small(1));
+/// let scan = ScanChains::new(&nl, ScanConfig::for_flop_count(nl.flops().len()));
+/// let dets = vec![Detection { pattern: 4, flop: FlopId::new(0) }];
+/// let log = FailureLog::from_detections(&dets, &scan, ObsMode::Bypass);
+/// assert_eq!(log.len(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailureLog {
+    entries: Vec<FailEntry>,
+}
+
+impl FailureLog {
+    /// Builds a log from raw failing captures via the scan architecture.
+    ///
+    /// Detections are grouped per pattern and passed through the selected
+    /// observation mode (compaction can alias pairs of failures away).
+    pub fn from_detections(
+        detections: &[Detection],
+        scan: &ScanChains,
+        mode: ObsMode,
+    ) -> Self {
+        let mut by_pattern: std::collections::BTreeMap<PatternId, Vec<m3d_netlist::FlopId>> =
+            std::collections::BTreeMap::new();
+        for d in detections {
+            by_pattern.entry(d.pattern).or_default().push(d.flop);
+        }
+        let mut entries = Vec::new();
+        for (pattern, flops) in by_pattern {
+            for obs in scan.observe(&flops, mode) {
+                entries.push(FailEntry { pattern, obs });
+            }
+        }
+        FailureLog { entries }
+    }
+
+    /// The log entries, sorted by `(pattern, observation)`.
+    #[inline]
+    pub fn entries(&self) -> &[FailEntry] {
+        &self.entries
+    }
+
+    /// Number of erroneous responses.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the chip passed every pattern.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The distinct failing patterns, ascending.
+    pub fn failing_patterns(&self) -> Vec<PatternId> {
+        let mut v: Vec<PatternId> =
+            self.entries.iter().map(|e| e.pattern).collect();
+        v.dedup();
+        v
+    }
+}
+
+impl FromIterator<FailEntry> for FailureLog {
+    fn from_iter<I: IntoIterator<Item = FailEntry>>(iter: I) -> Self {
+        let mut entries: Vec<FailEntry> = iter.into_iter().collect();
+        entries.sort_unstable();
+        entries.dedup();
+        FailureLog { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_dft::ScanConfig;
+    use m3d_netlist::generate::{Benchmark, GenParams};
+    use m3d_netlist::FlopId;
+
+    fn scan() -> ScanChains {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        ScanChains::new(&nl, ScanConfig::for_flop_count(nl.flops().len()))
+    }
+
+    #[test]
+    fn bypass_log_preserves_every_detection() {
+        let s = scan();
+        let dets = vec![
+            Detection {
+                pattern: 2,
+                flop: FlopId::new(1),
+            },
+            Detection {
+                pattern: 2,
+                flop: FlopId::new(4),
+            },
+            Detection {
+                pattern: 9,
+                flop: FlopId::new(1),
+            },
+        ];
+        let log = FailureLog::from_detections(&dets, &s, ObsMode::Bypass);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.failing_patterns(), vec![2, 9]);
+    }
+
+    #[test]
+    fn compacted_log_can_alias_failures_away() {
+        let s = scan();
+        // Find two cells sharing (channel, cycle).
+        let mut pair = None;
+        'outer: for c1 in 0..s.chain_count() {
+            for c2 in (c1 + 1)..s.chain_count() {
+                if s.channel_of_chain(c1 as u16) == s.channel_of_chain(c2 as u16)
+                    && !s.chains()[c1].is_empty()
+                    && !s.chains()[c2].is_empty()
+                {
+                    pair = Some((s.chains()[c1][0], s.chains()[c2][0]));
+                    break 'outer;
+                }
+            }
+        }
+        let (f1, f2) = pair.expect("compacted channels share chains");
+        let dets = vec![
+            Detection { pattern: 0, flop: f1 },
+            Detection { pattern: 0, flop: f2 },
+        ];
+        let log = FailureLog::from_detections(&dets, &s, ObsMode::Compacted);
+        assert!(log.is_empty(), "even parity must alias to a pass");
+    }
+
+    #[test]
+    fn from_iterator_sorts_and_dedups() {
+        let e1 = FailEntry {
+            pattern: 5,
+            obs: ObsPoint::Flop(FlopId::new(0)),
+        };
+        let e0 = FailEntry {
+            pattern: 1,
+            obs: ObsPoint::Flop(FlopId::new(2)),
+        };
+        let log: FailureLog = vec![e1, e0, e1].into_iter().collect();
+        assert_eq!(log.entries(), &[e0, e1]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text failure-log serialization (the tester datalog format).
+//!
+//! ```text
+//! # m3d-faillog v1
+//! fail pattern 12 flop 7          # bypass observation
+//! fail pattern 19 channel 2 cycle 5   # compacted observation
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use m3d_dft::ObsPoint;
+use m3d_netlist::FlopId;
+
+use crate::log::{FailEntry, FailureLog};
+
+/// Error raised while parsing a failure-log file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseLogError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseLogError {}
+
+/// Serializes a failure log to the text format.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_tdf::{read_failure_log, write_failure_log, FailureLog};
+///
+/// # fn main() -> Result<(), m3d_tdf::ParseLogError> {
+/// let empty = FailureLog::default();
+/// let text = write_failure_log(&empty);
+/// assert_eq!(read_failure_log(&text)?, empty);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_failure_log(log: &FailureLog) -> String {
+    let mut out = String::from("# m3d-faillog v1\n");
+    for e in log.entries() {
+        match e.obs {
+            ObsPoint::Flop(f) => {
+                out.push_str(&format!(
+                    "fail pattern {} flop {}\n",
+                    e.pattern,
+                    f.index()
+                ));
+            }
+            ObsPoint::ChannelCycle { channel, cycle } => {
+                out.push_str(&format!(
+                    "fail pattern {} channel {channel} cycle {cycle}\n",
+                    e.pattern
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the text format back into a [`FailureLog`].
+///
+/// # Errors
+///
+/// Returns [`ParseLogError`] with the offending line on malformed input.
+pub fn read_failure_log(text: &str) -> Result<FailureLog, ParseLogError> {
+    let mut entries = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let lineno = ln + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: &str| ParseLogError {
+            line: lineno,
+            reason: reason.to_owned(),
+        };
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let parse_num = |tok: &str, what: &str| -> Result<u32, ParseLogError> {
+            tok.parse()
+                .map_err(|_| bad(&format!("bad {what} `{tok}`")))
+        };
+        match toks.as_slice() {
+            ["fail", "pattern", p, "flop", f] => entries.push(FailEntry {
+                pattern: parse_num(p, "pattern")?,
+                obs: ObsPoint::Flop(FlopId::new(
+                    parse_num(f, "flop")? as usize
+                )),
+            }),
+            ["fail", "pattern", p, "channel", c, "cycle", y] => {
+                entries.push(FailEntry {
+                    pattern: parse_num(p, "pattern")?,
+                    obs: ObsPoint::ChannelCycle {
+                        channel: parse_num(c, "channel")? as u16,
+                        cycle: parse_num(y, "cycle")? as u16,
+                    },
+                })
+            }
+            _ => return Err(bad("expected `fail pattern <p> flop <f>` or `fail pattern <p> channel <c> cycle <y>`")),
+        }
+    }
+    Ok(entries.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FailureLog {
+        vec![
+            FailEntry {
+                pattern: 3,
+                obs: ObsPoint::Flop(FlopId::new(9)),
+            },
+            FailEntry {
+                pattern: 12,
+                obs: ObsPoint::ChannelCycle {
+                    channel: 1,
+                    cycle: 4,
+                },
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let log = sample();
+        let text = write_failure_log(&log);
+        assert_eq!(read_failure_log(&text).expect("round trip"), log);
+        // Canonical: serializing again is byte-identical.
+        assert_eq!(
+            write_failure_log(&read_failure_log(&text).expect("parse")),
+            text
+        );
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_position() {
+        let err = read_failure_log("# ok\nfail pattern x flop 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bad pattern"));
+        let err = read_failure_log("nonsense\n").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn parsing_sorts_and_dedups_like_from_iterator() {
+        let text = "fail pattern 9 flop 1\nfail pattern 2 flop 0\nfail pattern 9 flop 1\n";
+        let log = read_failure_log(text).expect("parses");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.failing_patterns(), vec![2, 9]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Test patterns for launch-on-capture transition-delay testing.
+//!
+//! A pattern assigns a value to every primary input and every scan cell
+//! (the launch state). Patterns are stored bit-packed, 64 to a block, so
+//! the simulator evaluates 64 patterns per gate visit (parallel-pattern
+//! simulation).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use m3d_netlist::Netlist;
+
+/// A dense pattern index across a [`PatternSet`].
+pub type PatternId = u32;
+
+/// Up to 64 patterns, bit-packed: bit `k` of every word belongs to pattern
+/// `base + k`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternBlock {
+    /// One word per primary input, in `Netlist::inputs()` order.
+    pub pi: Vec<u64>,
+    /// One word per scan cell (launch state), in `FlopId` order.
+    pub scan: Vec<u64>,
+    /// Number of valid patterns in this block (1..=64).
+    pub count: u8,
+}
+
+impl PatternBlock {
+    /// Mask selecting the valid pattern lanes of this block.
+    #[inline]
+    pub fn lane_mask(&self) -> u64 {
+        if self.count == 64 {
+            !0
+        } else {
+            (1u64 << self.count) - 1
+        }
+    }
+}
+
+/// A bit-packed collection of test patterns.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::generate::{Benchmark, GenParams};
+/// use m3d_tdf::PatternSet;
+///
+/// let nl = Benchmark::Aes.generate(&GenParams::small(1));
+/// let pats = PatternSet::random(&nl, 100, 7);
+/// assert_eq!(pats.len(), 100);
+/// assert_eq!(pats.blocks().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PatternSet {
+    blocks: Vec<PatternBlock>,
+    len: usize,
+}
+
+impl PatternSet {
+    /// An empty pattern set.
+    pub fn new() -> Self {
+        PatternSet::default()
+    }
+
+    /// Generates `n` random-fill patterns (the launch state and PI values
+    /// are fully specified, as a compressing ATPG would emit).
+    pub fn random(netlist: &Netlist, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut set = PatternSet::new();
+        let mut remaining = n;
+        while remaining > 0 {
+            let count = remaining.min(64) as u8;
+            set.push_block(Self::random_block(netlist, &mut rng, count));
+            remaining -= count as usize;
+        }
+        set
+    }
+
+    pub(crate) fn random_block(
+        netlist: &Netlist,
+        rng: &mut StdRng,
+        count: u8,
+    ) -> PatternBlock {
+        let mask = if count == 64 {
+            !0u64
+        } else {
+            (1u64 << count) - 1
+        };
+        PatternBlock {
+            pi: (0..netlist.inputs().len())
+                .map(|_| rng.gen::<u64>() & mask)
+                .collect(),
+            scan: (0..netlist.flops().len())
+                .map(|_| rng.gen::<u64>() & mask)
+                .collect(),
+            count,
+        }
+    }
+
+    /// Appends a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty.
+    pub fn push_block(&mut self, block: PatternBlock) {
+        assert!(block.count > 0, "empty pattern block");
+        self.len += block.count as usize;
+        self.blocks.push(block);
+    }
+
+    /// Number of patterns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set holds no patterns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The pattern blocks.
+    #[inline]
+    pub fn blocks(&self) -> &[PatternBlock] {
+        &self.blocks
+    }
+
+    /// Decomposes a pattern id into `(block index, lane bit)`.
+    ///
+    /// Valid because every block except possibly the last holds 64 patterns.
+    #[inline]
+    pub fn locate(&self, id: PatternId) -> (usize, u8) {
+        ((id / 64) as usize, (id % 64) as u8)
+    }
+
+    /// The global id of lane `bit` in block `block`.
+    #[inline]
+    pub fn id_at(&self, block: usize, bit: u8) -> PatternId {
+        (block * 64) as PatternId + PatternId::from(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::generate::{Benchmark, GenParams};
+
+    #[test]
+    fn random_sets_have_exact_length() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        for n in [1, 63, 64, 65, 130] {
+            let p = PatternSet::random(&nl, n, 1);
+            assert_eq!(p.len(), n);
+            let total: usize =
+                p.blocks().iter().map(|b| b.count as usize).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn partial_blocks_mask_invalid_lanes() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        let p = PatternSet::random(&nl, 10, 3);
+        let b = &p.blocks()[0];
+        assert_eq!(b.lane_mask(), (1 << 10) - 1);
+        for &w in b.pi.iter().chain(&b.scan) {
+            assert_eq!(w & !b.lane_mask(), 0, "invalid lanes must be zero");
+        }
+    }
+
+    #[test]
+    fn locate_and_id_round_trip() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        let p = PatternSet::random(&nl, 200, 5);
+        for id in [0u32, 63, 64, 199] {
+            let (blk, bit) = p.locate(id);
+            assert_eq!(p.id_at(blk, bit), id);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        assert_eq!(
+            PatternSet::random(&nl, 77, 9).blocks(),
+            PatternSet::random(&nl, 77, 9).blocks()
+        );
+    }
+}

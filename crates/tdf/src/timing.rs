@@ -1,0 +1,334 @@
+//! Static timing and small-delay-defect analysis.
+//!
+//! The TDF model used for test generation and diagnosis is a *gross-delay*
+//! model: an activated fault always misses the capture edge. Real M3D
+//! defects are often *small* delays — an MIV void or a slow top-tier
+//! transistor adds a finite `δ` — and such a defect is only detected on
+//! paths whose slack is smaller than `δ`. This module adds the static
+//! timing view needed to reason about that:
+//!
+//! * per-gate nominal delays plus the M3D technology penalties the paper
+//!   describes (top-tier device degradation from low-temperature
+//!   processing, bottom-tier tungsten-interconnect RC, MIV crossing
+//!   delay),
+//! * longest launch-to-capture path through every fault site,
+//! * the minimum detectable delay size per site at a given clock period.
+//!
+//! It also quantifies why delay diagnosis cannot trust `tpsf`
+//! mispredictions: a gross-delay simulation predicts failures on *every*
+//! sensitized path, while a small defect fails only the long ones.
+
+use m3d_netlist::{GateKind, NetId, SiteId, SitePos};
+use m3d_part::{M3dDesign, Tier};
+
+use crate::fault::site_net;
+
+/// Nominal gate/interconnect delays with M3D technology penalties.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingModel {
+    /// Multiplier on gate delay in the top tier (low-temperature device
+    /// degradation; the paper cites up to 20%).
+    pub top_tier_device_penalty: f32,
+    /// Multiplier on interconnect delay in the bottom tier (tungsten BEOL;
+    /// the paper cites ~6× copper resistivity, partially amortized).
+    pub bottom_tier_wire_penalty: f32,
+    /// Extra delay for crossing an MIV (arbitrary time units).
+    pub miv_delay: f32,
+    /// Per-net baseline interconnect delay.
+    pub wire_delay: f32,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            top_tier_device_penalty: 1.2,
+            bottom_tier_wire_penalty: 1.6,
+            miv_delay: 0.4,
+            wire_delay: 0.3,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Nominal propagation delay of a gate kind (time units).
+    pub fn gate_delay(&self, kind: GateKind) -> f32 {
+        match kind {
+            GateKind::Input | GateKind::Output | GateKind::Dff => 0.0,
+            GateKind::Buf => 0.6,
+            GateKind::Inv => 0.5,
+            GateKind::And | GateKind::Or => 1.0,
+            GateKind::Nand | GateKind::Nor => 0.8,
+            GateKind::Xor | GateKind::Xnor => 1.4,
+            GateKind::Mux2 => 1.2,
+            GateKind::Aoi21 | GateKind::Oai21 => 1.1,
+        }
+    }
+
+    /// Delay of a gate placed on `tier`.
+    pub fn placed_gate_delay(&self, kind: GateKind, tier: Tier) -> f32 {
+        let base = self.gate_delay(kind);
+        match tier {
+            Tier::Top => base * self.top_tier_device_penalty,
+            Tier::Bottom => base,
+        }
+    }
+
+    /// Delay of the net driven by a gate on `tier` (before any MIV).
+    pub fn placed_wire_delay(&self, tier: Tier) -> f32 {
+        match tier {
+            Tier::Top => self.wire_delay,
+            Tier::Bottom => self.wire_delay * self.bottom_tier_wire_penalty,
+        }
+    }
+}
+
+/// Static timing of a partitioned design under a [`TimingModel`].
+///
+/// # Examples
+///
+/// ```
+/// use m3d_netlist::generate::Benchmark;
+/// use m3d_part::DesignConfig;
+/// use m3d_tdf::{StaticTiming, TimingModel};
+///
+/// let design = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+/// let timing = StaticTiming::compute(&design, &TimingModel::default());
+/// assert!(timing.critical_path() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StaticTiming {
+    /// Worst arrival time at each net (launch edge = 0).
+    arrival: Vec<f32>,
+    /// Worst downstream delay from each net to any capture point.
+    downstream: Vec<f32>,
+    critical: f32,
+}
+
+impl StaticTiming {
+    /// Runs static timing over the combinational core.
+    pub fn compute(design: &M3dDesign, model: &TimingModel) -> Self {
+        let nl = design.netlist();
+        let n = nl.net_count();
+        let mut arrival = vec![0.0f32; n];
+        let net_delay = |net: NetId| -> f32 {
+            let driver = nl.net(net).driver();
+            let tier = design.tier_of_gate(driver);
+            let mut d = model.placed_wire_delay(tier);
+            if design.miv_on_net(net).is_some() {
+                d += model.miv_delay;
+            }
+            d
+        };
+
+        // Forward pass in topological order.
+        for &g in nl.topo_order() {
+            let gate = nl.gate(g);
+            let tier = design.tier_of_gate(g);
+            let in_arr = gate
+                .inputs()
+                .iter()
+                .map(|&i| arrival[i.index()] + net_delay(i))
+                .fold(0.0f32, f32::max);
+            let out = gate.output().expect("combinational gates drive nets");
+            arrival[out.index()] =
+                in_arr + model.placed_gate_delay(gate.kind(), tier);
+        }
+
+        // Backward pass: worst remaining delay to a capture point.
+        let mut downstream = vec![f32::NEG_INFINITY; n];
+        for &f in nl.flops() {
+            let d_net = nl.gate(f).inputs()[0];
+            let d = downstream[d_net.index()].max(net_delay(d_net));
+            downstream[d_net.index()] = d;
+        }
+        for &g in nl.topo_order().iter().rev() {
+            let gate = nl.gate(g);
+            let tier = design.tier_of_gate(g);
+            let out = gate.output().expect("combinational gates drive nets");
+            if downstream[out.index()] == f32::NEG_INFINITY {
+                continue;
+            }
+            let through =
+                downstream[out.index()] + model.placed_gate_delay(gate.kind(), tier);
+            for &i in gate.inputs() {
+                let v = through + net_delay(i);
+                if v > downstream[i.index()] {
+                    downstream[i.index()] = v;
+                }
+            }
+        }
+        for d in &mut downstream {
+            if *d == f32::NEG_INFINITY {
+                *d = 0.0;
+            }
+        }
+
+        // Capture-edge arrival includes the D net's interconnect delay
+        // (consistent with `downstream`, which starts at net_delay(D)).
+        let critical = nl
+            .flops()
+            .iter()
+            .map(|&f| {
+                let d_net = nl.gate(f).inputs()[0];
+                arrival[d_net.index()] + net_delay(d_net)
+            })
+            .fold(0.0f32, f32::max);
+
+        StaticTiming {
+            arrival,
+            downstream,
+            critical,
+        }
+    }
+
+    /// Worst arrival time at a net.
+    #[inline]
+    pub fn arrival(&self, net: NetId) -> f32 {
+        self.arrival[net.index()]
+    }
+
+    /// The critical launch-to-capture path delay (sets the minimum clock
+    /// period).
+    #[inline]
+    pub fn critical_path(&self) -> f32 {
+        self.critical
+    }
+
+    /// Longest structural path *through* a fault site: arrival at the site
+    /// plus the worst remaining delay to a capture point.
+    pub fn longest_path_through(&self, design: &M3dDesign, site: SiteId) -> f32 {
+        let net = site_net(design, site);
+        self.arrival[net.index()] + self.downstream[net.index()]
+    }
+
+    /// The smallest delay-defect size `δ` at `site` that could miss the
+    /// capture edge at `clock_period`: the site's path slack. A gross
+    /// (infinite) TDF is detectable wherever this is finite; real small
+    /// defects below this bound are *undetectable* and must be screened by
+    /// faster-than-at-speed testing.
+    pub fn min_detectable_delta(
+        &self,
+        design: &M3dDesign,
+        site: SiteId,
+        clock_period: f32,
+    ) -> f32 {
+        (clock_period - self.longest_path_through(design, site)).max(0.0)
+    }
+
+    /// Mean minimum-detectable delta per tier — the paper's motivation in
+    /// numbers: the slow bottom-tier interconnect and degraded top-tier
+    /// devices shift path slack differently per tier.
+    pub fn tier_slack_profile(
+        &self,
+        design: &M3dDesign,
+        clock_period: f32,
+    ) -> [f32; 2] {
+        let mut sum = [0.0f64; 2];
+        let mut count = [0usize; 2];
+        for (site, pos) in design.sites().iter() {
+            let tier = match pos {
+                SitePos::Miv(_) => continue,
+                _ => design.tier_of_site(site).expect("pin sites have tiers"),
+            };
+            sum[tier.index()] +=
+                f64::from(self.min_detectable_delta(design, site, clock_period));
+            count[tier.index()] += 1;
+        }
+        [
+            (sum[0] / count[0].max(1) as f64) as f32,
+            (sum[1] / count[1].max(1) as f64) as f32,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::generate::Benchmark;
+    use m3d_part::DesignConfig;
+
+    fn setup() -> (M3dDesign, StaticTiming) {
+        let d = DesignConfig::Syn1.build_sized(Benchmark::Tate, Some(400));
+        let t = StaticTiming::compute(&d, &TimingModel::default());
+        (d, t)
+    }
+
+    #[test]
+    fn arrivals_increase_along_paths() {
+        let (d, t) = setup();
+        let nl = d.netlist();
+        for &g in nl.topo_order() {
+            let out = nl.gate(g).output().expect("drives");
+            for &i in nl.gate(g).inputs() {
+                assert!(
+                    t.arrival(out) > t.arrival(i) - 1e-6,
+                    "arrival must not decrease through a gate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds_every_site_path() {
+        let (d, t) = setup();
+        for (site, _) in d.sites().iter() {
+            assert!(
+                t.longest_path_through(&d, site) <= t.critical_path() + 1e-4,
+                "no path exceeds the critical path"
+            );
+        }
+    }
+
+    #[test]
+    fn min_detectable_delta_is_slack() {
+        let (d, t) = setup();
+        let period = t.critical_path() * 1.1;
+        let mut nonzero = 0;
+        for (site, _) in d.sites().iter().take(400) {
+            let delta = t.min_detectable_delta(&d, site, period);
+            let path = t.longest_path_through(&d, site);
+            assert!((delta - (period - path).max(0.0)).abs() < 1e-5);
+            if delta > 0.0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero > 0, "off-critical sites have positive slack");
+    }
+
+    #[test]
+    fn miv_delay_penalty_lengthens_cut_paths() {
+        let (d, _) = setup();
+        let base = TimingModel {
+            miv_delay: 0.0,
+            ..TimingModel::default()
+        };
+        let heavy = TimingModel {
+            miv_delay: 2.0,
+            ..TimingModel::default()
+        };
+        let t0 = StaticTiming::compute(&d, &base);
+        let t1 = StaticTiming::compute(&d, &heavy);
+        // Paths through MIVs must lengthen; critical path can only grow.
+        assert!(t1.critical_path() >= t0.critical_path());
+        let m = d.miv_site(0);
+        assert!(
+            t1.longest_path_through(&d, m) > t0.longest_path_through(&d, m)
+        );
+    }
+
+    #[test]
+    fn tier_profile_reflects_technology_penalties() {
+        let (d, t) = setup();
+        let period = t.critical_path() * 1.2;
+        let profile = t.tier_slack_profile(&d, period);
+        assert!(profile[0] > 0.0 && profile[1] > 0.0);
+        // With symmetric penalties removed, the profile moves.
+        let flat = TimingModel {
+            top_tier_device_penalty: 1.0,
+            bottom_tier_wire_penalty: 1.0,
+            ..TimingModel::default()
+        };
+        let t_flat = StaticTiming::compute(&d, &flat);
+        assert!(t_flat.critical_path() < t.critical_path());
+    }
+}

@@ -1,0 +1,69 @@
+//! Small-delay-defect detectability analysis.
+//!
+//! Gross TDF testing catches any activated slow transition, but real M3D
+//! defects add *finite* delay: an MIV void or a degraded top-tier
+//! transistor adds a small δ that only fails paths with little slack. This
+//! example runs static timing with the M3D technology penalties (top-tier
+//! device degradation, bottom-tier tungsten interconnect, MIV crossing
+//! delay) and reports how detectable small defects are per tier — the
+//! quantitative version of the paper's Section I motivation.
+//!
+//! Run with: `cargo run --release --example small_delay_analysis`
+
+use m3d_fault_diagnosis::netlist::generate::Benchmark;
+use m3d_fault_diagnosis::netlist::SitePos;
+use m3d_fault_diagnosis::part::DesignConfig;
+use m3d_fault_diagnosis::tdf::{StaticTiming, TimingModel};
+
+fn main() {
+    let model = TimingModel::default();
+    println!(
+        "timing model: top-tier device ×{:.2}, bottom-tier wire ×{:.2}, \
+         MIV +{:.2}",
+        model.top_tier_device_penalty,
+        model.bottom_tier_wire_penalty,
+        model.miv_delay
+    );
+    println!(
+        "\n{:<9} {:>9} {:>12} {:>12} {:>14}",
+        "design", "Tcrit", "δmin top", "δmin bottom", "10% δ caught"
+    );
+    for bench in Benchmark::ALL {
+        let design = DesignConfig::Syn1.build_sized(bench, Some(800));
+        let timing = StaticTiming::compute(&design, &model);
+        let period = timing.critical_path() * 1.05; // 5% clock margin
+        let profile = timing.tier_slack_profile(&design, period);
+
+        // How many sites would a defect of 10% of the period be caught at?
+        let delta = period * 0.10;
+        let (mut caught, mut total) = (0usize, 0usize);
+        let mut miv_caught = 0usize;
+        let mut miv_total = 0usize;
+        for (site, pos) in design.sites().iter() {
+            let min_delta = timing.min_detectable_delta(&design, site, period);
+            let hit = delta >= min_delta;
+            if matches!(pos, SitePos::Miv(_)) {
+                miv_total += 1;
+                miv_caught += usize::from(hit);
+            } else {
+                total += 1;
+                caught += usize::from(hit);
+            }
+        }
+        println!(
+            "{:<9} {:>9.1} {:>12.2} {:>12.2} {:>11.1}% (MIVs {:.1}%)",
+            bench.name(),
+            timing.critical_path(),
+            profile[0],
+            profile[1],
+            caught as f64 / total.max(1) as f64 * 100.0,
+            miv_caught as f64 / miv_total.max(1) as f64 * 100.0,
+        );
+    }
+    println!(
+        "\nReading: δmin is the smallest defect the at-speed test can catch \
+         (mean per tier). MIV sites sit on penalized crossings, so small \
+         MIV voids are caught at higher rates than average — the defect \
+         class the paper's MIV-pinpointer targets."
+    );
+}

@@ -1,0 +1,306 @@
+//! `m3d-diag` — command-line driver for the M3D delay-fault diagnosis
+//! stack.
+//!
+//! ```text
+//! m3d-diag gen       --bench aes [--target N] [--synth-seed S] [-o FILE]
+//! m3d-diag partition --netlist F [--algo mincut|levelbanded|random] [--seed S] [-o FILE]
+//! m3d-diag stats     --netlist F [--partition F]
+//! m3d-diag inject    --netlist F --partition F --site K [--fall] [--patterns N] [--compacted] [-o FILE]
+//! m3d-diag diagnose  --netlist F --partition F --log F [--patterns N] [--compacted]
+//! m3d-diag demo      --bench tate [--target N] [--compacted]
+//! ```
+//!
+//! File formats are the plain-text ones of `m3d_netlist::io`,
+//! `m3d_part::write_partition`, and `m3d_tdf::write_failure_log`.
+//! `inject`/`diagnose` derive the TDF pattern set deterministically from
+//! `--pattern-seed`, so a log injected with the same seed diagnoses
+//! correctly without shipping pattern files.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use m3d_fault_diagnosis::dft::{ObsMode, ScanChains, ScanConfig};
+use m3d_fault_diagnosis::diagnosis::{Diagnoser, DiagnosisConfig};
+use m3d_fault_diagnosis::fault_localization::{
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
+    InjectionKind, TestEnv,
+};
+use m3d_fault_diagnosis::netlist::generate::{Benchmark, GenParams};
+use m3d_fault_diagnosis::netlist::io::{read_netlist, write_netlist};
+use m3d_fault_diagnosis::netlist::{Netlist, SiteId};
+use m3d_fault_diagnosis::part::{
+    read_partition, write_partition, M3dDesign, PartitionAlgo,
+};
+use m3d_fault_diagnosis::tdf::{
+    generate_patterns, read_failure_log, write_failure_log, AtpgConfig, Fault,
+    FailureLog, FaultSim, Polarity,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("m3d-diag: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Flags {
+    values: HashMap<String, String>,
+    bools: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], bool_flags: &[&str]) -> Result<Flags, String> {
+        let mut values = HashMap::new();
+        let mut bools = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let key = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix('-'))
+                .ok_or_else(|| format!("unexpected argument `{a}`"))?;
+            if bool_flags.contains(&key) {
+                bools.push(key.to_owned());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("flag `--{key}` needs a value"))?;
+                values.insert(key.to_owned(), v.clone());
+            }
+        }
+        Ok(Flags { values, bools })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing `--{key}`"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for `--{key}`: `{v}`")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.bools.iter().any(|b| b == key)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "partition" => cmd_partition(rest),
+        "stats" => cmd_stats(rest),
+        "inject" => cmd_inject(rest),
+        "diagnose" => cmd_diagnose(rest),
+        "demo" => cmd_demo(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: m3d-diag <gen|partition|stats|inject|diagnose|demo|help> [flags]\n\
+     see the binary's doc comment for per-command flags"
+        .to_owned()
+}
+
+fn parse_bench(name: &str) -> Result<Benchmark, String> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark `{name}` (aes|tate|netcard|leon3mp)"))
+}
+
+fn load_netlist(flags: &Flags) -> Result<Netlist, String> {
+    let path = flags.require("netlist")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    read_netlist(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_design(flags: &Flags) -> Result<M3dDesign, String> {
+    let nl = load_netlist(flags)?;
+    let path = flags.require("partition")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    let part = read_partition(&nl, &text)?;
+    Ok(M3dDesign::new(nl, part))
+}
+
+fn emit(flags: &Flags, text: &str) -> Result<(), String> {
+    match flags.get("o") {
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+        Some(path) => std::fs::write(path, text)
+            .map_err(|e| format!("writing {path}: {e}")),
+    }
+}
+
+fn mode_of(flags: &Flags) -> ObsMode {
+    if flags.flag("compacted") {
+        ObsMode::Compacted
+    } else {
+        ObsMode::Bypass
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let bench = parse_bench(flags.require("bench")?)?;
+    let mut params = GenParams::new(flags.num("synth-seed", 1u64)?);
+    if let Some(t) = flags.get("target") {
+        params = params.with_target(
+            t.parse().map_err(|_| format!("bad --target `{t}`"))?,
+        );
+    }
+    let nl = bench.generate(&params);
+    emit(&flags, &write_netlist(&nl))
+}
+
+fn cmd_partition(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let nl = load_netlist(&flags)?;
+    let algo = match flags.get("algo").unwrap_or("mincut") {
+        "mincut" => PartitionAlgo::MinCut,
+        "levelbanded" => PartitionAlgo::LevelBanded,
+        "random" => PartitionAlgo::Random,
+        other => return Err(format!("unknown --algo `{other}`")),
+    };
+    let part = algo.partition(&nl, flags.num("seed", 1u64)?);
+    emit(&flags, &write_partition(&part))
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let nl = load_netlist(&flags)?;
+    let s = nl.stats();
+    println!("design {}", nl.name());
+    println!("  gates          {}", s.gates);
+    println!("  combinational  {}", s.combinational);
+    println!("  flops          {}", s.flops);
+    println!("  PIs / POs      {} / {}", s.inputs, s.outputs);
+    println!("  nets           {}", s.nets);
+    println!("  depth          {}", s.depth);
+    println!("  area (NAND2)   {:.0}", s.area);
+    if let Some(path) = flags.get("partition") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))?;
+        let part = read_partition(&nl, &text)?;
+        let design = M3dDesign::new(nl, part);
+        println!("  MIVs           {}", design.miv_count());
+        println!(
+            "  area imbalance {:.1}%",
+            design.partition().imbalance(design.netlist()) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn test_setup(
+    design: &M3dDesign,
+    flags: &Flags,
+) -> Result<(ScanChains, m3d_fault_diagnosis::tdf::TestSet), String> {
+    let scan = ScanChains::new(
+        design.netlist(),
+        ScanConfig::for_flop_count(design.netlist().flops().len()),
+    );
+    let max_patterns = flags.num("patterns", 1024usize)?;
+    let seed = flags.num("pattern-seed", 1u64)?;
+    let ts = generate_patterns(design, &AtpgConfig::new(seed, max_patterns));
+    Ok((scan, ts))
+}
+
+fn cmd_inject(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["compacted", "fall"])?;
+    let design = load_design(&flags)?;
+    let site: usize = flags.require("site")?.parse().map_err(|_| "bad --site")?;
+    if site >= design.sites().len() {
+        return Err(format!(
+            "site {site} out of range (design has {} sites)",
+            design.sites().len()
+        ));
+    }
+    let polarity = if flags.flag("fall") {
+        Polarity::SlowToFall
+    } else {
+        Polarity::SlowToRise
+    };
+    let (scan, ts) = test_setup(&design, &flags)?;
+    let fsim = FaultSim::new(&design, &ts.patterns);
+    let fault = Fault::new(SiteId::new(site), polarity);
+    let dets = fsim.detections(&mut fsim.detector(), &[fault]);
+    let log = FailureLog::from_detections(&dets, &scan, mode_of(&flags));
+    eprintln!(
+        "injected {fault:?}: {} erroneous responses over {} patterns (FC {:.1}%)",
+        log.len(),
+        ts.pattern_count(),
+        ts.fault_coverage * 100.0
+    );
+    emit(&flags, &write_failure_log(&log))
+}
+
+fn cmd_diagnose(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["compacted"])?;
+    let design = load_design(&flags)?;
+    let log_path = flags.require("log")?;
+    let log_text = std::fs::read_to_string(log_path)
+        .map_err(|e| format!("reading {log_path}: {e}"))?;
+    let log = read_failure_log(&log_text).map_err(|e| format!("{log_path}: {e}"))?;
+    let (scan, ts) = test_setup(&design, &flags)?;
+    let fsim = FaultSim::new(&design, &ts.patterns);
+    let diagnoser =
+        Diagnoser::new(&fsim, &scan, mode_of(&flags), DiagnosisConfig::default());
+    let report = diagnoser.diagnose(&log);
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["compacted"])?;
+    let bench = parse_bench(flags.get("bench").unwrap_or("aes"))?;
+    let target = flags.get("target").map(|t| t.parse().map_err(|_| "bad --target")).transpose()?;
+    let mode = mode_of(&flags);
+    eprintln!("building {} ({:?})…", bench.name(), mode);
+    let env = TestEnv::build(
+        bench,
+        m3d_fault_diagnosis::part::DesignConfig::Syn1,
+        target,
+    );
+    let fsim = env.fault_sim();
+    eprintln!("training framework…");
+    let train = generate_samples(&env, &fsim, mode, InjectionKind::Single, 120, 1);
+    let refs: Vec<&DiagSample> = train.iter().collect();
+    let fw = FaultLocalizer::train(&refs, &FrameworkConfig::default());
+    let chip = &generate_samples(&env, &fsim, mode, InjectionKind::Single, 1, 0xD431)[0];
+    let diagnoser =
+        Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
+    let report = diagnoser.diagnose(&chip.log);
+    let outcome = fw.enhance(&env.design, &report, chip);
+    println!("ground truth: {:?}", chip.injected);
+    if let Some((tier, p)) = outcome.predicted_tier {
+        println!("predicted faulty tier: {tier} (p = {p:.3}, Tp = {:.3})", fw.tp_threshold);
+    }
+    println!("action: {:?}", outcome.action);
+    print!("{}", outcome.report);
+    Ok(())
+}

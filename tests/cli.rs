@@ -1,0 +1,116 @@
+//! End-to-end tests of the `m3d-diag` command-line tool: the file-level
+//! gen → partition → inject → diagnose flow a user runs from a shell.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_m3d-diag"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("m3d_diag_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn cli_full_flow_finds_the_injected_fault() {
+    let netlist = tmp("aes.m3d");
+    let tiers = tmp("aes.tiers");
+    let log = tmp("chip.log");
+
+    let out = bin()
+        .args(["gen", "--bench", "aes", "--target", "400", "-o"])
+        .arg(&netlist)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["partition", "--netlist"])
+        .arg(&netlist)
+        .args(["--algo", "mincut", "-o"])
+        .arg(&tiers)
+        .output()
+        .expect("run partition");
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["stats", "--netlist"])
+        .arg(&netlist)
+        .args(["--partition"])
+        .arg(&tiers)
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let stats = String::from_utf8_lossy(&out.stdout);
+    assert!(stats.contains("MIVs"), "stats must report MIVs: {stats}");
+
+    // Find a site whose injection actually produces tester failures (not
+    // every site is detectable — e.g. pure-PI cones under held-PI LOC).
+    let mut hit_site = None;
+    for site in (250..450).step_by(7) {
+        let out = bin()
+            .args(["inject", "--netlist"])
+            .arg(&netlist)
+            .args(["--partition"])
+            .arg(&tiers)
+            .args(["--site", &site.to_string(), "-o"])
+            .arg(&log)
+            .output()
+            .expect("run inject");
+        assert!(
+            out.status.success(),
+            "inject: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(&log).expect("log written");
+        if text.lines().any(|l| l.starts_with("fail")) {
+            hit_site = Some(site);
+            break;
+        }
+    }
+    let site = hit_site.expect("some site in range must be detectable");
+
+    let out = bin()
+        .args(["diagnose", "--netlist"])
+        .arg(&netlist)
+        .args(["--partition"])
+        .arg(&tiers)
+        .args(["--log"])
+        .arg(&log)
+        .output()
+        .expect("run diagnose");
+    assert!(out.status.success());
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        report.contains(&format!("s{site}")),
+        "diagnosis must list injected site s{site}:\n{report}"
+    );
+
+    for p in [netlist, tiers, log] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn cli_rejects_bad_input_with_useful_errors() {
+    let out = bin().args(["gen", "--bench", "nosuch"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown benchmark"));
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = bin().args(["inject", "--netlist", "/nonexistent"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_help_prints_usage() {
+    let out = bin().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

@@ -1,0 +1,123 @@
+//! Integration tests for the file-level flow: netlist, partition, and
+//! failure-log text formats feeding the diagnosis pipeline — the exact
+//! path the `m3d-diag` CLI exercises.
+
+use m3d_fault_diagnosis::dft::{ObsMode, ScanChains, ScanConfig};
+use m3d_fault_diagnosis::diagnosis::{Diagnoser, DiagnosisConfig};
+use m3d_fault_diagnosis::netlist::generate::{Benchmark, GenParams};
+use m3d_fault_diagnosis::netlist::io::{read_netlist, write_netlist};
+use m3d_fault_diagnosis::part::{
+    read_partition, write_partition, M3dDesign, PartitionAlgo,
+};
+use m3d_fault_diagnosis::tdf::{
+    generate_patterns, read_failure_log, write_failure_log, AtpgConfig,
+    FailureLog, FaultSim,
+};
+
+/// Serialize the whole test setup to text, parse it back, and verify a
+/// failure log diagnosed through the round-tripped artefacts still
+/// pinpoints the injected fault.
+#[test]
+fn file_level_flow_diagnoses_correctly() {
+    // Producer side (e.g. design house): netlist + partition + tester log.
+    let nl = Benchmark::Tate.generate(&GenParams::small(1).with_target(400));
+    let part = PartitionAlgo::MinCut.partition(&nl, 1);
+    let design = M3dDesign::new(nl, part);
+    let ts = generate_patterns(&design, &AtpgConfig::new(1, 512));
+    let scan = ScanChains::new(
+        design.netlist(),
+        ScanConfig::for_flop_count(design.netlist().flops().len()),
+    );
+    let fault = m3d_fault_diagnosis::tdf::full_fault_list(&design)
+        .into_iter()
+        .zip(&ts.detected)
+        .find(|&(_, &d)| d)
+        .map(|(f, _)| f)
+        .expect("a detected fault");
+    let fsim = FaultSim::new(&design, &ts.patterns);
+    let dets = fsim.detections(&mut fsim.detector(), &[fault]);
+    let log = FailureLog::from_detections(&dets, &scan, ObsMode::Bypass);
+
+    let netlist_txt = write_netlist(design.netlist());
+    let partition_txt = write_partition(design.partition());
+    let log_txt = write_failure_log(&log);
+
+    // Consumer side (e.g. diagnosis service): parse everything back.
+    let nl2 = read_netlist(&netlist_txt).expect("netlist parses");
+    let part2 = read_partition(&nl2, &partition_txt).expect("partition parses");
+    let design2 = M3dDesign::new(nl2, part2);
+    let log2 = read_failure_log(&log_txt).expect("log parses");
+    assert_eq!(log2, log, "log round-trips exactly");
+    assert_eq!(design2.miv_count(), design.miv_count());
+
+    // Patterns are regenerated deterministically from the same seed.
+    let ts2 = generate_patterns(&design2, &AtpgConfig::new(1, 512));
+    assert_eq!(ts2.pattern_count(), ts.pattern_count());
+    let scan2 = ScanChains::new(
+        design2.netlist(),
+        ScanConfig::for_flop_count(design2.netlist().flops().len()),
+    );
+    let fsim2 = FaultSim::new(&design2, &ts2.patterns);
+    let diagnoser = Diagnoser::new(
+        &fsim2,
+        &scan2,
+        ObsMode::Bypass,
+        DiagnosisConfig::default(),
+    );
+    let report = diagnoser.diagnose(&log2);
+    assert!(
+        report.is_accurate(&[fault]),
+        "round-tripped artefacts must still localize the fault:\n{report}"
+    );
+}
+
+/// Compacted-mode logs survive the same journey.
+#[test]
+fn compacted_log_round_trips_through_text() {
+    let nl = Benchmark::Netcard.generate(&GenParams::small(1).with_target(400));
+    let part = PartitionAlgo::LevelBanded.partition(&nl, 2);
+    let design = M3dDesign::new(nl, part);
+    let ts = generate_patterns(&design, &AtpgConfig::new(2, 256));
+    let scan = ScanChains::new(
+        design.netlist(),
+        ScanConfig::for_flop_count(design.netlist().flops().len()),
+    );
+    let fsim = FaultSim::new(&design, &ts.patterns);
+    let mut found = 0;
+    for (fault, &d) in m3d_fault_diagnosis::tdf::full_fault_list(&design)
+        .into_iter()
+        .zip(&ts.detected)
+        .take(400)
+    {
+        if !d {
+            continue;
+        }
+        let dets = fsim.detections(&mut fsim.detector(), &[fault]);
+        let log = FailureLog::from_detections(&dets, &scan, ObsMode::Compacted);
+        if log.is_empty() {
+            continue;
+        }
+        let back =
+            read_failure_log(&write_failure_log(&log)).expect("round trip");
+        assert_eq!(back, log);
+        found += 1;
+        if found >= 5 {
+            break;
+        }
+    }
+    assert!(found >= 5, "need several compacted logs to round-trip");
+}
+
+/// The canonical-form property: parse(write(x)) re-serializes identically.
+#[test]
+fn formats_are_canonical() {
+    let nl = Benchmark::Leon3mp.generate(&GenParams::small(4));
+    let t1 = write_netlist(&nl);
+    let t2 = write_netlist(&read_netlist(&t1).expect("parses"));
+    assert_eq!(t1, t2);
+
+    let p = PartitionAlgo::Random.partition(&nl, 9);
+    let s1 = write_partition(&p);
+    let s2 = write_partition(&read_partition(&nl, &s1).expect("parses"));
+    assert_eq!(s1, s2);
+}
