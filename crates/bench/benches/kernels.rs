@@ -7,8 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use m3d_dft::ObsMode;
 use m3d_fault_localization::{
-    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
-    InjectionKind, TestEnv,
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind, TestEnv,
 };
 use m3d_hetgraph::{back_trace, HetGraph};
 use m3d_netlist::generate::Benchmark;
@@ -86,16 +85,7 @@ fn bench_kernels(c: &mut Criterion) {
                 seed += 1;
                 seed
             },
-            |s| {
-                generate_samples(
-                    &env,
-                    &fsim2,
-                    ObsMode::Bypass,
-                    InjectionKind::Single,
-                    1,
-                    s,
-                )
-            },
+            |s| generate_samples(&env, &fsim2, ObsMode::Bypass, InjectionKind::Single, 1, s),
             BatchSize::SmallInput,
         );
     });

@@ -8,8 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use m3d_dft::ObsMode;
 use m3d_diagnosis::{Diagnoser, DiagnosisConfig};
 use m3d_fault_localization::{
-    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
-    InjectionKind, TestEnv,
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind, TestEnv,
 };
 use m3d_netlist::generate::Benchmark;
 use m3d_part::DesignConfig;
@@ -23,10 +22,13 @@ fn bench_pipeline(c: &mut Criterion) {
     let refs: Vec<&DiagSample> = samples.iter().collect();
     let fw = FaultLocalizer::train(&refs, &FrameworkConfig::default());
     let fsim = env.fault_sim();
-    let diagnoser =
-        Diagnoser::new(&fsim, &env.scan, ObsMode::Bypass, DiagnosisConfig::default());
-    let reports: Vec<_> =
-        samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
+    let diagnoser = Diagnoser::new(
+        &fsim,
+        &env.scan,
+        ObsMode::Bypass,
+        DiagnosisConfig::default(),
+    );
+    let reports: Vec<_> = samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
 
     c.bench_function("t_atpg_diagnose_one_log", |b| {
         let mut i = 0usize;

@@ -14,8 +14,8 @@
 use m3d_bench::{pct, print_table, test_samples, transferred_corpus, Scale};
 use m3d_dft::ObsMode;
 use m3d_fault_localization::{
-    evaluate_methods, generate_samples, DiagSample, FaultLocalizer,
-    InjectionKind, TestEnv, TierPredictor,
+    evaluate_methods, generate_samples, DiagSample, FaultLocalizer, InjectionKind, TestEnv,
+    TierPredictor,
 };
 use m3d_netlist::generate::Benchmark;
 use m3d_part::DesignConfig;
@@ -68,9 +68,9 @@ fn main() {
     // (b) no classifier at all: always prune when confident.
     let mut fw_noclf = fw_full.clone();
     fw_noclf.classifier = None; // policy falls back to reorder-only
-    // (c) prune whenever confident, ignoring the classifier, emulated by a
-    //     very permissive classifier is equivalent to (a) with approval
-    //     forced; measure by lowering Tp to 0 on a clone.
+                                // (c) prune whenever confident, ignoring the classifier, emulated by a
+                                //     very permissive classifier is equivalent to (a) with approval
+                                //     forced; measure by lowering Tp to 0 on a clone.
     let mut fw_always = fw_full.clone();
     fw_always.tp_threshold = 0.0;
 

@@ -24,12 +24,10 @@ fn main() {
         let (_corpus, fw) = train_transferred(bench, mode, &scale);
         let (env, samples) = test_samples(bench, DesignConfig::Syn2, mode, &scale);
         let fsim = env.fault_sim();
-        let diagnoser =
-            Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
+        let diagnoser = Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
 
         let t0 = Instant::now();
-        let reports: Vec<_> =
-            samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
+        let reports: Vec<_> = samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
         let t_atpg = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
@@ -59,8 +57,7 @@ fn main() {
         for &x in &xs {
             // GNN inference overlaps the ATPG diagnosis (Fig. 9); only the
             // update step adds serial latency.
-            let t_diff = (t_atpg + fhi_atpg * x)
-                - (t_atpg + t_gnn_update + fhi_upd * x);
+            let t_diff = (t_atpg + fhi_atpg * x) - (t_atpg + t_gnn_update + fhi_upd * x);
             println!("{},{x},{t_diff:.2}", bench.name());
         }
         eprintln!(

@@ -41,8 +41,7 @@ fn main() {
     }
 
     // Overlap summary: centroid spread vs within-config spread.
-    let mut by_config: std::collections::BTreeMap<&str, Vec<(f32, f32)>> =
-        Default::default();
+    let mut by_config: std::collections::BTreeMap<&str, Vec<(f32, f32)>> = Default::default();
     for (i, label) in labels.iter().enumerate() {
         by_config
             .entry(label)
@@ -66,12 +65,13 @@ fn main() {
     }
     let max_centroid_dist = centroids
         .iter()
-        .flat_map(|a| centroids.iter().map(move |b| {
-            ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
-        }))
+        .flat_map(|a| {
+            centroids
+                .iter()
+                .map(move |b| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt())
+        })
         .fold(0.0f32, f32::max);
-    let mean_spread =
-        centroids.iter().map(|c| c.2).sum::<f32>() / centroids.len() as f32;
+    let mean_spread = centroids.iter().map(|c| c.2).sum::<f32>() / centroids.len() as f32;
     eprintln!(
         "\nmax centroid distance {max_centroid_dist:.3} vs mean within-config \
          spread {mean_spread:.3}: distributions {}",

@@ -4,14 +4,11 @@
 //!
 //! Run: `cargo run --release -p m3d-bench --bin table10_multifault`
 
-use m3d_bench::{
-    mean_std_cell, pct, print_table, transferred_corpus, Scale,
-};
+use m3d_bench::{mean_std_cell, pct, print_table, transferred_corpus, Scale};
 use m3d_dft::ObsMode;
 use m3d_diagnosis::QualityAccumulator;
 use m3d_fault_localization::{
-    evaluate_methods, generate_samples, DiagSample, FaultLocalizer,
-    InjectionKind, TestEnv,
+    evaluate_methods, generate_samples, DiagSample, FaultLocalizer, InjectionKind, TestEnv,
 };
 use m3d_netlist::generate::Benchmark;
 use m3d_part::DesignConfig;
@@ -23,8 +20,7 @@ fn main() {
     let mut fw_rows = Vec::new();
     for bench in Benchmark::ALL {
         // Train on multi-fault samples (Syn-1 + augmentation).
-        let corpus =
-            transferred_corpus(bench, mode, &scale, InjectionKind::MultiSameTier);
+        let corpus = transferred_corpus(bench, mode, &scale, InjectionKind::MultiSameTier);
         let refs: Vec<&DiagSample> = corpus.samples.iter().collect();
         let fw = FaultLocalizer::train(&refs, &scale.framework_config());
 
@@ -45,8 +41,7 @@ fn main() {
         let eval = evaluate_methods(&env, &fsim, &fw, mode, &samples);
 
         // ATPG-only row.
-        let reports =
-            m3d_fault_localization::diagnose_all(&env, &fsim, mode, &samples);
+        let reports = m3d_fault_localization::diagnose_all(&env, &fsim, mode, &samples);
         let mut acc = QualityAccumulator::new();
         for (r, s) in reports.iter().zip(&samples) {
             acc.add(r, &s.injected);

@@ -5,17 +5,12 @@
 //!
 //! Run: `cargo run --release -p m3d-bench --bin table11_ablation`
 
-use m3d_bench::{
-    mean_std_cell, pct, print_table, test_samples, train_transferred, Scale,
-};
+use m3d_bench::{mean_std_cell, pct, print_table, test_samples, train_transferred, Scale};
 use m3d_dft::ObsMode;
 use m3d_diagnosis::{
-    miv_equivalent, Candidate, Diagnoser, DiagnosisConfig, DiagnosisReport,
-    QualityAccumulator,
+    miv_equivalent, Candidate, Diagnoser, DiagnosisConfig, DiagnosisReport, QualityAccumulator,
 };
-use m3d_fault_localization::{
-    generate_samples, prune_and_reorder, InjectionKind,
-};
+use m3d_fault_localization::{generate_samples, prune_and_reorder, InjectionKind};
 use m3d_netlist::generate::Benchmark;
 use m3d_part::{DesignConfig, M3dDesign};
 
@@ -30,8 +25,7 @@ fn miv_only(
         .candidates()
         .iter()
         .filter(|c| {
-            miv_equivalent(design, c.fault.site)
-                .is_some_and(|m| predicted_mivs.contains(&m))
+            miv_equivalent(design, c.fault.site).is_some_and(|m| predicted_mivs.contains(&m))
         })
         .copied()
         .collect();
@@ -39,8 +33,7 @@ fn miv_only(
         .candidates()
         .iter()
         .filter(|c| {
-            !miv_equivalent(design, c.fault.site)
-                .is_some_and(|m| predicted_mivs.contains(&m))
+            !miv_equivalent(design, c.fault.site).is_some_and(|m| predicted_mivs.contains(&m))
         })
         .copied()
         .collect();
@@ -71,8 +64,7 @@ fn main() {
     samples.extend(extra);
 
     let fsim = env.fault_sim();
-    let diagnoser =
-        Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
+    let diagnoser = Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
 
     let mut accs: [QualityAccumulator; 4] = Default::default();
     for s in &samples {
@@ -89,10 +81,7 @@ fn main() {
             Some(sg) => {
                 let tier_pred = fw.tier.predict(sg);
                 let mivs = fw.miv.predict_faulty_mivs(sg);
-                let approves = fw
-                    .classifier
-                    .as_ref()
-                    .is_some_and(|c| c.should_prune(sg));
+                let approves = fw.classifier.as_ref().is_some_and(|c| c.should_prune(sg));
                 // (1) Tier-predictor standalone (no MIV protection).
                 let t_only = prune_and_reorder(
                     &env.design,

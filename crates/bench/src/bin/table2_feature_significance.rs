@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p m3d-bench --bin table2_feature_significance`
 
-use m3d_bench::{transferred_corpus, print_table, Scale};
+use m3d_bench::{print_table, transferred_corpus, Scale};
 use m3d_dft::ObsMode;
 use m3d_fault_localization::{InjectionKind, ModelConfig, TierPredictor};
 use m3d_gnn::{permutation_significance, GraphData};

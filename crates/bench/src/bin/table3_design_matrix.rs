@@ -19,11 +19,7 @@ fn main() {
                 bench.name().to_string(),
                 stats.gates.to_string(),
                 env.design.miv_count().to_string(),
-                format!(
-                    "{} ({})",
-                    env.scan.chain_count(),
-                    env.scan.channel_count()
-                ),
+                format!("{} ({})", env.scan.chain_count(), env.scan.channel_count()),
                 env.scan.max_chain_length().to_string(),
                 env.test_set.pattern_count().to_string(),
                 pct(env.test_set.fault_coverage),

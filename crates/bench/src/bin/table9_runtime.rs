@@ -28,28 +28,25 @@ fn main() {
         let feature_s = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let (_corpus, fw): (_, FaultLocalizer) =
-            train_transferred(bench, mode, &scale);
+        let (_corpus, fw): (_, FaultLocalizer) = train_transferred(bench, mode, &scale);
         let train_s = t1.elapsed().as_secs_f64();
 
         // Deployment on the Syn-2 test set.
         let (env, samples) = test_samples(bench, DesignConfig::Syn2, mode, &scale);
         let fsim = env.fault_sim();
-        let diagnoser =
-            Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
+        let diagnoser = Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
 
         let t2 = Instant::now();
-        let reports: Vec<_> =
-            samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
+        let reports: Vec<_> = samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
         let t_atpg = t2.elapsed().as_secs_f64();
 
         let t3 = Instant::now();
         let preds: Vec<_> = samples
             .iter()
             .map(|s| {
-                s.subgraph.as_ref().map(|sg| {
-                    (fw.tier.predict(sg), fw.miv.predict_faulty_mivs(sg))
-                })
+                s.subgraph
+                    .as_ref()
+                    .map(|sg| (fw.tier.predict(sg), fw.miv.predict_faulty_mivs(sg)))
             })
             .collect();
         let t_gnn = t3.elapsed().as_secs_f64();

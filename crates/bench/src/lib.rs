@@ -14,8 +14,8 @@
 
 use m3d_dft::ObsMode;
 use m3d_fault_localization::{
-    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
-    InjectionKind, ModelConfig, TestEnv,
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind, ModelConfig,
+    TestEnv,
 };
 use m3d_gnn::TrainConfig;
 use m3d_netlist::generate::Benchmark;
@@ -132,8 +132,7 @@ pub fn train_transferred(
     mode: ObsMode,
     scale: &Scale,
 ) -> (TrainingCorpus, FaultLocalizer) {
-    let corpus =
-        transferred_corpus(benchmark, mode, scale, InjectionKind::Single);
+    let corpus = transferred_corpus(benchmark, mode, scale, InjectionKind::Single);
     let refs: Vec<&DiagSample> = corpus.samples.iter().collect();
     let fw = FaultLocalizer::train(&refs, &scale.framework_config());
     (corpus, fw)
@@ -195,31 +194,12 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scales_are_ordered() {
-        let q = Scale::quick();
-        let f = Scale::full();
-        assert!(q.test_n < f.test_n);
-        assert!(q.train_per_netlist < f.train_per_netlist);
-    }
-
-    #[test]
-    fn formatting_helpers() {
-        assert_eq!(pct(0.988), "98.8%");
-        assert_eq!(mean_std_cell(5.25, 5.46), "5.2 (5.5)");
-        // Paper convention: improvement of resolution 5.2 -> 2.5 ≈ +51.9%.
-        assert_eq!(delta_pct(2.5, 5.2), "(+51.9%)");
-        assert_eq!(delta_pct(2.5, 0.0), "(n/a)");
     }
 }
 
@@ -250,9 +230,7 @@ pub fn run_effectiveness(mode: ObsMode, scale: &Scale) -> Vec<EffectivenessRow> 
             let t1 = std::time::Instant::now();
             let (env, samples) = test_samples(bench, config, mode, scale);
             let fsim = env.fault_sim();
-            let eval = m3d_fault_localization::evaluate_methods(
-                &env, &fsim, &fw, mode, &samples,
-            );
+            let eval = m3d_fault_localization::evaluate_methods(&env, &fsim, &fw, mode, &samples);
             eprintln!(
                 "[{} {}] {} samples evaluated in {:.1}s",
                 bench.name(),
@@ -282,7 +260,11 @@ pub fn print_effectiveness(title: &str, rows: &[EffectivenessRow]) {
                 vec![
                     r.bench.to_string(),
                     r.config.to_string(),
-                    format!("{} ({:+.1}%)", pct(q.accuracy), (q.accuracy - atpg.accuracy) * 100.0),
+                    format!(
+                        "{} ({:+.1}%)",
+                        pct(q.accuracy),
+                        (q.accuracy - atpg.accuracy) * 100.0
+                    ),
                     format!(
                         "{} {}",
                         mean_std_cell(q.mean_resolution, q.std_resolution),
@@ -298,7 +280,13 @@ pub fn print_effectiveness(title: &str, rows: &[EffectivenessRow]) {
             .collect();
         print_table(
             &format!("{title} — {name}"),
-            &["Design", "Config", "Acc (Δ)", "Resolution μ(σ) (Δ)", "FHI μ(σ) (Δ)"],
+            &[
+                "Design",
+                "Config",
+                "Acc (Δ)",
+                "Resolution μ(σ) (Δ)",
+                "FHI μ(σ) (Δ)",
+            ],
             &table,
         );
     };
@@ -322,4 +310,26 @@ pub fn print_effectiveness(title: &str, rows: &[EffectivenessRow]) {
         &["Design", "Config", "[11]", "Proposed"],
         &tier,
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.test_n < f.test_n);
+        assert!(q.train_per_netlist < f.train_per_netlist);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.988), "98.8%");
+        assert_eq!(mean_std_cell(5.25, 5.46), "5.2 (5.5)");
+        // Paper convention: improvement of resolution 5.2 -> 2.5 ≈ +51.9%.
+        assert_eq!(delta_pct(2.5, 5.2), "(+51.9%)");
+        assert_eq!(delta_pct(2.5, 0.0), "(n/a)");
+    }
 }

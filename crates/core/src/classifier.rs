@@ -90,14 +90,11 @@ impl PruneClassifier {
             }
         }
 
-        let mut data: Vec<(&GraphData, usize)> = real
-            .iter()
-            .map(|&(sg, l)| (&sg.data, l))
-            .collect();
+        let mut data: Vec<(&GraphData, usize)> =
+            real.iter().map(|&(sg, l)| (&sg.data, l)).collect();
         data.extend(synthetic.iter().map(|sg| (&sg.data, minority)));
 
-        let mut model =
-            GcnClassifier::transfer_from(tier.model(), 2, cfg.seed.wrapping_add(2000));
+        let mut model = GcnClassifier::transfer_from(tier.model(), 2, cfg.seed.wrapping_add(2000));
         model.fit(&data, &cfg.train);
         Some(PruneClassifier { model })
     }
@@ -122,14 +119,7 @@ mod tests {
     fn classifier_trains_on_predicted_positive_subset() {
         let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300));
         let fsim = env.fault_sim();
-        let samples = generate_samples(
-            &env,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::Single,
-            50,
-            4,
-        );
+        let samples = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 50, 4);
         let refs: Vec<&DiagSample> = samples.iter().collect();
         let cfg = ModelConfig {
             train: TrainConfig {

@@ -4,9 +4,7 @@ use m3d_dft::{ScanChains, ScanConfig};
 use m3d_hetgraph::HetGraph;
 use m3d_netlist::generate::Benchmark;
 use m3d_part::{augmented_design, DesignConfig, M3dDesign};
-use m3d_tdf::{
-    full_fault_list, generate_patterns, AtpgConfig, Fault, FaultSim, TestSet,
-};
+use m3d_tdf::{full_fault_list, generate_patterns, AtpgConfig, Fault, FaultSim, TestSet};
 
 /// Everything needed to test and diagnose one M3D design: the partitioned
 /// netlist, the stitched scan architecture, the ATPG pattern set, and the
@@ -39,11 +37,7 @@ impl TestEnv {
     ///
     /// `target` overrides the gate-count target (`None` = benchmark
     /// default). ATPG runs to 95% testable-fault coverage.
-    pub fn build(
-        benchmark: Benchmark,
-        config: DesignConfig,
-        target: Option<usize>,
-    ) -> Self {
+    pub fn build(benchmark: Benchmark, config: DesignConfig, target: Option<usize>) -> Self {
         Self::from_design(config.build_sized(benchmark, target))
     }
 

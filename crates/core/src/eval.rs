@@ -3,8 +3,7 @@
 
 use m3d_dft::ObsMode;
 use m3d_diagnosis::{
-    baseline_filter, Diagnoser, DiagnosisConfig, DiagnosisReport,
-    QualityAccumulator, ReportQuality,
+    baseline_filter, Diagnoser, DiagnosisConfig, DiagnosisReport, QualityAccumulator, ReportQuality,
 };
 use m3d_tdf::FaultSim;
 
@@ -39,8 +38,7 @@ pub fn evaluate_methods(
     mode: ObsMode,
     samples: &[DiagSample],
 ) -> MethodEval {
-    let diagnoser =
-        Diagnoser::new(fsim, &env.scan, mode, DiagnosisConfig::default());
+    let diagnoser = Diagnoser::new(fsim, &env.scan, mode, DiagnosisConfig::default());
 
     // Per-sample work is independent; fan out across threads.
     let results = parallel_map(samples, |sample| {
@@ -55,9 +53,7 @@ pub fn evaluate_methods(
     let mut acc_base = QualityAccumulator::new();
     let mut acc_gnn = QualityAccumulator::new();
     let mut acc_comb = QualityAccumulator::new();
-    for (sample, (atpg, base, outcome, combined)) in
-        samples.iter().zip(&results)
-    {
+    for (sample, (atpg, base, outcome, combined)) in samples.iter().zip(&results) {
         let gt = &sample.injected;
         acc_atpg.add(atpg, gt);
         acc_base.add(base, gt);
@@ -68,8 +64,7 @@ pub fn evaluate_methods(
         // samples without a tier ground truth.
         if let Some(truth) = sample.faulty_tier {
             if !atpg.is_tier_localized() {
-                acc_base
-                    .add_tier_outcome(base.candidate_tiers() == vec![truth]);
+                acc_base.add_tier_outcome(base.candidate_tiers() == vec![truth]);
                 if let Some((pred, _)) = outcome.predicted_tier {
                     acc_gnn.add_tier_outcome(pred == truth);
                     acc_comb.add_tier_outcome(pred == truth);
@@ -93,16 +88,12 @@ pub fn diagnose_all(
     mode: ObsMode,
     samples: &[DiagSample],
 ) -> Vec<DiagnosisReport> {
-    let diagnoser =
-        Diagnoser::new(fsim, &env.scan, mode, DiagnosisConfig::default());
+    let diagnoser = Diagnoser::new(fsim, &env.scan, mode, DiagnosisConfig::default());
     parallel_map(samples, |s| diagnoser.diagnose(&s.log))
 }
 
 /// Order-preserving parallel map over a slice using scoped threads.
-pub fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -154,22 +145,8 @@ mod tests {
     fn evaluation_produces_consistent_metrics() {
         let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300));
         let fsim = env.fault_sim();
-        let train = generate_samples(
-            &env,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::Single,
-            40,
-            1,
-        );
-        let test = generate_samples(
-            &env,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::Single,
-            15,
-            99,
-        );
+        let train = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 40, 1);
+        let test = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 15, 99);
         let refs: Vec<&DiagSample> = train.iter().collect();
         let cfg = FrameworkConfig {
             model: crate::models::ModelConfig {

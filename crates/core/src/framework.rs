@@ -70,8 +70,7 @@ impl FaultLocalizer {
             .pr_curve(samples)
             .threshold_for_precision(cfg.precision_target);
         let miv = MivPinpointer::train(samples, &cfg.model);
-        let classifier =
-            PruneClassifier::train(&tier, samples, tp_threshold, &cfg.model);
+        let classifier = PruneClassifier::train(&tier, samples, tp_threshold, &cfg.model);
         FaultLocalizer {
             tier,
             miv,
@@ -96,10 +95,7 @@ impl FaultLocalizer {
         };
         let predicted_tier = self.tier.predict(sg);
         let predicted_mivs = self.miv.predict_faulty_mivs(sg);
-        let approves = self
-            .classifier
-            .as_ref()
-            .is_some_and(|c| c.should_prune(sg));
+        let approves = self.classifier.as_ref().is_some_and(|c| c.should_prune(sg));
         prune_and_reorder(
             design,
             report,
@@ -125,17 +121,10 @@ mod tests {
     fn framework_trains_and_enhances() {
         let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300));
         let fsim = env.fault_sim();
-        let samples = generate_samples(
-            &env,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::Single,
-            60,
-            1,
-        );
+        let samples = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 60, 1);
         let refs: Vec<&DiagSample> = samples.iter().collect();
         let cfg = FrameworkConfig {
-            model: crate::models::ModelConfig {
+            model: ModelConfig {
                 train: TrainConfig {
                     epochs: 20,
                     ..TrainConfig::default()

@@ -1,8 +1,6 @@
 //! The two GNN models of the framework: Tier-predictor and MIV-pinpointer.
 
-use m3d_gnn::{
-    GcnClassifier, GraphData, NodeClassifier, PrCurve, ScoredSample, TrainConfig,
-};
+use m3d_gnn::{GcnClassifier, GraphData, NodeClassifier, PrCurve, ScoredSample, TrainConfig};
 use m3d_hetgraph::{SubGraph, FEATURE_DIM};
 use m3d_part::Tier;
 
@@ -55,8 +53,7 @@ impl TierPredictor {
                 )
             })
             .collect();
-        let mut model =
-            GcnClassifier::new(FEATURE_DIM, cfg.hidden, cfg.layers, 2, cfg.seed);
+        let mut model = GcnClassifier::new(FEATURE_DIM, cfg.hidden, cfg.layers, 2, cfg.seed);
         model.fit(&data, &cfg.train);
         TierPredictor { model }
     }
@@ -106,8 +103,7 @@ impl TierPredictor {
             .iter()
             .filter(|s| s.tier_trainable())
             .map(|s| {
-                let (tier, p) =
-                    self.predict(s.subgraph.as_ref().expect("trainable"));
+                let (tier, p) = self.predict(s.subgraph.as_ref().expect("trainable"));
                 ScoredSample {
                     score: p,
                     correct: Some(tier) == s.faulty_tier,
@@ -171,10 +167,8 @@ impl MivPinpointer {
         } else {
             (neg as f32 / pos as f32).clamp(1.0, 50.0)
         };
-        let refs: Vec<(&GraphData, &[(usize, bool)])> = labelled
-            .iter()
-            .map(|(d, l)| (*d, l.as_slice()))
-            .collect();
+        let refs: Vec<(&GraphData, &[(usize, bool)])> =
+            labelled.iter().map(|(d, l)| (*d, l.as_slice())).collect();
         let mut model = NodeClassifier::new(
             FEATURE_DIM,
             cfg.hidden,
@@ -193,8 +187,7 @@ impl MivPinpointer {
         if subgraph.miv_nodes.is_empty() {
             return Vec::new();
         }
-        let nodes: Vec<usize> =
-            subgraph.miv_nodes.iter().map(|&(n, _)| n).collect();
+        let nodes: Vec<usize> = subgraph.miv_nodes.iter().map(|&(n, _)| n).collect();
         let probs = self.model.predict_nodes(&subgraph.data, &nodes);
         subgraph
             .miv_nodes
@@ -259,14 +252,7 @@ mod tests {
     fn tier_predictor_beats_chance() {
         let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300));
         let fsim = env.fault_sim();
-        let samples = generate_samples(
-            &env,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::Single,
-            60,
-            1,
-        );
+        let samples = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 60, 1);
         let refs: Vec<&DiagSample> = samples.iter().collect();
         let (train, test) = refs.split_at(45);
         let tp = TierPredictor::train(train, &quick_cfg());
@@ -282,14 +268,8 @@ mod tests {
     fn miv_pinpointer_flags_injected_mivs() {
         let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300));
         let fsim = env.fault_sim();
-        let mut samples = generate_samples(
-            &env,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::MivOnly,
-            30,
-            2,
-        );
+        let mut samples =
+            generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::MivOnly, 30, 2);
         samples.extend(generate_samples(
             &env,
             &fsim,

@@ -66,8 +66,7 @@ pub fn prune_and_reorder(
 ) -> PolicyOutcome {
     let (faulty_tier, confidence) = predicted_tier;
     let protected = |c: &Candidate| -> bool {
-        miv_equivalent(design, c.fault.site)
-            .is_some_and(|m| predicted_mivs.contains(&m))
+        miv_equivalent(design, c.fault.site).is_some_and(|m| predicted_mivs.contains(&m))
     };
 
     // Step 1: stable partition — protected MIV candidates first.
@@ -101,16 +100,8 @@ pub fn prune_and_reorder(
         }
     } else {
         // Step 3: stable reorder — faulty-tier candidates ahead.
-        ordered.extend(
-            rest.iter()
-                .filter(|c| c.tier == Some(faulty_tier))
-                .copied(),
-        );
-        ordered.extend(
-            rest.iter()
-                .filter(|c| c.tier != Some(faulty_tier))
-                .copied(),
-        );
+        ordered.extend(rest.iter().filter(|c| c.tier == Some(faulty_tier)).copied());
+        ordered.extend(rest.iter().filter(|c| c.tier != Some(faulty_tier)).copied());
         PolicyOutcome {
             report: report.with_candidates(ordered),
             action: PolicyAction::Reorder,
@@ -137,9 +128,7 @@ mod tests {
     fn site_in_tier(d: &M3dDesign, tier: Tier, skip: usize) -> m3d_netlist::SiteId {
         d.sites()
             .iter()
-            .filter(|&(s, p)| {
-                !matches!(p, SitePos::Miv(_)) && d.tier_of_site(s) == Some(tier)
-            })
+            .filter(|&(s, p)| !matches!(p, SitePos::Miv(_)) && d.tier_of_site(s) == Some(tier))
             .map(|(s, _)| s)
             .nth(skip)
             .expect("tier has sites")
@@ -200,8 +189,7 @@ mod tests {
         let top = cand(&d, site_in_tier(&d, Tier::Top, 2));
         let report = DiagnosisReport::new(vec![top, miv_cand]);
         // Prune with tier=Top: MIV candidate is protected by prediction.
-        let out =
-            prune_and_reorder(&d, &report, (Tier::Top, 0.99), &[0], 0.9, true);
+        let out = prune_and_reorder(&d, &report, (Tier::Top, 0.99), &[0], 0.9, true);
         assert_eq!(out.report.candidates()[0].fault.site, miv_site);
         assert_eq!(out.report.resolution(), 2);
         // Without the MIV prediction the MIV candidate is pruned.
@@ -220,8 +208,7 @@ mod tests {
         let top = cand(&d, site_in_tier(&d, Tier::Top, 3));
         let bottom = cand(&d, site_in_tier(&d, Tier::Bottom, 3));
         let report = DiagnosisReport::new(vec![bottom, top]);
-        let out =
-            prune_and_reorder(&d, &report, (Tier::Top, 0.99), &[], 0.9, false);
+        let out = prune_and_reorder(&d, &report, (Tier::Top, 0.99), &[], 0.9, false);
         assert_eq!(out.action, PolicyAction::Reorder);
         assert_eq!(out.report.resolution(), 2);
     }
@@ -251,10 +238,7 @@ mod backup_tests {
             action: PolicyAction::Prune,
             backup: (0..n)
                 .map(|i| Candidate {
-                    fault: Fault::new(
-                        m3d_netlist::SiteId::new(i),
-                        Polarity::SlowToRise,
-                    ),
+                    fault: Fault::new(m3d_netlist::SiteId::new(i), Polarity::SlowToRise),
                     score: MatchScore::default(),
                     tier: None,
                 })

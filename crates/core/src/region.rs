@@ -59,8 +59,7 @@ impl RegionMap {
         // two with the min-cut partitioner until k regions exist.
         let levels = (usize::BITS - (k - 1).leading_zeros()) as usize;
         for level in 0..levels {
-            let part =
-                PartitionAlgo::MinCut.partition(netlist, seed ^ (level as u64) << 8);
+            let part = PartitionAlgo::MinCut.partition(netlist, seed ^ (level as u64) << 8);
             for (i, r) in region.iter_mut().enumerate() {
                 let half = match part.tier(GateId::new(i)) {
                     Tier::Top => 0u8,
@@ -73,10 +72,7 @@ impl RegionMap {
         for r in &mut region {
             *r %= k as u8;
         }
-        RegionMap {
-            region,
-            k,
-        }
+        RegionMap { region, k }
     }
 
     /// Number of regions.
@@ -109,8 +105,7 @@ impl RegionMap {
         let mut feats = subgraph.data.features.clone();
         for (node, &site) in subgraph.sites.iter().enumerate() {
             let r = self.region_of_site(design, site);
-            feats[(node, LOCATION_FEATURE)] =
-                f32::from(r) / self.k.max(1) as f32;
+            feats[(node, LOCATION_FEATURE)] = f32::from(r) / self.k.max(1) as f32;
         }
         GraphData::new(subgraph.data.graph.clone(), feats)
     }
@@ -151,8 +146,7 @@ impl RegionPredictor {
                 Some((map.relabel(design, sg), label))
             })
             .collect();
-        let refs: Vec<(&GraphData, usize)> =
-            data.iter().map(|(d, l)| (d, *l)).collect();
+        let refs: Vec<(&GraphData, usize)> = data.iter().map(|(d, l)| (d, *l)).collect();
         let mut model = GcnClassifier::new(
             FEATURE_DIM,
             cfg.hidden,
@@ -183,27 +177,16 @@ impl RegionPredictor {
     }
 
     /// The most probable faulty region.
-    pub fn predict(
-        &self,
-        design: &M3dDesign,
-        map: &RegionMap,
-        subgraph: &SubGraph,
-    ) -> u8 {
+    pub fn predict(&self, design: &M3dDesign, map: &RegionMap, subgraph: &SubGraph) -> u8 {
         self.model.predict(&map.relabel(design, subgraph)) as u8
     }
 
     /// Region-localization accuracy over labelled samples.
-    pub fn accuracy(
-        &self,
-        design: &M3dDesign,
-        map: &RegionMap,
-        samples: &[&DiagSample],
-    ) -> f64 {
+    pub fn accuracy(&self, design: &M3dDesign, map: &RegionMap, samples: &[&DiagSample]) -> f64 {
         let mut total = 0usize;
         let mut hits = 0usize;
         for s in samples {
-            let (Some(sg), Some(fault)) = (&s.subgraph, s.injected.first())
-            else {
+            let (Some(sg), Some(fault)) = (&s.subgraph, s.injected.first()) else {
                 continue;
             };
             total += 1;
@@ -225,8 +208,8 @@ mod tests {
     use super::*;
     use crate::env::TestEnv;
     use crate::sample::{generate_samples, InjectionKind};
-    use m3d_gnn::TrainConfig;
     use m3d_dft::ObsMode;
+    use m3d_gnn::TrainConfig;
     use m3d_netlist::generate::Benchmark;
     use m3d_part::DesignConfig;
 
@@ -253,14 +236,7 @@ mod tests {
         let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(400));
         let map = RegionMap::build(env.design.netlist(), 4, 3);
         let fsim = env.fault_sim();
-        let samples = generate_samples(
-            &env,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::Single,
-            120,
-            5,
-        );
+        let samples = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 120, 5);
         let refs: Vec<&DiagSample> = samples.iter().collect();
         let (train, test) = refs.split_at(90);
         let cfg = ModelConfig {
@@ -292,14 +268,7 @@ mod tests {
         let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(400));
         let map = RegionMap::build(env.design.netlist(), 4, 3);
         let fsim = env.fault_sim();
-        let samples = generate_samples(
-            &env,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::Single,
-            3,
-            9,
-        );
+        let samples = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 3, 9);
         let sg = samples
             .iter()
             .find_map(|s| s.subgraph.as_ref())
@@ -310,10 +279,7 @@ mod tests {
                 if c == LOCATION_FEATURE {
                     assert!((0.0..1.0).contains(&relabelled.features[(r, c)]));
                 } else {
-                    assert_eq!(
-                        relabelled.features[(r, c)],
-                        sg.data.features[(r, c)]
-                    );
+                    assert_eq!(relabelled.features[(r, c)], sg.data.features[(r, c)]);
                 }
             }
         }

@@ -13,7 +13,7 @@ use m3d_dft::ObsMode;
 use m3d_hetgraph::{back_trace, SubGraph};
 use m3d_netlist::SitePos;
 use m3d_part::Tier;
-use m3d_tdf::{Fault, FailureLog, FaultSim};
+use m3d_tdf::{FailureLog, Fault, FaultSim};
 
 use crate::env::TestEnv;
 
@@ -160,8 +160,7 @@ mod tests {
     fn single_fault_samples_are_labelled() {
         let e = env();
         let fsim = e.fault_sim();
-        let samples =
-            generate_samples(&e, &fsim, ObsMode::Bypass, InjectionKind::Single, 12, 3);
+        let samples = generate_samples(&e, &fsim, ObsMode::Bypass, InjectionKind::Single, 12, 3);
         assert_eq!(samples.len(), 12);
         for s in &samples {
             assert_eq!(s.injected.len(), 1);
@@ -177,8 +176,7 @@ mod tests {
     fn miv_samples_target_mivs() {
         let e = env();
         let fsim = e.fault_sim();
-        let samples =
-            generate_samples(&e, &fsim, ObsMode::Bypass, InjectionKind::MivOnly, 6, 5);
+        let samples = generate_samples(&e, &fsim, ObsMode::Bypass, InjectionKind::MivOnly, 6, 5);
         assert!(samples.iter().filter(|s| !s.miv_truth.is_empty()).count() >= 5);
     }
 

@@ -128,16 +128,45 @@ impl ScanChains {
         let chains_n = config.num_chains.min(n);
         let mut chains = vec![Vec::with_capacity(n.div_ceil(chains_n)); chains_n];
         let mut place = vec![(0u16, 0u16); n];
-        for i in 0..n {
+        for (i, spot) in place.iter_mut().enumerate() {
             let chain = i % chains_n;
             let pos = chains[chain].len();
-            place[i] = (chain as u16, pos as u16);
+            *spot = (chain as u16, pos as u16);
             chains[chain].push(FlopId::new(i));
         }
         ScanChains {
             chains,
             place,
             chains_per_channel: config.chains_per_channel,
+        }
+    }
+
+    /// Builds a scan architecture from explicit chains, without validating
+    /// them against any netlist.
+    ///
+    /// This is the structural escape hatch the `m3d-lint` mutation tests
+    /// use to model broken stitching (dropped, duplicated, or phantom
+    /// flops); [`new`](ScanChains::new) is the checked constructor. Each
+    /// flop's `(chain, position)` is taken from its first occurrence.
+    pub fn from_raw_chains(chains: Vec<Vec<FlopId>>, chains_per_channel: usize) -> Self {
+        let max_flop = chains
+            .iter()
+            .flatten()
+            .map(|f| f.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut place = vec![(u16::MAX, u16::MAX); max_flop];
+        for (c, chain) in chains.iter().enumerate() {
+            for (p, &f) in chain.iter().enumerate() {
+                if place[f.index()] == (u16::MAX, u16::MAX) {
+                    place[f.index()] = (c as u16, p as u16);
+                }
+            }
+        }
+        ScanChains {
+            chains,
+            place,
+            chains_per_channel,
         }
     }
 
@@ -185,15 +214,13 @@ impl ScanChains {
     pub fn observe(&self, failing: &[FlopId], mode: ObsMode) -> Vec<ObsPoint> {
         match mode {
             ObsMode::Bypass => {
-                let mut v: Vec<ObsPoint> =
-                    failing.iter().map(|&f| ObsPoint::Flop(f)).collect();
+                let mut v: Vec<ObsPoint> = failing.iter().map(|&f| ObsPoint::Flop(f)).collect();
                 v.sort();
                 v.dedup();
                 v
             }
             ObsMode::Compacted => {
-                let mut parity =
-                    std::collections::HashMap::<(u16, u16), u32>::new();
+                let mut parity = std::collections::HashMap::<(u16, u16), u32>::new();
                 for &f in failing {
                     let (chain, cycle) = self.place_of(f);
                     let ch = self.channel_of_chain(chain);
@@ -202,10 +229,7 @@ impl ScanChains {
                 let mut v: Vec<ObsPoint> = parity
                     .into_iter()
                     .filter(|&(_, count)| count % 2 == 1)
-                    .map(|((channel, cycle), _)| ObsPoint::ChannelCycle {
-                        channel,
-                        cycle,
-                    })
+                    .map(|((channel, cycle), _)| ObsPoint::ChannelCycle { channel, cycle })
                     .collect();
                 v.sort();
                 v
@@ -268,7 +292,10 @@ mod tests {
         let obs = s.observe(&fails, ObsMode::Bypass);
         assert_eq!(
             obs,
-            vec![ObsPoint::Flop(FlopId::new(0)), ObsPoint::Flop(FlopId::new(3))]
+            vec![
+                ObsPoint::Flop(FlopId::new(0)),
+                ObsPoint::Flop(FlopId::new(3))
+            ]
         );
     }
 

@@ -72,8 +72,16 @@ fn two_means_upper(scores: &[f64]) -> Vec<bool> {
             }
         }
         let _ = mid;
-        let new_lo = if n_lo > 0 { sum_lo / f64::from(n_lo) } else { lo };
-        let new_hi = if n_hi > 0 { sum_hi / f64::from(n_hi) } else { hi };
+        let new_lo = if n_lo > 0 {
+            sum_lo / f64::from(n_lo)
+        } else {
+            lo
+        };
+        let new_hi = if n_hi > 0 {
+            sum_hi / f64::from(n_hi)
+        } else {
+            hi
+        };
         if (new_lo - lo).abs() < 1e-9 && (new_hi - hi).abs() < 1e-9 {
             break;
         }
@@ -98,7 +106,11 @@ mod tests {
         Candidate {
             fault: Fault::new(SiteId::new(site), Polarity::SlowToRise),
             score: MatchScore { tfsf, tfsp, tpsf },
-            tier: Some(if site % 2 == 0 { Tier::Top } else { Tier::Bottom }),
+            tier: Some(if site.is_multiple_of(2) {
+                Tier::Top
+            } else {
+                Tier::Bottom
+            }),
         }
     }
 
@@ -112,18 +124,12 @@ mod tests {
         ]);
         let filtered = baseline_filter(&report);
         assert_eq!(filtered.resolution(), 2);
-        assert!(filtered
-            .candidates()
-            .iter()
-            .all(|c| c.score.is_perfect()));
+        assert!(filtered.candidates().iter().all(|c| c.score.is_perfect()));
     }
 
     #[test]
     fn filter_never_drops_the_top_candidate() {
-        let report = DiagnosisReport::new(vec![
-            cand(0, 5, 1, 0),
-            cand(1, 1, 5, 5),
-        ]);
+        let report = DiagnosisReport::new(vec![cand(0, 5, 1, 0), cand(1, 1, 5, 5)]);
         let filtered = baseline_filter(&report);
         assert_eq!(filtered.candidates()[0].fault.site, SiteId::new(0));
     }

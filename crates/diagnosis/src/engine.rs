@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet};
 
 use m3d_dft::{ObsMode, ScanChains};
 use m3d_netlist::{GateId, NetId, SiteId};
-use m3d_tdf::{FailEntry, Fault, FailureLog, FaultSim, Polarity};
+use m3d_tdf::{FailEntry, FailureLog, Fault, FaultSim, Polarity};
 
 use crate::report::{Candidate, DiagnosisReport, MatchScore};
 
@@ -111,15 +111,11 @@ impl<'a> Diagnoser<'a> {
                         continue;
                     }
                     seen_gates[driver.index()] = true;
-                    if let Some(out) =
-                        design.sites().output_site(nl, driver)
-                    {
+                    if let Some(out) = design.sites().output_site(nl, driver) {
                         sites.push(out);
                     }
                     if nl.gate(driver).kind().is_combinational() {
-                        for (pin, &inp) in
-                            nl.gate(driver).inputs().iter().enumerate()
-                        {
+                        for (pin, &inp) in nl.gate(driver).inputs().iter().enumerate() {
                             sites.push(design.sites().input_site(driver, pin as u8));
                             stack.push(inp);
                         }
@@ -171,10 +167,7 @@ impl<'a> Diagnoser<'a> {
             .collect()
     }
 
-    fn score_against(
-        predicted: &HashSet<FailEntry>,
-        tester: &HashSet<FailEntry>,
-    ) -> MatchScore {
+    fn score_against(predicted: &HashSet<FailEntry>, tester: &HashSet<FailEntry>) -> MatchScore {
         let tfsf = tester.intersection(predicted).count() as u32;
         MatchScore {
             tfsf,
@@ -230,9 +223,7 @@ impl<'a> Diagnoser<'a> {
             }
         }
         let n_entries = log.entries().len() as u32;
-        let needed = ((f64::from(n_entries) * self.config.suspect_entry_frac)
-            .ceil() as u32)
-            .max(1);
+        let needed = ((f64::from(n_entries) * self.config.suspect_entry_frac).ceil() as u32).max(1);
         let mut suspects: Vec<(SiteId, u32)> = freq
             .iter()
             .filter(|&(_, &c)| c >= needed)
@@ -246,9 +237,7 @@ impl<'a> Diagnoser<'a> {
             .map(|&(s, _)| self.best_candidate(s, &tester))
             .collect();
 
-        let single_explains = scored
-            .iter()
-            .any(|(c, _)| c.score.is_perfect());
+        let single_explains = scored.iter().any(|(c, _)| c.score.is_perfect());
 
         if !single_explains {
             // Phase 2: iterative cover for multi-fault chips. Every
@@ -303,8 +292,7 @@ impl<'a> Diagnoser<'a> {
                 .values()
                 .filter(|(c, _)| !used.contains(&c.fault.site))
                 .map(|(c, p)| {
-                    let explained =
-                        residual.intersection(p).count() as i64;
+                    let explained = residual.intersection(p).count() as i64;
                     let extra = p.difference(tester).count() as i64;
                     (explained * 2 - extra, c.fault.site)
                 })
@@ -339,10 +327,7 @@ impl<'a> Diagnoser<'a> {
 
     /// Ranks a multi-fault cover: candidates sorted by explained failures,
     /// all retained (each one carries a distinct share of the log).
-    fn rank_cover(
-        &self,
-        mut selected: Vec<(Candidate, HashSet<FailEntry>)>,
-    ) -> DiagnosisReport {
+    fn rank_cover(&self, mut selected: Vec<(Candidate, HashSet<FailEntry>)>) -> DiagnosisReport {
         selected.retain(|(c, _)| c.score.tfsf > 0);
         selected.sort_by(|(a, _), (b, _)| {
             b.score
@@ -363,16 +348,9 @@ impl<'a> Diagnoser<'a> {
     /// do *not* rank within a class: gross-delay simulation over-predicts
     /// for real small-delay defects, so a candidate with extra predicted
     /// failures may still be the defect. Ties order structurally.
-    fn rank_and_retain(
-        &self,
-        mut scored: Vec<(Candidate, HashSet<FailEntry>)>,
-    ) -> DiagnosisReport {
+    fn rank_and_retain(&self, mut scored: Vec<(Candidate, HashSet<FailEntry>)>) -> DiagnosisReport {
         scored.retain(|(c, _)| c.score.tfsf > 0);
-        let best_tfsf = scored
-            .iter()
-            .map(|(c, _)| c.score.tfsf)
-            .max()
-            .unwrap_or(0);
+        let best_tfsf = scored.iter().map(|(c, _)| c.score.tfsf).max().unwrap_or(0);
         // Candidates explaining within half of the best are statistically
         // indistinguishable under small-delay uncertainty; they share a
         // rank band and order structurally inside it.
@@ -382,8 +360,7 @@ impl<'a> Diagnoser<'a> {
                 .cmp(&band(a.score.tfsf))
                 .then(a.fault.site.cmp(&b.fault.site))
         });
-        let floor =
-            (f64::from(best_tfsf) * self.config.retain_ratio).ceil() as u32;
+        let floor = (f64::from(best_tfsf) * self.config.retain_ratio).ceil() as u32;
         let candidates: Vec<Candidate> = scored
             .into_iter()
             .filter(|(c, _)| c.score.is_perfect() || c.score.tfsf >= floor)
@@ -433,12 +410,7 @@ mod tests {
     fn single_fault_diagnosis_is_accurate() {
         let e = env();
         let fsim = FaultSim::new(&e.design, &e.ts.patterns);
-        let diag = Diagnoser::new(
-            &fsim,
-            &e.scan,
-            ObsMode::Bypass,
-            DiagnosisConfig::default(),
-        );
+        let diag = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default());
         let faults = detected_faults(&e);
         let mut rng = StdRng::seed_from_u64(5);
         let mut accurate = 0;
@@ -447,8 +419,7 @@ mod tests {
             let f = faults[rng.gen_range(0..faults.len())];
             let mut det = fsim.detector();
             let dets = fsim.detections(&mut det, &[f]);
-            let log =
-                FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
+            let log = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
             let report = diag.diagnose(&log);
             assert!(report.resolution() >= 1);
             if report.is_accurate(&[f]) {
@@ -473,12 +444,7 @@ mod tests {
             let mut det = fsim.detector();
             let dets = fsim.detections(&mut det, &[f]);
             for (i, mode) in ObsMode::ALL.into_iter().enumerate() {
-                let diag = Diagnoser::new(
-                    &fsim,
-                    &e.scan,
-                    mode,
-                    DiagnosisConfig::default(),
-                );
+                let diag = Diagnoser::new(&fsim, &e.scan, mode, DiagnosisConfig::default());
                 let log = FailureLog::from_detections(&dets, &e.scan, mode);
                 res[i] += diag.diagnose(&log).resolution();
             }
@@ -495,24 +461,15 @@ mod tests {
     fn multi_fault_cover_explains_logs() {
         let e = env();
         let fsim = FaultSim::new(&e.design, &e.ts.patterns);
-        let diag = Diagnoser::new(
-            &fsim,
-            &e.scan,
-            ObsMode::Bypass,
-            DiagnosisConfig::default(),
-        );
+        let diag = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default());
         let faults = detected_faults(&e);
         let mut rng = StdRng::seed_from_u64(8);
         let mut any_hit = 0;
         for _ in 0..5 {
-            let picks: Vec<Fault> = faults
-                .choose_multiple(&mut rng, 3)
-                .copied()
-                .collect();
+            let picks: Vec<Fault> = faults.choose_multiple(&mut rng, 3).copied().collect();
             let mut det = fsim.detector();
             let dets = fsim.detections(&mut det, &picks);
-            let log =
-                FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
+            let log = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
             let report = diag.diagnose(&log);
             if report.first_hit_index(&picks).is_some() {
                 any_hit += 1;
@@ -525,12 +482,7 @@ mod tests {
     fn empty_log_gives_empty_report() {
         let e = env();
         let fsim = FaultSim::new(&e.design, &e.ts.patterns);
-        let diag = Diagnoser::new(
-            &fsim,
-            &e.scan,
-            ObsMode::Bypass,
-            DiagnosisConfig::default(),
-        );
+        let diag = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default());
         assert_eq!(diag.diagnose(&FailureLog::default()).resolution(), 0);
     }
 }

@@ -41,8 +41,7 @@ impl MatchScore {
         if total == 0 {
             return -1.0;
         }
-        (f64::from(self.tfsf) - f64::from(self.tfsp) - f64::from(self.tpsf))
-            / f64::from(total)
+        (f64::from(self.tfsf) - f64::from(self.tfsp) - f64::from(self.tpsf)) / f64::from(total)
     }
 }
 
@@ -95,11 +94,9 @@ impl DiagnosisReport {
     /// accuracy criterion; for multi-fault chips *all* injected faults must
     /// appear — Section VII-A).
     pub fn is_accurate(&self, ground_truth: &[Fault]) -> bool {
-        ground_truth.iter().all(|gt| {
-            self.candidates
-                .iter()
-                .any(|c| c.fault.site == gt.site)
-        })
+        ground_truth
+            .iter()
+            .all(|gt| self.candidates.iter().any(|c| c.fault.site == gt.site))
     }
 
     /// First-hit index: 1-based rank of the first candidate matching a
@@ -113,8 +110,7 @@ impl DiagnosisReport {
 
     /// The distinct tiers of the candidates (MIV candidates excluded).
     pub fn candidate_tiers(&self) -> Vec<Tier> {
-        let mut tiers: Vec<Tier> =
-            self.candidates.iter().filter_map(|c| c.tier).collect();
+        let mut tiers: Vec<Tier> = self.candidates.iter().filter_map(|c| c.tier).collect();
         tiers.sort();
         tiers.dedup();
         tiers
@@ -217,10 +213,8 @@ mod tests {
 
     #[test]
     fn tier_localization_ignores_miv_candidates() {
-        let report = DiagnosisReport::new(vec![
-            cand(1, 1, 0, Some(Tier::Top)),
-            cand(2, 1, 0, None),
-        ]);
+        let report =
+            DiagnosisReport::new(vec![cand(1, 1, 0, Some(Tier::Top)), cand(2, 1, 0, None)]);
         assert!(report.is_tier_localized());
         let both = DiagnosisReport::new(vec![
             cand(1, 1, 0, Some(Tier::Top)),
@@ -263,12 +257,20 @@ mod display_tests {
         let report = DiagnosisReport::new(vec![
             Candidate {
                 fault: Fault::new(SiteId::new(4), Polarity::SlowToFall),
-                score: MatchScore { tfsf: 2, tfsp: 0, tpsf: 1 },
+                score: MatchScore {
+                    tfsf: 2,
+                    tfsp: 0,
+                    tpsf: 1,
+                },
                 tier: Some(Tier::Top),
             },
             Candidate {
                 fault: Fault::new(SiteId::new(9), Polarity::SlowToRise),
-                score: MatchScore { tfsf: 2, tfsp: 0, tpsf: 0 },
+                score: MatchScore {
+                    tfsf: 2,
+                    tfsp: 0,
+                    tpsf: 0,
+                },
                 tier: None,
             },
         ]);

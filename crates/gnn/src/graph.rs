@@ -68,8 +68,7 @@ impl GcnGraph {
     /// Neighbours of `v` (self-loop included), ascending.
     #[inline]
     pub fn neighbors(&self, v: usize) -> &[u32] {
-        &self.neighbors
-            [self.offsets[v] as usize..self.offsets[v + 1] as usize]
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
     /// Mean-neighbour aggregation: `out[v] = (1/|N(v)|) Σ_{u∈N(v)} x[u]`.
@@ -130,26 +129,13 @@ mod tests {
     #[test]
     fn transpose_aggregation_is_adjoint() {
         // <M x, y> == <x, Mᵀ y> for random x, y.
-        let g = GcnGraph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (1, 2)],
-        );
+        let g = GcnGraph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (1, 2)]);
         let x = Matrix::xavier(6, 3, 1);
         let y = Matrix::xavier(6, 3, 2);
         let mx = g.aggregate(&x);
         let mty = g.aggregate_transpose(&y);
-        let lhs: f32 = mx
-            .data()
-            .iter()
-            .zip(y.data())
-            .map(|(&a, &b)| a * b)
-            .sum();
-        let rhs: f32 = x
-            .data()
-            .iter()
-            .zip(mty.data())
-            .map(|(&a, &b)| a * b)
-            .sum();
+        let lhs: f32 = mx.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(mty.data()).map(|(&a, &b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
     }
 

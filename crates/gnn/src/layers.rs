@@ -113,12 +113,7 @@ impl GcnLayer {
     }
 
     /// Backward pass: accumulates parameter gradients and returns `dL/dX`.
-    pub fn backward(
-        &mut self,
-        g: &GcnGraph,
-        cache: &GcnCache,
-        dh: &Matrix,
-    ) -> Matrix {
+    pub fn backward(&mut self, g: &GcnGraph, cache: &GcnCache, dh: &Matrix) -> Matrix {
         // dZ = dH ⊙ ReLU'(Z)
         let mut dz = dh.clone();
         for (d, &z) in dz.data_mut().iter_mut().zip(cache.z.data()) {
@@ -234,8 +229,7 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 pub fn sigmoid_bce(logit: f32, target: bool, weight: f32) -> (f32, f32) {
     let p = sigmoid(logit);
     let y = if target { 1.0 } else { 0.0 };
-    let loss = -weight
-        * (y * p.max(1e-7).ln() + (1.0 - y) * (1.0 - p).max(1e-7).ln());
+    let loss = -weight * (y * p.max(1e-7).ln() + (1.0 - y) * (1.0 - p).max(1e-7).ln());
     (loss, weight * (p - y))
 }
 
@@ -263,11 +257,7 @@ mod tests {
             h.data().iter().sum::<f32>()
         };
         let (h, cache) = layer.forward(&g, &x);
-        let dh = Matrix::from_vec(
-            h.rows(),
-            h.cols(),
-            vec![1.0; h.rows() * h.cols()],
-        );
+        let dh = Matrix::from_vec(h.rows(), h.cols(), vec![1.0; h.rows() * h.cols()]);
         let dx = layer.backward(&g, &cache, &dh);
 
         let eps = 1e-3f32;
@@ -295,9 +285,8 @@ mod tests {
             x2.data_mut()[idx] = orig - eps;
             let (h_dn, _) = layer.forward(&g, &x2);
             x2.data_mut()[idx] = orig;
-            let num = (h_up.data().iter().sum::<f32>()
-                - h_dn.data().iter().sum::<f32>())
-                / (2.0 * eps);
+            let num =
+                (h_up.data().iter().sum::<f32>() - h_dn.data().iter().sum::<f32>()) / (2.0 * eps);
             assert!(
                 (num - dx.data()[idx]).abs() < 1e-2,
                 "dX[{idx}] numeric {num} vs analytic {}",

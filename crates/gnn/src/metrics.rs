@@ -125,11 +125,26 @@ mod tests {
 
     fn samples() -> Vec<ScoredSample> {
         vec![
-            ScoredSample { score: 0.95, correct: true },
-            ScoredSample { score: 0.9, correct: true },
-            ScoredSample { score: 0.85, correct: false },
-            ScoredSample { score: 0.8, correct: true },
-            ScoredSample { score: 0.6, correct: false },
+            ScoredSample {
+                score: 0.95,
+                correct: true,
+            },
+            ScoredSample {
+                score: 0.9,
+                correct: true,
+            },
+            ScoredSample {
+                score: 0.85,
+                correct: false,
+            },
+            ScoredSample {
+                score: 0.8,
+                correct: true,
+            },
+            ScoredSample {
+                score: 0.6,
+                correct: false,
+            },
         ]
     }
 
@@ -156,7 +171,10 @@ mod tests {
 
     #[test]
     fn degenerate_all_wrong_falls_back() {
-        let s = vec![ScoredSample { score: 0.5, correct: false }];
+        let s = vec![ScoredSample {
+            score: 0.5,
+            correct: false,
+        }];
         let curve = PrCurve::from_samples(&s);
         let tp = curve.threshold_for_precision(0.99);
         assert!(tp >= 0.5, "fallback excludes everything");
@@ -206,8 +224,7 @@ pub struct RocCurve {
 impl RocCurve {
     /// Sweeps the threshold over every distinct score (plus 0).
     pub fn from_samples(samples: &[ScoredSample]) -> Self {
-        let mut thresholds: Vec<f64> =
-            samples.iter().map(|s| s.score).collect();
+        let mut thresholds: Vec<f64> = samples.iter().map(|s| s.score).collect();
         thresholds.push(0.0);
         thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
         thresholds.dedup();
@@ -264,10 +281,22 @@ mod roc_tests {
     #[test]
     fn perfect_ranking_has_auc_one() {
         let samples = vec![
-            ScoredSample { score: 0.9, correct: true },
-            ScoredSample { score: 0.8, correct: true },
-            ScoredSample { score: 0.3, correct: false },
-            ScoredSample { score: 0.1, correct: false },
+            ScoredSample {
+                score: 0.9,
+                correct: true,
+            },
+            ScoredSample {
+                score: 0.8,
+                correct: true,
+            },
+            ScoredSample {
+                score: 0.3,
+                correct: false,
+            },
+            ScoredSample {
+                score: 0.1,
+                correct: false,
+            },
         ];
         assert!((RocCurve::from_samples(&samples).auc() - 1.0).abs() < 1e-9);
     }
@@ -275,8 +304,14 @@ mod roc_tests {
     #[test]
     fn inverted_ranking_has_auc_zero() {
         let samples = vec![
-            ScoredSample { score: 0.1, correct: true },
-            ScoredSample { score: 0.9, correct: false },
+            ScoredSample {
+                score: 0.1,
+                correct: true,
+            },
+            ScoredSample {
+                score: 0.9,
+                correct: false,
+            },
         ];
         assert!(RocCurve::from_samples(&samples).auc() < 1e-9);
     }

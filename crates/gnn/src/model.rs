@@ -6,7 +6,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::graph::GcnGraph;
-use crate::layers::{sigmoid, softmax, softmax_ce, sigmoid_bce, DenseLayer, GcnCache, GcnLayer};
+use crate::layers::{sigmoid, sigmoid_bce, softmax, softmax_ce, DenseLayer, GcnCache, GcnLayer};
 use crate::matrix::Matrix;
 
 /// One graph with its node feature matrix.
@@ -242,9 +242,7 @@ impl GcnClassifier {
                 *d = g / n as f32;
             }
         }
-        for (layer, (_, cache)) in
-            self.layers.iter_mut().zip(&caches).rev()
-        {
+        for (layer, (_, cache)) in self.layers.iter_mut().zip(&caches).rev() {
             dh = layer.backward(&data.graph, cache, &dh);
         }
         loss
@@ -305,7 +303,11 @@ impl NodeClassifier {
         let mut layers = Vec::with_capacity(num_layers);
         for l in 0..num_layers {
             let d_in = if l == 0 { in_dim } else { hidden };
-            layers.push(GcnLayer::new(d_in, hidden, seed.wrapping_add(11 + l as u64)));
+            layers.push(GcnLayer::new(
+                d_in,
+                hidden,
+                seed.wrapping_add(11 + l as u64),
+            ));
         }
         NodeClassifier {
             layers,
@@ -367,12 +369,7 @@ impl NodeClassifier {
         last_loss
     }
 
-    fn backward_one(
-        &mut self,
-        data: &GraphData,
-        labels: &[(usize, bool)],
-        pos_weight: f32,
-    ) -> f32 {
+    fn backward_one(&mut self, data: &GraphData, labels: &[(usize, bool)], pos_weight: f32) -> f32 {
         if labels.is_empty() {
             return 0.0;
         }
@@ -408,8 +405,7 @@ mod tests {
             .map(|_| {
                 let nodes = rng.gen_range(4..9);
                 let label = rng.gen_range(0..2usize);
-                let edges: Vec<(usize, usize)> =
-                    (1..nodes).map(|v| (v - 1, v)).collect();
+                let edges: Vec<(usize, usize)> = (1..nodes).map(|v| (v - 1, v)).collect();
                 let mut feats = Matrix::zeros(nodes, 3);
                 for r in 0..nodes {
                     let base = if label == 0 { 1.0 } else { -1.0 };
@@ -428,14 +424,16 @@ mod tests {
     #[test]
     fn classifier_learns_a_separable_task() {
         let data = toy_dataset(60, 3);
-        let refs: Vec<(&GraphData, usize)> =
-            data.iter().map(|(d, l)| (d, *l)).collect();
+        let refs: Vec<(&GraphData, usize)> = data.iter().map(|(d, l)| (d, *l)).collect();
         let mut model = GcnClassifier::new(3, 8, 2, 2, 5);
         let before = model.accuracy(&refs);
-        model.fit(&refs, &TrainConfig {
-            epochs: 30,
-            ..TrainConfig::default()
-        });
+        model.fit(
+            &refs,
+            &TrainConfig {
+                epochs: 30,
+                ..TrainConfig::default()
+            },
+        );
         let after = model.accuracy(&refs);
         assert!(
             after > 0.95 && after > before,
@@ -446,18 +444,19 @@ mod tests {
     #[test]
     fn transfer_model_freezes_backbone() {
         let data = toy_dataset(30, 7);
-        let refs: Vec<(&GraphData, usize)> =
-            data.iter().map(|(d, l)| (d, *l)).collect();
+        let refs: Vec<(&GraphData, usize)> = data.iter().map(|(d, l)| (d, *l)).collect();
         let mut base = GcnClassifier::new(3, 8, 2, 2, 5);
         base.fit(&refs, &TrainConfig::default());
-        let backbone_before: Vec<f32> =
-            base.layers[0].w.value.data().to_vec();
+        let backbone_before: Vec<f32> = base.layers[0].w.value.data().to_vec();
         let mut transfer = GcnClassifier::transfer_from(&base, 2, 42);
         assert!(transfer.freeze_backbone);
-        transfer.fit(&refs, &TrainConfig {
-            epochs: 5,
-            ..TrainConfig::default()
-        });
+        transfer.fit(
+            &refs,
+            &TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            },
+        );
         assert_eq!(
             transfer.layers[0].w.value.data(),
             backbone_before.as_slice(),
@@ -483,8 +482,7 @@ mod tests {
         let mut samples = Vec::new();
         for _ in 0..30 {
             let nodes = 8usize;
-            let edges: Vec<(usize, usize)> =
-                (1..nodes).map(|v| (v - 1, v)).collect();
+            let edges: Vec<(usize, usize)> = (1..nodes).map(|v| (v - 1, v)).collect();
             let mut feats = Matrix::zeros(nodes, 2);
             for r in 0..nodes {
                 feats[(r, 0)] = rng.gen_range(-1.0f32..1.0);
@@ -494,8 +492,8 @@ mod tests {
             for r in 0..nodes {
                 let lo = r.saturating_sub(1);
                 let hi = (r + 1).min(nodes - 1);
-                let mean: f32 = (lo..=hi).map(|i| feats[(i, 0)]).sum::<f32>()
-                    / (hi - lo + 1) as f32;
+                let mean: f32 =
+                    (lo..=hi).map(|i| feats[(i, 0)]).sum::<f32>() / (hi - lo + 1) as f32;
                 labels.push((r, mean > 0.0));
             }
             samples.push((
@@ -503,15 +501,17 @@ mod tests {
                 labels,
             ));
         }
-        let refs: Vec<(&GraphData, &[(usize, bool)])> = samples
-            .iter()
-            .map(|(d, l)| (d, l.as_slice()))
-            .collect();
+        let refs: Vec<(&GraphData, &[(usize, bool)])> =
+            samples.iter().map(|(d, l)| (d, l.as_slice())).collect();
         let mut model = NodeClassifier::new(2, 16, 1, 3);
-        model.fit(&refs, 1.0, &TrainConfig {
-            epochs: 120,
-            ..TrainConfig::default()
-        });
+        model.fit(
+            &refs,
+            1.0,
+            &TrainConfig {
+                epochs: 120,
+                ..TrainConfig::default()
+            },
+        );
         let mut hits = 0usize;
         let mut total = 0usize;
         for (d, labels) in &refs {

@@ -60,12 +60,7 @@ pub fn pca_project(data: &Matrix, k: usize) -> Matrix {
             // w = cov · v
             let mut w = vec![0.0f32; f];
             for (i, wi) in w.iter_mut().enumerate() {
-                *wi = cov
-                    .row(i)
-                    .iter()
-                    .zip(&v)
-                    .map(|(&c, &x)| c * x)
-                    .sum();
+                *wi = cov.row(i).iter().zip(&v).map(|(&c, &x)| c * x).sum();
             }
             // Deflate against previous components.
             for prev in &components {
@@ -98,12 +93,7 @@ pub fn pca_project(data: &Matrix, k: usize) -> Matrix {
     let mut out = Matrix::zeros(n, k);
     for r in 0..n {
         for (c, comp) in components.iter().enumerate() {
-            out[(r, c)] = centered
-                .row(r)
-                .iter()
-                .zip(comp)
-                .map(|(&x, &w)| x * w)
-                .sum();
+            out[(r, c)] = centered.row(r).iter().zip(comp).map(|(&x, &w)| x * w).sum();
         }
     }
     out
@@ -141,8 +131,7 @@ mod tests {
         let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
         let data = Matrix::from_rows(&refs);
         let proj = pca_project(&data, 2);
-        let var =
-            |c: usize| (0..200).map(|r| proj[(r, c)].powi(2)).sum::<f32>();
+        let var = |c: usize| (0..200).map(|r| proj[(r, c)].powi(2)).sum::<f32>();
         assert!(var(0) > var(1) * 5.0, "PC1 must dominate PC2");
     }
 

@@ -27,10 +27,7 @@ pub fn permutation_significance(
     seed: u64,
 ) -> Vec<f64> {
     let baseline = model.accuracy(samples);
-    let feat_dim = samples
-        .first()
-        .map(|(d, _)| d.features.cols())
-        .unwrap_or(0);
+    let feat_dim = samples.first().map(|(d, _)| d.features.cols()).unwrap_or(0);
     let mut rng = StdRng::seed_from_u64(seed);
     (0..feat_dim)
         .map(|f| {
@@ -41,19 +38,14 @@ pub fn permutation_significance(
                     let n = feats.rows();
                     let mut perm: Vec<usize> = (0..n).collect();
                     perm.shuffle(&mut rng);
-                    let col: Vec<f32> =
-                        (0..n).map(|r| d.features[(r, f)]).collect();
+                    let col: Vec<f32> = (0..n).map(|r| d.features[(r, f)]).collect();
                     for (r, &p) in perm.iter().enumerate() {
                         feats[(r, f)] = col[p];
                     }
-                    (
-                        GraphData::new(d.graph.clone(), feats),
-                        *l,
-                    )
+                    (GraphData::new(d.graph.clone(), feats), *l)
                 })
                 .collect();
-            let refs: Vec<(&GraphData, usize)> =
-                permuted.iter().map(|(d, l)| (d, *l)).collect();
+            let refs: Vec<(&GraphData, usize)> = permuted.iter().map(|(d, l)| (d, *l)).collect();
             let dropped = model.accuracy(&refs);
             (0.5 + (baseline - dropped)).clamp(0.0, 1.0)
         })
@@ -76,23 +68,27 @@ mod tests {
             .map(|_| {
                 let n = 6;
                 let label = rng.gen_range(0..2usize);
-                let edges: Vec<(usize, usize)> =
-                    (1..n).map(|v| (v - 1, v)).collect();
+                let edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
                 let mut feats = Matrix::zeros(n, 2);
                 for r in 0..n {
                     feats[(r, 0)] = if label == 0 { 1.0 } else { -1.0 };
                     feats[(r, 1)] = rng.gen_range(-1.0..1.0);
                 }
-                (GraphData::new(GcnGraph::from_edges(n, &edges), feats), label)
+                (
+                    GraphData::new(GcnGraph::from_edges(n, &edges), feats),
+                    label,
+                )
             })
             .collect();
-        let refs: Vec<(&GraphData, usize)> =
-            data.iter().map(|(d, l)| (d, *l)).collect();
+        let refs: Vec<(&GraphData, usize)> = data.iter().map(|(d, l)| (d, *l)).collect();
         let mut model = GcnClassifier::new(2, 8, 2, 2, 1);
-        model.fit(&refs, &TrainConfig {
-            epochs: 25,
-            ..TrainConfig::default()
-        });
+        model.fit(
+            &refs,
+            &TrainConfig {
+                epochs: 25,
+                ..TrainConfig::default()
+            },
+        );
         let sig = permutation_significance(&model, &refs, 9);
         assert_eq!(sig.len(), 2);
         // Permuting the constant informative column within a graph changes

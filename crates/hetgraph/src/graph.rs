@@ -136,9 +136,7 @@ impl HetGraph {
                     let net = nl.gate(g).inputs()[pin as usize];
                     nl.level(nl.net(net).driver())
                 }
-                SitePos::Miv(m) => {
-                    nl.level(nl.net(design.mivs()[m as usize].net).driver())
-                }
+                SitePos::Miv(m) => nl.level(nl.net(design.mivs()[m as usize].net).driver()),
             }
         };
 
@@ -175,8 +173,7 @@ impl HetGraph {
                         continue;
                     }
                     dist[ui] = dist[vi] + 1;
-                    let is_miv =
-                        matches!(sites.pos(SiteId(u)), SitePos::Miv(_));
+                    let is_miv = matches!(sites.pos(SiteId(u)), SitePos::Miv(_));
                     mivs[ui] = mivs[vi] + u16::from(is_miv);
                     touched.push(u);
                     queue.push_back(u);
@@ -366,10 +363,7 @@ mod tests {
                 !g.predecessors(site).is_empty(),
                 "MIV has a stem predecessor"
             );
-            assert!(
-                !g.successors(site).is_empty(),
-                "MIV feeds far branches"
-            );
+            assert!(!g.successors(site).is_empty(), "MIV feeds far branches");
         }
     }
 
@@ -378,7 +372,7 @@ mod tests {
         let (d, g) = graph();
         let nl = d.netlist();
         for (fi, _) in nl.flops().iter().enumerate() {
-            let cone = g.topedges(m3d_netlist::FlopId::new(fi));
+            let cone = g.topedges(FlopId::new(fi));
             assert!(!cone.is_empty());
             assert_eq!(cone[0].dist, 0, "root observes itself at distance 0");
             for te in cone {
@@ -394,13 +388,13 @@ mod tests {
         // No cone may contain an input pin of another flop beyond depth 0
         // unless it *is* the root (cones stop at Q pins).
         for (fi, _) in nl.flops().iter().enumerate() {
-            for te in g.topedges(m3d_netlist::FlopId::new(fi)) {
+            for te in g.topedges(FlopId::new(fi)) {
                 if te.dist == 0 {
                     continue;
                 }
                 if let SitePos::Input(gate, _) = d.sites().pos(te.site) {
                     assert!(
-                        nl.gate(gate).kind() != m3d_netlist::GateKind::Dff,
+                        nl.gate(gate).kind() != GateKind::Dff,
                         "cone crossed a sequential boundary"
                     );
                 }

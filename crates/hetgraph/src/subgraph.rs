@@ -161,8 +161,7 @@ pub fn back_trace(
 pub fn extract(het: &HetGraph, fsim: &FaultSim<'_>, sites: Vec<SiteId>) -> SubGraph {
     let design = fsim.design();
     let n = sites.len();
-    let index: HashMap<u32, usize> =
-        sites.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
+    let index: HashMap<u32, usize> = sites.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
 
     // Induced edges + per-node sub-graph degrees.
     let mut edges: Vec<(usize, usize)> = Vec::new();
@@ -259,13 +258,12 @@ mod tests {
             let mut det = fsim.detector();
             let dets = fsim.detections(&mut det, &[fault]);
             for mode in ObsMode::ALL {
-                let log =
-                    m3d_tdf::FailureLog::from_detections(&dets, &e.scan, mode);
+                let log = FailureLog::from_detections(&dets, &e.scan, mode);
                 if log.is_empty() {
                     continue;
                 }
-                let sg = back_trace(&e.het, &fsim, &e.scan, &log)
-                    .expect("single-fault logs back-trace");
+                let sg =
+                    back_trace(&e.het, &fsim, &e.scan, &log).expect("single-fault logs back-trace");
                 assert!(
                     sg.node_of(fault.site).is_some(),
                     "{mode:?}: injected site must survive back-tracing"
@@ -281,11 +279,7 @@ mod tests {
         let fault = some_detected_fault(&e, 5);
         let mut det = fsim.detector();
         let dets = fsim.detections(&mut det, &[fault]);
-        let log = m3d_tdf::FailureLog::from_detections(
-            &dets,
-            &e.scan,
-            ObsMode::Bypass,
-        );
+        let log = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
         let sg = back_trace(&e.het, &fsim, &e.scan, &log).unwrap();
         assert_eq!(sg.data.features.cols(), FEATURE_DIM);
         assert_eq!(sg.data.features.rows(), sg.node_count());
@@ -305,9 +299,7 @@ mod tests {
             let mut det = fsim.detector();
             let dets = fsim.detections(&mut det, &[fault]);
             for (k, mode) in ObsMode::ALL.into_iter().enumerate() {
-                let log = m3d_tdf::FailureLog::from_detections(
-                    &dets, &e.scan, mode,
-                );
+                let log = FailureLog::from_detections(&dets, &e.scan, mode);
                 if let Some(sg) = back_trace(&e.het, &fsim, &e.scan, &log) {
                     total[k] += sg.node_count();
                 }
@@ -323,13 +315,7 @@ mod tests {
     fn empty_log_yields_no_subgraph() {
         let e = env();
         let fsim = FaultSim::new(&e.design, &e.ts.patterns);
-        assert!(back_trace(
-            &e.het,
-            &fsim,
-            &e.scan,
-            &m3d_tdf::FailureLog::default()
-        )
-        .is_none());
+        assert!(back_trace(&e.het, &fsim, &e.scan, &FailureLog::default()).is_none());
     }
 
     #[test]
@@ -339,11 +325,7 @@ mod tests {
         let fault = some_detected_fault(&e, 11);
         let mut det = fsim.detector();
         let dets = fsim.detections(&mut det, &[fault]);
-        let log = m3d_tdf::FailureLog::from_detections(
-            &dets,
-            &e.scan,
-            ObsMode::Bypass,
-        );
+        let log = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
         let sg = back_trace(&e.het, &fsim, &e.scan, &log).unwrap();
         let aug = sg.with_dummy_buffer(0);
         assert_eq!(aug.data.graph.node_count(), sg.node_count() + 1);
@@ -373,11 +355,7 @@ mod tests {
         };
         let mut det = fsim.detector();
         let dets = fsim.detections(&mut det, &[fault]);
-        let log = m3d_tdf::FailureLog::from_detections(
-            &dets,
-            &e.scan,
-            ObsMode::Bypass,
-        );
+        let log = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
         let sg = back_trace(&e.het, &fsim, &e.scan, &log).unwrap();
         let node = sg.node_of(fault.site).expect("MIV site retained");
         assert!(sg.miv_nodes.iter().any(|&(n, _)| n == node));

@@ -1,0 +1,45 @@
+//! Structural static analysis (DRC/lint) for the M3D fault-localization
+//! workspace.
+//!
+//! The paper's pipeline moves a design through four representations —
+//! netlist, two-tier partition, scan architecture, and GNN input tensors —
+//! and a defect introduced in any of them silently corrupts everything
+//! downstream. This crate makes those invariants checkable: every check
+//! owns a stable `L0xxx` code ([`LintCode`]), a default [`Severity`], and a
+//! [`Span`] naming the offending gate, net, flop, site, MIV, chain, or
+//! tensor cell.
+//!
+//! Code families:
+//!
+//! * `L00xx` — netlist DRC (combinational loops, dangling nets, arity,
+//!   cross-references), delegating to `m3d_netlist::check` so lint and
+//!   construction-time validation can never diverge;
+//! * `L01xx` — M3D checks (one MIV per cut net, tier balance, site table);
+//! * `L02xx` — DFT checks (scan coverage, chain balance, TPI quality);
+//! * `L03xx` — tensor checks (edge bounds, NaN-free features, labels).
+//!
+//! # Examples
+//!
+//! ```
+//! use m3d_netlist::generate::{Benchmark, GenParams};
+//! use m3d_part::{M3dDesign, PartitionAlgo};
+//! use m3d_lint::{LintRunner, LintTarget};
+//!
+//! let nl = Benchmark::Aes.generate(&GenParams::small(1));
+//! let part = PartitionAlgo::MinCut.partition(&nl, 1);
+//! let design = M3dDesign::new(nl, part);
+//! let report = LintRunner::new().run(&LintTarget::new("aes").design(&design));
+//! assert!(report.is_clean());
+//! println!("{}", report.render_text());
+//! ```
+
+#![warn(missing_docs)]
+
+mod diag;
+pub mod passes;
+mod report;
+mod runner;
+
+pub use diag::{Diagnostic, LintCode, Severity, Span};
+pub use report::{LintReport, MAX_PER_CODE};
+pub use runner::{LintRunner, LintTarget, Pass};

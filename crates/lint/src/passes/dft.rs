@@ -1,0 +1,142 @@
+//! DFT checks: the `L02xx` family.
+//!
+//! Scan correctness is what makes a failure log attributable at all: every
+//! flop must be shiftable out exactly once ([`check_scan`]), and inserted
+//! observation points must actually buy observability ([`check_tpi`]).
+
+use m3d_dft::ScanChains;
+use m3d_netlist::{FlopId, GateKind, Netlist};
+
+use crate::diag::{Diagnostic, LintCode, Span};
+
+/// Checks that the scan architecture covers the netlist's flops: every
+/// flop in exactly one chain, no chain naming a nonexistent flop, chain
+/// lengths within one of each other (round-robin balance).
+pub fn check_scan(netlist: &Netlist, scan: &ScanChains) -> Vec<Diagnostic> {
+    let n = netlist.flops().len();
+    let mut seen = vec![0u32; n];
+    let mut diags = Vec::new();
+    for (c, chain) in scan.chains().iter().enumerate() {
+        for &flop in chain {
+            match seen.get_mut(flop.index()) {
+                None => diags.push(Diagnostic::new(
+                    LintCode::UnknownScanFlop,
+                    Span::Chain(c as u16),
+                    format!("chain {c} stitches flop {flop} but the netlist has {n} flops"),
+                )),
+                Some(count) => *count += 1,
+            }
+        }
+    }
+    for (i, &count) in seen.iter().enumerate() {
+        let flop = FlopId::new(i);
+        match count {
+            0 => diags.push(Diagnostic::new(
+                LintCode::UnscannedFlop,
+                Span::Flop(flop),
+                format!("flop {flop} appears in no scan chain"),
+            )),
+            1 => {}
+            k => diags.push(Diagnostic::new(
+                LintCode::DuplicateScanFlop,
+                Span::Flop(flop),
+                format!("flop {flop} is stitched into scan {k} times"),
+            )),
+        }
+    }
+    let lengths: Vec<usize> = scan.chains().iter().map(Vec::len).collect();
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let min = lengths.iter().copied().min().unwrap_or(0);
+    if max > min + 1 {
+        diags.push(Diagnostic::new(
+            LintCode::ChainImbalance,
+            Span::Design,
+            format!("chain lengths span {min}..={max}; balance requires a gap of at most 1"),
+        ));
+    }
+    diags
+}
+
+/// Checks inserted observation points on a TPI netlist (one whose name the
+/// runner recognises by its `-tpi` suffix).
+///
+/// An observation point is a flop whose Q net feeds only a fresh primary
+/// output. Tapping a net driven by a primary input or another flop is
+/// *weak*: those values are already controllable/observable, so the point
+/// buys nothing — the insertion heuristic should pick deep combinational
+/// nets.
+pub fn check_tpi(netlist: &Netlist) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for &g in netlist.flops() {
+        let Some(q) = netlist.gate(g).output() else {
+            continue;
+        };
+        let sinks = netlist.net(q).sinks();
+        let d_net = netlist.gate(g).inputs()[0];
+        // A tap shares its net with the logic it observes (>= 2 sinks);
+        // a functional pipeline flop is often its net's sole sink.
+        let is_obs_point = sinks.len() == 1
+            && netlist.gate(sinks[0].0).kind() == GateKind::Output
+            && netlist.net(d_net).sinks().len() >= 2;
+        if !is_obs_point {
+            continue;
+        }
+        let tap_driver = netlist.net(d_net).driver();
+        if !netlist.gate(tap_driver).kind().is_combinational() {
+            diags.push(Diagnostic::new(
+                LintCode::WeakObservationPoint,
+                Span::Gate(g),
+                format!(
+                    "observation flop {g} taps net {d_net}, already driven by a {:?}",
+                    netlist.gate(tap_driver).kind()
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_dft::ScanConfig;
+    use m3d_netlist::generate::{Benchmark, GenParams};
+    use m3d_netlist::tpi::insert_test_points;
+
+    fn stitched() -> (Netlist, ScanChains) {
+        let nl = Benchmark::Netcard.generate(&GenParams::small(1));
+        let scan = ScanChains::new(&nl, ScanConfig::for_flop_count(nl.flops().len()));
+        (nl, scan)
+    }
+
+    #[test]
+    fn stitched_designs_are_clean() {
+        let (nl, scan) = stitched();
+        assert!(check_scan(&nl, &scan).is_empty());
+    }
+
+    #[test]
+    fn scan_for_a_smaller_netlist_misses_flops() {
+        let (_, scan) = stitched();
+        let bigger = Benchmark::Netcard.generate(&GenParams::small(2));
+        let small = Benchmark::Aes.generate(&GenParams::small(1));
+        // Whichever direction the flop counts differ, something fires.
+        let d1 = check_scan(&bigger, &scan);
+        let d2 = check_scan(&small, &scan);
+        assert!(
+            d1.iter()
+                .chain(&d2)
+                .any(|d| matches!(d.code, LintCode::UnscannedFlop | LintCode::UnknownScanFlop)),
+            "mismatched netlists must surface scan coverage errors"
+        );
+    }
+
+    #[test]
+    fn tpi_netlists_have_real_observation_points() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        let tpi = insert_test_points(nl, 0.02, 7);
+        // The insertion heuristic targets deep combinational nets, so the
+        // inserted points must not be weak.
+        assert!(check_tpi(&tpi).is_empty());
+    }
+}

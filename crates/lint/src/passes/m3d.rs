@@ -1,0 +1,242 @@
+//! M3D partition and MIV checks: the `L01xx` family.
+//!
+//! The invariant under test is the paper's MIV model: every inter-tier
+//! (cut) net carries exactly one MIV between its driver and the far-tier
+//! sinks, MIVs sit only on cut nets, and the fault-site table extends the
+//! pin sites by exactly one site per MIV.
+
+use m3d_netlist::Netlist;
+use m3d_part::{M3dDesign, Miv, Partition, Tier};
+
+use crate::diag::{Diagnostic, LintCode, Span};
+
+/// Tier-area imbalance above this bound draws a [`LintCode::TierImbalance`]
+/// warning. Generators target < 0.2; 0.4 flags genuinely lopsided splits
+/// without tripping on small designs.
+pub const IMBALANCE_BOUND: f32 = 0.4;
+
+/// Runs every M3D check over a partitioned design.
+pub fn check_design(design: &M3dDesign) -> Vec<Diagnostic> {
+    let nl = design.netlist();
+    let mut diags = check_partition(nl, design.partition());
+    diags.extend(check_miv_table(nl, design.partition(), design.mivs()));
+    // Per-net MIV index must agree with the MIV table both ways.
+    for (i, m) in design.mivs().iter().enumerate() {
+        if m.net.index() < nl.net_count() && design.miv_on_net(m.net) != Some(i as u32) {
+            diags.push(Diagnostic::new(
+                LintCode::SpuriousMiv,
+                Span::Miv(i as u32),
+                format!("MIV {i} on net {} missing from the per-net index", m.net),
+            ));
+        }
+    }
+    diags.extend(check_site_table(design));
+    diags
+}
+
+/// Checks a tier assignment against its netlist.
+pub fn check_partition(netlist: &Netlist, partition: &Partition) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let tiers = partition.tiers();
+    if tiers.len() != netlist.gate_count() {
+        diags.push(Diagnostic::new(
+            LintCode::PartitionSizeMismatch,
+            Span::Design,
+            format!(
+                "partition labels {} gates but the netlist has {}",
+                tiers.len(),
+                netlist.gate_count()
+            ),
+        ));
+        return diags; // tier lookups below would be meaningless
+    }
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let id = m3d_netlist::GateId::new(i);
+        if matches!(
+            g.kind(),
+            m3d_netlist::GateKind::Input | m3d_netlist::GateKind::Output
+        ) && tiers[i] != Tier::Bottom
+        {
+            diags.push(Diagnostic::new(
+                LintCode::PseudoCellTier,
+                Span::Gate(id),
+                format!("pseudo I/O cell {id} placed on the {:?} tier", tiers[i]),
+            ));
+        }
+    }
+    let imbalance = partition.imbalance(netlist);
+    if imbalance > IMBALANCE_BOUND {
+        diags.push(Diagnostic::new(
+            LintCode::TierImbalance,
+            Span::Design,
+            format!("tier area imbalance {imbalance:.2} exceeds {IMBALANCE_BOUND}"),
+        ));
+    }
+    diags
+}
+
+/// Checks an MIV table against a netlist and partition: one MIV per cut
+/// net, none elsewhere, each crossing to at least one far-tier sink.
+pub fn check_miv_table(netlist: &Netlist, partition: &Partition, mivs: &[Miv]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if partition.tiers().len() != netlist.gate_count() {
+        // check_partition reports this; MIV/tier lookups are meaningless.
+        return diags;
+    }
+    let mut miv_count_of_net = vec![0u32; netlist.net_count()];
+    for (i, m) in mivs.iter().enumerate() {
+        let span = Span::Miv(i as u32);
+        if m.net.index() >= netlist.net_count() {
+            diags.push(Diagnostic::new(
+                LintCode::SpuriousMiv,
+                span,
+                format!("MIV {i} sits on nonexistent net {}", m.net),
+            ));
+            continue;
+        }
+        miv_count_of_net[m.net.index()] += 1;
+        let net = netlist.net(m.net);
+        let driver_tier = partition.tier(net.driver());
+        if m.driver_tier != driver_tier {
+            diags.push(Diagnostic::new(
+                LintCode::SpuriousMiv,
+                span,
+                format!(
+                    "MIV {i} records driver tier {:?} but net {} is driven from {:?}",
+                    m.driver_tier, m.net, driver_tier
+                ),
+            ));
+        }
+        let far_sinks = net
+            .sinks()
+            .iter()
+            .filter(|&&(s, _)| partition.tier(s) != driver_tier)
+            .count();
+        if far_sinks == 0 {
+            let code = if net
+                .sinks()
+                .iter()
+                .all(|&(s, _)| partition.tier(s) == driver_tier)
+                && !net.sinks().is_empty()
+            {
+                LintCode::SpuriousMiv // net is not cut at all
+            } else {
+                LintCode::MivWithoutFarSinks
+            };
+            diags.push(Diagnostic::new(
+                code,
+                span,
+                format!("MIV {i} on net {} crosses to no far-tier sink", m.net),
+            ));
+        }
+    }
+    for cut in partition.cut_nets(netlist) {
+        match miv_count_of_net[cut.index()] {
+            0 => diags.push(Diagnostic::new(
+                LintCode::MissingMiv,
+                Span::Net(cut),
+                format!("inter-tier net {cut} has no MIV"),
+            )),
+            1 => {}
+            n => diags.push(Diagnostic::new(
+                LintCode::SpuriousMiv,
+                Span::Net(cut),
+                format!("inter-tier net {cut} carries {n} MIVs; expected exactly 1"),
+            )),
+        }
+    }
+    diags
+}
+
+/// Checks that the fault-site table covers every gate pin once plus one
+/// site per MIV.
+pub fn check_site_table(design: &M3dDesign) -> Vec<Diagnostic> {
+    let nl = design.netlist();
+    let expected_pins: usize = nl
+        .gates()
+        .iter()
+        .map(|g| g.inputs().len() + usize::from(g.kind().has_output()))
+        .sum();
+    let sites = design.sites();
+    let mut diags = Vec::new();
+    if sites.pin_site_count() != expected_pins {
+        diags.push(Diagnostic::new(
+            LintCode::SiteTableMismatch,
+            Span::Design,
+            format!(
+                "site table has {} pin sites but the netlist has {} pins",
+                sites.pin_site_count(),
+                expected_pins
+            ),
+        ));
+    }
+    let expected_total = sites.pin_site_count() + design.miv_count();
+    if sites.len() != expected_total {
+        diags.push(Diagnostic::new(
+            LintCode::SiteTableMismatch,
+            Span::Design,
+            format!(
+                "site table has {} sites; expected {} (pins + {} MIVs)",
+                sites.len(),
+                expected_total,
+                design.miv_count()
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::generate::{Benchmark, GenParams};
+    use m3d_part::PartitionAlgo;
+
+    fn design() -> M3dDesign {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        let part = PartitionAlgo::MinCut.partition(&nl, 1);
+        M3dDesign::new(nl, part)
+    }
+
+    #[test]
+    fn real_designs_are_clean() {
+        assert!(check_design(&design()).is_empty());
+    }
+
+    #[test]
+    fn dropped_miv_is_missing() {
+        let d = design();
+        let mut mivs = d.mivs().to_vec();
+        let dropped = mivs.remove(0);
+        let diags = check_miv_table(d.netlist(), d.partition(), &mivs);
+        assert!(diags
+            .iter()
+            .any(|g| g.code == LintCode::MissingMiv && g.span == Span::Net(dropped.net)));
+    }
+
+    #[test]
+    fn miv_on_uncut_net_is_spurious() {
+        let d = design();
+        let uncut = (0..d.netlist().net_count())
+            .map(m3d_netlist::NetId::new)
+            .find(|&n| d.miv_on_net(n).is_none())
+            .expect("most nets are uncut");
+        let mut mivs = d.mivs().to_vec();
+        mivs.push(Miv {
+            net: uncut,
+            driver_tier: d.tier_of_gate(d.netlist().net(uncut).driver()),
+        });
+        let diags = check_miv_table(d.netlist(), d.partition(), &mivs);
+        assert!(diags.iter().any(|g| g.code == LintCode::SpuriousMiv));
+    }
+
+    #[test]
+    fn partition_for_the_wrong_netlist_is_rejected() {
+        let d = design();
+        let other = Benchmark::Tate.generate(&GenParams::small(1));
+        let diags = check_partition(&other, d.partition());
+        assert!(diags
+            .iter()
+            .any(|g| g.code == LintCode::PartitionSizeMismatch));
+    }
+}

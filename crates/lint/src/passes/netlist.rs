@@ -1,0 +1,109 @@
+//! Netlist DRC: the `L00xx` family.
+//!
+//! This pass does not re-implement any structural analysis; it maps the
+//! issues enumerated by [`m3d_netlist::check`] — the same single source of
+//! truth that `NetlistBuilder::finish` enforces — onto stable lint codes.
+//! Running it over a successfully built [`Netlist`] can therefore only
+//! surface the advisory subset (dead cones, missing primary I/O); the
+//! mutation tests reach the fatal codes through `m3d_netlist::raw`.
+
+use m3d_netlist::check::StructuralIssue;
+use m3d_netlist::{Gate, Net, Netlist};
+
+use crate::diag::{Diagnostic, LintCode, Span};
+
+/// Runs the full netlist DRC over a built netlist.
+pub fn check_netlist(netlist: &Netlist) -> Vec<Diagnostic> {
+    check_parts(netlist.gates(), netlist.nets())
+}
+
+/// Runs the full netlist DRC over raw gate/net tables (never panics, even
+/// on corrupt cross-references).
+pub fn check_parts(gates: &[Gate], nets: &[Net]) -> Vec<Diagnostic> {
+    m3d_netlist::check::check_parts(gates, nets)
+        .iter()
+        .map(diagnostic_of)
+        .collect()
+}
+
+/// Maps one structural issue to its stable lint code and span.
+pub fn diagnostic_of(issue: &StructuralIssue) -> Diagnostic {
+    let (code, span) = match issue {
+        StructuralIssue::UnknownNet { gate, .. } => (LintCode::UnknownRef, Span::Gate(*gate)),
+        StructuralIssue::BadArity { gate, .. } => (LintCode::ArityViolation, Span::Gate(*gate)),
+        StructuralIssue::MissingOutput { gate } | StructuralIssue::PseudoOutputDrives { gate } => {
+            (LintCode::OutputPinViolation, Span::Gate(*gate))
+        }
+        StructuralIssue::NoFlops => (LintCode::NoFlops, Span::Design),
+        StructuralIssue::DanglingNet { net } => (LintCode::DanglingNet, Span::Net(*net)),
+        StructuralIssue::BadDriver { net, .. } | StructuralIssue::BadSink { net, .. } => {
+            (LintCode::UnknownRef, Span::Net(*net))
+        }
+        StructuralIssue::CrossRefMismatch { net } => (LintCode::CrossRefMismatch, Span::Net(*net)),
+        StructuralIssue::DuplicateSink { net, .. } => (LintCode::DuplicateSink, Span::Net(*net)),
+        StructuralIssue::CombinationalCycle { gates } => (
+            LintCode::CombinationalLoop,
+            gates.first().map_or(Span::Design, |&g| Span::Gate(g)),
+        ),
+        StructuralIssue::UnobservableGate { gate } => {
+            (LintCode::UnobservableGate, Span::Gate(*gate))
+        }
+        StructuralIssue::NoPrimaryInputs => (LintCode::NoPrimaryInputs, Span::Design),
+        StructuralIssue::NoPrimaryOutputs => (LintCode::NoPrimaryOutputs, Span::Design),
+        // `StructuralIssue` is non-exhaustive; a future issue kind surfaces
+        // as a generic cross-reference error until it gets its own code.
+        _ => (LintCode::CrossRefMismatch, Span::Design),
+    };
+    Diagnostic::new(code, span, issue.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::{raw, GateId, GateKind, NetId, NetlistBuilder};
+
+    fn valid() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        let x = b.add_gate(GateKind::Inv, &[a]);
+        let q = b.add_dff(x);
+        b.add_output("q", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn built_netlists_are_clean() {
+        assert!(check_netlist(&valid()).is_empty());
+    }
+
+    #[test]
+    fn cut_driver_maps_to_dangling_and_crossref() {
+        let (name, gates, mut nets) = raw::parts_of(valid());
+        let driver = nets[1].driver();
+        nets[1] = raw::net(driver, &[]);
+        let diags = check_parts(&gates, &nets);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::DanglingNet && d.span == Span::Net(NetId::new(1))));
+        assert!(diags.iter().any(|d| d.code == LintCode::CrossRefMismatch));
+        let _ = name;
+    }
+
+    #[test]
+    fn cycle_names_its_first_gate() {
+        let gates = vec![
+            raw::gate(GateKind::Buf, &[NetId::new(1)], Some(NetId::new(0))),
+            raw::gate(GateKind::Buf, &[NetId::new(0)], Some(NetId::new(1))),
+        ];
+        let nets = vec![
+            raw::net(GateId::new(0), &[(GateId::new(1), 0)]),
+            raw::net(GateId::new(1), &[(GateId::new(0), 0)]),
+        ];
+        let diags = check_parts(&gates, &nets);
+        let cycle = diags
+            .iter()
+            .find(|d| d.code == LintCode::CombinationalLoop)
+            .expect("cycle detected");
+        assert_eq!(cycle.span, Span::Gate(GateId::new(0)));
+    }
+}

@@ -1,0 +1,285 @@
+//! Machine- and human-readable lint reports.
+
+use std::fmt;
+
+use crate::diag::{Diagnostic, LintCode, Severity, Span};
+
+/// How many diagnostics of one code a report keeps before suppressing the
+/// rest (totals still count them; see [`LintReport::total_count`]).
+pub const MAX_PER_CODE: usize = 32;
+
+/// The result of a lint run: every diagnostic found over one target.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    target: String,
+    diagnostics: Vec<Diagnostic>,
+    /// Per code: total pushed (including suppressed beyond [`MAX_PER_CODE`]).
+    counts: Vec<(LintCode, usize)>,
+}
+
+impl LintReport {
+    /// An empty report for the named target.
+    pub fn new(target: impl Into<String>) -> Self {
+        LintReport {
+            target: target.into(),
+            diagnostics: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The target name (design, file, or benchmark).
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Adds a diagnostic. After [`MAX_PER_CODE`] diagnostics of one code, a
+    /// single suppression note is recorded and further ones only count.
+    pub fn push(&mut self, d: Diagnostic) {
+        let total = match self.counts.iter_mut().find(|(c, _)| *c == d.code) {
+            Some((_, n)) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                self.counts.push((d.code, 1));
+                1
+            }
+        };
+        match total.cmp(&(MAX_PER_CODE + 1)) {
+            std::cmp::Ordering::Less => self.diagnostics.push(d),
+            std::cmp::Ordering::Equal => self.diagnostics.push(Diagnostic {
+                message: format!(
+                    "further {} diagnostics suppressed (see total counts)",
+                    d.code
+                ),
+                span: Span::Design,
+                ..d
+            }),
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+
+    /// The retained diagnostics.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Total diagnostics pushed for a code, including suppressed ones.
+    pub fn total_count(&self, code: LintCode) -> usize {
+        self.counts
+            .iter()
+            .find(|(c, _)| *c == code)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// Whether any retained diagnostic carries the given code.
+    pub fn has(&self, code: LintCode) -> bool {
+        self.total_count(code) > 0
+    }
+
+    /// Number of retained diagnostics at a severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Retained error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Retained warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// A report is clean when it carries no errors (warnings and info are
+    /// allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Appends every diagnostic of `other` (same suppression accounting).
+    pub fn merge(&mut self, other: LintReport) {
+        for d in other.diagnostics {
+            self.push(d);
+        }
+    }
+
+    /// Sorts diagnostics by severity (errors first), then code, then span
+    /// order of emission (stable).
+    pub fn sorted(mut self) -> Self {
+        self.diagnostics
+            .sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(&b.code)));
+        self
+    }
+
+    /// Renders the rustc-style text report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        out.push_str(&format!(
+            "{}: {} error{}, {} warning{}, {} info\n",
+            self.target,
+            self.error_count(),
+            if self.error_count() == 1 { "" } else { "s" },
+            self.warning_count(),
+            if self.warning_count() == 1 { "" } else { "s" },
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Renders the report as a JSON object (stable field order, no trailing
+    /// newline).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"target\":{},", json_string(&self.target)));
+        out.push_str(&format!(
+            "\"errors\":{},\"warnings\":{},\"infos\":{},",
+            self.error_count(),
+            self.warning_count(),
+            self.count(Severity::Info)
+        ));
+        out.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{},\"message\":{}}}",
+                d.code,
+                d.severity,
+                json_span(d.span),
+                json_string(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+fn json_span(span: Span) -> String {
+    match span {
+        Span::Design => "{\"kind\":\"design\"}".to_owned(),
+        Span::Gate(g) => format!("{{\"kind\":\"gate\",\"id\":{}}}", g.index()),
+        Span::Net(n) => format!("{{\"kind\":\"net\",\"id\":{}}}", n.index()),
+        Span::Flop(x) => format!("{{\"kind\":\"flop\",\"id\":{}}}", x.index()),
+        Span::Site(s) => format!("{{\"kind\":\"site\",\"id\":{}}}", s.index()),
+        Span::Miv(m) => format!("{{\"kind\":\"miv\",\"id\":{m}}}"),
+        Span::Chain(c) => format!("{{\"kind\":\"chain\",\"id\":{c}}}"),
+        Span::Node(v) => format!("{{\"kind\":\"node\",\"id\":{v}}}"),
+        Span::Feature { node, col } => {
+            format!("{{\"kind\":\"feature\",\"node\":{node},\"col\":{col}}}")
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::NetId;
+
+    fn diag(code: LintCode, msg: &str) -> Diagnostic {
+        Diagnostic::new(code, Span::Net(NetId::new(1)), msg)
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let mut r = LintReport::new("t");
+        assert!(r.is_clean());
+        r.push(diag(LintCode::DanglingNet, "x"));
+        r.push(Diagnostic::new(LintCode::TierImbalance, Span::Design, "y"));
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(!r.is_clean());
+        assert!(r.has(LintCode::DanglingNet));
+        assert!(!r.has(LintCode::NoFlops));
+    }
+
+    #[test]
+    fn suppression_caps_retained_but_counts_all() {
+        let mut r = LintReport::new("t");
+        for i in 0..(MAX_PER_CODE + 10) {
+            r.push(diag(LintCode::NonFiniteFeature, &format!("v{i}")));
+        }
+        // MAX retained + 1 suppression note.
+        assert_eq!(r.diagnostics().len(), MAX_PER_CODE + 1);
+        assert_eq!(r.total_count(LintCode::NonFiniteFeature), MAX_PER_CODE + 10);
+    }
+
+    #[test]
+    fn sorted_puts_errors_first() {
+        let mut r = LintReport::new("t");
+        r.push(Diagnostic::new(LintCode::TierImbalance, Span::Design, "w"));
+        r.push(diag(LintCode::DanglingNet, "e"));
+        let r = r.sorted();
+        assert_eq!(r.diagnostics()[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn text_render_has_summary_line() {
+        let mut r = LintReport::new("AES");
+        r.push(diag(LintCode::DanglingNet, "net n1 has no sinks"));
+        let text = r.render_text();
+        assert!(text.contains("error[L0002]"));
+        assert!(text
+            .trim_end()
+            .ends_with("AES: 1 error, 0 warnings, 0 info"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = LintReport::new("a \"b\"\n");
+        r.push(diag(LintCode::DanglingNet, "msg with \\ and \t"));
+        let json = r.render_json();
+        assert!(json.starts_with("{\"target\":\"a \\\"b\\\"\\n\""));
+        assert!(json.contains("\"code\":\"L0002\""));
+        assert!(json.contains("\"span\":{\"kind\":\"net\",\"id\":1}"));
+        assert!(json.contains("msg with \\\\ and \\t"));
+        assert!(json.ends_with("]}"));
+        // Balanced braces/brackets (cheap well-formedness proxy).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn merge_combines_reports() {
+        let mut a = LintReport::new("t");
+        a.push(diag(LintCode::DanglingNet, "x"));
+        let mut b = LintReport::new("u");
+        b.push(diag(LintCode::NoFlops, "y"));
+        a.merge(b);
+        assert_eq!(a.diagnostics().len(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Clean-by-construction properties: everything the generators, the
+//! partitioners, the scan stitcher, and the sample pipeline produce must
+//! lint without errors — across all four benchmark archetypes and random
+//! seeds, not just the fixtures the unit tests use.
+
+use proptest::prelude::*;
+
+use m3d_dft::{ObsMode, ScanChains, ScanConfig};
+use m3d_fault_localization::{generate_samples, InjectionKind, TestEnv};
+use m3d_lint::{LintRunner, LintTarget};
+use m3d_netlist::generate::{Benchmark, GenParams};
+use m3d_netlist::tpi::insert_test_points;
+use m3d_part::{DesignConfig, M3dDesign, PartitionAlgo};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Archetype × seed × size × partition algorithm: the full design
+    /// (netlist DRC, M3D checks, scan checks) carries no errors and no
+    /// warnings.
+    #[test]
+    fn random_archetype_designs_lint_clean(
+        bench in 0u8..4,
+        seed in 1u64..50,
+        target in 250usize..450,
+        algo in 0u8..3,
+    ) {
+        let bench = Benchmark::ALL[bench as usize];
+        let nl = bench.generate(&GenParams::new(seed).with_target(target));
+        let algo = [
+            PartitionAlgo::MinCut,
+            PartitionAlgo::LevelBanded,
+            PartitionAlgo::Random,
+        ][algo as usize];
+        let part = algo.partition(&nl, seed);
+        let scan = ScanChains::new(&nl, ScanConfig::for_flop_count(nl.flops().len()));
+        let design = M3dDesign::new(nl, part);
+        let report = LintRunner::new().run(
+            &LintTarget::new(format!("{}-s{seed}", bench.name()))
+                .design(&design)
+                .scan(&scan),
+        );
+        prop_assert!(
+            report.is_clean() && report.warning_count() == 0,
+            "{}",
+            report.render_text()
+        );
+    }
+
+    /// Test-point insertion keeps every archetype error-free (weak-point
+    /// warnings are allowed but the AES insertion heuristic avoids them).
+    #[test]
+    fn tpi_netlists_lint_without_errors(bench in 0u8..4, seed in 1u64..20) {
+        let bench = Benchmark::ALL[bench as usize];
+        let nl = bench.generate(&GenParams::new(seed).with_target(300));
+        let tpi = insert_test_points(nl, 0.02, seed);
+        let report = LintRunner::new().run(&LintTarget::new(tpi.name()).netlist(&tpi));
+        prop_assert!(report.is_clean(), "{}", report.render_text());
+    }
+}
+
+/// The end-to-end sample pipeline — injection, failure logs, back-traced
+/// sub-graphs, labels — lints clean, tensors included.
+#[test]
+fn generated_samples_lint_clean() {
+    let env = TestEnv::build(Benchmark::Tate, DesignConfig::Syn1, Some(300));
+    let fsim = env.fault_sim();
+    for mode in ObsMode::ALL {
+        let samples = generate_samples(&env, &fsim, mode, InjectionKind::Single, 6, 3);
+        let report = LintRunner::new().run(
+            &LintTarget::new(format!("tate-{}", mode.name()))
+                .design(&env.design)
+                .scan(&env.scan)
+                .samples(&samples),
+        );
+        assert!(
+            report.is_clean() && report.warning_count() == 0,
+            "{}",
+            report.render_text()
+        );
+    }
+}

@@ -47,12 +47,12 @@ impl M3dDesign {
     pub fn new(netlist: Netlist, partition: Partition) -> Self {
         let mut mivs = Vec::new();
         let mut miv_of_net = vec![None; netlist.net_count()];
-        for i in 0..netlist.net_count() {
+        for (i, slot) in miv_of_net.iter_mut().enumerate() {
             let id = NetId::new(i);
             let net = netlist.net(id);
             let dt = partition.tier(net.driver());
             if net.sinks().iter().any(|&(s, _)| partition.tier(s) != dt) {
-                miv_of_net[i] = Some(mivs.len() as u32);
+                *slot = Some(mivs.len() as u32);
                 mivs.push(Miv {
                     net: id,
                     driver_tier: dt,
@@ -60,6 +60,36 @@ impl M3dDesign {
             }
         }
         let sites = SiteTable::from_netlist(&netlist).with_mivs(mivs.len());
+        M3dDesign {
+            netlist,
+            partition,
+            mivs,
+            miv_of_net,
+            sites,
+        }
+    }
+
+    /// Assembles a design from explicit parts, *without* re-deriving MIVs
+    /// or the site table from the partition.
+    ///
+    /// This is the unchecked escape hatch the `m3d-lint` mutation tests use
+    /// to model a stale or truncated site table ([`new`](M3dDesign::new)
+    /// always builds a consistent one). The per-net MIV index is rebuilt
+    /// from `mivs`, keeping the first MIV claimed per net.
+    pub fn from_raw_parts(
+        netlist: Netlist,
+        partition: Partition,
+        mivs: Vec<Miv>,
+        sites: SiteTable,
+    ) -> Self {
+        let mut miv_of_net = vec![None; netlist.net_count()];
+        for (i, m) in mivs.iter().enumerate() {
+            if let Some(slot) = miv_of_net.get_mut(m.net.index()) {
+                if slot.is_none() {
+                    *slot = Some(i as u32);
+                }
+            }
+        }
         M3dDesign {
             netlist,
             partition,
@@ -156,9 +186,7 @@ impl M3dDesign {
                 let net = self.netlist.gate(g).inputs()[pin as usize];
                 match self.miv_on_net(net) {
                     None => false,
-                    Some(m) => {
-                        self.partition.tier(g) != self.mivs[m as usize].driver_tier
-                    }
+                    Some(m) => self.partition.tier(g) != self.mivs[m as usize].driver_tier,
                 }
             }
         }
@@ -191,10 +219,7 @@ mod tests {
     #[test]
     fn miv_sites_extend_pin_sites() {
         let d = design();
-        assert_eq!(
-            d.sites().len(),
-            d.sites().pin_site_count() + d.miv_count()
-        );
+        assert_eq!(d.sites().len(), d.sites().pin_site_count() + d.miv_count());
         for i in 0..d.miv_count() {
             let s = d.miv_site(i);
             assert_eq!(d.tier_of_site(s), None);
@@ -215,14 +240,8 @@ mod tests {
     #[test]
     fn random_partition_has_more_mivs_than_min_cut() {
         let nl = Benchmark::Tate.generate(&GenParams::small(1));
-        let fm = M3dDesign::new(
-            nl.clone(),
-            PartitionAlgo::MinCut.partition(&nl, 1),
-        );
-        let rnd = M3dDesign::new(
-            nl.clone(),
-            PartitionAlgo::Random.partition(&nl, 1),
-        );
+        let fm = M3dDesign::new(nl.clone(), PartitionAlgo::MinCut.partition(&nl, 1));
+        let rnd = M3dDesign::new(nl.clone(), PartitionAlgo::Random.partition(&nl, 1));
         assert!(rnd.miv_count() > fm.miv_count());
     }
 

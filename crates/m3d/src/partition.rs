@@ -130,12 +130,7 @@ fn pin_pseudo_cells(netlist: &Netlist, tiers: &mut [Tier]) {
 fn partitionable(netlist: &Netlist) -> Vec<GateId> {
     (0..netlist.gate_count())
         .map(GateId::new)
-        .filter(|&g| {
-            !matches!(
-                netlist.gate(g).kind(),
-                GateKind::Input | GateKind::Output
-            )
-        })
+        .filter(|&g| !matches!(netlist.gate(g).kind(), GateKind::Input | GateKind::Output))
         .collect()
 }
 
@@ -178,10 +173,7 @@ fn level_banded(netlist: &Netlist, seed: u64) -> Vec<Tier> {
         .collect();
     by_level.sort_by_key(|&(l, g)| (l, g));
 
-    let total: f32 = cells
-        .iter()
-        .map(|&g| netlist.gate(g).kind().area())
-        .sum();
+    let total: f32 = cells.iter().map(|&g| netlist.gate(g).kind().area()).sum();
     let mut tiers = vec![Tier::Bottom; netlist.gate_count()];
     let mut acc = 0.0f32;
     for (_, g) in by_level {
@@ -200,10 +192,7 @@ fn level_banded(netlist: &Netlist, seed: u64) -> Vec<Tier> {
 fn min_cut(netlist: &Netlist, seed: u64) -> Vec<Tier> {
     let mut tiers = random_balanced(netlist, seed ^ 0x464d_5f49); // "FM_I"
     let cells = partitionable(netlist);
-    let total: f32 = cells
-        .iter()
-        .map(|&g| netlist.gate(g).kind().area())
-        .sum();
+    let total: f32 = cells.iter().map(|&g| netlist.gate(g).kind().area()).sum();
     let max_skew = total * 0.08;
 
     // A small number of full FM passes with gate locking per pass.
@@ -222,8 +211,7 @@ fn min_cut(netlist: &Netlist, seed: u64) -> Vec<Tier> {
             let from = tiers[g.index()];
             let to = from.other();
             let a = netlist.gate(g).kind().area();
-            let new_skew =
-                (area[to.index()] + a - (area[from.index()] - a)).abs();
+            let new_skew = (area[to.index()] + a - (area[from.index()] - a)).abs();
             if new_skew > max_skew {
                 continue;
             }

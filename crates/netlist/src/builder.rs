@@ -50,7 +50,12 @@ impl NetlistBuilder {
         }
     }
 
-    fn push_gate(&mut self, kind: GateKind, inputs: Vec<NetId>, drives: bool) -> (GateId, Option<NetId>) {
+    fn push_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: Vec<NetId>,
+        drives: bool,
+    ) -> (GateId, Option<NetId>) {
         let gid = GateId::new(self.gates.len());
         let out = if drives {
             let nid = NetId::new(self.nets.len());
@@ -145,11 +150,15 @@ impl NetlistBuilder {
 
     /// Validates and freezes the netlist.
     ///
+    /// Validation is the fatal subset of [`crate::check`]: dangling nets
+    /// (every offender listed in
+    /// [`DanglingNets`](BuildNetlistError::DanglingNets)), illegal arities,
+    /// illegal output connectivity, connectivity cross-reference mismatches,
+    /// combinational cycles, and flop-free designs.
+    ///
     /// # Errors
     ///
-    /// Returns a [`BuildNetlistError`] if any net dangles, any gate has an
-    /// illegal arity, the combinational core is cyclic, or the design has no
-    /// flip-flops.
+    /// Returns the first [`BuildNetlistError`] in check order.
     pub fn finish(self) -> Result<Netlist, BuildNetlistError> {
         Netlist::from_parts(self.name, self.gates, self.nets)
     }

@@ -1,0 +1,536 @@
+//! Structural design-rule checks (DRC) over netlists.
+//!
+//! This module is the single source of truth for what a *structurally
+//! sound* netlist looks like. It is consumed three ways:
+//!
+//! * [`Netlist::from_parts`] enforces the fatal subset at construction time
+//!   (via the same issue enumeration, so the two can never diverge),
+//! * [`io::read_netlist`](crate::io::read_netlist) re-runs the full check so
+//!   a successfully parsed file is lint-clean by construction,
+//! * the `m3d-lint` crate maps every [`StructuralIssue`] to a stable
+//!   `L0xxx` diagnostic code.
+//!
+//! Unlike construction-time validation, nothing here panics on corrupt
+//! inputs — every table access is bounds-guarded — so the checks can run
+//! over netlists assembled through [`crate::raw`].
+
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::ids::{GateId, NetId};
+use crate::netlist::{Gate, Net, Netlist};
+
+/// One structural defect found by [`check_parts`].
+///
+/// Issues split into *fatal* ones (the netlist violates an invariant the
+/// rest of the workspace relies on) and advisory ones
+/// ([`is_fatal`](StructuralIssue::is_fatal) returns `false`): suspicious
+/// but representable structure, e.g. dead logic cones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StructuralIssue {
+    /// A gate's input pin references a net index that does not exist.
+    UnknownNet {
+        /// The offending gate.
+        gate: GateId,
+        /// The out-of-range net reference.
+        net: NetId,
+    },
+    /// A gate has an illegal number of input pins for its kind.
+    BadArity {
+        /// The offending gate.
+        gate: GateId,
+        /// Number of pins supplied.
+        got: usize,
+    },
+    /// A driving gate kind (anything but `Output`) has no output net.
+    MissingOutput {
+        /// The offending gate.
+        gate: GateId,
+    },
+    /// An `Output` pseudo cell claims to drive a net.
+    PseudoOutputDrives {
+        /// The offending gate.
+        gate: GateId,
+    },
+    /// The design has no flip-flops, so no scan test is possible.
+    NoFlops,
+    /// A net has no sinks.
+    DanglingNet {
+        /// The dangling net.
+        net: NetId,
+    },
+    /// A net's driver field references a gate index that does not exist.
+    BadDriver {
+        /// The offending net.
+        net: NetId,
+        /// The out-of-range gate reference.
+        driver: GateId,
+    },
+    /// A net's sink list references a gate index that does not exist.
+    BadSink {
+        /// The offending net.
+        net: NetId,
+        /// The out-of-range gate reference.
+        sink: GateId,
+    },
+    /// A net's driver/sink tables disagree with the gates' pin lists
+    /// (includes multi-driven nets: two gates claiming the same output).
+    CrossRefMismatch {
+        /// The inconsistent net.
+        net: NetId,
+    },
+    /// The same `(gate, pin)` branch appears twice on one net.
+    DuplicateSink {
+        /// The offending net.
+        net: NetId,
+        /// The duplicated sink gate.
+        gate: GateId,
+        /// The duplicated sink pin.
+        pin: u8,
+    },
+    /// The combinational core contains a cycle through the listed gates
+    /// (one issue per strongly connected component).
+    CombinationalCycle {
+        /// The gates forming the cycle, ascending.
+        gates: Vec<GateId>,
+    },
+    /// A combinational gate from which neither a primary output nor a flop
+    /// D pin is reachable: its value can never be observed (advisory).
+    UnobservableGate {
+        /// The dead-cone gate.
+        gate: GateId,
+    },
+    /// The design has no primary inputs (advisory).
+    NoPrimaryInputs,
+    /// The design has no primary outputs (advisory).
+    NoPrimaryOutputs,
+}
+
+impl StructuralIssue {
+    /// Whether the issue violates a hard [`Netlist`] invariant.
+    ///
+    /// Fatal issues are rejected by [`NetlistBuilder::finish`]
+    /// (crate::NetlistBuilder::finish) and
+    /// [`io::read_netlist`](crate::io::read_netlist); advisory issues only
+    /// surface through `m3d-lint` as warnings.
+    pub fn is_fatal(&self) -> bool {
+        !matches!(
+            self,
+            StructuralIssue::UnobservableGate { .. }
+                | StructuralIssue::NoPrimaryInputs
+                | StructuralIssue::NoPrimaryOutputs
+        )
+    }
+}
+
+impl fmt::Display for StructuralIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructuralIssue::UnknownNet { gate, net } => {
+                write!(f, "gate {gate} references unknown net {net}")
+            }
+            StructuralIssue::BadArity { gate, got } => {
+                write!(f, "gate {gate} has illegal arity {got}")
+            }
+            StructuralIssue::MissingOutput { gate } => {
+                write!(f, "driving gate {gate} has no output net")
+            }
+            StructuralIssue::PseudoOutputDrives { gate } => {
+                write!(f, "output pseudo cell {gate} drives a net")
+            }
+            StructuralIssue::NoFlops => write!(f, "design contains no flip-flops"),
+            StructuralIssue::DanglingNet { net } => {
+                write!(f, "net {net} has no sinks")
+            }
+            StructuralIssue::BadDriver { net, driver } => {
+                write!(f, "net {net} driven by unknown gate {driver}")
+            }
+            StructuralIssue::BadSink { net, sink } => {
+                write!(f, "net {net} fans out to unknown gate {sink}")
+            }
+            StructuralIssue::CrossRefMismatch { net } => {
+                write!(f, "net {net} connectivity disagrees with gate pin lists")
+            }
+            StructuralIssue::DuplicateSink { net, gate, pin } => {
+                write!(f, "net {net} lists sink {gate} pin {pin} twice")
+            }
+            StructuralIssue::CombinationalCycle { gates } => {
+                write!(f, "combinational cycle through")?;
+                for (i, g) in gates.iter().take(8).enumerate() {
+                    write!(f, "{} {g}", if i == 0 { "" } else { "," })?;
+                }
+                if gates.len() > 8 {
+                    write!(f, " (+{} more)", gates.len() - 8)?;
+                }
+                Ok(())
+            }
+            StructuralIssue::UnobservableGate { gate } => {
+                write!(f, "gate {gate} reaches no primary output or flop")
+            }
+            StructuralIssue::NoPrimaryInputs => {
+                write!(f, "design has no primary inputs")
+            }
+            StructuralIssue::NoPrimaryOutputs => {
+                write!(f, "design has no primary outputs")
+            }
+        }
+    }
+}
+
+/// Runs every structural check over a built netlist.
+pub fn check_netlist(netlist: &Netlist) -> Vec<StructuralIssue> {
+    check_parts(netlist.gates(), netlist.nets())
+}
+
+/// Runs every structural check over raw netlist parts.
+///
+/// Issues are emitted in a deterministic order: per-gate pin/arity issues
+/// first (gate order), then global counts, per-net connectivity, cycles,
+/// and finally the advisory observability issues.
+pub fn check_parts(gates: &[Gate], nets: &[Net]) -> Vec<StructuralIssue> {
+    let mut issues = Vec::new();
+    let mut has_flops = false;
+    let mut has_inputs = false;
+    let mut has_outputs = false;
+
+    for (i, g) in gates.iter().enumerate() {
+        let id = GateId::new(i);
+        match g.kind() {
+            GateKind::Input => has_inputs = true,
+            GateKind::Output => has_outputs = true,
+            GateKind::Dff => has_flops = true,
+            _ => {}
+        }
+        let arity = g.inputs().len();
+        if !g.kind().arity_ok(arity) {
+            issues.push(StructuralIssue::BadArity {
+                gate: id,
+                got: arity,
+            });
+        }
+        for &net in g.inputs() {
+            if net.index() >= nets.len() {
+                issues.push(StructuralIssue::UnknownNet { gate: id, net });
+            }
+        }
+        match (g.kind().has_output(), g.output()) {
+            (true, None) => issues.push(StructuralIssue::MissingOutput { gate: id }),
+            (false, Some(_)) => issues.push(StructuralIssue::PseudoOutputDrives { gate: id }),
+            _ => {
+                if let Some(out) = g.output() {
+                    if out.index() >= nets.len() {
+                        issues.push(StructuralIssue::UnknownNet { gate: id, net: out });
+                    }
+                }
+            }
+        }
+    }
+    if !has_flops {
+        issues.push(StructuralIssue::NoFlops);
+    }
+
+    for (i, n) in nets.iter().enumerate() {
+        let id = NetId::new(i);
+        if n.sinks().is_empty() {
+            issues.push(StructuralIssue::DanglingNet { net: id });
+        }
+        let mut consistent = true;
+        match gates.get(n.driver().index()) {
+            None => {
+                issues.push(StructuralIssue::BadDriver {
+                    net: id,
+                    driver: n.driver(),
+                });
+                consistent = false;
+            }
+            Some(d) => {
+                if d.output() != Some(id) {
+                    // Covers multi-driven nets too: a second claimant's
+                    // output points here while the driver table names the
+                    // first, or vice versa.
+                    issues.push(StructuralIssue::CrossRefMismatch { net: id });
+                    consistent = false;
+                }
+            }
+        }
+        let mut seen: Vec<(GateId, u8)> = Vec::with_capacity(n.sinks().len());
+        for &(sink, pin) in n.sinks() {
+            match gates.get(sink.index()) {
+                None => {
+                    issues.push(StructuralIssue::BadSink { net: id, sink });
+                    consistent = false;
+                    continue;
+                }
+                Some(s) => {
+                    if s.inputs().get(pin as usize) != Some(&id) && consistent {
+                        issues.push(StructuralIssue::CrossRefMismatch { net: id });
+                        consistent = false;
+                    }
+                }
+            }
+            if seen.contains(&(sink, pin)) {
+                issues.push(StructuralIssue::DuplicateSink {
+                    net: id,
+                    gate: sink,
+                    pin,
+                });
+            } else {
+                seen.push((sink, pin));
+            }
+        }
+    }
+    // Reverse direction: every gate input pin must appear in its net's
+    // sink list (one mismatch reported per net).
+    let mut flagged: Vec<NetId> = Vec::new();
+    for (i, g) in gates.iter().enumerate() {
+        let id = GateId::new(i);
+        for (pin, &net) in g.inputs().iter().enumerate() {
+            let Some(n) = nets.get(net.index()) else {
+                continue;
+            };
+            if !n.sinks().contains(&(id, pin as u8)) && !flagged.contains(&net) {
+                issues.push(StructuralIssue::CrossRefMismatch { net });
+                flagged.push(net);
+            }
+        }
+    }
+
+    for gates_on_cycle in combinational_cycles(gates, nets) {
+        issues.push(StructuralIssue::CombinationalCycle {
+            gates: gates_on_cycle,
+        });
+    }
+    for gate in unobservable_gates(gates, nets) {
+        issues.push(StructuralIssue::UnobservableGate { gate });
+    }
+    if !has_inputs {
+        issues.push(StructuralIssue::NoPrimaryInputs);
+    }
+    if !has_outputs {
+        issues.push(StructuralIssue::NoPrimaryOutputs);
+    }
+    issues
+}
+
+/// Enumerates the cyclic strongly connected components of the
+/// combinational core (iterative Tarjan). Each returned component is a
+/// sorted list of gates on one cycle; acyclic netlists return nothing.
+pub fn combinational_cycles(gates: &[Gate], nets: &[Net]) -> Vec<Vec<GateId>> {
+    let n = gates.len();
+    // Successor lists over combinational gates only, bounds-guarded.
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, g) in gates.iter().enumerate() {
+        if !g.kind().is_combinational() {
+            continue;
+        }
+        let Some(out) = g.output() else { continue };
+        let Some(net) = nets.get(out.index()) else {
+            continue;
+        };
+        for &(sink, _) in net.sinks() {
+            let si = sink.index();
+            if si < n && gates[si].kind().is_combinational() {
+                succ[i].push(si as u32);
+            }
+        }
+    }
+
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    let mut cycles = Vec::new();
+    // Explicit DFS frames: (node, next successor position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED || !gates[root].kind().is_combinational() {
+            continue;
+        }
+        frames.push((root as u32, 0));
+        while let Some(&mut (v, ref mut si)) = frames.last_mut() {
+            let vi = v as usize;
+            if *si == 0 {
+                index[vi] = next;
+                low[vi] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            if let Some(&w) = succ[vi].get(*si) {
+                *si += 1;
+                let wi = w as usize;
+                if index[wi] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let pi = parent as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+                if low[vi] == index[vi] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("SCC root still on stack");
+                        on_stack[w as usize] = false;
+                        scc.push(GateId::new(w as usize));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic = scc.len() > 1 || succ[vi].contains(&v); // self-loop
+                    if cyclic {
+                        scc.sort_unstable();
+                        cycles.push(scc);
+                    }
+                }
+            }
+        }
+    }
+    cycles.sort();
+    cycles
+}
+
+/// Combinational gates from which no primary output and no flop D pin is
+/// reachable (dead logic cones). Computed by reverse reachability from all
+/// `Output` cells and flip-flops.
+fn unobservable_gates(gates: &[Gate], nets: &[Net]) -> Vec<GateId> {
+    let n = gates.len();
+    let mut reached = vec![false; n];
+    let mut work: Vec<u32> = Vec::new();
+    for (i, g) in gates.iter().enumerate() {
+        if matches!(g.kind(), GateKind::Output | GateKind::Dff) {
+            reached[i] = true;
+            work.push(i as u32);
+        }
+    }
+    while let Some(v) = work.pop() {
+        for &net in gates[v as usize].inputs() {
+            let Some(nn) = nets.get(net.index()) else {
+                continue;
+            };
+            let di = nn.driver().index();
+            if di < n && !reached[di] {
+                reached[di] = true;
+                work.push(di as u32);
+            }
+        }
+    }
+    (0..n)
+        .filter(|&i| gates[i].kind().is_combinational() && !reached[i])
+        .map(GateId::new)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::raw;
+
+    fn valid() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let x = b.add_gate(GateKind::Nand, &[a, c]);
+        let q = b.add_dff(x);
+        let y = b.add_gate(GateKind::Xor, &[q, a]);
+        b.add_output("y", y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn valid_netlist_has_no_issues() {
+        assert!(check_netlist(&valid()).is_empty());
+    }
+
+    #[test]
+    fn dangling_net_makes_driver_unobservable() {
+        let (name, gates, mut nets) = raw::parts_of(valid());
+        // Cut all fan-out branches of the NAND's output (net 2).
+        let victim = NetId::new(2);
+        let driver = nets[2].driver();
+        nets[2] = raw::net(driver, &[]);
+        // The XOR's and DFF's pin lists still reference net 2.
+        let issues = check_parts(&gates, &nets);
+        assert!(issues.contains(&StructuralIssue::DanglingNet { net: victim }));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, StructuralIssue::CrossRefMismatch { .. })));
+        let _ = name;
+    }
+
+    #[test]
+    fn cycle_enumeration_lists_members() {
+        // g0: INPUT -> n0; g1: AND(n0, n2) -> n1; g2: BUF(n1) -> n2;
+        // g3: DFF(n1) -> n3; g4: OUTPUT(n3)
+        let gates = vec![
+            raw::gate(GateKind::Input, &[], Some(NetId::new(0))),
+            raw::gate(
+                GateKind::And,
+                &[NetId::new(0), NetId::new(2)],
+                Some(NetId::new(1)),
+            ),
+            raw::gate(GateKind::Buf, &[NetId::new(1)], Some(NetId::new(2))),
+            raw::gate(GateKind::Dff, &[NetId::new(1)], Some(NetId::new(3))),
+            raw::gate(GateKind::Output, &[NetId::new(3)], None),
+        ];
+        let nets = vec![
+            raw::net(GateId::new(0), &[(GateId::new(1), 0)]),
+            raw::net(GateId::new(1), &[(GateId::new(2), 0), (GateId::new(3), 0)]),
+            raw::net(GateId::new(2), &[(GateId::new(1), 1)]),
+            raw::net(GateId::new(3), &[(GateId::new(4), 0)]),
+        ];
+        let cycles = combinational_cycles(&gates, &nets);
+        assert_eq!(cycles, vec![vec![GateId::new(1), GateId::new(2)]]);
+        let issues = check_parts(&gates, &nets);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, StructuralIssue::CombinationalCycle { .. })));
+    }
+
+    #[test]
+    fn out_of_range_references_are_reported_not_panicked() {
+        let gates = vec![
+            raw::gate(GateKind::Input, &[], Some(NetId::new(0))),
+            raw::gate(GateKind::Dff, &[NetId::new(9)], Some(NetId::new(1))),
+            raw::gate(GateKind::Output, &[NetId::new(1)], None),
+        ];
+        let nets = vec![
+            raw::net(GateId::new(0), &[(GateId::new(1), 0)]),
+            raw::net(
+                GateId::new(99),
+                &[(GateId::new(2), 0), (GateId::new(77), 0)],
+            ),
+        ];
+        let issues = check_parts(&gates, &nets);
+        assert!(issues.contains(&StructuralIssue::UnknownNet {
+            gate: GateId::new(1),
+            net: NetId::new(9),
+        }));
+        assert!(issues.contains(&StructuralIssue::BadDriver {
+            net: NetId::new(1),
+            driver: GateId::new(99),
+        }));
+        assert!(issues.contains(&StructuralIssue::BadSink {
+            net: NetId::new(1),
+            sink: GateId::new(77),
+        }));
+    }
+
+    #[test]
+    fn advisory_issues_are_not_fatal() {
+        assert!(!StructuralIssue::NoPrimaryInputs.is_fatal());
+        assert!(!StructuralIssue::UnobservableGate {
+            gate: GateId::new(0)
+        }
+        .is_fatal());
+        assert!(StructuralIssue::NoFlops.is_fatal());
+    }
+}

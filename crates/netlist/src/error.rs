@@ -23,9 +23,20 @@ pub enum BuildNetlistError {
         /// The dangling net reference.
         net: NetId,
     },
-    /// A net has no driver or no sinks after construction.
-    DanglingNet {
-        /// The dangling net.
+    /// One or more nets have no sinks; every offender is listed.
+    DanglingNets {
+        /// All dangling nets, ascending.
+        nets: Vec<NetId>,
+    },
+    /// A gate's output connectivity is illegal for its kind: a driving gate
+    /// without an output net, or an `Output` pseudo cell with one.
+    BadOutput {
+        /// The offending gate.
+        gate: GateId,
+    },
+    /// A net's driver/sink tables disagree with the gates' pin lists.
+    CrossRef {
+        /// The inconsistent net.
         net: NetId,
     },
     /// The combinational core contains a cycle (through the listed gate).
@@ -46,8 +57,24 @@ impl fmt::Display for BuildNetlistError {
             BuildNetlistError::UnknownNet { gate, net } => {
                 write!(f, "gate {gate} references unknown net {net}")
             }
-            BuildNetlistError::DanglingNet { net } => {
-                write!(f, "net {net} has no driver or no sinks")
+            BuildNetlistError::DanglingNets { nets } => {
+                write!(f, "nets without sinks:")?;
+                for (i, n) in nets.iter().take(8).enumerate() {
+                    write!(f, "{} {n}", if i == 0 { "" } else { "," })?;
+                }
+                if nets.len() > 8 {
+                    write!(f, " (+{} more)", nets.len() - 8)?;
+                }
+                Ok(())
+            }
+            BuildNetlistError::BadOutput { gate } => {
+                write!(
+                    f,
+                    "gate {gate} has illegal output connectivity for its kind"
+                )
+            }
+            BuildNetlistError::CrossRef { net } => {
+                write!(f, "net {net} connectivity disagrees with gate pin lists")
             }
             BuildNetlistError::CombinationalCycle { gate } => {
                 write!(f, "combinational cycle through gate {gate}")
@@ -72,5 +99,17 @@ mod tests {
         let msg = format!("{e}");
         assert!(msg.starts_with("gate g3"));
         assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn dangling_nets_lists_offenders_and_truncates() {
+        let few = BuildNetlistError::DanglingNets {
+            nets: vec![NetId::new(4), NetId::new(7)],
+        };
+        assert_eq!(format!("{few}"), "nets without sinks: n4, n7");
+        let many = BuildNetlistError::DanglingNets {
+            nets: (0..12).map(NetId::new).collect(),
+        };
+        assert!(format!("{many}").ends_with("(+4 more)"));
     }
 }

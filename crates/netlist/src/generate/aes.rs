@@ -21,7 +21,9 @@ pub(crate) fn build(ctx: &mut Synth) {
     let rounds = (ctx.target / EST_GATES_PER_ROUND).max(1);
 
     let pt: Vec<NetId> = (0..W).map(|i| ctx.b.add_input(&format!("pt{i}"))).collect();
-    let key: Vec<NetId> = (0..W).map(|i| ctx.b.add_input(&format!("key{i}"))).collect();
+    let key: Vec<NetId> = (0..W)
+        .map(|i| ctx.b.add_input(&format!("key{i}")))
+        .collect();
 
     // Input whitening: state <- DFF(pt ^ key).
     let mut state: Vec<NetId> = Vec::with_capacity(W);

@@ -67,7 +67,8 @@ pub(crate) fn build(ctx: &mut Synth) {
                 let land = ctx.b.add_gate(GateKind::And, &[bus[i], rd[i]]);
                 let lxor = ctx.xor(bus[i], rd[i]);
                 let logic = ctx.b.add_gate(GateKind::Mux2, &[op_sel_q[1], land, lxor]);
-                ctx.b.add_gate(GateKind::Mux2, &[op_sel_q[0], add_out[i], logic])
+                ctx.b
+                    .add_gate(GateKind::Mux2, &[op_sel_q[0], add_out[i], logic])
             })
             .collect();
 
@@ -146,8 +147,7 @@ mod tests {
     #[test]
     fn leon3mp_scales_by_core_replication() {
         let one = Benchmark::Leon3mp.generate(&GenParams::small(1));
-        let two =
-            Benchmark::Leon3mp.generate(&GenParams::small(1).with_target(1100));
+        let two = Benchmark::Leon3mp.generate(&GenParams::small(1).with_target(1100));
         assert!(two.stats().flops > one.stats().flops);
     }
 }

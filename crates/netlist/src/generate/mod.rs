@@ -78,9 +78,7 @@ impl Benchmark {
 
     /// Generates the benchmark netlist.
     pub fn generate(self, params: &GenParams) -> Netlist {
-        let target = params
-            .target_gates
-            .unwrap_or_else(|| self.default_target());
+        let target = params.target_gates.unwrap_or_else(|| self.default_target());
         let mut ctx = Synth::new(self.name(), params, target);
         match self {
             Benchmark::Aes => aes::build(&mut ctx),
@@ -190,9 +188,15 @@ impl Synth {
             let q = self.b.add_dff(digest);
             self.b.add_output("sweep_digest", q);
         }
-        self.b
+        let nl = self
+            .b
             .finish()
-            .expect("generators always produce valid netlists")
+            .expect("generators always produce valid netlists");
+        debug_assert!(
+            crate::check::check_netlist(&nl).is_empty(),
+            "generator produced a netlist failing DRC"
+        );
+        nl
     }
 
     /// XOR respecting the synthesis style (native cell or NAND decomposition).
@@ -381,17 +385,13 @@ mod tests {
     #[test]
     fn target_scales_design_size() {
         let small = Benchmark::Netcard.generate(&GenParams::small(1));
-        let large =
-            Benchmark::Netcard.generate(&GenParams::small(1).with_target(1200));
+        let large = Benchmark::Netcard.generate(&GenParams::small(1).with_target(1200));
         assert!(large.stats().gates > small.stats().gates);
     }
 
     #[test]
     fn paper_relative_sizing_holds_at_defaults() {
-        let sizes: Vec<usize> = Benchmark::ALL
-            .iter()
-            .map(|b| b.default_target())
-            .collect();
+        let sizes: Vec<usize> = Benchmark::ALL.iter().map(|b| b.default_target()).collect();
         assert!(sizes.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -25,7 +25,9 @@ pub(crate) fn build(ctx: &mut Synth) {
     let banks = (ctx.target / EST_GATES_PER_BANK).max(1);
 
     let data: Vec<NetId> = (0..W).map(|i| ctx.b.add_input(&format!("d{i}"))).collect();
-    let sel: Vec<NetId> = (0..3).map(|i| ctx.b.add_input(&format!("sel{i}"))).collect();
+    let sel: Vec<NetId> = (0..3)
+        .map(|i| ctx.b.add_input(&format!("sel{i}")))
+        .collect();
     let enable = ctx.b.add_input("en");
 
     // Registered select/enable, shared by every bank (high fan-out control).
@@ -41,8 +43,8 @@ pub(crate) fn build(ctx: &mut Synth) {
 
         // FIFO: W lanes × DEPTH flops, gated by the enable.
         let mut taps: Vec<Vec<NetId>> = Vec::with_capacity(W);
-        for lane in 0..W {
-            let mut v = ctx.b.add_gate(GateKind::And, &[carry_in[lane], en_local]);
+        for &carry in carry_in.iter().take(W) {
+            let mut v = ctx.b.add_gate(GateKind::And, &[carry, en_local]);
             let mut lane_taps = Vec::with_capacity(DEPTH);
             for _ in 0..DEPTH {
                 v = ctx.b.add_dff(v);
@@ -74,8 +76,7 @@ pub(crate) fn build(ctx: &mut Synth) {
             };
             let x = ctx.xor(s, prev);
             let x = if i % 3 == 0 {
-                let chained = ctx.repeater_chain(x, 8);
-                chained
+                ctx.repeater_chain(x, 8)
             } else {
                 x
             };
@@ -115,7 +116,10 @@ mod tests {
             .iter()
             .filter(|g| g.kind() == GateKind::Inv)
             .count();
-        assert!(invs >= 16, "expected repeater chains, found {invs} inverters");
+        assert!(
+            invs >= 16,
+            "expected repeater chains, found {invs} inverters"
+        );
     }
 
     #[test]

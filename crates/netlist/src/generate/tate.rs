@@ -60,10 +60,13 @@ pub(crate) fn build(ctx: &mut Synth) {
             cur = next;
         }
         // Stage flop bank.
-        acc = cur.into_iter().map(|n| {
-            let n = ctx.maybe_buffer(n);
-            ctx.b.add_dff(n)
-        }).collect();
+        acc = cur
+            .into_iter()
+            .map(|n| {
+                let n = ctx.maybe_buffer(n);
+                ctx.b.add_dff(n)
+            })
+            .collect();
     }
 
     for (i, &n) in acc.iter().enumerate() {

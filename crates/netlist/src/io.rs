@@ -139,10 +139,16 @@ pub fn write_netlist(netlist: &Netlist) -> String {
 
 /// Parses the text format back into a validated [`Netlist`].
 ///
+/// A successfully parsed netlist is *lint-clean by construction*: the full
+/// fatal subset of [`crate::check`] runs during reconstruction (undriven or
+/// multi-driven nets are additionally caught while rebuilding the driver
+/// table), so `read_netlist(write_netlist(n))` can never yield a netlist
+/// that later passes choke on.
+///
 /// # Errors
 ///
 /// Returns [`ParseNetlistError`] on malformed lines, dangling references,
-/// or a netlist failing structural validation.
+/// or a netlist failing the structural design-rule checks.
 pub fn read_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
     let mut name: Option<String> = None;
     // Collected per gate: (kind, input nets, output net).
@@ -222,12 +228,10 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
     }
     let mut nets: Vec<Net> = (0..net_count)
         .map(|k| {
-            drivers[k]
-                .map(Net::new)
-                .ok_or(ParseNetlistError::BadLine {
-                    line: 0,
-                    reason: format!("net n{k} has no driver"),
-                })
+            drivers[k].map(Net::new).ok_or(ParseNetlistError::BadLine {
+                line: 0,
+                reason: format!("net n{k} has no driver"),
+            })
         })
         .collect::<Result<_, _>>()?;
     let mut gates: Vec<Gate> = Vec::with_capacity(raw.len());
@@ -237,11 +241,18 @@ pub fn read_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
         }
         gates.push(Gate::new(
             kind,
-            inputs.into_iter().map(|n| NetId(n)).collect(),
+            inputs.into_iter().map(NetId).collect(),
             output.map(NetId),
         ));
     }
-    Ok(Netlist::from_parts(name, gates, nets)?)
+    let netlist = Netlist::from_parts(name, gates, nets)?;
+    debug_assert!(
+        crate::check::check_netlist(&netlist)
+            .iter()
+            .all(|i| !i.is_fatal()),
+        "from_parts accepted a netlist the DRC rejects"
+    );
+    Ok(netlist)
 }
 
 #[cfg(test)]
@@ -303,6 +314,18 @@ mod tests {
         let err = read_netlist(text).unwrap_err();
         assert!(matches!(err, ParseNetlistError::Invalid(_)));
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn output_cell_with_driver_arrow_is_rejected() {
+        // OUTPUT cells drive nothing; a `->` on one must fail DRC, not
+        // corrupt later passes.
+        let text = "design t\ng0 INPUT -> n0\ng1 DFF n0 -> n1\ng2 OUTPUT n1 -> n2\ng3 BUF n2 -> n3\ng4 OUTPUT n3\n";
+        let err = read_netlist(text).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseNetlistError::Invalid(BuildNetlistError::BadOutput { .. })
+        ));
     }
 
     #[test]

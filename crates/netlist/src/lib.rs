@@ -34,12 +34,15 @@ mod ids;
 mod netlist;
 mod site;
 
+pub mod check;
 pub mod generate;
 pub mod io;
+pub mod raw;
 pub mod tpi;
 pub mod transform;
 
 pub use builder::NetlistBuilder;
+pub use check::StructuralIssue;
 pub use error::BuildNetlistError;
 pub use gate::GateKind;
 pub use ids::{FlopId, GateId, NetId, SiteId};

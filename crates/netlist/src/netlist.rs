@@ -140,21 +140,74 @@ impl Netlist {
         gates: Vec<Gate>,
         nets: Vec<Net>,
     ) -> Result<Self, BuildNetlistError> {
+        // Validation delegates to the shared DRC module so construction-time
+        // rules can never drift from what `m3d-lint` checks. Fatal issues
+        // map onto `BuildNetlistError` with the historical precedence:
+        // per-gate issues, then no-flops, then dangling nets (all offenders
+        // collected), then connectivity cross-references, then cycles.
+        let issues = crate::check::check_parts(&gates, &nets);
+        let mut dangling: Vec<NetId> = Vec::new();
+        for issue in &issues {
+            use crate::check::StructuralIssue as I;
+            match *issue {
+                I::BadArity { gate, got } => return Err(BuildNetlistError::BadArity { gate, got }),
+                I::UnknownNet { gate, net } => {
+                    return Err(BuildNetlistError::UnknownNet { gate, net })
+                }
+                I::MissingOutput { gate } | I::PseudoOutputDrives { gate } => {
+                    return Err(BuildNetlistError::BadOutput { gate })
+                }
+                I::DanglingNet { net } => dangling.push(net),
+                _ => {}
+            }
+        }
+        if issues.contains(&crate::check::StructuralIssue::NoFlops) {
+            return Err(BuildNetlistError::NoFlops);
+        }
+        if !dangling.is_empty() {
+            return Err(BuildNetlistError::DanglingNets { nets: dangling });
+        }
+        for issue in &issues {
+            use crate::check::StructuralIssue as I;
+            match issue {
+                I::BadDriver { net, .. }
+                | I::BadSink { net, .. }
+                | I::CrossRefMismatch { net }
+                | I::DuplicateSink { net, .. } => {
+                    return Err(BuildNetlistError::CrossRef { net: *net })
+                }
+                I::CombinationalCycle { gates } => {
+                    return Err(BuildNetlistError::CombinationalCycle { gate: gates[0] })
+                }
+                _ => {}
+            }
+        }
+
+        let (topo, level) = levelize(&gates, &nets)?;
+        Ok(Netlist::assemble(name, gates, nets, topo, level))
+    }
+
+    /// Assembles a netlist *without validation* (see [`crate::raw`]).
+    /// Topology is computed best-effort: unplaceable gates (cycles,
+    /// out-of-range references) are left out of `topo_order` at level 0.
+    pub(crate) fn from_parts_unchecked(name: String, gates: Vec<Gate>, nets: Vec<Net>) -> Self {
+        let (topo, level) = levelize_lenient(&gates, &nets);
+        Netlist::assemble(name, gates, nets, topo, level)
+    }
+
+    fn assemble(
+        name: String,
+        gates: Vec<Gate>,
+        nets: Vec<Net>,
+        topo: Vec<GateId>,
+        level: Vec<u32>,
+    ) -> Self {
         let mut inputs = Vec::new();
         let mut outputs = Vec::new();
         let mut flops = Vec::new();
         let mut flop_index = vec![None; gates.len()];
-
         for (i, g) in gates.iter().enumerate() {
             let id = GateId::new(i);
-            if let Some(n) = g.fixed_arity_violation() {
-                return Err(BuildNetlistError::BadArity { gate: id, got: n });
-            }
-            for &net in &g.inputs {
-                if net.index() >= nets.len() {
-                    return Err(BuildNetlistError::UnknownNet { gate: id, net });
-                }
-            }
             match g.kind {
                 GateKind::Input => inputs.push(id),
                 GateKind::Output => outputs.push(id),
@@ -165,19 +218,7 @@ impl Netlist {
                 _ => {}
             }
         }
-        if flops.is_empty() {
-            return Err(BuildNetlistError::NoFlops);
-        }
-        for (i, n) in nets.iter().enumerate() {
-            if n.sinks.is_empty() {
-                return Err(BuildNetlistError::DanglingNet {
-                    net: NetId::new(i),
-                });
-            }
-        }
-
-        let (topo, level) = levelize(&gates, &nets)?;
-        Ok(Netlist {
+        Netlist {
             name,
             gates,
             nets,
@@ -187,7 +228,7 @@ impl Netlist {
             flop_index,
             topo,
             level,
-        })
+        }
     }
 
     /// The design name.
@@ -312,23 +353,9 @@ impl Netlist {
     }
 }
 
-impl Gate {
-    /// Returns `Some(got)` if the gate violates its kind's arity rules.
-    fn fixed_arity_violation(&self) -> Option<usize> {
-        let n = self.inputs.len();
-        if self.kind == GateKind::Input {
-            return (n != 0).then_some(n);
-        }
-        (!self.kind.arity_ok(n)).then_some(n)
-    }
-}
-
 /// Kahn's algorithm over the combinational core. Flop outputs and primary
 /// inputs act as sources; flop D pins and primary outputs as sinks.
-fn levelize(
-    gates: &[Gate],
-    nets: &[Net],
-) -> Result<(Vec<GateId>, Vec<u32>), BuildNetlistError> {
+fn levelize(gates: &[Gate], nets: &[Net]) -> Result<(Vec<GateId>, Vec<u32>), BuildNetlistError> {
     let n = gates.len();
     let mut indeg = vec![0u32; n];
     let mut level = vec![0u32; n];
@@ -343,7 +370,11 @@ fn levelize(
         let d = g
             .inputs
             .iter()
-            .filter(|&&net| gates[nets[net.index()].driver.index()].kind.is_combinational())
+            .filter(|&&net| {
+                gates[nets[net.index()].driver.index()]
+                    .kind
+                    .is_combinational()
+            })
             .count() as u32;
         indeg[i] = d;
         if d == 0 {
@@ -380,6 +411,54 @@ fn levelize(
         });
     }
     Ok((topo, level))
+}
+
+/// Bounds-guarded Kahn levelization for unchecked construction: gates on
+/// cycles or with dangling references simply never reach in-degree 0 and
+/// stay out of the topological order at level 0.
+fn levelize_lenient(gates: &[Gate], nets: &[Net]) -> (Vec<GateId>, Vec<u32>) {
+    let n = gates.len();
+    let is_comb_driver = |net: &NetId| {
+        nets.get(net.index())
+            .and_then(|nn| gates.get(nn.driver().index()))
+            .is_some_and(|g| g.kind.is_combinational())
+    };
+    let mut indeg = vec![0u32; n];
+    let mut level = vec![0u32; n];
+    let mut queue = std::collections::VecDeque::new();
+    for (i, g) in gates.iter().enumerate() {
+        if !g.kind.is_combinational() {
+            continue;
+        }
+        let d = g.inputs.iter().filter(|net| is_comb_driver(net)).count() as u32;
+        indeg[i] = d;
+        if d == 0 {
+            queue.push_back(GateId::new(i));
+            level[i] = 1;
+        }
+    }
+    let mut topo = Vec::new();
+    while let Some(id) = queue.pop_front() {
+        topo.push(id);
+        let Some(out) = gates[id.index()].output else {
+            continue;
+        };
+        let Some(net) = nets.get(out.index()) else {
+            continue;
+        };
+        for &(sink, _) in net.sinks() {
+            let si = sink.index();
+            if si >= n || !gates[si].kind.is_combinational() || indeg[si] == 0 {
+                continue;
+            }
+            level[si] = level[si].max(level[id.index()] + 1);
+            indeg[si] -= 1;
+            if indeg[si] == 0 {
+                queue.push_back(sink);
+            }
+        }
+    }
+    (topo, level)
 }
 
 #[cfg(test)]
@@ -470,13 +549,42 @@ mod tests {
     }
 
     #[test]
-    fn dangling_net_is_rejected() {
+    fn dangling_nets_are_rejected_and_all_listed() {
         let mut b = NetlistBuilder::new("dangle");
         let a = b.add_input("a");
-        let _unused = b.add_gate(GateKind::Inv, &[a]);
+        let unused1 = b.add_gate(GateKind::Inv, &[a]);
+        let unused2 = b.add_gate(GateKind::Buf, &[a]);
         let q = b.add_dff(a);
         b.add_output("q", q);
         let err = b.finish().unwrap_err();
-        assert!(matches!(err, BuildNetlistError::DanglingNet { .. }));
+        let BuildNetlistError::DanglingNets { nets } = err else {
+            panic!("expected DanglingNets, got {err:?}");
+        };
+        assert_eq!(nets, vec![unused1, unused2]);
+    }
+
+    #[test]
+    fn output_cell_driving_a_net_is_rejected() {
+        // Representable only through raw parts; `from_parts` must refuse it.
+        let gates = vec![
+            crate::raw::gate(GateKind::Input, &[], Some(NetId::new(0))),
+            crate::raw::gate(GateKind::Dff, &[NetId::new(0)], Some(NetId::new(1))),
+            crate::raw::gate(GateKind::Output, &[NetId::new(1)], Some(NetId::new(2))),
+            crate::raw::gate(GateKind::Buf, &[NetId::new(2)], Some(NetId::new(3))),
+            crate::raw::gate(GateKind::Output, &[NetId::new(3)], None),
+        ];
+        let nets = vec![
+            crate::raw::net(GateId::new(0), &[(GateId::new(1), 0)]),
+            crate::raw::net(GateId::new(1), &[(GateId::new(2), 0)]),
+            crate::raw::net(GateId::new(2), &[(GateId::new(3), 0)]),
+            crate::raw::net(GateId::new(3), &[(GateId::new(4), 0)]),
+        ];
+        let err = Netlist::from_parts("bad-po".into(), gates, nets).unwrap_err();
+        assert_eq!(
+            err,
+            BuildNetlistError::BadOutput {
+                gate: GateId::new(2)
+            }
+        );
     }
 }

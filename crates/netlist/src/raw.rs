@@ -1,0 +1,95 @@
+//! Unchecked construction escape hatch for static-analysis tooling.
+//!
+//! The builder and parser APIs guarantee every [`Netlist`] invariant; the
+//! `m3d-lint` crate, by contrast, must be able to *see* broken netlists to
+//! report them, and its mutation tests must construct specific corruptions
+//! on purpose. This module builds netlists without any validation.
+//!
+//! Anything assembled here may violate every invariant the rest of the
+//! workspace relies on (dangling references, cycles, cross-reference
+//! mismatches). Feed such netlists only to [`crate::check`] / `m3d-lint`;
+//! simulation or graph extraction over them may panic.
+
+use crate::gate::GateKind;
+use crate::ids::{GateId, NetId};
+use crate::netlist::{Gate, Net, Netlist};
+
+/// Constructs a gate with an arbitrary pin list and output, unchecked.
+pub fn gate(kind: GateKind, inputs: &[NetId], output: Option<NetId>) -> Gate {
+    Gate::new(kind, inputs.to_vec(), output)
+}
+
+/// Constructs a net with an arbitrary driver and sink list, unchecked.
+pub fn net(driver: GateId, sinks: &[(GateId, u8)]) -> Net {
+    let mut n = Net::new(driver);
+    for &(g, pin) in sinks {
+        n.add_sink(g, pin);
+    }
+    n
+}
+
+/// Assembles a [`Netlist`] without validation.
+///
+/// Topological data is computed best-effort: gates on combinational cycles
+/// or with out-of-range references are simply left out of
+/// [`Netlist::topo_order`] with level 0.
+pub fn netlist(name: impl Into<String>, gates: Vec<Gate>, nets: Vec<Net>) -> Netlist {
+    Netlist::from_parts_unchecked(name.into(), gates, nets)
+}
+
+/// Decomposes a netlist into its raw parts for targeted corruption.
+pub fn parts_of(netlist: Netlist) -> (String, Vec<Gate>, Vec<Net>) {
+    netlist.into_parts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unchecked_netlist_accepts_invalid_structure() {
+        // A combinational-only design with a dangling net: rejected by the
+        // builder, representable here.
+        let gates = vec![
+            gate(GateKind::Input, &[], Some(NetId::new(0))),
+            gate(GateKind::Inv, &[NetId::new(0)], Some(NetId::new(1))),
+        ];
+        let nets = vec![
+            net(GateId::new(0), &[(GateId::new(1), 0)]),
+            net(GateId::new(1), &[]),
+        ];
+        let nl = netlist("broken", gates, nets);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.flops().len(), 0);
+        assert!(!crate::check::check_netlist(&nl).is_empty());
+    }
+
+    #[test]
+    fn cyclic_unchecked_netlist_still_builds() {
+        let gates = vec![
+            gate(GateKind::Buf, &[NetId::new(1)], Some(NetId::new(0))),
+            gate(GateKind::Buf, &[NetId::new(0)], Some(NetId::new(1))),
+        ];
+        let nets = vec![
+            net(GateId::new(0), &[(GateId::new(1), 0)]),
+            net(GateId::new(1), &[(GateId::new(0), 0)]),
+        ];
+        let nl = netlist("cycle", gates, nets);
+        // Both gates sit on the cycle: neither is topologically placeable.
+        assert!(nl.topo_order().is_empty());
+    }
+
+    #[test]
+    fn round_trip_through_parts_preserves_structure() {
+        let mut b = crate::builder::NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        let q = b.add_dff(a);
+        b.add_output("q", q);
+        let orig = b.finish().unwrap();
+        let n = orig.gate_count();
+        let (name, gates, nets) = parts_of(orig);
+        let back = netlist(name, gates, nets);
+        assert_eq!(back.gate_count(), n);
+        assert!(crate::check::check_netlist(&back).is_empty());
+    }
+}

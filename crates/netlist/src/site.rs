@@ -138,9 +138,9 @@ impl SiteTable {
     #[inline]
     pub fn output_site(&self, netlist: &Netlist, gate: GateId) -> Option<SiteId> {
         let g = netlist.gate(gate);
-        g.kind().has_output().then(|| {
-            SiteId(self.gate_base[gate.index()] + g.inputs().len() as u32)
-        })
+        g.kind()
+            .has_output()
+            .then(|| SiteId(self.gate_base[gate.index()] + g.inputs().len() as u32))
     }
 
     /// The site id of the `index`-th MIV.

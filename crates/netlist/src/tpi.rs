@@ -69,8 +69,13 @@ pub fn insert_test_points(netlist: Netlist, max_frac: f64, seed: u64) -> Netlist
         gates.push(Gate::new(GateKind::Dff, vec![net], Some(q_net)));
         gates.push(Gate::new(GateKind::Output, vec![q_net], None));
     }
-    Netlist::from_parts(name, gates, nets)
-        .expect("observation points preserve validity")
+    let rebuilt =
+        Netlist::from_parts(name, gates, nets).expect("observation points preserve validity");
+    debug_assert!(
+        crate::check::check_netlist(&rebuilt).is_empty(),
+        "TPI insertion produced a netlist failing DRC"
+    );
+    rebuilt
 }
 
 #[cfg(test)]
@@ -91,16 +96,8 @@ mod tests {
 
     #[test]
     fn tpi_is_deterministic() {
-        let a = insert_test_points(
-            Benchmark::Aes.generate(&GenParams::small(1)),
-            0.02,
-            9,
-        );
-        let b = insert_test_points(
-            Benchmark::Aes.generate(&GenParams::small(1)),
-            0.02,
-            9,
-        );
+        let a = insert_test_points(Benchmark::Aes.generate(&GenParams::small(1)), 0.02, 9);
+        let b = insert_test_points(Benchmark::Aes.generate(&GenParams::small(1)), 0.02, 9);
         assert_eq!(a.gate_count(), b.gate_count());
     }
 

@@ -63,8 +63,12 @@ pub fn insert_buffer_after(netlist: Netlist, gate: GateId) -> Option<(Netlist, G
     };
     gates.push(Gate::new(GateKind::Buf, vec![out_net], Some(new_net)));
 
-    let rebuilt = Netlist::from_parts(name, gates, nets)
-        .expect("buffer insertion preserves validity");
+    let rebuilt =
+        Netlist::from_parts(name, gates, nets).expect("buffer insertion preserves validity");
+    debug_assert!(
+        crate::check::check_netlist(&rebuilt).is_empty(),
+        "buffer insertion produced a netlist failing DRC"
+    );
     Some((rebuilt, buf_id))
 }
 

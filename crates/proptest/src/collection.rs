@@ -1,0 +1,29 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::{sample_len, Strategy};
+use crate::TestRng;
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = sample_len(rng, &self.len);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// A strategy for vectors of `element` values with a length drawn from
+/// `len` (half-open, like upstream's `SizeRange`).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty vec length range");
+    VecStrategy { element, len }
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! the slice of the proptest API its test suites use: the [`proptest!`]
+//! macro, range / tuple / [`collection::vec`] / [`any`] strategies,
+//! [`Strategy::prop_map`], and the `prop_assert*` / [`prop_assume!`]
+//! macros.
+//!
+//! Semantics differ from upstream in one deliberate way: there is no
+//! shrinking. A failing case panics immediately with the ordinary
+//! `assert!` message plus the deterministic case seed, which is enough to
+//! reproduce (cases are derived from the test name and case index, so a
+//! failure replays on every run).
+
+use rand::rngs::StdRng;
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub mod runtime {
+    //! Internals used by the [`proptest!`](crate::proptest) macro expansion.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Deterministic per-case seed: FNV-1a over the test name, mixed with
+    /// the case index.
+    pub fn seed_for(test_name: &str, case: u32) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+/// The strategy-driven test rng (re-exported for strategy implementors).
+pub type TestRng = StdRng;
+
+/// Everything a proptest-based test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    // Lets test files spell `prop::collection::vec(...)` as with upstream.
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies for a configured number
+/// of cases and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($config:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let strategies = ($($strat,)+);
+                for case in 0..config.cases {
+                    let seed = $crate::runtime::seed_for(stringify!($name), case);
+                    let mut rng = <$crate::runtime::StdRng as $crate::runtime::SeedableRng>::seed_from_u64(seed);
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::gen_value(&strategies, &mut rng);
+                    // The closure gives `prop_assume!` an early-exit channel
+                    // (plain `return` skips just this case).
+                    let run_case = move || { $body };
+                    run_case();
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_and_name_dependent() {
+        assert_eq!(
+            crate::runtime::seed_for("alpha", 3),
+            crate::runtime::seed_for("alpha", 3)
+        );
+        assert_ne!(
+            crate::runtime::seed_for("alpha", 3),
+            crate::runtime::seed_for("beta", 3)
+        );
+        assert_ne!(
+            crate::runtime::seed_for("alpha", 3),
+            crate::runtime::seed_for("alpha", 4)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            small in 0u8..4,
+            big in (10u64..20).prop_map(|v| v * 2),
+            word in any::<u16>(),
+        ) {
+            prop_assert!(small < 4);
+            prop_assert!((20..40).contains(&big));
+            prop_assert_eq!(big % 2, 0);
+            let _ = word; // full range: nothing to bound
+        }
+
+        #[test]
+        fn vec_strategy_respects_length_range(
+            items in prop::collection::vec((0u8..7, any::<u16>()), 3..9),
+        ) {
+            prop_assert!((3..9).contains(&items.len()));
+            for (k, _) in items {
+                prop_assert!(k < 7);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Test-runner configuration.
+
+/// How many cases each property test runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (everything else default).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

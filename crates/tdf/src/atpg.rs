@@ -85,10 +85,7 @@ impl TestSet {
 pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
     let faults = full_fault_list(design);
     let site_ok = testable_sites(design);
-    let testable: Vec<bool> = faults
-        .iter()
-        .map(|f| site_ok[f.site.index()])
-        .collect();
+    let testable: Vec<bool> = faults.iter().map(|f| site_ok[f.site.index()]).collect();
     let testable_n = testable.iter().filter(|&&t| t).count().max(1);
     let mut detected = vec![false; faults.len()];
     let mut detected_n = 0usize;
@@ -110,7 +107,10 @@ pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
             if detected[i] || !testable[i] {
                 continue;
             }
-            if !detector.detect(&base, std::slice::from_ref(fault)).is_empty() {
+            if !detector
+                .detect(&base, std::slice::from_ref(fault))
+                .is_empty()
+            {
                 detected[i] = true;
                 detected_n += 1;
                 new_hits += 1;
@@ -191,9 +191,6 @@ mod tests {
         let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
         let ts = generate_patterns(&d, &AtpgConfig::new(1, 256));
         let undet = undetected_faults(&d, &ts);
-        assert_eq!(
-            undet.len(),
-            ts.detected.iter().filter(|&&x| !x).count()
-        );
+        assert_eq!(undet.len(), ts.detected.iter().filter(|&&x| !x).count());
     }
 }

@@ -155,10 +155,7 @@ pub fn testable_sites(design: &M3dDesign) -> Vec<bool> {
                     .iter()
                     .any(|&(s, _)| reaches[s.index()]),
                 SitePos::Input(g, _) => reaches[g.index()],
-                SitePos::Miv(m) => design
-                    .far_sinks(m)
-                    .iter()
-                    .any(|&(s, _)| reaches[s.index()]),
+                SitePos::Miv(m) => design.far_sinks(m).iter().any(|&(s, _)| reaches[s.index()]),
             }
         })
         .collect()

@@ -161,12 +161,9 @@ impl<'a> BlockDetector<'a> {
             let g = nl.gate(gate);
             let mut inputs = [0u64; 4];
             for (pin, &n) in g.inputs().iter().enumerate() {
-                inputs[pin] =
-                    self.net_value(base, n) ^ self.branch_flip(gate, pin as u8);
+                inputs[pin] = self.net_value(base, n) ^ self.branch_flip(gate, pin as u8);
             }
-            let out = g
-                .output()
-                .expect("only combinational gates enter the heap");
+            let out = g.output().expect("only combinational gates enter the heap");
             let new = g.kind().eval(&inputs[..g.inputs().len()]);
             if new != self.net_value(base, out) {
                 self.set_net(out, new);
@@ -264,11 +261,7 @@ impl<'a> FaultSim<'a> {
 
     /// Simulates an injected fault set against every pattern and returns
     /// all failing `(pattern, flop)` captures.
-    pub fn detections(
-        &self,
-        detector: &mut BlockDetector<'_>,
-        faults: &[Fault],
-    ) -> Vec<Detection> {
+    pub fn detections(&self, detector: &mut BlockDetector<'_>, faults: &[Fault]) -> Vec<Detection> {
         let mut out = Vec::new();
         for (bi, base) in self.blocks.iter().enumerate() {
             for (bit, flop) in detector.detect(base, faults) {
@@ -399,16 +392,13 @@ mod tests {
                     continue;
                 }
                 let (sg, sp) = sinks[0];
-                if !nl.gate(sg).kind().is_combinational()
-                    && nl.gate(sg).kind() != m3d_netlist::GateKind::Dff
-                {
+                if !nl.gate(sg).kind().is_combinational() && nl.gate(sg).kind() != GateKind::Dff {
                     continue;
                 }
                 let branch_site = d.sites().input_site(sg, sp);
                 for pol in Polarity::ALL {
                     let stem = sim.detections(&mut det, &[Fault::new(site, pol)]);
-                    let branch =
-                        sim.detections(&mut det, &[Fault::new(branch_site, pol)]);
+                    let branch = sim.detections(&mut det, &[Fault::new(branch_site, pol)]);
                     assert_eq!(stem, branch, "single-sink stem ≡ branch");
                 }
                 checked += 1;

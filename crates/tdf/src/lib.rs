@@ -45,8 +45,7 @@ mod timing;
 
 pub use atpg::{generate_patterns, undetected_faults, AtpgConfig, TestSet};
 pub use fault::{
-    full_fault_list, injection_scope, site_net, testable_sites, Fault,
-    InjectionScope, Polarity,
+    full_fault_list, injection_scope, site_net, testable_sites, Fault, InjectionScope, Polarity,
 };
 pub use fsim::{BlockDetector, Detection, FaultSim};
 pub use log::{FailEntry, FailureLog};

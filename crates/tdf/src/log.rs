@@ -46,11 +46,7 @@ impl FailureLog {
     ///
     /// Detections are grouped per pattern and passed through the selected
     /// observation mode (compaction can alias pairs of failures away).
-    pub fn from_detections(
-        detections: &[Detection],
-        scan: &ScanChains,
-        mode: ObsMode,
-    ) -> Self {
+    pub fn from_detections(detections: &[Detection], scan: &ScanChains, mode: ObsMode) -> Self {
         let mut by_pattern: std::collections::BTreeMap<PatternId, Vec<m3d_netlist::FlopId>> =
             std::collections::BTreeMap::new();
         for d in detections {
@@ -85,8 +81,7 @@ impl FailureLog {
 
     /// The distinct failing patterns, ascending.
     pub fn failing_patterns(&self) -> Vec<PatternId> {
-        let mut v: Vec<PatternId> =
-            self.entries.iter().map(|e| e.pattern).collect();
+        let mut v: Vec<PatternId> = self.entries.iter().map(|e| e.pattern).collect();
         v.dedup();
         v
     }
@@ -153,8 +148,14 @@ mod tests {
         }
         let (f1, f2) = pair.expect("compacted channels share chains");
         let dets = vec![
-            Detection { pattern: 0, flop: f1 },
-            Detection { pattern: 0, flop: f2 },
+            Detection {
+                pattern: 0,
+                flop: f1,
+            },
+            Detection {
+                pattern: 0,
+                flop: f2,
+            },
         ];
         let log = FailureLog::from_detections(&dets, &s, ObsMode::Compacted);
         assert!(log.is_empty(), "even parity must alias to a pass");

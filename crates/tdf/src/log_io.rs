@@ -50,11 +50,7 @@ pub fn write_failure_log(log: &FailureLog) -> String {
     for e in log.entries() {
         match e.obs {
             ObsPoint::Flop(f) => {
-                out.push_str(&format!(
-                    "fail pattern {} flop {}\n",
-                    e.pattern,
-                    f.index()
-                ));
+                out.push_str(&format!("fail pattern {} flop {}\n", e.pattern, f.index()));
             }
             ObsPoint::ChannelCycle { channel, cycle } => {
                 out.push_str(&format!(
@@ -86,26 +82,23 @@ pub fn read_failure_log(text: &str) -> Result<FailureLog, ParseLogError> {
         };
         let toks: Vec<&str> = line.split_whitespace().collect();
         let parse_num = |tok: &str, what: &str| -> Result<u32, ParseLogError> {
-            tok.parse()
-                .map_err(|_| bad(&format!("bad {what} `{tok}`")))
+            tok.parse().map_err(|_| bad(&format!("bad {what} `{tok}`")))
         };
         match toks.as_slice() {
             ["fail", "pattern", p, "flop", f] => entries.push(FailEntry {
                 pattern: parse_num(p, "pattern")?,
-                obs: ObsPoint::Flop(FlopId::new(
-                    parse_num(f, "flop")? as usize
-                )),
+                obs: ObsPoint::Flop(FlopId::new(parse_num(f, "flop")? as usize)),
             }),
-            ["fail", "pattern", p, "channel", c, "cycle", y] => {
-                entries.push(FailEntry {
-                    pattern: parse_num(p, "pattern")?,
-                    obs: ObsPoint::ChannelCycle {
-                        channel: parse_num(c, "channel")? as u16,
-                        cycle: parse_num(y, "cycle")? as u16,
-                    },
-                })
-            }
-            _ => return Err(bad("expected `fail pattern <p> flop <f>` or `fail pattern <p> channel <c> cycle <y>`")),
+            ["fail", "pattern", p, "channel", c, "cycle", y] => entries.push(FailEntry {
+                pattern: parse_num(p, "pattern")?,
+                obs: ObsPoint::ChannelCycle {
+                    channel: parse_num(c, "channel")? as u16,
+                    cycle: parse_num(y, "cycle")? as u16,
+                },
+            }),
+            _ => return Err(bad(
+                "expected `fail pattern <p> flop <f>` or `fail pattern <p> channel <c> cycle <y>`",
+            )),
         }
     }
     Ok(entries.into_iter().collect())

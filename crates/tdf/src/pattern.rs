@@ -76,11 +76,7 @@ impl PatternSet {
         set
     }
 
-    pub(crate) fn random_block(
-        netlist: &Netlist,
-        rng: &mut StdRng,
-        count: u8,
-    ) -> PatternBlock {
+    pub(crate) fn random_block(netlist: &Netlist, rng: &mut StdRng, count: u8) -> PatternBlock {
         let mask = if count == 64 {
             !0u64
         } else {
@@ -152,8 +148,7 @@ mod tests {
         for n in [1, 63, 64, 65, 130] {
             let p = PatternSet::random(&nl, n, 1);
             assert_eq!(p.len(), n);
-            let total: usize =
-                p.blocks().iter().map(|b| b.count as usize).sum();
+            let total: usize = p.blocks().iter().map(|b| b.count as usize).sum();
             assert_eq!(total, n);
         }
     }

@@ -113,11 +113,7 @@ impl<'a> Simulator<'a> {
 
 /// Sanity helper: evaluates a single frame for one scalar pattern (used by
 /// tests to cross-check the parallel simulator lane by lane).
-pub fn eval_single_frame(
-    netlist: &Netlist,
-    pi: &[bool],
-    state: &[bool],
-) -> Vec<bool> {
+pub fn eval_single_frame(netlist: &Netlist, pi: &[bool], state: &[bool]) -> Vec<bool> {
     let pi_words: Vec<u64> = pi.iter().map(|&b| u64::from(b)).collect();
     let st_words: Vec<u64> = state.iter().map(|&b| u64::from(b)).collect();
     let sim = Simulator::new(netlist);
@@ -158,11 +154,7 @@ mod tests {
                 .collect();
             let nets = eval_single_frame(&nl, &pi, &st);
             for (i, &v) in nets.iter().enumerate() {
-                assert_eq!(
-                    (blk.f1[i] >> lane) & 1 == 1,
-                    v,
-                    "net {i}, lane {lane}"
-                );
+                assert_eq!((blk.f1[i] >> lane) & 1 == 1, v, "net {i}, lane {lane}");
             }
         }
     }

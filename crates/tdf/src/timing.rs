@@ -130,8 +130,7 @@ impl StaticTiming {
                 .map(|&i| arrival[i.index()] + net_delay(i))
                 .fold(0.0f32, f32::max);
             let out = gate.output().expect("combinational gates drive nets");
-            arrival[out.index()] =
-                in_arr + model.placed_gate_delay(gate.kind(), tier);
+            arrival[out.index()] = in_arr + model.placed_gate_delay(gate.kind(), tier);
         }
 
         // Backward pass: worst remaining delay to a capture point.
@@ -148,8 +147,7 @@ impl StaticTiming {
             if downstream[out.index()] == f32::NEG_INFINITY {
                 continue;
             }
-            let through =
-                downstream[out.index()] + model.placed_gate_delay(gate.kind(), tier);
+            let through = downstream[out.index()] + model.placed_gate_delay(gate.kind(), tier);
             for &i in gate.inputs() {
                 let v = through + net_delay(i);
                 if v > downstream[i.index()] {
@@ -206,23 +204,14 @@ impl StaticTiming {
     /// (infinite) TDF is detectable wherever this is finite; real small
     /// defects below this bound are *undetectable* and must be screened by
     /// faster-than-at-speed testing.
-    pub fn min_detectable_delta(
-        &self,
-        design: &M3dDesign,
-        site: SiteId,
-        clock_period: f32,
-    ) -> f32 {
+    pub fn min_detectable_delta(&self, design: &M3dDesign, site: SiteId, clock_period: f32) -> f32 {
         (clock_period - self.longest_path_through(design, site)).max(0.0)
     }
 
     /// Mean minimum-detectable delta per tier — the paper's motivation in
     /// numbers: the slow bottom-tier interconnect and degraded top-tier
     /// devices shift path slack differently per tier.
-    pub fn tier_slack_profile(
-        &self,
-        design: &M3dDesign,
-        clock_period: f32,
-    ) -> [f32; 2] {
+    pub fn tier_slack_profile(&self, design: &M3dDesign, clock_period: f32) -> [f32; 2] {
         let mut sum = [0.0f64; 2];
         let mut count = [0usize; 2];
         for (site, pos) in design.sites().iter() {
@@ -230,8 +219,7 @@ impl StaticTiming {
                 SitePos::Miv(_) => continue,
                 _ => design.tier_of_site(site).expect("pin sites have tiers"),
             };
-            sum[tier.index()] +=
-                f64::from(self.min_detectable_delta(design, site, clock_period));
+            sum[tier.index()] += f64::from(self.min_detectable_delta(design, site, clock_period));
             count[tier.index()] += 1;
         }
         [
@@ -311,9 +299,7 @@ mod tests {
         // Paths through MIVs must lengthen; critical path can only grow.
         assert!(t1.critical_path() >= t0.critical_path());
         let m = d.miv_site(0);
-        assert!(
-            t1.longest_path_through(&d, m) > t0.longest_path_through(&d, m)
-        );
+        assert!(t1.longest_path_through(&d, m) > t0.longest_path_through(&d, m));
     }
 
     #[test]

@@ -11,12 +11,9 @@
 //! Run with: `cargo run --release --example miv_screening`
 
 use m3d_fault_diagnosis::dft::ObsMode;
-use m3d_fault_diagnosis::diagnosis::{
-    miv_equivalent, Diagnoser, DiagnosisConfig,
-};
+use m3d_fault_diagnosis::diagnosis::{miv_equivalent, Diagnoser, DiagnosisConfig};
 use m3d_fault_diagnosis::fault_localization::{
-    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
-    InjectionKind, TestEnv,
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind, TestEnv,
 };
 use m3d_fault_diagnosis::netlist::generate::Benchmark;
 use m3d_fault_diagnosis::part::DesignConfig;
@@ -32,14 +29,7 @@ fn main() {
     // Train with a mixture rich in MIV faults so the pinpointer sees
     // positives.
     let fsim = env.fault_sim();
-    let mut train = generate_samples(
-        &env,
-        &fsim,
-        ObsMode::Bypass,
-        InjectionKind::Single,
-        100,
-        3,
-    );
+    let mut train = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 100, 3);
     train.extend(generate_samples(
         &env,
         &fsim,
@@ -86,8 +76,7 @@ fn main() {
             .candidates()
             .iter()
             .position(|c| {
-                miv_equivalent(&env.design, c.fault.site)
-                    .is_some_and(|m| Some(m) == truth)
+                miv_equivalent(&env.design, c.fault.site).is_some_and(|m| Some(m) == truth)
             })
             .map(|p| p + 1);
         if rank == Some(1) {

@@ -10,8 +10,7 @@
 use m3d_fault_diagnosis::dft::ObsMode;
 use m3d_fault_diagnosis::diagnosis::{Diagnoser, DiagnosisConfig};
 use m3d_fault_diagnosis::fault_localization::{
-    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
-    InjectionKind, TestEnv,
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind, TestEnv,
 };
 use m3d_fault_diagnosis::netlist::generate::Benchmark;
 use m3d_fault_diagnosis::part::DesignConfig;
@@ -32,14 +31,7 @@ fn main() {
 
     // 2. Train the framework on simulated failing chips (Fig. 4 flow).
     let fsim = env.fault_sim();
-    let train = generate_samples(
-        &env,
-        &fsim,
-        ObsMode::Bypass,
-        InjectionKind::Single,
-        120,
-        1,
-    );
+    let train = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 120, 1);
     let refs: Vec<&DiagSample> = train.iter().collect();
     let framework = FaultLocalizer::train(&refs, &FrameworkConfig::default());
     println!(

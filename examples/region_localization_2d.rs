@@ -11,8 +11,7 @@
 
 use m3d_fault_diagnosis::dft::ObsMode;
 use m3d_fault_diagnosis::fault_localization::{
-    generate_samples, DiagSample, InjectionKind, ModelConfig, RegionMap,
-    RegionPredictor, TestEnv,
+    generate_samples, DiagSample, InjectionKind, ModelConfig, RegionMap, RegionPredictor, TestEnv,
 };
 use m3d_fault_diagnosis::netlist::generate::Benchmark;
 use m3d_fault_diagnosis::part::DesignConfig;
@@ -29,31 +28,12 @@ fn main() {
     );
 
     let fsim = env.fault_sim();
-    let train = generate_samples(
-        &env,
-        &fsim,
-        ObsMode::Bypass,
-        InjectionKind::Single,
-        200,
-        1,
-    );
-    let test = generate_samples(
-        &env,
-        &fsim,
-        ObsMode::Bypass,
-        InjectionKind::Single,
-        50,
-        999,
-    );
+    let train = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 200, 1);
+    let test = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 50, 999);
     let train_refs: Vec<&DiagSample> = train.iter().collect();
     let test_refs: Vec<&DiagSample> = test.iter().collect();
 
-    let model = RegionPredictor::train(
-        &env.design,
-        &map,
-        &train_refs,
-        &ModelConfig::default(),
-    );
+    let model = RegionPredictor::train(&env.design, &map, &train_refs, &ModelConfig::default());
     let acc = model.accuracy(&env.design, &map, &test_refs);
     println!(
         "region localization accuracy on {} unseen chips: {:.1}% (chance {:.1}%)",
@@ -69,8 +49,7 @@ fn main() {
         let truth = map.region_of_site(&env.design, chip.injected[0].site);
         let pred = model.predict(&env.design, &map, sg);
         let proba = model.predict_proba(&env.design, &map, sg);
-        let probs: Vec<String> =
-            proba.iter().map(|p| format!("{p:.2}")).collect();
+        let probs: Vec<String> = proba.iter().map(|p| format!("{p:.2}")).collect();
         println!(
             "  {:<3} {:<12} {:<10} [{}] {}",
             i + 1,

@@ -20,9 +20,7 @@ fn main() {
     println!(
         "timing model: top-tier device ×{:.2}, bottom-tier wire ×{:.2}, \
          MIV +{:.2}",
-        model.top_tier_device_penalty,
-        model.bottom_tier_wire_penalty,
-        model.miv_delay
+        model.top_tier_device_penalty, model.bottom_tier_wire_penalty, model.miv_delay
     );
     println!(
         "\n{:<9} {:>9} {:>12} {:>12} {:>14}",

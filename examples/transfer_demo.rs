@@ -10,8 +10,7 @@
 
 use m3d_fault_diagnosis::dft::ObsMode;
 use m3d_fault_diagnosis::fault_localization::{
-    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
-    InjectionKind, TestEnv,
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind, TestEnv,
 };
 use m3d_fault_diagnosis::netlist::generate::Benchmark;
 use m3d_fault_diagnosis::part::DesignConfig;
@@ -60,8 +59,7 @@ fn main() {
     for config in DesignConfig::ALL {
         let env = TestEnv::build(bench, config, target);
         let fsim = env.fault_sim();
-        let test =
-            generate_samples(&env, &fsim, mode, InjectionKind::Single, 40, 555);
+        let test = generate_samples(&env, &fsim, mode, InjectionKind::Single, 40, 555);
         let test_refs: Vec<&DiagSample> = test.iter().collect();
         let acc = framework.tier.accuracy(&test_refs);
         println!("{:<8} {:.1}%", config.name(), acc * 100.0);

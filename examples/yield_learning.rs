@@ -13,13 +13,12 @@
 
 use m3d_fault_diagnosis::dft::ObsMode;
 use m3d_fault_diagnosis::fault_localization::{
-    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
-    InjectionKind, TestEnv,
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind, TestEnv,
 };
+use m3d_fault_diagnosis::hetgraph::back_trace;
 use m3d_fault_diagnosis::netlist::generate::Benchmark;
 use m3d_fault_diagnosis::part::{DesignConfig, Tier};
 use m3d_fault_diagnosis::tdf::{FailureLog, FaultSim};
-use m3d_fault_diagnosis::hetgraph::back_trace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -61,8 +60,7 @@ fn main() {
     let mut detector = fsim.detector();
     for _ in 0..lot_size {
         let k = *[2usize, 3, 4, 5].choose(&mut rng).expect("non-empty");
-        let injected: Vec<_> =
-            top_faults.choose_multiple(&mut rng, k).copied().collect();
+        let injected: Vec<_> = top_faults.choose_multiple(&mut rng, k).copied().collect();
         let dets = fsim.detections(&mut detector, &injected);
         let log = FailureLog::from_detections(&dets, &env.scan, ObsMode::Compacted);
         if log.is_empty() {

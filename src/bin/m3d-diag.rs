@@ -8,6 +8,8 @@
 //! m3d-diag inject    --netlist F --partition F --site K [--fall] [--patterns N] [--compacted] [-o FILE]
 //! m3d-diag diagnose  --netlist F --partition F --log F [--patterns N] [--compacted]
 //! m3d-diag demo      --bench tate [--target N] [--compacted]
+//! m3d-diag lint      [--bench all|aes|tate|netcard|leon3mp] [--target N] [--samples N] [--json]
+//! m3d-diag lint      --netlist F [--partition F] [--json]
 //! ```
 //!
 //! File formats are the plain-text ones of `m3d_netlist::io`,
@@ -22,18 +24,15 @@ use std::process::ExitCode;
 use m3d_fault_diagnosis::dft::{ObsMode, ScanChains, ScanConfig};
 use m3d_fault_diagnosis::diagnosis::{Diagnoser, DiagnosisConfig};
 use m3d_fault_diagnosis::fault_localization::{
-    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig,
-    InjectionKind, TestEnv,
+    generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind, TestEnv,
 };
 use m3d_fault_diagnosis::netlist::generate::{Benchmark, GenParams};
 use m3d_fault_diagnosis::netlist::io::{read_netlist, write_netlist};
 use m3d_fault_diagnosis::netlist::{Netlist, SiteId};
-use m3d_fault_diagnosis::part::{
-    read_partition, write_partition, M3dDesign, PartitionAlgo,
-};
+use m3d_fault_diagnosis::part::{read_partition, write_partition, M3dDesign, PartitionAlgo};
 use m3d_fault_diagnosis::tdf::{
-    generate_patterns, read_failure_log, write_failure_log, AtpgConfig, Fault,
-    FailureLog, FaultSim, Polarity,
+    generate_patterns, read_failure_log, write_failure_log, AtpgConfig, FailureLog, Fault,
+    FaultSim, Polarity,
 };
 
 fn main() -> ExitCode {
@@ -108,6 +107,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "inject" => cmd_inject(rest),
         "diagnose" => cmd_diagnose(rest),
         "demo" => cmd_demo(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -117,7 +117,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: m3d-diag <gen|partition|stats|inject|diagnose|demo|help> [flags]\n\
+    "usage: m3d-diag <gen|partition|stats|inject|diagnose|demo|lint|help> [flags]\n\
      see the binary's doc comment for per-command flags"
         .to_owned()
 }
@@ -131,16 +131,14 @@ fn parse_bench(name: &str) -> Result<Benchmark, String> {
 
 fn load_netlist(flags: &Flags) -> Result<Netlist, String> {
     let path = flags.require("netlist")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     read_netlist(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load_design(flags: &Flags) -> Result<M3dDesign, String> {
     let nl = load_netlist(flags)?;
     let path = flags.require("partition")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let part = read_partition(&nl, &text)?;
     Ok(M3dDesign::new(nl, part))
 }
@@ -151,8 +149,7 @@ fn emit(flags: &Flags, text: &str) -> Result<(), String> {
             print!("{text}");
             Ok(())
         }
-        Some(path) => std::fs::write(path, text)
-            .map_err(|e| format!("writing {path}: {e}")),
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}")),
     }
 }
 
@@ -169,9 +166,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     let bench = parse_bench(flags.require("bench")?)?;
     let mut params = GenParams::new(flags.num("synth-seed", 1u64)?);
     if let Some(t) = flags.get("target") {
-        params = params.with_target(
-            t.parse().map_err(|_| format!("bad --target `{t}`"))?,
-        );
+        params = params.with_target(t.parse().map_err(|_| format!("bad --target `{t}`"))?);
     }
     let nl = bench.generate(&params);
     emit(&flags, &write_netlist(&nl))
@@ -203,8 +198,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("  depth          {}", s.depth);
     println!("  area (NAND2)   {:.0}", s.area);
     if let Some(path) = flags.get("partition") {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("reading {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let part = read_partition(&nl, &text)?;
         let design = M3dDesign::new(nl, part);
         println!("  MIVs           {}", design.miv_count());
@@ -263,42 +257,113 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["compacted"])?;
     let design = load_design(&flags)?;
     let log_path = flags.require("log")?;
-    let log_text = std::fs::read_to_string(log_path)
-        .map_err(|e| format!("reading {log_path}: {e}"))?;
+    let log_text =
+        std::fs::read_to_string(log_path).map_err(|e| format!("reading {log_path}: {e}"))?;
     let log = read_failure_log(&log_text).map_err(|e| format!("{log_path}: {e}"))?;
     let (scan, ts) = test_setup(&design, &flags)?;
     let fsim = FaultSim::new(&design, &ts.patterns);
-    let diagnoser =
-        Diagnoser::new(&fsim, &scan, mode_of(&flags), DiagnosisConfig::default());
+    let diagnoser = Diagnoser::new(&fsim, &scan, mode_of(&flags), DiagnosisConfig::default());
     let report = diagnoser.diagnose(&log);
     print!("{report}");
+    Ok(())
+}
+
+/// `m3d-diag lint`: static analysis over generated benchmarks or files.
+///
+/// Without `--netlist`, builds each selected benchmark archetype end to
+/// end (design, scan, a few diagnosis samples, and a TPI variant of the
+/// netlist) and lints the lot. With `--netlist` (and optionally
+/// `--partition`), lints the given files instead. Exits nonzero when any
+/// target carries error-severity diagnostics.
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    use m3d_fault_diagnosis::lint::{LintReport, LintRunner, LintTarget};
+
+    let flags = Flags::parse(args, &["json", "compacted"])?;
+    let runner = LintRunner::new();
+    let mut reports: Vec<LintReport> = Vec::new();
+
+    if flags.get("netlist").is_some() {
+        if flags.get("partition").is_some() {
+            let design = load_design(&flags)?;
+            let target = LintTarget::new(design.netlist().name()).design(&design);
+            reports.push(runner.run(&target));
+        } else {
+            let nl = load_netlist(&flags)?;
+            reports.push(runner.run(&LintTarget::new(nl.name()).netlist(&nl)));
+        }
+    } else {
+        let benches: Vec<Benchmark> = match flags.get("bench").unwrap_or("all") {
+            "all" => Benchmark::ALL.to_vec(),
+            name => vec![parse_bench(name)?],
+        };
+        let target_size = flags.num("target", 400usize)?;
+        let n_samples = flags.num("samples", 4usize)?;
+        let seed = flags.num("seed", 1u64)?;
+        let mode = mode_of(&flags);
+        for bench in benches {
+            let env = TestEnv::build(
+                bench,
+                m3d_fault_diagnosis::part::DesignConfig::Syn1,
+                Some(target_size),
+            );
+            let fsim = env.fault_sim();
+            let samples =
+                generate_samples(&env, &fsim, mode, InjectionKind::Single, n_samples, seed);
+            let target = LintTarget::new(bench.name())
+                .design(&env.design)
+                .scan(&env.scan)
+                .samples(&samples);
+            reports.push(runner.run(&target));
+            let tpi = m3d_fault_diagnosis::netlist::tpi::insert_test_points(
+                env.design.netlist().clone(),
+                0.01,
+                seed,
+            );
+            let tpi_target = LintTarget::new(tpi.name()).netlist(&tpi);
+            reports.push(runner.run(&tpi_target));
+        }
+    }
+
+    if flags.flag("json") {
+        let body: Vec<String> = reports.iter().map(LintReport::render_json).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for r in &reports {
+            print!("{}", r.render_text());
+        }
+    }
+    let errors: usize = reports.iter().map(LintReport::error_count).sum();
+    if errors > 0 {
+        return Err(format!("lint found {errors} error(s)"));
+    }
     Ok(())
 }
 
 fn cmd_demo(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["compacted"])?;
     let bench = parse_bench(flags.get("bench").unwrap_or("aes"))?;
-    let target = flags.get("target").map(|t| t.parse().map_err(|_| "bad --target")).transpose()?;
+    let target = flags
+        .get("target")
+        .map(|t| t.parse().map_err(|_| "bad --target"))
+        .transpose()?;
     let mode = mode_of(&flags);
     eprintln!("building {} ({:?})…", bench.name(), mode);
-    let env = TestEnv::build(
-        bench,
-        m3d_fault_diagnosis::part::DesignConfig::Syn1,
-        target,
-    );
+    let env = TestEnv::build(bench, m3d_fault_diagnosis::part::DesignConfig::Syn1, target);
     let fsim = env.fault_sim();
     eprintln!("training framework…");
     let train = generate_samples(&env, &fsim, mode, InjectionKind::Single, 120, 1);
     let refs: Vec<&DiagSample> = train.iter().collect();
     let fw = FaultLocalizer::train(&refs, &FrameworkConfig::default());
     let chip = &generate_samples(&env, &fsim, mode, InjectionKind::Single, 1, 0xD431)[0];
-    let diagnoser =
-        Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
+    let diagnoser = Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
     let report = diagnoser.diagnose(&chip.log);
     let outcome = fw.enhance(&env.design, &report, chip);
     println!("ground truth: {:?}", chip.injected);
     if let Some((tier, p)) = outcome.predicted_tier {
-        println!("predicted faulty tier: {tier} (p = {p:.3}, Tp = {:.3})", fw.tp_threshold);
+        println!(
+            "predicted faulty tier: {tier} (p = {p:.3}, Tp = {:.3})",
+            fw.tp_threshold
+        );
     }
     println!("action: {:?}", outcome.action);
     print!("{}", outcome.report);

@@ -12,6 +12,7 @@ pub use m3d_diagnosis as diagnosis;
 pub use m3d_fault_localization as fault_localization;
 pub use m3d_gnn as gnn;
 pub use m3d_hetgraph as hetgraph;
+pub use m3d_lint as lint;
 pub use m3d_netlist as netlist;
 pub use m3d_part as part;
 pub use m3d_tdf as tdf;

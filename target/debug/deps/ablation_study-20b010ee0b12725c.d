@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_study-20b010ee0b12725c.d: crates/bench/src/bin/ablation_study.rs
+
+/root/repo/target/debug/deps/ablation_study-20b010ee0b12725c: crates/bench/src/bin/ablation_study.rs
+
+crates/bench/src/bin/ablation_study.rs:

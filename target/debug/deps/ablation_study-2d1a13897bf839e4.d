@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_study-2d1a13897bf839e4.d: crates/bench/src/bin/ablation_study.rs
+
+/root/repo/target/debug/deps/ablation_study-2d1a13897bf839e4: crates/bench/src/bin/ablation_study.rs
+
+crates/bench/src/bin/ablation_study.rs:

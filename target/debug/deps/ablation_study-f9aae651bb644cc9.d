@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_study-f9aae651bb644cc9.d: crates/bench/src/bin/ablation_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_study-f9aae651bb644cc9.rmeta: crates/bench/src/bin/ablation_study.rs Cargo.toml
+
+crates/bench/src/bin/ablation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

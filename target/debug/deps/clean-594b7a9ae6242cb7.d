@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clean-594b7a9ae6242cb7.d: crates/lint/tests/clean.rs
+
+/root/repo/target/debug/deps/clean-594b7a9ae6242cb7: crates/lint/tests/clean.rs
+
+crates/lint/tests/clean.rs:

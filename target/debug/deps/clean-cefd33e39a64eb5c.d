@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clean-cefd33e39a64eb5c.d: crates/lint/tests/clean.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclean-cefd33e39a64eb5c.rmeta: crates/lint/tests/clean.rs Cargo.toml
+
+crates/lint/tests/clean.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

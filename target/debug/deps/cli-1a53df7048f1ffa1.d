@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-1a53df7048f1ffa1.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-1a53df7048f1ffa1: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_m3d-diag=/root/repo/target/debug/m3d-diag

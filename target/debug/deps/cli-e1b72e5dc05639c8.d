@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-e1b72e5dc05639c8.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-e1b72e5dc05639c8.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_m3d-diag=placeholder:m3d-diag
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

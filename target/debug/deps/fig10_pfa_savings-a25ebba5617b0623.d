@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_pfa_savings-a25ebba5617b0623.d: crates/bench/src/bin/fig10_pfa_savings.rs
+
+/root/repo/target/debug/deps/fig10_pfa_savings-a25ebba5617b0623: crates/bench/src/bin/fig10_pfa_savings.rs
+
+crates/bench/src/bin/fig10_pfa_savings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_pfa_savings-b03e0294384d3229.d: crates/bench/src/bin/fig10_pfa_savings.rs
+
+/root/repo/target/debug/deps/fig10_pfa_savings-b03e0294384d3229: crates/bench/src/bin/fig10_pfa_savings.rs
+
+crates/bench/src/bin/fig10_pfa_savings.rs:

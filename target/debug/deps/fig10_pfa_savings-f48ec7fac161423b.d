@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_pfa_savings-f48ec7fac161423b.d: crates/bench/src/bin/fig10_pfa_savings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_pfa_savings-f48ec7fac161423b.rmeta: crates/bench/src/bin/fig10_pfa_savings.rs Cargo.toml
+
+crates/bench/src/bin/fig10_pfa_savings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pca_embedding-2cc797d66153d846.d: crates/bench/src/bin/fig5_pca_embedding.rs
+
+/root/repo/target/debug/deps/fig5_pca_embedding-2cc797d66153d846: crates/bench/src/bin/fig5_pca_embedding.rs
+
+crates/bench/src/bin/fig5_pca_embedding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_pca_embedding-ded5d8e44f0d18f3.d: crates/bench/src/bin/fig5_pca_embedding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_pca_embedding-ded5d8e44f0d18f3.rmeta: crates/bench/src/bin/fig5_pca_embedding.rs Cargo.toml
+
+crates/bench/src/bin/fig5_pca_embedding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

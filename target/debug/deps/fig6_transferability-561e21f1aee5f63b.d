@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_transferability-561e21f1aee5f63b.d: crates/bench/src/bin/fig6_transferability.rs
+
+/root/repo/target/debug/deps/fig6_transferability-561e21f1aee5f63b: crates/bench/src/bin/fig6_transferability.rs
+
+crates/bench/src/bin/fig6_transferability.rs:

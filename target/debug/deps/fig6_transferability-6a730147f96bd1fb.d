@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_transferability-6a730147f96bd1fb.d: crates/bench/src/bin/fig6_transferability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_transferability-6a730147f96bd1fb.rmeta: crates/bench/src/bin/fig6_transferability.rs Cargo.toml
+
+crates/bench/src/bin/fig6_transferability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_transferability-7139ea352629a846.d: crates/bench/src/bin/fig6_transferability.rs
+
+/root/repo/target/debug/deps/fig6_transferability-7139ea352629a846: crates/bench/src/bin/fig6_transferability.rs
+
+crates/bench/src/bin/fig6_transferability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grad_check-95825c247e6842c2.d: crates/gnn/tests/grad_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrad_check-95825c247e6842c2.rmeta: crates/gnn/tests/grad_check.rs Cargo.toml
+
+crates/gnn/tests/grad_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

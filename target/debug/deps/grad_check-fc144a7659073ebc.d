@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grad_check-fc144a7659073ebc.d: crates/gnn/tests/grad_check.rs
+
+/root/repo/target/debug/deps/grad_check-fc144a7659073ebc: crates/gnn/tests/grad_check.rs
+
+crates/gnn/tests/grad_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/io_round_trip-78f1e83fafa2cc50.d: tests/io_round_trip.rs
+
+/root/repo/target/debug/deps/io_round_trip-78f1e83fafa2cc50: tests/io_round_trip.rs
+
+tests/io_round_trip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/io_round_trip-bbc3345fa873de18.d: tests/io_round_trip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libio_round_trip-bbc3345fa873de18.rmeta: tests/io_round_trip.rs Cargo.toml
+
+tests/io_round_trip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m3d_bench-08c572d2d9ddd6bc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libm3d_bench-08c572d2d9ddd6bc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libm3d_bench-08c572d2d9ddd6bc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m3d_bench-3effa333c3b08227.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/m3d_bench-3effa333c3b08227: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m3d_dft-71db107a50121a13.d: crates/dft/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_dft-71db107a50121a13.rmeta: crates/dft/src/lib.rs Cargo.toml
+
+crates/dft/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

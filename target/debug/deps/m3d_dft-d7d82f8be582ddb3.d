@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m3d_dft-d7d82f8be582ddb3.d: crates/dft/src/lib.rs
+
+/root/repo/target/debug/deps/m3d_dft-d7d82f8be582ddb3: crates/dft/src/lib.rs
+
+crates/dft/src/lib.rs:

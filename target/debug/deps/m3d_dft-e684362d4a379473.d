@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m3d_dft-e684362d4a379473.d: crates/dft/src/lib.rs
+
+/root/repo/target/debug/deps/libm3d_dft-e684362d4a379473.rlib: crates/dft/src/lib.rs
+
+/root/repo/target/debug/deps/libm3d_dft-e684362d4a379473.rmeta: crates/dft/src/lib.rs
+
+crates/dft/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m3d_diag-b440af6eec672905.d: src/bin/m3d-diag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_diag-b440af6eec672905.rmeta: src/bin/m3d-diag.rs Cargo.toml
+
+src/bin/m3d-diag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m3d_diag-db68db4192c5a657.d: src/bin/m3d-diag.rs
+
+/root/repo/target/debug/deps/m3d_diag-db68db4192c5a657: src/bin/m3d-diag.rs
+
+src/bin/m3d-diag.rs:

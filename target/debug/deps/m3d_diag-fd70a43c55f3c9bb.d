@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m3d_diag-fd70a43c55f3c9bb.d: src/bin/m3d-diag.rs
+
+/root/repo/target/debug/deps/m3d_diag-fd70a43c55f3c9bb: src/bin/m3d-diag.rs
+
+src/bin/m3d-diag.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m3d_diagnosis-4abe244a9903cde0.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs
+
+/root/repo/target/debug/deps/m3d_diagnosis-4abe244a9903cde0: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/baseline.rs:
+crates/diagnosis/src/engine.rs:
+crates/diagnosis/src/metrics.rs:
+crates/diagnosis/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/m3d_diagnosis-65c8abfcd70aafe6.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs
+
+/root/repo/target/debug/deps/libm3d_diagnosis-65c8abfcd70aafe6.rlib: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs
+
+/root/repo/target/debug/deps/libm3d_diagnosis-65c8abfcd70aafe6.rmeta: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/baseline.rs:
+crates/diagnosis/src/engine.rs:
+crates/diagnosis/src/metrics.rs:
+crates/diagnosis/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/m3d_diagnosis-f2497a5297319fb4.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_diagnosis-f2497a5297319fb4.rmeta: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs Cargo.toml
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/baseline.rs:
+crates/diagnosis/src/engine.rs:
+crates/diagnosis/src/metrics.rs:
+crates/diagnosis/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/m3d_fault_diagnosis-0eaa52becc92493f.d: src/lib.rs
+
+/root/repo/target/debug/deps/m3d_fault_diagnosis-0eaa52becc92493f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m3d_fault_diagnosis-35fc13edb459822c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_fault_diagnosis-35fc13edb459822c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

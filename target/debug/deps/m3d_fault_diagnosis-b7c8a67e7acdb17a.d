@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m3d_fault_diagnosis-b7c8a67e7acdb17a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_fault_diagnosis-b7c8a67e7acdb17a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

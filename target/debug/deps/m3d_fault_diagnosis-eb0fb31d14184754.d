@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m3d_fault_diagnosis-eb0fb31d14184754.d: src/lib.rs
+
+/root/repo/target/debug/deps/libm3d_fault_diagnosis-eb0fb31d14184754.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libm3d_fault_diagnosis-eb0fb31d14184754.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/m3d_fault_localization-5171116961a084cc.d: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs
+
+/root/repo/target/debug/deps/m3d_fault_localization-5171116961a084cc: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classifier.rs:
+crates/core/src/env.rs:
+crates/core/src/eval.rs:
+crates/core/src/framework.rs:
+crates/core/src/models.rs:
+crates/core/src/policy.rs:
+crates/core/src/region.rs:
+crates/core/src/sample.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/m3d_fault_localization-75710a8d0ecca1fa.d: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_fault_localization-75710a8d0ecca1fa.rmeta: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/classifier.rs:
+crates/core/src/env.rs:
+crates/core/src/eval.rs:
+crates/core/src/framework.rs:
+crates/core/src/models.rs:
+crates/core/src/policy.rs:
+crates/core/src/region.rs:
+crates/core/src/sample.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

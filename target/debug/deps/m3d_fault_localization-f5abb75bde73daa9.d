@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/m3d_fault_localization-f5abb75bde73daa9.d: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs
+
+/root/repo/target/debug/deps/libm3d_fault_localization-f5abb75bde73daa9.rlib: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs
+
+/root/repo/target/debug/deps/libm3d_fault_localization-f5abb75bde73daa9.rmeta: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classifier.rs:
+crates/core/src/env.rs:
+crates/core/src/eval.rs:
+crates/core/src/framework.rs:
+crates/core/src/models.rs:
+crates/core/src/policy.rs:
+crates/core/src/region.rs:
+crates/core/src/sample.rs:

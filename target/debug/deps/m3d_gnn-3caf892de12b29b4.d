@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/m3d_gnn-3caf892de12b29b4.d: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_gnn-3caf892de12b29b4.rmeta: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs Cargo.toml
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/graph.rs:
+crates/gnn/src/layers.rs:
+crates/gnn/src/matrix.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/pca.rs:
+crates/gnn/src/significance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

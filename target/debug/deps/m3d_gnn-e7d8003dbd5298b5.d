@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/m3d_gnn-e7d8003dbd5298b5.d: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs
+
+/root/repo/target/debug/deps/m3d_gnn-e7d8003dbd5298b5: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/graph.rs:
+crates/gnn/src/layers.rs:
+crates/gnn/src/matrix.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/pca.rs:
+crates/gnn/src/significance.rs:

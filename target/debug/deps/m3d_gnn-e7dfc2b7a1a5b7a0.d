@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/m3d_gnn-e7dfc2b7a1a5b7a0.d: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs
+
+/root/repo/target/debug/deps/libm3d_gnn-e7dfc2b7a1a5b7a0.rlib: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs
+
+/root/repo/target/debug/deps/libm3d_gnn-e7dfc2b7a1a5b7a0.rmeta: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/graph.rs:
+crates/gnn/src/layers.rs:
+crates/gnn/src/matrix.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/pca.rs:
+crates/gnn/src/significance.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/m3d_hetgraph-301d4123ea9e2df7.d: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_hetgraph-301d4123ea9e2df7.rmeta: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs Cargo.toml
+
+crates/hetgraph/src/lib.rs:
+crates/hetgraph/src/graph.rs:
+crates/hetgraph/src/subgraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

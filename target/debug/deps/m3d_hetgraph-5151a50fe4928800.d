@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m3d_hetgraph-5151a50fe4928800.d: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs
+
+/root/repo/target/debug/deps/libm3d_hetgraph-5151a50fe4928800.rlib: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs
+
+/root/repo/target/debug/deps/libm3d_hetgraph-5151a50fe4928800.rmeta: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs
+
+crates/hetgraph/src/lib.rs:
+crates/hetgraph/src/graph.rs:
+crates/hetgraph/src/subgraph.rs:

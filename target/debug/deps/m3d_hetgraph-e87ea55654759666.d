@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/m3d_hetgraph-e87ea55654759666.d: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs
+
+/root/repo/target/debug/deps/m3d_hetgraph-e87ea55654759666: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs
+
+crates/hetgraph/src/lib.rs:
+crates/hetgraph/src/graph.rs:
+crates/hetgraph/src/subgraph.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/m3d_lint-250afd7fb74cf7eb.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/dft.rs crates/lint/src/passes/m3d.rs crates/lint/src/passes/netlist.rs crates/lint/src/passes/tensor.rs crates/lint/src/report.rs crates/lint/src/runner.rs
+
+/root/repo/target/debug/deps/m3d_lint-250afd7fb74cf7eb: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/dft.rs crates/lint/src/passes/m3d.rs crates/lint/src/passes/netlist.rs crates/lint/src/passes/tensor.rs crates/lint/src/report.rs crates/lint/src/runner.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/dft.rs:
+crates/lint/src/passes/m3d.rs:
+crates/lint/src/passes/netlist.rs:
+crates/lint/src/passes/tensor.rs:
+crates/lint/src/report.rs:
+crates/lint/src/runner.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/m3d_lint-b418298d9f510ea8.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/dft.rs crates/lint/src/passes/m3d.rs crates/lint/src/passes/netlist.rs crates/lint/src/passes/tensor.rs crates/lint/src/report.rs crates/lint/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_lint-b418298d9f510ea8.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/dft.rs crates/lint/src/passes/m3d.rs crates/lint/src/passes/netlist.rs crates/lint/src/passes/tensor.rs crates/lint/src/report.rs crates/lint/src/runner.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/dft.rs:
+crates/lint/src/passes/m3d.rs:
+crates/lint/src/passes/netlist.rs:
+crates/lint/src/passes/tensor.rs:
+crates/lint/src/report.rs:
+crates/lint/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

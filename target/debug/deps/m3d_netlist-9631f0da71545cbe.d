@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/m3d_netlist-9631f0da71545cbe.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/ids.rs crates/netlist/src/netlist.rs crates/netlist/src/site.rs crates/netlist/src/check.rs crates/netlist/src/generate/mod.rs crates/netlist/src/generate/aes.rs crates/netlist/src/generate/leon3mp.rs crates/netlist/src/generate/netcard.rs crates/netlist/src/generate/tate.rs crates/netlist/src/io.rs crates/netlist/src/raw.rs crates/netlist/src/tpi.rs crates/netlist/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_netlist-9631f0da71545cbe.rmeta: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/ids.rs crates/netlist/src/netlist.rs crates/netlist/src/site.rs crates/netlist/src/check.rs crates/netlist/src/generate/mod.rs crates/netlist/src/generate/aes.rs crates/netlist/src/generate/leon3mp.rs crates/netlist/src/generate/netcard.rs crates/netlist/src/generate/tate.rs crates/netlist/src/io.rs crates/netlist/src/raw.rs crates/netlist/src/tpi.rs crates/netlist/src/transform.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/site.rs:
+crates/netlist/src/check.rs:
+crates/netlist/src/generate/mod.rs:
+crates/netlist/src/generate/aes.rs:
+crates/netlist/src/generate/leon3mp.rs:
+crates/netlist/src/generate/netcard.rs:
+crates/netlist/src/generate/tate.rs:
+crates/netlist/src/io.rs:
+crates/netlist/src/raw.rs:
+crates/netlist/src/tpi.rs:
+crates/netlist/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

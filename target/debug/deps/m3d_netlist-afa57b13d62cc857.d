@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/m3d_netlist-afa57b13d62cc857.d: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/ids.rs crates/netlist/src/netlist.rs crates/netlist/src/site.rs crates/netlist/src/check.rs crates/netlist/src/generate/mod.rs crates/netlist/src/generate/aes.rs crates/netlist/src/generate/leon3mp.rs crates/netlist/src/generate/netcard.rs crates/netlist/src/generate/tate.rs crates/netlist/src/io.rs crates/netlist/src/raw.rs crates/netlist/src/tpi.rs crates/netlist/src/transform.rs
+
+/root/repo/target/debug/deps/m3d_netlist-afa57b13d62cc857: crates/netlist/src/lib.rs crates/netlist/src/builder.rs crates/netlist/src/error.rs crates/netlist/src/gate.rs crates/netlist/src/ids.rs crates/netlist/src/netlist.rs crates/netlist/src/site.rs crates/netlist/src/check.rs crates/netlist/src/generate/mod.rs crates/netlist/src/generate/aes.rs crates/netlist/src/generate/leon3mp.rs crates/netlist/src/generate/netcard.rs crates/netlist/src/generate/tate.rs crates/netlist/src/io.rs crates/netlist/src/raw.rs crates/netlist/src/tpi.rs crates/netlist/src/transform.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/ids.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/site.rs:
+crates/netlist/src/check.rs:
+crates/netlist/src/generate/mod.rs:
+crates/netlist/src/generate/aes.rs:
+crates/netlist/src/generate/leon3mp.rs:
+crates/netlist/src/generate/netcard.rs:
+crates/netlist/src/generate/tate.rs:
+crates/netlist/src/io.rs:
+crates/netlist/src/raw.rs:
+crates/netlist/src/tpi.rs:
+crates/netlist/src/transform.rs:

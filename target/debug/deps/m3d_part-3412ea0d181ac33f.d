@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/m3d_part-3412ea0d181ac33f.d: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs
+
+/root/repo/target/debug/deps/libm3d_part-3412ea0d181ac33f.rlib: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs
+
+/root/repo/target/debug/deps/libm3d_part-3412ea0d181ac33f.rmeta: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs
+
+crates/m3d/src/lib.rs:
+crates/m3d/src/config.rs:
+crates/m3d/src/design.rs:
+crates/m3d/src/partition.rs:
+crates/m3d/src/tier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m3d_part-72cb14945618e4f2.d: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs
+
+/root/repo/target/debug/deps/m3d_part-72cb14945618e4f2: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs
+
+crates/m3d/src/lib.rs:
+crates/m3d/src/config.rs:
+crates/m3d/src/design.rs:
+crates/m3d/src/partition.rs:
+crates/m3d/src/tier.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/m3d_part-82126a81e369a500.d: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_part-82126a81e369a500.rmeta: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs Cargo.toml
+
+crates/m3d/src/lib.rs:
+crates/m3d/src/config.rs:
+crates/m3d/src/design.rs:
+crates/m3d/src/partition.rs:
+crates/m3d/src/tier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/m3d_tdf-5a77791c8ee9a528.d: crates/tdf/src/lib.rs crates/tdf/src/atpg.rs crates/tdf/src/fault.rs crates/tdf/src/fsim.rs crates/tdf/src/log.rs crates/tdf/src/log_io.rs crates/tdf/src/pattern.rs crates/tdf/src/sim.rs crates/tdf/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm3d_tdf-5a77791c8ee9a528.rmeta: crates/tdf/src/lib.rs crates/tdf/src/atpg.rs crates/tdf/src/fault.rs crates/tdf/src/fsim.rs crates/tdf/src/log.rs crates/tdf/src/log_io.rs crates/tdf/src/pattern.rs crates/tdf/src/sim.rs crates/tdf/src/timing.rs Cargo.toml
+
+crates/tdf/src/lib.rs:
+crates/tdf/src/atpg.rs:
+crates/tdf/src/fault.rs:
+crates/tdf/src/fsim.rs:
+crates/tdf/src/log.rs:
+crates/tdf/src/log_io.rs:
+crates/tdf/src/pattern.rs:
+crates/tdf/src/sim.rs:
+crates/tdf/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

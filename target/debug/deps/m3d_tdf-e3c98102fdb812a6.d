@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/m3d_tdf-e3c98102fdb812a6.d: crates/tdf/src/lib.rs crates/tdf/src/atpg.rs crates/tdf/src/fault.rs crates/tdf/src/fsim.rs crates/tdf/src/log.rs crates/tdf/src/log_io.rs crates/tdf/src/pattern.rs crates/tdf/src/sim.rs crates/tdf/src/timing.rs
+
+/root/repo/target/debug/deps/m3d_tdf-e3c98102fdb812a6: crates/tdf/src/lib.rs crates/tdf/src/atpg.rs crates/tdf/src/fault.rs crates/tdf/src/fsim.rs crates/tdf/src/log.rs crates/tdf/src/log_io.rs crates/tdf/src/pattern.rs crates/tdf/src/sim.rs crates/tdf/src/timing.rs
+
+crates/tdf/src/lib.rs:
+crates/tdf/src/atpg.rs:
+crates/tdf/src/fault.rs:
+crates/tdf/src/fsim.rs:
+crates/tdf/src/log.rs:
+crates/tdf/src/log_io.rs:
+crates/tdf/src/pattern.rs:
+crates/tdf/src/sim.rs:
+crates/tdf/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mutation-c41af062204c2d4e.d: crates/lint/tests/mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmutation-c41af062204c2d4e.rmeta: crates/lint/tests/mutation.rs Cargo.toml
+
+crates/lint/tests/mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mutation-f6b932678a8c6f56.d: crates/lint/tests/mutation.rs
+
+/root/repo/target/debug/deps/mutation-f6b932678a8c6f56: crates/lint/tests/mutation.rs
+
+crates/lint/tests/mutation.rs:

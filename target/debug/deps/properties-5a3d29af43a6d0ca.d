@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5a3d29af43a6d0ca.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5a3d29af43a6d0ca: tests/properties.rs
+
+tests/properties.rs:

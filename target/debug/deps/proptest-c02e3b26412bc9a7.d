@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-c02e3b26412bc9a7.d: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-c02e3b26412bc9a7: crates/proptest/src/lib.rs crates/proptest/src/strategy.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/arbitrary.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/test_runner.rs:

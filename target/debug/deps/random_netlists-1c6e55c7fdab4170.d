@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/random_netlists-1c6e55c7fdab4170.d: crates/netlist/tests/random_netlists.rs
+
+/root/repo/target/debug/deps/random_netlists-1c6e55c7fdab4170: crates/netlist/tests/random_netlists.rs
+
+crates/netlist/tests/random_netlists.rs:

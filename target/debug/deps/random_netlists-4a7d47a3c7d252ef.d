@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/random_netlists-4a7d47a3c7d252ef.d: crates/netlist/tests/random_netlists.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandom_netlists-4a7d47a3c7d252ef.rmeta: crates/netlist/tests/random_netlists.rs Cargo.toml
+
+crates/netlist/tests/random_netlists.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

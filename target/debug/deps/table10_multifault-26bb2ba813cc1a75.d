@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10_multifault-26bb2ba813cc1a75.d: crates/bench/src/bin/table10_multifault.rs
+
+/root/repo/target/debug/deps/table10_multifault-26bb2ba813cc1a75: crates/bench/src/bin/table10_multifault.rs
+
+crates/bench/src/bin/table10_multifault.rs:

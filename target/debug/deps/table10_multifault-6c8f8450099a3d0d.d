@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table10_multifault-6c8f8450099a3d0d.d: crates/bench/src/bin/table10_multifault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable10_multifault-6c8f8450099a3d0d.rmeta: crates/bench/src/bin/table10_multifault.rs Cargo.toml
+
+crates/bench/src/bin/table10_multifault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table10_multifault-8edb2d9972470ae1.d: crates/bench/src/bin/table10_multifault.rs
+
+/root/repo/target/debug/deps/table10_multifault-8edb2d9972470ae1: crates/bench/src/bin/table10_multifault.rs
+
+crates/bench/src/bin/table10_multifault.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11_ablation-2af8dc9c4dd734b4.d: crates/bench/src/bin/table11_ablation.rs
+
+/root/repo/target/debug/deps/table11_ablation-2af8dc9c4dd734b4: crates/bench/src/bin/table11_ablation.rs
+
+crates/bench/src/bin/table11_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table11_ablation-bb9d09d81c59cf77.d: crates/bench/src/bin/table11_ablation.rs
+
+/root/repo/target/debug/deps/table11_ablation-bb9d09d81c59cf77: crates/bench/src/bin/table11_ablation.rs
+
+crates/bench/src/bin/table11_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table11_ablation-f2bcae98fb0b453c.d: crates/bench/src/bin/table11_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable11_ablation-f2bcae98fb0b453c.rmeta: crates/bench/src/bin/table11_ablation.rs Cargo.toml
+
+crates/bench/src/bin/table11_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

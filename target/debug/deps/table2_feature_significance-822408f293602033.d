@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_feature_significance-822408f293602033.d: crates/bench/src/bin/table2_feature_significance.rs
+
+/root/repo/target/debug/deps/table2_feature_significance-822408f293602033: crates/bench/src/bin/table2_feature_significance.rs
+
+crates/bench/src/bin/table2_feature_significance.rs:

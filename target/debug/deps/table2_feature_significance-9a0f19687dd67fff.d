@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_feature_significance-9a0f19687dd67fff.d: crates/bench/src/bin/table2_feature_significance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_feature_significance-9a0f19687dd67fff.rmeta: crates/bench/src/bin/table2_feature_significance.rs Cargo.toml
+
+crates/bench/src/bin/table2_feature_significance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_feature_significance-f7275ee24e4b1390.d: crates/bench/src/bin/table2_feature_significance.rs
+
+/root/repo/target/debug/deps/table2_feature_significance-f7275ee24e4b1390: crates/bench/src/bin/table2_feature_significance.rs
+
+crates/bench/src/bin/table2_feature_significance.rs:

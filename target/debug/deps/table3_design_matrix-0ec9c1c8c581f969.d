@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_design_matrix-0ec9c1c8c581f969.d: crates/bench/src/bin/table3_design_matrix.rs
+
+/root/repo/target/debug/deps/table3_design_matrix-0ec9c1c8c581f969: crates/bench/src/bin/table3_design_matrix.rs
+
+crates/bench/src/bin/table3_design_matrix.rs:

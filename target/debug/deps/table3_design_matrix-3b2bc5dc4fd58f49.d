@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_design_matrix-3b2bc5dc4fd58f49.d: crates/bench/src/bin/table3_design_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_design_matrix-3b2bc5dc4fd58f49.rmeta: crates/bench/src/bin/table3_design_matrix.rs Cargo.toml
+
+crates/bench/src/bin/table3_design_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

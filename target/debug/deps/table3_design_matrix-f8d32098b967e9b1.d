@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_design_matrix-f8d32098b967e9b1.d: crates/bench/src/bin/table3_design_matrix.rs
+
+/root/repo/target/debug/deps/table3_design_matrix-f8d32098b967e9b1: crates/bench/src/bin/table3_design_matrix.rs
+
+crates/bench/src/bin/table3_design_matrix.rs:

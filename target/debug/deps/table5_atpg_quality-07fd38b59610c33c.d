@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_atpg_quality-07fd38b59610c33c.d: crates/bench/src/bin/table5_atpg_quality.rs
+
+/root/repo/target/debug/deps/table5_atpg_quality-07fd38b59610c33c: crates/bench/src/bin/table5_atpg_quality.rs
+
+crates/bench/src/bin/table5_atpg_quality.rs:

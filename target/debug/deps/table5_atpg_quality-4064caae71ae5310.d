@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_atpg_quality-4064caae71ae5310.d: crates/bench/src/bin/table5_atpg_quality.rs
+
+/root/repo/target/debug/deps/table5_atpg_quality-4064caae71ae5310: crates/bench/src/bin/table5_atpg_quality.rs
+
+crates/bench/src/bin/table5_atpg_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_atpg_quality-7b4c0eb461e5e850.d: crates/bench/src/bin/table5_atpg_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_atpg_quality-7b4c0eb461e5e850.rmeta: crates/bench/src/bin/table5_atpg_quality.rs Cargo.toml
+
+crates/bench/src/bin/table5_atpg_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_atpg_quality-c0760ee651e4a3c3.d: crates/bench/src/bin/table5_atpg_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_atpg_quality-c0760ee651e4a3c3.rmeta: crates/bench/src/bin/table5_atpg_quality.rs Cargo.toml
+
+crates/bench/src/bin/table5_atpg_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

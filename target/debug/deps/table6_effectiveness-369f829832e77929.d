@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_effectiveness-369f829832e77929.d: crates/bench/src/bin/table6_effectiveness.rs
+
+/root/repo/target/debug/deps/table6_effectiveness-369f829832e77929: crates/bench/src/bin/table6_effectiveness.rs
+
+crates/bench/src/bin/table6_effectiveness.rs:

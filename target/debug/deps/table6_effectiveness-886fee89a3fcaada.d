@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_effectiveness-886fee89a3fcaada.d: crates/bench/src/bin/table6_effectiveness.rs
+
+/root/repo/target/debug/deps/table6_effectiveness-886fee89a3fcaada: crates/bench/src/bin/table6_effectiveness.rs
+
+crates/bench/src/bin/table6_effectiveness.rs:

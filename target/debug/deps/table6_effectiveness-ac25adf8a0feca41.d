@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_effectiveness-ac25adf8a0feca41.d: crates/bench/src/bin/table6_effectiveness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_effectiveness-ac25adf8a0feca41.rmeta: crates/bench/src/bin/table6_effectiveness.rs Cargo.toml
+
+crates/bench/src/bin/table6_effectiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_atpg_quality_edt-1195c2071b2b8a32.d: crates/bench/src/bin/table7_atpg_quality_edt.rs
+
+/root/repo/target/debug/deps/table7_atpg_quality_edt-1195c2071b2b8a32: crates/bench/src/bin/table7_atpg_quality_edt.rs
+
+crates/bench/src/bin/table7_atpg_quality_edt.rs:

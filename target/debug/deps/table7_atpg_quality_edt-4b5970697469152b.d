@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_atpg_quality_edt-4b5970697469152b.d: crates/bench/src/bin/table7_atpg_quality_edt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_atpg_quality_edt-4b5970697469152b.rmeta: crates/bench/src/bin/table7_atpg_quality_edt.rs Cargo.toml
+
+crates/bench/src/bin/table7_atpg_quality_edt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

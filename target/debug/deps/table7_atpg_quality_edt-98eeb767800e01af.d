@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7_atpg_quality_edt-98eeb767800e01af.d: crates/bench/src/bin/table7_atpg_quality_edt.rs
+
+/root/repo/target/debug/deps/table7_atpg_quality_edt-98eeb767800e01af: crates/bench/src/bin/table7_atpg_quality_edt.rs
+
+crates/bench/src/bin/table7_atpg_quality_edt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_atpg_quality_edt-b1135e5d33214760.d: crates/bench/src/bin/table7_atpg_quality_edt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_atpg_quality_edt-b1135e5d33214760.rmeta: crates/bench/src/bin/table7_atpg_quality_edt.rs Cargo.toml
+
+crates/bench/src/bin/table7_atpg_quality_edt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_effectiveness_edt-5fd31652b6768c92.d: crates/bench/src/bin/table8_effectiveness_edt.rs
+
+/root/repo/target/debug/deps/table8_effectiveness_edt-5fd31652b6768c92: crates/bench/src/bin/table8_effectiveness_edt.rs
+
+crates/bench/src/bin/table8_effectiveness_edt.rs:

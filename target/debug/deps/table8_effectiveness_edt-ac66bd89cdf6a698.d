@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_effectiveness_edt-ac66bd89cdf6a698.d: crates/bench/src/bin/table8_effectiveness_edt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_effectiveness_edt-ac66bd89cdf6a698.rmeta: crates/bench/src/bin/table8_effectiveness_edt.rs Cargo.toml
+
+crates/bench/src/bin/table8_effectiveness_edt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

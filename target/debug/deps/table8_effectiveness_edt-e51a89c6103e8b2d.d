@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_effectiveness_edt-e51a89c6103e8b2d.d: crates/bench/src/bin/table8_effectiveness_edt.rs
+
+/root/repo/target/debug/deps/table8_effectiveness_edt-e51a89c6103e8b2d: crates/bench/src/bin/table8_effectiveness_edt.rs
+
+crates/bench/src/bin/table8_effectiveness_edt.rs:

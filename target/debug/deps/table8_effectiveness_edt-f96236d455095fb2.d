@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_effectiveness_edt-f96236d455095fb2.d: crates/bench/src/bin/table8_effectiveness_edt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_effectiveness_edt-f96236d455095fb2.rmeta: crates/bench/src/bin/table8_effectiveness_edt.rs Cargo.toml
+
+crates/bench/src/bin/table8_effectiveness_edt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_runtime-5bfb9634afe16f8a.d: crates/bench/src/bin/table9_runtime.rs
+
+/root/repo/target/debug/deps/table9_runtime-5bfb9634afe16f8a: crates/bench/src/bin/table9_runtime.rs
+
+crates/bench/src/bin/table9_runtime.rs:

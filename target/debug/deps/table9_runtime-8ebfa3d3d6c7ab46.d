@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table9_runtime-8ebfa3d3d6c7ab46.d: crates/bench/src/bin/table9_runtime.rs
+
+/root/repo/target/debug/deps/table9_runtime-8ebfa3d3d6c7ab46: crates/bench/src/bin/table9_runtime.rs
+
+crates/bench/src/bin/table9_runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table9_runtime-e687ff960fcba625.d: crates/bench/src/bin/table9_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable9_runtime-e687ff960fcba625.rmeta: crates/bench/src/bin/table9_runtime.rs Cargo.toml
+
+crates/bench/src/bin/table9_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/miv_screening-597483834ff59a58.d: examples/miv_screening.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmiv_screening-597483834ff59a58.rmeta: examples/miv_screening.rs Cargo.toml
+
+examples/miv_screening.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/miv_screening-66491dd45da9a224.d: examples/miv_screening.rs
+
+/root/repo/target/debug/examples/miv_screening-66491dd45da9a224: examples/miv_screening.rs
+
+examples/miv_screening.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-40fc4d88e366e929.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-40fc4d88e366e929: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/region_localization_2d-43fb91b648c31416.d: examples/region_localization_2d.rs Cargo.toml
+
+/root/repo/target/debug/examples/libregion_localization_2d-43fb91b648c31416.rmeta: examples/region_localization_2d.rs Cargo.toml
+
+examples/region_localization_2d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/region_localization_2d-525d6df61818783a.d: examples/region_localization_2d.rs
+
+/root/repo/target/debug/examples/region_localization_2d-525d6df61818783a: examples/region_localization_2d.rs
+
+examples/region_localization_2d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/small_delay_analysis-8fbd9052b7026851.d: examples/small_delay_analysis.rs
+
+/root/repo/target/debug/examples/small_delay_analysis-8fbd9052b7026851: examples/small_delay_analysis.rs
+
+examples/small_delay_analysis.rs:

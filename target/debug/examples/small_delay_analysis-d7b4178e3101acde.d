@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/small_delay_analysis-d7b4178e3101acde.d: examples/small_delay_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmall_delay_analysis-d7b4178e3101acde.rmeta: examples/small_delay_analysis.rs Cargo.toml
+
+examples/small_delay_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transfer_demo-385829621e9d5b31.d: examples/transfer_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransfer_demo-385829621e9d5b31.rmeta: examples/transfer_demo.rs Cargo.toml
+
+examples/transfer_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transfer_demo-5ef18d8f20de6c76.d: examples/transfer_demo.rs
+
+/root/repo/target/debug/examples/transfer_demo-5ef18d8f20de6c76: examples/transfer_demo.rs
+
+examples/transfer_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/yield_learning-5d07c9248cfe88bf.d: examples/yield_learning.rs
+
+/root/repo/target/debug/examples/yield_learning-5d07c9248cfe88bf: examples/yield_learning.rs
+
+examples/yield_learning.rs:

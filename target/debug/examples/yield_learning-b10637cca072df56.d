@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/yield_learning-b10637cca072df56.d: examples/yield_learning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libyield_learning-b10637cca072df56.rmeta: examples/yield_learning.rs Cargo.toml
+
+examples/yield_learning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/m3d_dft-ba6396e04701d56a.d: crates/dft/src/lib.rs
+
+/root/repo/target/release/deps/libm3d_dft-ba6396e04701d56a.rlib: crates/dft/src/lib.rs
+
+/root/repo/target/release/deps/libm3d_dft-ba6396e04701d56a.rmeta: crates/dft/src/lib.rs
+
+crates/dft/src/lib.rs:

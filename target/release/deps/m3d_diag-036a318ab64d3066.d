@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/m3d_diag-036a318ab64d3066.d: src/bin/m3d-diag.rs
+
+/root/repo/target/release/deps/m3d_diag-036a318ab64d3066: src/bin/m3d-diag.rs
+
+src/bin/m3d-diag.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/m3d_diagnosis-ff41bf4be245fb14.d: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs
+
+/root/repo/target/release/deps/libm3d_diagnosis-ff41bf4be245fb14.rlib: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs
+
+/root/repo/target/release/deps/libm3d_diagnosis-ff41bf4be245fb14.rmeta: crates/diagnosis/src/lib.rs crates/diagnosis/src/baseline.rs crates/diagnosis/src/engine.rs crates/diagnosis/src/metrics.rs crates/diagnosis/src/report.rs
+
+crates/diagnosis/src/lib.rs:
+crates/diagnosis/src/baseline.rs:
+crates/diagnosis/src/engine.rs:
+crates/diagnosis/src/metrics.rs:
+crates/diagnosis/src/report.rs:

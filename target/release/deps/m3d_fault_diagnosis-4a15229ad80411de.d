@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/m3d_fault_diagnosis-4a15229ad80411de.d: src/lib.rs
+
+/root/repo/target/release/deps/libm3d_fault_diagnosis-4a15229ad80411de.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libm3d_fault_diagnosis-4a15229ad80411de.rmeta: src/lib.rs
+
+src/lib.rs:

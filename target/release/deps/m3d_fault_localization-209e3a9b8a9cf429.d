@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/m3d_fault_localization-209e3a9b8a9cf429.d: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs
+
+/root/repo/target/release/deps/libm3d_fault_localization-209e3a9b8a9cf429.rlib: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs
+
+/root/repo/target/release/deps/libm3d_fault_localization-209e3a9b8a9cf429.rmeta: crates/core/src/lib.rs crates/core/src/classifier.rs crates/core/src/env.rs crates/core/src/eval.rs crates/core/src/framework.rs crates/core/src/models.rs crates/core/src/policy.rs crates/core/src/region.rs crates/core/src/sample.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classifier.rs:
+crates/core/src/env.rs:
+crates/core/src/eval.rs:
+crates/core/src/framework.rs:
+crates/core/src/models.rs:
+crates/core/src/policy.rs:
+crates/core/src/region.rs:
+crates/core/src/sample.rs:

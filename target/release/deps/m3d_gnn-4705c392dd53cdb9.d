@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/m3d_gnn-4705c392dd53cdb9.d: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs
+
+/root/repo/target/release/deps/libm3d_gnn-4705c392dd53cdb9.rlib: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs
+
+/root/repo/target/release/deps/libm3d_gnn-4705c392dd53cdb9.rmeta: crates/gnn/src/lib.rs crates/gnn/src/graph.rs crates/gnn/src/layers.rs crates/gnn/src/matrix.rs crates/gnn/src/metrics.rs crates/gnn/src/model.rs crates/gnn/src/pca.rs crates/gnn/src/significance.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/graph.rs:
+crates/gnn/src/layers.rs:
+crates/gnn/src/matrix.rs:
+crates/gnn/src/metrics.rs:
+crates/gnn/src/model.rs:
+crates/gnn/src/pca.rs:
+crates/gnn/src/significance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/m3d_hetgraph-c1cb640a6dd14a6c.d: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs
+
+/root/repo/target/release/deps/libm3d_hetgraph-c1cb640a6dd14a6c.rlib: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs
+
+/root/repo/target/release/deps/libm3d_hetgraph-c1cb640a6dd14a6c.rmeta: crates/hetgraph/src/lib.rs crates/hetgraph/src/graph.rs crates/hetgraph/src/subgraph.rs
+
+crates/hetgraph/src/lib.rs:
+crates/hetgraph/src/graph.rs:
+crates/hetgraph/src/subgraph.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/m3d_lint-c251631b259a26ec.d: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/dft.rs crates/lint/src/passes/m3d.rs crates/lint/src/passes/netlist.rs crates/lint/src/passes/tensor.rs crates/lint/src/report.rs crates/lint/src/runner.rs
+
+/root/repo/target/release/deps/libm3d_lint-c251631b259a26ec.rlib: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/dft.rs crates/lint/src/passes/m3d.rs crates/lint/src/passes/netlist.rs crates/lint/src/passes/tensor.rs crates/lint/src/report.rs crates/lint/src/runner.rs
+
+/root/repo/target/release/deps/libm3d_lint-c251631b259a26ec.rmeta: crates/lint/src/lib.rs crates/lint/src/diag.rs crates/lint/src/passes/mod.rs crates/lint/src/passes/dft.rs crates/lint/src/passes/m3d.rs crates/lint/src/passes/netlist.rs crates/lint/src/passes/tensor.rs crates/lint/src/report.rs crates/lint/src/runner.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/diag.rs:
+crates/lint/src/passes/mod.rs:
+crates/lint/src/passes/dft.rs:
+crates/lint/src/passes/m3d.rs:
+crates/lint/src/passes/netlist.rs:
+crates/lint/src/passes/tensor.rs:
+crates/lint/src/report.rs:
+crates/lint/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/m3d_part-2353c2fb535d914c.d: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs
+
+/root/repo/target/release/deps/libm3d_part-2353c2fb535d914c.rlib: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs
+
+/root/repo/target/release/deps/libm3d_part-2353c2fb535d914c.rmeta: crates/m3d/src/lib.rs crates/m3d/src/config.rs crates/m3d/src/design.rs crates/m3d/src/partition.rs crates/m3d/src/tier.rs
+
+crates/m3d/src/lib.rs:
+crates/m3d/src/config.rs:
+crates/m3d/src/design.rs:
+crates/m3d/src/partition.rs:
+crates/m3d/src/tier.rs:

@@ -25,7 +25,11 @@ fn cli_full_flow_finds_the_injected_fault() {
         .arg(&netlist)
         .output()
         .expect("run gen");
-    assert!(out.status.success(), "gen: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["partition", "--netlist"])
@@ -104,7 +108,10 @@ fn cli_rejects_bad_input_with_useful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
 
-    let out = bin().args(["inject", "--netlist", "/nonexistent"]).output().unwrap();
+    let out = bin()
+        .args(["inject", "--netlist", "/nonexistent"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 

@@ -3,12 +3,10 @@
 //! release must hold.
 
 use m3d_fault_diagnosis::dft::ObsMode;
-use m3d_fault_diagnosis::diagnosis::{
-    baseline_filter, Diagnoser, DiagnosisConfig,
-};
+use m3d_fault_diagnosis::diagnosis::{baseline_filter, Diagnoser, DiagnosisConfig};
 use m3d_fault_diagnosis::fault_localization::{
-    evaluate_methods, generate_samples, DiagSample, FaultLocalizer,
-    FrameworkConfig, InjectionKind, PolicyAction, TestEnv,
+    evaluate_methods, generate_samples, DiagSample, FaultLocalizer, FrameworkConfig, InjectionKind,
+    PolicyAction, TestEnv,
 };
 use m3d_fault_diagnosis::netlist::generate::Benchmark;
 use m3d_fault_diagnosis::part::DesignConfig;
@@ -19,8 +17,7 @@ fn small_env() -> TestEnv {
 
 fn trained(env: &TestEnv, n: usize) -> (Vec<DiagSample>, FaultLocalizer) {
     let fsim = env.fault_sim();
-    let train =
-        generate_samples(env, &fsim, ObsMode::Bypass, InjectionKind::Single, n, 1);
+    let train = generate_samples(env, &fsim, ObsMode::Bypass, InjectionKind::Single, n, 1);
     let refs: Vec<&DiagSample> = train.iter().collect();
     let fw = FaultLocalizer::train(&refs, &FrameworkConfig::default());
     (train, fw)
@@ -31,14 +28,7 @@ fn pipeline_diagnoses_unseen_faults_accurately() {
     let env = small_env();
     let (_train, fw) = trained(&env, 120);
     let fsim = env.fault_sim();
-    let test = generate_samples(
-        &env,
-        &fsim,
-        ObsMode::Bypass,
-        InjectionKind::Single,
-        20,
-        777,
-    );
+    let test = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 20, 777);
     let eval = evaluate_methods(&env, &fsim, &fw, ObsMode::Bypass, &test);
     assert!(eval.atpg.accuracy >= 0.9, "ATPG acc {}", eval.atpg.accuracy);
     assert!(
@@ -86,8 +76,7 @@ fn backup_dictionary_recovers_everything_pruned() {
             .chain(outcome.backup.iter().map(|c| c.fault))
             .collect();
         all.sort();
-        let mut orig: Vec<_> =
-            report.candidates().iter().map(|c| c.fault).collect();
+        let mut orig: Vec<_> = report.candidates().iter().map(|c| c.fault).collect();
         orig.sort();
         assert_eq!(all, orig, "no candidate may vanish");
         if outcome.action == PolicyAction::Prune && !outcome.backup.is_empty() {
@@ -103,10 +92,8 @@ fn compaction_degrades_but_does_not_break_diagnosis() {
     let fsim = env.fault_sim();
     let mut res = [0.0f64; 2];
     for (i, mode) in ObsMode::ALL.into_iter().enumerate() {
-        let samples =
-            generate_samples(&env, &fsim, mode, InjectionKind::Single, 15, 5);
-        let diagnoser =
-            Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
+        let samples = generate_samples(&env, &fsim, mode, InjectionKind::Single, 15, 5);
+        let diagnoser = Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
         let mut total = 0usize;
         let mut acc = 0usize;
         for s in &samples {
@@ -171,14 +158,7 @@ fn transferred_framework_generalizes_across_configs() {
     for config in [DesignConfig::Tpi, DesignConfig::Par] {
         let other = TestEnv::build(Benchmark::Aes, config, Some(400));
         let fsim = other.fault_sim();
-        let test = generate_samples(
-            &other,
-            &fsim,
-            ObsMode::Bypass,
-            InjectionKind::Single,
-            20,
-            9,
-        );
+        let test = generate_samples(&other, &fsim, ObsMode::Bypass, InjectionKind::Single, 20, 9);
         let refs: Vec<&DiagSample> = test.iter().collect();
         let acc = fw.tier.accuracy(&refs);
         assert!(
@@ -194,14 +174,7 @@ fn baseline_filter_composes_with_policy() {
     let env = small_env();
     let (_train, fw) = trained(&env, 50);
     let fsim = env.fault_sim();
-    let test = generate_samples(
-        &env,
-        &fsim,
-        ObsMode::Bypass,
-        InjectionKind::Single,
-        10,
-        12,
-    );
+    let test = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 10, 12);
     let diagnoser = Diagnoser::new(
         &fsim,
         &env.scan,

@@ -6,12 +6,9 @@ use m3d_fault_diagnosis::dft::{ObsMode, ScanChains, ScanConfig};
 use m3d_fault_diagnosis::diagnosis::{Diagnoser, DiagnosisConfig};
 use m3d_fault_diagnosis::netlist::generate::{Benchmark, GenParams};
 use m3d_fault_diagnosis::netlist::io::{read_netlist, write_netlist};
-use m3d_fault_diagnosis::part::{
-    read_partition, write_partition, M3dDesign, PartitionAlgo,
-};
+use m3d_fault_diagnosis::part::{read_partition, write_partition, M3dDesign, PartitionAlgo};
 use m3d_fault_diagnosis::tdf::{
-    generate_patterns, read_failure_log, write_failure_log, AtpgConfig,
-    FailureLog, FaultSim,
+    generate_patterns, read_failure_log, write_failure_log, AtpgConfig, FailureLog, FaultSim,
 };
 
 /// Serialize the whole test setup to text, parse it back, and verify a
@@ -58,12 +55,7 @@ fn file_level_flow_diagnoses_correctly() {
         ScanConfig::for_flop_count(design2.netlist().flops().len()),
     );
     let fsim2 = FaultSim::new(&design2, &ts2.patterns);
-    let diagnoser = Diagnoser::new(
-        &fsim2,
-        &scan2,
-        ObsMode::Bypass,
-        DiagnosisConfig::default(),
-    );
+    let diagnoser = Diagnoser::new(&fsim2, &scan2, ObsMode::Bypass, DiagnosisConfig::default());
     let report = diagnoser.diagnose(&log2);
     assert!(
         report.is_accurate(&[fault]),
@@ -97,8 +89,7 @@ fn compacted_log_round_trips_through_text() {
         if log.is_empty() {
             continue;
         }
-        let back =
-            read_failure_log(&write_failure_log(&log)).expect("round trip");
+        let back = read_failure_log(&write_failure_log(&log)).expect("round trip");
         assert_eq!(back, log);
         found += 1;
         if found >= 5 {

@@ -11,25 +11,22 @@ use m3d_fault_diagnosis::netlist::generate::{Benchmark, GenParams};
 use m3d_fault_diagnosis::netlist::{FlopId, GateKind, Netlist, NetlistBuilder};
 use m3d_fault_diagnosis::part::{M3dDesign, PartitionAlgo};
 use m3d_fault_diagnosis::tdf::{
-    eval_single_frame, FailureLog, Fault, FaultSim, PatternSet, Polarity,
-    Simulator,
+    eval_single_frame, FailureLog, Fault, FaultSim, PatternSet, Polarity, Simulator,
 };
 
 /// A random small-but-valid netlist: a seeded benchmark at a random size.
 fn arb_design() -> impl Strategy<Value = M3dDesign> {
-    (0u8..4, 1u64..50, 250usize..450, 0u8..3).prop_map(
-        |(bench, seed, target, algo)| {
-            let bench = Benchmark::ALL[bench as usize];
-            let nl = bench.generate(&GenParams::new(seed).with_target(target));
-            let algo = [
-                PartitionAlgo::MinCut,
-                PartitionAlgo::LevelBanded,
-                PartitionAlgo::Random,
-            ][algo as usize];
-            let part = algo.partition(&nl, seed);
-            M3dDesign::new(nl, part)
-        },
-    )
+    (0u8..4, 1u64..50, 250usize..450, 0u8..3).prop_map(|(bench, seed, target, algo)| {
+        let bench = Benchmark::ALL[bench as usize];
+        let nl = bench.generate(&GenParams::new(seed).with_target(target));
+        let algo = [
+            PartitionAlgo::MinCut,
+            PartitionAlgo::LevelBanded,
+            PartitionAlgo::Random,
+        ][algo as usize];
+        let part = algo.partition(&nl, seed);
+        M3dDesign::new(nl, part)
+    })
 }
 
 proptest! {
