@@ -13,11 +13,21 @@ use m3d_fault_localization::{
 use m3d_netlist::generate::Benchmark;
 use m3d_part::DesignConfig;
 
+/// `M3D_QUICK=1` shrinks the design and sample count for smoke runs (CI).
+fn scale() -> (Option<usize>, usize) {
+    if std::env::var_os("M3D_QUICK").is_some() {
+        (Some(400), 10)
+    } else {
+        (Some(1200), 30)
+    }
+}
+
 fn bench_pipeline(c: &mut Criterion) {
-    let env = TestEnv::build(Benchmark::Tate, DesignConfig::Syn1, Some(1200));
+    let (target, n) = scale();
+    let env = TestEnv::build(Benchmark::Tate, DesignConfig::Syn1, target);
     let samples = {
         let fsim = env.fault_sim();
-        generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 30, 1)
+        generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, n, 1)
     };
     let refs: Vec<&DiagSample> = samples.iter().collect();
     let fw = FaultLocalizer::train(&refs, &FrameworkConfig::default());
@@ -66,7 +76,7 @@ fn bench_pipeline(c: &mut Criterion) {
         });
     });
 
-    c.bench_function("framework_training_30_samples", |b| {
+    c.bench_function("framework_training", |b| {
         b.iter(|| FaultLocalizer::train(&refs, &FrameworkConfig::default()));
     });
 }

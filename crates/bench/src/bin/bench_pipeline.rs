@@ -1,0 +1,196 @@
+//! Thread-scaling benchmark of the parallelized pipeline stages: dataset
+//! generation, GNN training, and fault simulation, each timed at one
+//! thread and at the configured pool width, with a bit-identity check
+//! between the two runs. Results land in `BENCH_pipeline.json`.
+//!
+//! Run: `cargo run --release -p m3d-bench --bin bench_pipeline`
+//! (`M3D_QUICK=1` for the smoke scale, `M3D_THREADS=N` to pin the pool).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use m3d_dft::ObsMode;
+use m3d_fault_localization::{
+    generate_samples, DiagSample, InjectionKind, ModelConfig, TestEnv, TierPredictor,
+};
+use m3d_gnn::TrainConfig;
+use m3d_netlist::generate::Benchmark;
+use m3d_part::DesignConfig;
+
+struct StageResult {
+    name: &'static str,
+    secs_1t: f64,
+    secs_nt: f64,
+    throughput_nt: f64,
+    unit: &'static str,
+    deterministic: bool,
+}
+
+impl StageResult {
+    fn speedup(&self) -> f64 {
+        if self.secs_nt > 0.0 {
+            self.secs_1t / self.secs_nt
+        } else {
+            0.0
+        }
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let quick = std::env::var_os("M3D_QUICK").is_some();
+    let (target, n_samples, epochs, fault_cap) = if quick {
+        (Some(400), 12, 10, 200)
+    } else {
+        (Some(1200), 40, 30, 1500)
+    };
+    let pool = m3d_par::num_threads();
+    eprintln!("bench_pipeline: pool width {pool}, quick = {quick}");
+
+    let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, target);
+    let fsim = env.fault_sim();
+    let mut stages = Vec::new();
+
+    // Stage 1: dataset generation (wave-parallel fault sim + back-trace).
+    let (batch_1t, gen_1t) = timed(|| {
+        m3d_par::with_threads(1, || {
+            generate_samples(
+                &env,
+                &fsim,
+                ObsMode::Bypass,
+                InjectionKind::Single,
+                n_samples,
+                7,
+            )
+        })
+    });
+    let (batch_nt, gen_nt) = timed(|| {
+        m3d_par::with_threads(pool, || {
+            generate_samples(
+                &env,
+                &fsim,
+                ObsMode::Bypass,
+                InjectionKind::Single,
+                n_samples,
+                7,
+            )
+        })
+    });
+    let gen_same = batch_1t.len() == batch_nt.len()
+        && batch_1t
+            .iter()
+            .zip(&batch_nt)
+            .all(|(a, b)| a.injected == b.injected && a.log == b.log);
+    stages.push(StageResult {
+        name: "sample_generation",
+        secs_1t: gen_1t,
+        secs_nt: gen_nt,
+        throughput_nt: batch_nt.len() as f64 / gen_nt.max(1e-12),
+        unit: "samples/s",
+        deterministic: gen_same,
+    });
+
+    // Stage 2: GNN training (per-sample gradients fan across the pool).
+    let trainable: Vec<&DiagSample> = batch_1t.iter().filter(|s| s.tier_trainable()).collect();
+    let cfg = ModelConfig {
+        train: TrainConfig {
+            epochs,
+            ..TrainConfig::default()
+        },
+        ..ModelConfig::default()
+    };
+    let (tier_1t, fit_1t) =
+        timed(|| m3d_par::with_threads(1, || TierPredictor::train(&trainable, &cfg)));
+    let (tier_nt, fit_nt) =
+        timed(|| m3d_par::with_threads(pool, || TierPredictor::train(&trainable, &cfg)));
+    let fit_same = tier_1t
+        .model()
+        .flat_params()
+        .iter()
+        .map(|p| p.to_bits())
+        .eq(tier_nt.model().flat_params().iter().map(|p| p.to_bits()));
+    stages.push(StageResult {
+        name: "gnn_fit",
+        secs_1t: fit_1t,
+        secs_nt: fit_nt,
+        throughput_nt: epochs as f64 / fit_nt.max(1e-12),
+        unit: "epochs/s",
+        deterministic: fit_same,
+    });
+
+    // Stage 3: fault simulation (per-fault sweep with per-worker scratch).
+    let mut faults = env.detected_faults();
+    faults.truncate(fault_cap);
+    let (dets_1t, fsim_1t) = timed(|| {
+        let mut det = fsim.detector();
+        faults
+            .iter()
+            .map(|f| fsim.detections(&mut det, std::slice::from_ref(f)))
+            .collect::<Vec<_>>()
+    });
+    let (dets_nt, fsim_nt) = timed(|| {
+        m3d_par::with_threads(pool, || {
+            m3d_par::par_map_init(
+                &faults,
+                || fsim.detector(),
+                |det, f| fsim.detections(det, std::slice::from_ref(f)),
+            )
+        })
+    });
+    stages.push(StageResult {
+        name: "fault_simulation",
+        secs_1t: fsim_1t,
+        secs_nt: fsim_nt,
+        throughput_nt: faults.len() as f64 / fsim_nt.max(1e-12),
+        unit: "faults/s",
+        deterministic: dets_1t == dets_nt,
+    });
+
+    let all_ok = stages.iter().all(|s| s.deterministic);
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"host_threads\": {pool},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"stages\": [");
+    for (i, s) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"secs_1t\": {:.6}, \"secs_nt\": {:.6}, \
+             \"speedup\": {:.3}, \"throughput_nt\": {:.3}, \"unit\": \"{}\", \
+             \"deterministic\": {}}}{comma}",
+            s.name,
+            s.secs_1t,
+            s.secs_nt,
+            s.speedup(),
+            s.throughput_nt,
+            s.unit,
+            s.deterministic,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"all_deterministic\": {all_ok}");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+
+    for s in &stages {
+        println!(
+            "{:<18} 1t {:>8.3}s  {}t {:>8.3}s  speedup {:>5.2}x  {:>10.1} {}  deterministic: {}",
+            s.name,
+            s.secs_1t,
+            pool,
+            s.secs_nt,
+            s.speedup(),
+            s.throughput_nt,
+            s.unit,
+            s.deterministic,
+        );
+    }
+    assert!(all_ok, "parallel results diverged from serial results");
+    println!("wrote BENCH_pipeline.json");
+}

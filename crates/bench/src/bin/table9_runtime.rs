@@ -9,8 +9,7 @@ use std::time::Instant;
 
 use m3d_bench::{print_table, test_samples, train_transferred, Scale};
 use m3d_dft::ObsMode;
-use m3d_diagnosis::{Diagnoser, DiagnosisConfig};
-use m3d_fault_localization::{FaultLocalizer, TestEnv};
+use m3d_fault_localization::{diagnose_all, parallel_map, FaultLocalizer, TestEnv};
 use m3d_hetgraph::HetGraph;
 use m3d_netlist::generate::Benchmark;
 use m3d_part::DesignConfig;
@@ -31,30 +30,28 @@ fn main() {
         let (_corpus, fw): (_, FaultLocalizer) = train_transferred(bench, mode, &scale);
         let train_s = t1.elapsed().as_secs_f64();
 
-        // Deployment on the Syn-2 test set.
+        // Deployment on the Syn-2 test set. Each stage fans its
+        // per-sample work across the `m3d_par` pool.
         let (env, samples) = test_samples(bench, DesignConfig::Syn2, mode, &scale);
         let fsim = env.fault_sim();
-        let diagnoser = Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
 
         let t2 = Instant::now();
-        let reports: Vec<_> = samples.iter().map(|s| diagnoser.diagnose(&s.log)).collect();
+        let reports = diagnose_all(&env, &fsim, mode, &samples);
         let t_atpg = t2.elapsed().as_secs_f64();
 
         let t3 = Instant::now();
-        let preds: Vec<_> = samples
-            .iter()
-            .map(|s| {
-                s.subgraph
-                    .as_ref()
-                    .map(|sg| (fw.tier.predict(sg), fw.miv.predict_faulty_mivs(sg)))
-            })
-            .collect();
+        let preds = parallel_map(&samples, |s| {
+            s.subgraph
+                .as_ref()
+                .map(|sg| (fw.tier.predict(sg), fw.miv.predict_faulty_mivs(sg)))
+        });
         let t_gnn = t3.elapsed().as_secs_f64();
 
         let t4 = Instant::now();
-        for (s, r) in samples.iter().zip(&reports) {
-            let _ = fw.enhance(&env.design, r, s);
-        }
+        let indices: Vec<usize> = (0..samples.len()).collect();
+        let _ = parallel_map(&indices, |&i| {
+            fw.enhance(&env.design, &reports[i], &samples[i])
+        });
         let t_update = t4.elapsed().as_secs_f64();
         let _ = preds;
 

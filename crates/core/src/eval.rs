@@ -92,37 +92,13 @@ pub fn diagnose_all(
     parallel_map(samples, |s| diagnoser.diagnose(&s.log))
 }
 
-/// Order-preserving parallel map over a slice using scoped threads.
+/// Order-preserving parallel map over a slice.
+///
+/// Re-exported wrapper over [`m3d_par::par_map`]: the pool honours
+/// `M3D_THREADS` and `m3d_par::with_threads`, balances load by chunk
+/// stealing, and reassembles results in input order.
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut rest: &mut [Option<R>] = &mut out;
-        let mut handles = Vec::new();
-        for c in items.chunks(chunk) {
-            let (head, tail) = rest.split_at_mut(c.len());
-            rest = tail;
-            handles.push(scope.spawn(move || {
-                for (slot, item) in head.iter_mut().zip(c) {
-                    *slot = Some(f(item));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("worker panicked");
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    m3d_par::par_map(items, f)
 }
 
 #[cfg(test)]

@@ -73,61 +73,98 @@ pub fn generate_samples(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
     let mut attempts = 0usize;
-    let mut detector = fsim.detector();
+    // Wave-based generation: RNG draws stay serial (the stream of candidate
+    // injections is byte-for-byte the one the serial implementation drew),
+    // while the expensive per-candidate fault simulation and back-trace fan
+    // across the `m3d_par` pool with one detector scratch per worker.
+    // Candidates are accepted in draw order, so the output is identical to
+    // the serial flow at any thread count.
     while out.len() < n && attempts < n * 20 {
-        attempts += 1;
-        let injected: Vec<Fault> = match kind {
-            InjectionKind::Single => {
-                vec![detected[rng.gen_range(0..detected.len())]]
+        let want = n - out.len();
+        let mut wave: Vec<Vec<Fault>> = Vec::with_capacity(want);
+        while wave.len() < want && attempts < n * 20 {
+            attempts += 1;
+            if let Some(injected) = draw_injection(kind, &detected, &miv_faults, env, &mut rng) {
+                wave.push(injected);
             }
-            InjectionKind::MivOnly => {
-                if miv_faults.is_empty() {
-                    vec![detected[rng.gen_range(0..detected.len())]]
-                } else {
-                    vec![miv_faults[rng.gen_range(0..miv_faults.len())]]
-                }
-            }
-            InjectionKind::MultiSameTier => {
-                let tier = if rng.gen_bool(0.5) {
-                    Tier::Top
-                } else {
-                    Tier::Bottom
-                };
-                let pool: Vec<Fault> = detected
-                    .iter()
-                    .copied()
-                    .filter(|f| env.design.tier_of_site(f.site) == Some(tier))
-                    .collect();
-                if pool.len() < 2 {
-                    continue;
-                }
-                let k = rng.gen_range(2..=5usize).min(pool.len());
-                pool.choose_multiple(&mut rng, k).copied().collect()
-            }
-        };
-        let dets = fsim.detections(&mut detector, &injected);
-        let log = FailureLog::from_detections(&dets, &env.scan, mode);
-        if log.is_empty() {
-            continue;
         }
-        let subgraph = back_trace(&env.het, fsim, &env.scan, &log);
-        let faulty_tier = injected_tier(env, &injected);
-        let miv_truth = injected
-            .iter()
-            .filter_map(|f| match env.design.sites().pos(f.site) {
-                SitePos::Miv(m) => Some(m),
-                _ => None,
-            })
-            .collect();
-        out.push(DiagSample {
-            injected,
-            log,
-            subgraph,
-            faulty_tier,
-            miv_truth,
-        });
+        let results = m3d_par::par_map_init(
+            &wave,
+            || fsim.detector(),
+            |detector, injected| {
+                let dets = fsim.detections(detector, injected);
+                let log = FailureLog::from_detections(&dets, &env.scan, mode);
+                if log.is_empty() {
+                    return None;
+                }
+                let subgraph = back_trace(&env.het, fsim, &env.scan, &log);
+                Some((log, subgraph))
+            },
+        );
+        for (injected, result) in wave.into_iter().zip(results) {
+            if out.len() >= n {
+                break;
+            }
+            let Some((log, subgraph)) = result else {
+                continue;
+            };
+            let faulty_tier = injected_tier(env, &injected);
+            let miv_truth = injected
+                .iter()
+                .filter_map(|f| match env.design.sites().pos(f.site) {
+                    SitePos::Miv(m) => Some(m),
+                    _ => None,
+                })
+                .collect();
+            out.push(DiagSample {
+                injected,
+                log,
+                subgraph,
+                faulty_tier,
+                miv_truth,
+            });
+        }
     }
     out
+}
+
+/// Draws one candidate injection; `None` when the draw is structurally
+/// impossible (fewer than two same-tier faults). Consumes RNG state exactly
+/// as the serial sample loop did.
+fn draw_injection(
+    kind: InjectionKind,
+    detected: &[Fault],
+    miv_faults: &[Fault],
+    env: &TestEnv,
+    rng: &mut StdRng,
+) -> Option<Vec<Fault>> {
+    match kind {
+        InjectionKind::Single => Some(vec![detected[rng.gen_range(0..detected.len())]]),
+        InjectionKind::MivOnly => {
+            if miv_faults.is_empty() {
+                Some(vec![detected[rng.gen_range(0..detected.len())]])
+            } else {
+                Some(vec![miv_faults[rng.gen_range(0..miv_faults.len())]])
+            }
+        }
+        InjectionKind::MultiSameTier => {
+            let tier = if rng.gen_bool(0.5) {
+                Tier::Top
+            } else {
+                Tier::Bottom
+            };
+            let pool: Vec<Fault> = detected
+                .iter()
+                .copied()
+                .filter(|f| env.design.tier_of_site(f.site) == Some(tier))
+                .collect();
+            if pool.len() < 2 {
+                return None;
+            }
+            let k = rng.gen_range(2..=5usize).min(pool.len());
+            Some(pool.choose_multiple(rng, k).copied().collect())
+        }
+    }
 }
 
 /// The common tier of the injected faults, if they share one.

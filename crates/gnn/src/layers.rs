@@ -112,8 +112,16 @@ impl GcnLayer {
         (h, GcnCache { agg_x, z })
     }
 
-    /// Backward pass: accumulates parameter gradients and returns `dL/dX`.
-    pub fn backward(&mut self, g: &GcnGraph, cache: &GcnCache, dh: &Matrix) -> Matrix {
+    /// Pure backward pass: returns `(dW, db, dL/dX)` without touching the
+    /// stored gradients. Safe to call concurrently from training workers;
+    /// the per-sample results are accumulated in sample order via
+    /// [`GcnLayer::accumulate`].
+    pub fn backward_wrt(
+        &self,
+        g: &GcnGraph,
+        cache: &GcnCache,
+        dh: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
         // dZ = dH ⊙ ReLU'(Z)
         let mut dz = dh.clone();
         for (d, &z) in dz.data_mut().iter_mut().zip(cache.z.data()) {
@@ -121,18 +129,30 @@ impl GcnLayer {
                 *d = 0.0;
             }
         }
-        // dW += (M·X)ᵀ · dZ ; db += column sums of dZ
-        self.w.grad_mut().add_assign(&cache.agg_x.t_matmul(&dz));
-        {
-            let db = self.b.grad_mut();
-            for r in 0..dz.rows() {
-                for (acc, &d) in db.row_mut(0).iter_mut().zip(dz.row(r)) {
-                    *acc += d;
-                }
+        // dW = (M·X)ᵀ · dZ ; db = column sums of dZ
+        let dw = cache.agg_x.t_matmul(&dz);
+        let mut db = Matrix::zeros(1, dz.cols());
+        for r in 0..dz.rows() {
+            for (acc, &d) in db.row_mut(0).iter_mut().zip(dz.row(r)) {
+                *acc += d;
             }
         }
         // dX = Mᵀ · (dZ · Wᵀ)
-        g.aggregate_transpose(&dz.matmul_t(&self.w.value))
+        let dx = g.aggregate_transpose(&dz.matmul_t(&self.w.value));
+        (dw, db, dx)
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns `dL/dX`.
+    pub fn backward(&mut self, g: &GcnGraph, cache: &GcnCache, dh: &Matrix) -> Matrix {
+        let (dw, db, dx) = self.backward_wrt(g, cache, dh);
+        self.accumulate(&dw, &db);
+        dx
+    }
+
+    /// Adds externally-computed gradients into the stored accumulators.
+    pub fn accumulate(&mut self, dw: &Matrix, db: &Matrix) {
+        self.w.grad_mut().add_assign(dw);
+        self.b.grad_mut().add_assign(db);
     }
 
     /// Adam step over both parameters.
@@ -177,18 +197,31 @@ impl DenseLayer {
         y
     }
 
-    /// Backward pass: accumulates gradients and returns `dL/dX`.
-    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
-        self.w.grad_mut().add_assign(&x.t_matmul(dy));
-        {
-            let db = self.b.grad_mut();
-            for r in 0..dy.rows() {
-                for (acc, &d) in db.row_mut(0).iter_mut().zip(dy.row(r)) {
-                    *acc += d;
-                }
+    /// Pure backward pass: returns `(dW, db, dL/dX)` without touching the
+    /// stored gradients (see [`GcnLayer::backward_wrt`]).
+    pub fn backward_wrt(&self, x: &Matrix, dy: &Matrix) -> (Matrix, Matrix, Matrix) {
+        let dw = x.t_matmul(dy);
+        let mut db = Matrix::zeros(1, dy.cols());
+        for r in 0..dy.rows() {
+            for (acc, &d) in db.row_mut(0).iter_mut().zip(dy.row(r)) {
+                *acc += d;
             }
         }
-        dy.matmul_t(&self.w.value)
+        let dx = dy.matmul_t(&self.w.value);
+        (dw, db, dx)
+    }
+
+    /// Backward pass: accumulates gradients and returns `dL/dX`.
+    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        let (dw, db, dx) = self.backward_wrt(x, dy);
+        self.accumulate(&dw, &db);
+        dx
+    }
+
+    /// Adds externally-computed gradients into the stored accumulators.
+    pub fn accumulate(&mut self, dw: &Matrix, db: &Matrix) {
+        self.w.grad_mut().add_assign(dw);
+        self.b.grad_mut().add_assign(db);
     }
 
     /// Adam step over both parameters.

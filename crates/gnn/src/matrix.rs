@@ -121,57 +121,141 @@ impl Matrix {
 
     /// `self · other`.
     ///
+    /// The kernel is `i`/`k`-outer with the `k` loop unrolled by 4, so the
+    /// contiguous inner sweep over the output row autovectorizes and the
+    /// four B rows are streamed per pass. Each output element still
+    /// receives its `k` contributions in ascending order as four separate
+    /// adds, so the result is **bitwise identical** to the naive
+    /// triple-loop (the property tests below assert exactly that).
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let mut out = Matrix::zeros(self.rows, n);
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut k = 0;
+            while k + 4 <= self.cols {
+                let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let b0 = &other.data[k * n..(k + 1) * n];
+                let b1 = &other.data[(k + 1) * n..(k + 2) * n];
+                let b2 = &other.data[(k + 2) * n..(k + 3) * n];
+                let b3 = &other.data[(k + 3) * n..(k + 4) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    // Four separate adds: keeps the naive accumulation
+                    // association (bitwise reproducibility).
+                    let mut v = *o;
+                    v += a0 * b0[j];
+                    v += a1 * b1[j];
+                    v += a2 * b2[j];
+                    v += a3 * b3[j];
+                    *o = v;
                 }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
+                k += 4;
+            }
+            while k < self.cols {
+                let a = arow[k];
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(brow) {
                     *o += a * b;
                 }
+                k += 1;
             }
         }
         out
     }
 
     /// `selfᵀ · other` without materializing the transpose.
+    ///
+    /// Same unrolling scheme (and the same bitwise-equals-naive guarantee)
+    /// as [`Matrix::matmul`], with the shared row dimension unrolled by 4.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let arow = self.row(r);
-            let brow = other.row(r);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let n = other.cols;
+        let mut out = Matrix::zeros(self.cols, n);
+        let mut r = 0;
+        while r + 4 <= self.rows {
+            for i in 0..self.cols {
+                let (a0, a1, a2, a3) = (
+                    self.data[r * self.cols + i],
+                    self.data[(r + 1) * self.cols + i],
+                    self.data[(r + 2) * self.cols + i],
+                    self.data[(r + 3) * self.cols + i],
+                );
+                let b0 = &other.data[r * n..(r + 1) * n];
+                let b1 = &other.data[(r + 1) * n..(r + 2) * n];
+                let b2 = &other.data[(r + 2) * n..(r + 3) * n];
+                let b3 = &other.data[(r + 3) * n..(r + 4) * n];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut v = *o;
+                    v += a0 * b0[j];
+                    v += a1 * b1[j];
+                    v += a2 * b2[j];
+                    v += a3 * b3[j];
+                    *o = v;
                 }
-                let out_row = out.row_mut(i);
+            }
+            r += 4;
+        }
+        while r < self.rows {
+            let brow = &other.data[r * n..(r + 1) * n];
+            for i in 0..self.cols {
+                let a = self.data[r * self.cols + i];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(brow) {
                     *o += a * b;
                 }
             }
+            r += 1;
         }
         out
     }
 
     /// `self · otherᵀ`.
+    ///
+    /// Dot-product kernel with four output columns per pass: the four
+    /// accumulators share each load of the A row and give the backend
+    /// independent FMA chains. Every accumulator sums its `k` terms in
+    /// ascending order, so the result is bitwise identical to the naive
+    /// version.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut j = 0;
+            while j + 4 <= other.rows {
+                let b0 = other.row(j);
+                let b1 = other.row(j + 1);
+                let b2 = other.row(j + 2);
+                let b3 = other.row(j + 3);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (k, &a) in arow.iter().enumerate() {
+                    s0 += a * b0[k];
+                    s1 += a * b1[k];
+                    s2 += a * b2[k];
+                    s3 += a * b3[k];
+                }
+                let orow = out.row_mut(i);
+                orow[j] = s0;
+                orow[j + 1] = s1;
+                orow[j + 2] = s2;
+                orow[j + 3] = s3;
+                j += 4;
+            }
+            while j < other.rows {
                 let brow = other.row(j);
-                out[(i, j)] = arow.iter().zip(brow).map(|(&a, &b)| a * b).sum();
+                let mut s = 0.0f32;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    s += a * b;
+                }
+                out[(i, j)] = s;
+                j += 1;
             }
         }
         out
@@ -303,5 +387,110 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+}
+
+#[cfg(test)]
+mod kernel_reference_tests {
+    //! The unrolled kernels must be *bitwise* equal to naive triple-loop
+    //! references: each output element accumulates its terms in the same
+    //! ascending-k order, so no float tolerance is needed (and the GNN's
+    //! bitwise thread-count determinism can rest on these kernels).
+
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random matrix with negatives and a sprinkling of exact zeros
+    /// (zeros exercise what used to be a sparsity fast path).
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| {
+                if rng.gen_range(0..4usize) == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0f32..2.0)
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    fn naive_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for i in 0..a.cols() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
+                for r in 0..a.rows() {
+                    s += a[(r, i)] * b[(r, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    fn naive_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut s = 0.0f32;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(j, k)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    fn assert_bitwise_eq(got: &Matrix, want: &Matrix, what: &str) {
+        assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "{what}: element {i} differs ({g} vs {w})"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn unrolled_kernels_match_naive_bitwise(
+            m in 1usize..18,
+            k in 1usize..18,
+            n in 1usize..18,
+            seed in 0u64..1_000_000,
+        ) {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed.wrapping_add(1));
+            assert_bitwise_eq(&a.matmul(&b), &naive_matmul(&a, &b), "matmul");
+
+            let at = random_matrix(k, m, seed.wrapping_add(2));
+            let bt = random_matrix(k, n, seed.wrapping_add(3));
+            assert_bitwise_eq(&at.t_matmul(&bt), &naive_t_matmul(&at, &bt), "t_matmul");
+
+            let c = random_matrix(n, k, seed.wrapping_add(4));
+            assert_bitwise_eq(&a.matmul_t(&c), &naive_matmul_t(&a, &c), "matmul_t");
+        }
     }
 }

@@ -9,6 +9,16 @@ use crate::graph::GcnGraph;
 use crate::layers::{sigmoid, sigmoid_bce, softmax, softmax_ce, DenseLayer, GcnCache, GcnLayer};
 use crate::matrix::Matrix;
 
+/// Per-sample parameter gradients of a classifier, computed without
+/// mutating the model so training workers can run concurrently. Each entry
+/// is a `(dW, db)` pair; `layers` is empty when the backbone is frozen.
+struct SampleGrads {
+    loss: f32,
+    layers: Vec<(Matrix, Matrix)>,
+    head_hidden: Option<(Matrix, Matrix)>,
+    head: (Matrix, Matrix),
+}
+
 /// One graph with its node feature matrix.
 #[derive(Clone, Debug)]
 pub struct GraphData {
@@ -190,6 +200,11 @@ impl GcnClassifier {
 
     /// Trains with Adam on softmax cross-entropy; returns the final-epoch
     /// mean training loss.
+    ///
+    /// Per-sample forward/backward passes within a minibatch fan out over
+    /// the [`m3d_par`] pool; gradients are merged in sample-index order
+    /// before the Adam step, so the trained weights are bitwise identical
+    /// at any thread count (`M3D_THREADS=1` included).
     pub fn fit(&mut self, samples: &[(&GraphData, usize)], cfg: &TrainConfig) -> f32 {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -200,9 +215,14 @@ impl GcnClassifier {
             let mut epoch_loss = 0.0f32;
             for chunk in order.chunks(cfg.batch_size) {
                 self.zero_grads();
-                for &idx in chunk {
+                let model = &*self;
+                let grads = m3d_par::par_map(chunk, |&idx| {
                     let (data, label) = samples[idx];
-                    epoch_loss += self.backward_one(data, label);
+                    model.sample_grads(data, label)
+                });
+                for g in grads {
+                    epoch_loss += g.loss;
+                    self.apply_grads(&g);
                 }
                 t += 1;
                 self.step(cfg.learning_rate, t);
@@ -212,8 +232,8 @@ impl GcnClassifier {
         last_loss
     }
 
-    /// Forward + backward for one sample; returns the loss.
-    fn backward_one(&mut self, data: &GraphData, label: usize) -> f32 {
+    /// Forward + backward for one sample without mutating the model.
+    fn sample_grads(&self, data: &GraphData, label: usize) -> SampleGrads {
         let (caches, h) = self.backbone(data);
         let n = h.rows().max(1);
         let hidden = h.cols();
@@ -222,30 +242,71 @@ impl GcnClassifier {
         let logits = self.head.forward(&pre_head);
         let (loss, dlogits) = softmax_ce(logits.row(0), label);
         let dlogits = Matrix::from_vec(1, logits.cols(), dlogits);
-        let mut dpooled = self.head.backward(&pre_head, &dlogits);
-        if let (Some(layer), Some(z)) = (self.head_hidden.as_mut(), head_z) {
+        let (head_dw, head_db, mut dpooled) = self.head.backward_wrt(&pre_head, &dlogits);
+        let mut head_hidden_g = None;
+        if let (Some(layer), Some(z)) = (self.head_hidden.as_ref(), head_z) {
             // ReLU backward on the hidden head, then its dense backward.
             for (d, &zv) in dpooled.data_mut().iter_mut().zip(z.data()) {
                 if zv <= 0.0 {
                     *d = 0.0;
                 }
             }
-            dpooled = layer.backward(&pooled, &dpooled);
+            let (dw, db, dp) = layer.backward_wrt(&pooled, &dpooled);
+            head_hidden_g = Some((dw, db));
+            dpooled = dp;
         }
-        if self.freeze_backbone {
-            return loss;
-        }
-        // Mean-pool backward: broadcast /n to every node row.
-        let mut dh = Matrix::zeros(h.rows(), hidden);
-        for r in 0..h.rows() {
-            for (d, &g) in dh.row_mut(r).iter_mut().zip(dpooled.row(0)) {
-                *d = g / n as f32;
+        let mut layer_grads = Vec::new();
+        if !self.freeze_backbone {
+            // Mean-pool backward: broadcast /n to every node row.
+            let mut dh = Matrix::zeros(h.rows(), hidden);
+            for r in 0..h.rows() {
+                for (d, &g) in dh.row_mut(r).iter_mut().zip(dpooled.row(0)) {
+                    *d = g / n as f32;
+                }
             }
+            layer_grads.reserve(self.layers.len());
+            for (layer, (_, cache)) in self.layers.iter().zip(&caches).rev() {
+                let (dw, db, dx) = layer.backward_wrt(&data.graph, cache, &dh);
+                layer_grads.push((dw, db));
+                dh = dx;
+            }
+            layer_grads.reverse();
         }
-        for (layer, (_, cache)) in self.layers.iter_mut().zip(&caches).rev() {
-            dh = layer.backward(&data.graph, cache, &dh);
+        SampleGrads {
+            loss,
+            layers: layer_grads,
+            head_hidden: head_hidden_g,
+            head: (head_dw, head_db),
         }
-        loss
+    }
+
+    /// Adds one sample's gradients into the stored accumulators.
+    fn apply_grads(&mut self, g: &SampleGrads) {
+        for (layer, (dw, db)) in self.layers.iter_mut().zip(&g.layers) {
+            layer.accumulate(dw, db);
+        }
+        if let (Some(layer), Some((dw, db))) = (self.head_hidden.as_mut(), g.head_hidden.as_ref()) {
+            layer.accumulate(dw, db);
+        }
+        self.head.accumulate(&g.head.0, &g.head.1);
+    }
+
+    /// Every trainable parameter flattened in a fixed order (GCN layers,
+    /// hidden head, head; weights before biases). Used by the determinism
+    /// tests to compare trained models bitwise.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(l.w.value.data());
+            out.extend_from_slice(l.b.value.data());
+        }
+        if let Some(h) = &self.head_hidden {
+            out.extend_from_slice(h.w.value.data());
+            out.extend_from_slice(h.b.value.data());
+        }
+        out.extend_from_slice(self.head.w.value.data());
+        out.extend_from_slice(self.head.b.value.data());
+        out
     }
 
     fn zero_grads(&mut self) {
@@ -336,6 +397,10 @@ impl NodeClassifier {
     /// Trains on per-node binary labels; `pos_weight` scales the loss of
     /// positive (faulty) nodes to counter class imbalance. Returns the
     /// final-epoch mean loss.
+    ///
+    /// Like [`GcnClassifier::fit`], per-sample passes run on the
+    /// [`m3d_par`] pool with gradients merged in sample-index order, so
+    /// results are bitwise thread-count independent.
     pub fn fit(
         &mut self,
         samples: &[(&GraphData, &[(usize, bool)])],
@@ -354,9 +419,17 @@ impl NodeClassifier {
                     l.zero_grad();
                 }
                 self.head.zero_grad();
-                for &idx in chunk {
+                let model = &*self;
+                let grads = m3d_par::par_map(chunk, |&idx| {
                     let (data, labels) = samples[idx];
-                    epoch_loss += self.backward_one(data, labels, pos_weight);
+                    model.sample_grads(data, labels, pos_weight)
+                });
+                for g in grads {
+                    epoch_loss += g.loss;
+                    for (layer, (dw, db)) in self.layers.iter_mut().zip(&g.layers) {
+                        layer.accumulate(dw, db);
+                    }
+                    self.head.accumulate(&g.head.0, &g.head.1);
                 }
                 t += 1;
                 for l in &mut self.layers {
@@ -369,9 +442,24 @@ impl NodeClassifier {
         last_loss
     }
 
-    fn backward_one(&mut self, data: &GraphData, labels: &[(usize, bool)], pos_weight: f32) -> f32 {
+    /// Forward + backward for one sample without mutating the model.
+    fn sample_grads(
+        &self,
+        data: &GraphData,
+        labels: &[(usize, bool)],
+        pos_weight: f32,
+    ) -> SampleGrads {
         if labels.is_empty() {
-            return 0.0;
+            // No layer entries and an all-zero head: accumulates nothing.
+            return SampleGrads {
+                loss: 0.0,
+                layers: Vec::new(),
+                head_hidden: None,
+                head: (
+                    Matrix::zeros(self.head.w.value.rows(), self.head.w.value.cols()),
+                    Matrix::zeros(1, self.head.w.value.cols()),
+                ),
+            };
         }
         let (caches, h) = self.backbone(data);
         let logits = self.head.forward(&h);
@@ -384,11 +472,33 @@ impl NodeClassifier {
             loss += l * norm;
             dlogits[(node, 0)] = d * norm;
         }
-        let mut dh = self.head.backward(&h, &dlogits);
-        for (layer, (_, cache)) in self.layers.iter_mut().zip(&caches).rev() {
-            dh = layer.backward(&data.graph, cache, &dh);
+        let (head_dw, head_db, mut dh) = self.head.backward_wrt(&h, &dlogits);
+        let mut layer_grads = Vec::with_capacity(self.layers.len());
+        for (layer, (_, cache)) in self.layers.iter().zip(&caches).rev() {
+            let (dw, db, dx) = layer.backward_wrt(&data.graph, cache, &dh);
+            layer_grads.push((dw, db));
+            dh = dx;
         }
-        loss
+        layer_grads.reverse();
+        SampleGrads {
+            loss,
+            layers: layer_grads,
+            head_hidden: None,
+            head: (head_dw, head_db),
+        }
+    }
+
+    /// Every trainable parameter flattened in a fixed order (see
+    /// [`GcnClassifier::flat_params`]).
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(l.w.value.data());
+            out.extend_from_slice(l.b.value.data());
+        }
+        out.extend_from_slice(self.head.w.value.data());
+        out.extend_from_slice(self.head.b.value.data());
+        out
     }
 }
 

@@ -1,0 +1,423 @@
+//! Deterministic scoped data-parallelism for the M3D workspace.
+//!
+//! Every hot path of the reproduction — GNN training, fault simulation,
+//! dataset generation, evaluation — fans out through this crate. The
+//! guarantee that makes that safe for a *reproduction* (where numbers in
+//! tables must be explainable) is **determinism**: for a fixed input, the
+//! result of every function here is bitwise identical regardless of the
+//! thread count.
+//!
+//! Three design rules deliver that guarantee:
+//!
+//! 1. **Chunking is a function of the input length only.** Work is split
+//!    into chunks whose boundaries never depend on the thread count (see
+//!    [`default_chunk_size`]). Threads *claim* chunks dynamically (for load
+//!    balance), but which items share a chunk is fixed.
+//! 2. **Results are reassembled in chunk-index order.** Maps preserve item
+//!    order; [`par_fold`] merges per-chunk accumulators left-to-right by
+//!    chunk index, so floating-point sums associate the same way at any
+//!    thread count — including the `threads = 1` fallback, which walks the
+//!    identical chunk sequence inline without spawning.
+//! 3. **Per-item work must be pure.** Closures may use per-thread scratch
+//!    ([`par_map_init`]) but the output for an item must not depend on
+//!    which thread ran it or on scratch history.
+//!
+//! # Thread-count configuration
+//!
+//! The pool width comes from, in order of precedence:
+//!
+//! 1. a scoped [`with_threads`] override (used by tests and benches),
+//! 2. the `M3D_THREADS` environment variable (parsed once per process),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `M3D_THREADS=1` (or a single-core host) selects the documented serial
+//! fallback: the same chunk walk, inline on the calling thread.
+//!
+//! Nested calls (a `par_*` invoked from inside a worker closure) run
+//! serially on the worker — parallelism lives at the outermost call site,
+//! so pipelines never oversubscribe the machine.
+//!
+//! # Examples
+//!
+//! ```
+//! let items: Vec<u64> = (0..1000).collect();
+//! let doubled = m3d_par::par_map(&items, |&x| x * 2);
+//! assert_eq!(doubled[999], 1998);
+//!
+//! // Deterministic float reduction: identical bits at any thread count.
+//! let xs: Vec<f32> = (0..1000).map(|i| (i as f32).sin()).collect();
+//! let sum = |threads: usize| {
+//!     m3d_par::with_threads(threads, || {
+//!         m3d_par::par_fold(
+//!             &xs,
+//!             m3d_par::default_chunk_size(xs.len()),
+//!             || 0.0f32,
+//!             |acc, _, &x| acc + x,
+//!             |a, b| a + b,
+//!         )
+//!     })
+//! };
+//! assert_eq!(sum(1).to_bits(), sum(8).to_bits());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, OnceLock};
+
+/// Upper bound on the number of chunks the default policy creates.
+///
+/// Large enough that dynamic claiming balances uneven per-item cost across
+/// any realistic core count, small enough that per-chunk overhead (one
+/// channel send) is negligible. Fixed — never derived from the thread
+/// count — so chunk boundaries, and therefore reduction order, are a
+/// function of the input length only.
+const DEFAULT_MAX_CHUNKS: usize = 64;
+
+thread_local! {
+    /// Scoped thread-count override (0 = none). Thread-local so parallel
+    /// tests cannot race each other through a global.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Set inside pool workers: nested `par_*` calls run serially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The default chunk size for `len` items: at most [`DEFAULT_MAX_CHUNKS`]
+/// chunks, never empty. A function of `len` only — see the crate docs for
+/// why that matters.
+pub fn default_chunk_size(len: usize) -> usize {
+    len.div_ceil(DEFAULT_MAX_CHUNKS).max(1)
+}
+
+fn configured_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("M3D_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The pool width the next `par_*` call on this thread will use.
+///
+/// Inside a worker closure this is always 1 (nested calls are serial).
+pub fn num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let o = THREAD_OVERRIDE.with(Cell::get);
+    if o > 0 {
+        o
+    } else {
+        configured_threads()
+    }
+}
+
+/// Runs `f` with the pool width pinned to `n` on this thread (restored on
+/// exit, including on panic). Used by the determinism tests and the
+/// `BENCH_pipeline` harness to compare `threads = 1` against `threads = N`
+/// inside one process.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n > 0, "thread count must be positive");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+/// The engine: applies `chunk_fn` to every `chunk_size`-sized chunk of
+/// `items` and returns the per-chunk results in chunk order. `init` builds
+/// per-worker scratch (once per worker thread; once total when serial).
+fn chunk_results<T: Sync, S, R: Send>(
+    items: &[T],
+    chunk_size: usize,
+    init: impl Fn() -> S + Sync,
+    chunk_fn: impl Fn(&mut S, usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let n_chunks = items.len().div_ceil(chunk_size);
+    let threads = num_threads().min(n_chunks);
+    if threads <= 1 {
+        // Serial fallback: the identical chunk walk, inline.
+        let mut scratch = init();
+        return items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(ci, c)| chunk_fn(&mut scratch, ci, c))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n_chunks);
+    out.resize_with(n_chunks, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, init, chunk_fn) = (&next, &init, &chunk_fn);
+            scope.spawn(move || {
+                struct WorkerGuard;
+                impl Drop for WorkerGuard {
+                    fn drop(&mut self) {
+                        IN_WORKER.with(|c| c.set(false));
+                    }
+                }
+                IN_WORKER.with(|c| c.set(true));
+                let _guard = WorkerGuard;
+                let mut scratch = init();
+                loop {
+                    let ci = next.fetch_add(1, Ordering::Relaxed);
+                    if ci >= n_chunks {
+                        break;
+                    }
+                    let lo = ci * chunk_size;
+                    let hi = (lo + chunk_size).min(items.len());
+                    let r = chunk_fn(&mut scratch, ci, &items[lo..hi]);
+                    if tx.send((ci, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Collect while workers run; ends when every sender is dropped.
+        for (ci, r) in rx {
+            out[ci] = Some(r);
+        }
+    });
+    // A worker panic propagates out of the scope above, so every slot is
+    // filled here.
+    out.into_iter()
+        .map(|r| r.expect("every chunk completed"))
+        .collect()
+}
+
+/// Order-preserving parallel map: `out[i] = f(&items[i])`.
+///
+/// Deterministic for pure `f`: the output is identical at any thread
+/// count.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    par_map_init(items, || (), |(), item| f(item))
+}
+
+/// Order-preserving parallel map with per-worker scratch state.
+///
+/// `init` runs once per worker thread (once total on the serial path);
+/// `f` receives the scratch and one item. The scratch is for *reusable
+/// allocations* (e.g. a fault-propagation scratchpad): `f`'s output must
+/// not depend on scratch history, or determinism is lost.
+pub fn par_map_init<T: Sync, S, R: Send>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R> {
+    let chunk = default_chunk_size(items.len());
+    let per_chunk = chunk_results(items, chunk, init, |scratch, _, c| {
+        c.iter().map(|item| f(scratch, item)).collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for c in per_chunk {
+        out.extend(c);
+    }
+    out
+}
+
+/// Applies `f` to fixed `chunk_size`-sized chunks in parallel; returns one
+/// result per chunk, in chunk order. `f` receives the chunk index and the
+/// chunk slice.
+pub fn par_chunks<T: Sync, R: Send>(
+    items: &[T],
+    chunk_size: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    chunk_results(items, chunk_size, || (), |(), ci, c| f(ci, c))
+}
+
+/// Deterministic parallel fold: each chunk folds its items (in item order,
+/// with the global item index) into a fresh accumulator from `acc`; the
+/// per-chunk accumulators are then merged **left-to-right in chunk-index
+/// order** on the calling thread.
+///
+/// Because chunk boundaries depend only on `items.len()` and `chunk_size`,
+/// and the merge order is fixed, floating-point reductions are bitwise
+/// reproducible regardless of thread count. Returns `acc()` for empty
+/// input.
+pub fn par_fold<T: Sync, A: Send>(
+    items: &[T],
+    chunk_size: usize,
+    acc: impl Fn() -> A + Sync,
+    fold: impl Fn(A, usize, &T) -> A + Sync,
+    merge: impl Fn(A, A) -> A,
+) -> A {
+    let partials = chunk_results(
+        items,
+        chunk_size,
+        || (),
+        |(), ci, c| {
+            let base = ci * chunk_size;
+            let mut a = acc();
+            for (off, item) in c.iter().enumerate() {
+                a = fold(a, base + off, item);
+            }
+            a
+        },
+    );
+    let mut it = partials.into_iter();
+    let first = match it.next() {
+        Some(a) => a,
+        None => return acc(),
+    };
+    it.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let want: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = with_threads(threads, || par_map(&items, |&x| x * 3 + 1));
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn float_fold_is_bitwise_reproducible() {
+        // A sum whose value genuinely depends on association order.
+        let xs: Vec<f32> = (0..10_000)
+            .map(|i| ((i * 2654435761_usize) as f32).sin() * 1e3)
+            .collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                par_fold(
+                    &xs,
+                    default_chunk_size(xs.len()),
+                    || 0.0f32,
+                    |a, _, &x| a + x,
+                    |a, b| a + b,
+                )
+            })
+        };
+        let reference = run(1).to_bits();
+        for threads in [2, 3, 4, 7, 16] {
+            assert_eq!(run(threads).to_bits(), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fold_indices_are_global() {
+        let items = vec![1u64; 100];
+        let sum_idx = with_threads(4, || {
+            par_fold(&items, 7, || 0u64, |a, i, _| a + i as u64, |a, b| a + b)
+        });
+        assert_eq!(sum_idx, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn chunks_see_fixed_boundaries() {
+        let items: Vec<u8> = vec![0; 103];
+        for threads in [1, 5] {
+            let sizes = with_threads(threads, || par_chunks(&items, 10, |ci, c| (ci, c.len())));
+            assert_eq!(sizes.len(), 11);
+            assert!(sizes.iter().take(10).all(|&(_, n)| n == 10));
+            assert_eq!(sizes[10], (10, 3));
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // init must run at most `threads` times (exactly once when serial).
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = with_threads(3, || {
+            par_map_init(
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u32>::new()
+                },
+                |scratch, &x| {
+                    scratch.push(x);
+                    x
+                },
+            )
+        });
+        assert_eq!(out, items);
+        assert!(inits.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let items: Vec<usize> = (0..8).collect();
+        let inner: Vec<usize> = (0..4).collect();
+        let got = with_threads(4, || {
+            par_map(&items, |&x| {
+                assert_eq!(num_threads(), 1, "nested calls must be serial");
+                par_map(&inner, |&y| x * 10 + y)
+            })
+        });
+        assert_eq!(got[7], vec![70, 71, 72, 73]);
+        // The guard resets: top-level calls parallelize again.
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert!(par_chunks(&empty, 4, |_, c| c.len()).is_empty());
+        let folded = par_fold(&empty, 4, || 42u32, |a, _, _| a, |a, _| a);
+        assert_eq!(folded, 42);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |&x| {
+                    assert!(x != 40, "boom");
+                    x
+                })
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn default_chunking_is_len_only() {
+        assert_eq!(default_chunk_size(0), 1);
+        assert_eq!(default_chunk_size(1), 1);
+        assert_eq!(default_chunk_size(64), 1);
+        assert_eq!(default_chunk_size(65), 2);
+        assert_eq!(default_chunk_size(6400), 100);
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let base = num_threads();
+        with_threads(7, || assert_eq!(num_threads(), 7));
+        assert_eq!(num_threads(), base);
+        let caught = std::panic::catch_unwind(|| with_threads(5, || panic!("x")));
+        assert!(caught.is_err());
+        assert_eq!(num_threads(), base, "override must unwind-restore");
+    }
+}

@@ -91,7 +91,6 @@ pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
     let mut detected_n = 0usize;
 
     let sim = Simulator::new(design.netlist());
-    let mut detector = BlockDetector::new(design);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut patterns = PatternSet::new();
     let mut misses = 0u32;
@@ -102,15 +101,23 @@ pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
         let count = 64.min(config.max_patterns - patterns.len()) as u8;
         let block = PatternSet::random_block(design.netlist(), &mut rng, count);
         let base = sim.run_block(&block);
+        // The per-fault sweep dominates ATPG runtime; faults are independent
+        // against a fixed baseline, so fan the remaining ones across the
+        // pool with one propagation scratch per worker.
+        let undetected: Vec<usize> = (0..faults.len())
+            .filter(|&i| !detected[i] && testable[i])
+            .collect();
+        let hits = m3d_par::par_map_init(
+            &undetected,
+            || BlockDetector::new(design),
+            |det, &i| {
+                !det.detect(&base, std::slice::from_ref(&faults[i]))
+                    .is_empty()
+            },
+        );
         let mut new_hits = 0usize;
-        for (i, fault) in faults.iter().enumerate() {
-            if detected[i] || !testable[i] {
-                continue;
-            }
-            if !detector
-                .detect(&base, std::slice::from_ref(fault))
-                .is_empty()
-            {
+        for (&i, hit) in undetected.iter().zip(hits) {
+            if hit {
                 detected[i] = true;
                 detected_n += 1;
                 new_hits += 1;

@@ -70,17 +70,17 @@ impl<'a> BlockDetector<'a> {
     fn branch_flip(&self, gate: GateId, pin: u8) -> u64 {
         let key = (gate.index() as u64) << 8 | u64::from(pin);
         self.branch_flips
-            .iter()
-            .find(|&&(k, _)| k == key)
-            .map_or(0, |&(_, f)| f)
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .map_or(0, |i| self.branch_flips[i].1)
     }
 
     fn add_branch_flip(&mut self, gate: GateId, pin: u8, flip: u64) {
         let key = (gate.index() as u64) << 8 | u64::from(pin);
-        if let Some(e) = self.branch_flips.iter_mut().find(|(k, _)| *k == key) {
-            e.1 |= flip;
-        } else {
-            self.branch_flips.push((key, flip));
+        // `branch_flips` stays sorted by key so lookups in the propagation
+        // loop are O(log n) instead of a linear scan per gate input.
+        match self.branch_flips.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(i) => self.branch_flips[i].1 |= flip,
+            Err(i) => self.branch_flips.insert(i, (key, flip)),
         }
     }
 
@@ -274,6 +274,28 @@ impl<'a> FaultSim<'a> {
         out
     }
 
+    /// Like [`FaultSim::detections`], but fans the per-block propagation
+    /// across the `m3d_par` pool with one [`BlockDetector`] scratch per
+    /// worker. Results are identical to the serial method (blocks are
+    /// independent and reassembled in block order).
+    pub fn detections_par(&self, faults: &[Fault]) -> Vec<Detection> {
+        let per_block = m3d_par::par_map_init(
+            &self.blocks,
+            || self.detector(),
+            |det, base| det.detect(base, faults),
+        );
+        let mut out = Vec::new();
+        for (bi, hits) in per_block.into_iter().enumerate() {
+            for (bit, flop) in hits {
+                out.push(Detection {
+                    pattern: self.patterns.id_at(bi, bit),
+                    flop,
+                });
+            }
+        }
+        out
+    }
+
     /// Lanes of `block` in which `site` transitions (fault-free).
     #[inline]
     pub fn transition_mask(&self, site: m3d_netlist::SiteId, block: usize) -> u64 {
@@ -355,6 +377,20 @@ mod tests {
                 );
                 assert_ne!(act & (1 << bit), 0, "detected without activation");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_detections_match_serial_at_any_thread_count() {
+        let (d, p) = env();
+        let sim = FaultSim::new(&d, &p);
+        let mut det = sim.detector();
+        let faults = full_fault_list(&d);
+        let injected = [faults[11], faults[23], faults[44]];
+        let serial = sim.detections(&mut det, &injected);
+        for threads in [1, 3, 8] {
+            let par = m3d_par::with_threads(threads, || sim.detections_par(&injected));
+            assert_eq!(serial, par, "thread count {threads} changed detections");
         }
     }
 
