@@ -83,7 +83,11 @@ impl FaultLocalizer {
     /// one diagnosed sample, producing the final report.
     ///
     /// Samples without a sub-graph (empty back-trace) pass through
-    /// unchanged.
+    /// unchanged. If the Tier-predictor emits a non-finite confidence (a
+    /// numerically damaged model), the GNN outputs are discarded and the
+    /// report falls back to the structural baseline ranker \[11\], tagged
+    /// [`DiagnosisReport::degraded`] — graceful degradation instead of
+    /// pruning on garbage or panicking.
     pub fn enhance(
         &self,
         design: &M3dDesign,
@@ -94,6 +98,9 @@ impl FaultLocalizer {
             return PolicyOutcome::pass_through(report.clone());
         };
         let predicted_tier = self.tier.predict(sg);
+        if !predicted_tier.1.is_finite() || !self.tp_threshold.is_finite() {
+            return PolicyOutcome::degraded(report);
+        }
         let predicted_mivs = self.miv.predict_faulty_mivs(sg);
         let approves = self.classifier.as_ref().is_some_and(|c| c.should_prune(sg));
         prune_and_reorder(
@@ -140,5 +147,57 @@ mod tests {
         let report = DiagnosisReport::default();
         let out = fw.enhance(&env.design, &report, &samples[0]);
         assert_eq!(out.report.resolution(), 0);
+    }
+
+    #[test]
+    fn damaged_models_degrade_to_the_structural_baseline() {
+        use crate::policy::PolicyAction;
+
+        let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, Some(300));
+        let fsim = env.fault_sim();
+        let samples = generate_samples(&env, &fsim, ObsMode::Bypass, InjectionKind::Single, 30, 2);
+        let refs: Vec<&DiagSample> = samples.iter().collect();
+        let cfg = FrameworkConfig {
+            model: ModelConfig {
+                train: TrainConfig {
+                    epochs: 5,
+                    ..TrainConfig::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut fw = FaultLocalizer::train(&refs, &cfg);
+
+        // Diagnose one sample so the report is non-trivial.
+        let diag = m3d_diagnosis::Diagnoser::new(
+            &fsim,
+            &env.scan,
+            ObsMode::Bypass,
+            m3d_diagnosis::DiagnosisConfig::default(),
+        );
+        let report = diag.diagnose(&samples[0].log);
+
+        // Healthy framework: not degraded.
+        let healthy = fw.enhance(&env.design, &report, &samples[0]);
+        assert_ne!(healthy.action, PolicyAction::Degraded);
+        assert!(!healthy.report.degraded());
+
+        // Fault 1: NaN weights in the tier predictor → non-finite
+        // confidence → structural-baseline fallback, tagged degraded.
+        for p in fw.tier.model_mut().params_mut() {
+            p.value.data_mut()[0] = f32::NAN;
+        }
+        let out = fw.enhance(&env.design, &report, &samples[0]);
+        assert_eq!(out.action, PolicyAction::Degraded);
+        assert!(out.report.degraded());
+        assert!(out.backup.is_empty(), "degraded path prunes nothing");
+
+        // Fault 2: a NaN confidence threshold degrades the same way.
+        let mut fw2 = FaultLocalizer::train(&refs, &cfg);
+        fw2.tp_threshold = f64::NAN;
+        let out2 = fw2.enhance(&env.design, &report, &samples[0]);
+        assert_eq!(out2.action, PolicyAction::Degraded);
+        assert!(out2.report.degraded());
     }
 }

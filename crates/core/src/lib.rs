@@ -56,4 +56,4 @@ pub use framework::{FaultLocalizer, FrameworkConfig};
 pub use models::{MivPinpointer, ModelConfig, TierPredictor};
 pub use policy::{prune_and_reorder, PolicyAction, PolicyOutcome};
 pub use region::{RegionMap, RegionPredictor};
-pub use sample::{generate_samples, DiagSample, InjectionKind};
+pub use sample::{generate_samples, try_generate_samples, DiagSample, InjectionKind};

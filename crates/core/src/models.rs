@@ -58,6 +58,12 @@ impl TierPredictor {
         TierPredictor { model }
     }
 
+    /// Mutable access to the underlying graph classifier, for
+    /// checkpointing and the fault-injection harness.
+    pub fn model_mut(&mut self) -> &mut GcnClassifier {
+        &mut self.model
+    }
+
     /// `[p_top, p_bottom]` for a sub-graph.
     pub fn predict_proba(&self, subgraph: &SubGraph) -> [f64; 2] {
         let p = self.model.predict_proba(&subgraph.data);

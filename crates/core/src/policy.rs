@@ -12,6 +12,10 @@ pub enum PolicyAction {
     Prune,
     /// No sub-graph / no prediction available: report passed through.
     PassThrough,
+    /// Classifier output was unusable (non-finite confidence): the
+    /// structural baseline filter \[11\] ranked the report instead and it
+    /// was tagged degraded.
+    Degraded,
 }
 
 /// The policy's result: the final report, the action taken, and the backup
@@ -37,6 +41,21 @@ impl PolicyOutcome {
         PolicyOutcome {
             report,
             action: PolicyAction::PassThrough,
+            backup: Vec::new(),
+            predicted_tier: None,
+            predicted_mivs: Vec::new(),
+        }
+    }
+
+    /// A degraded outcome: the classifier's confidence was unusable, so the
+    /// report was ranked by the structural baseline instead and tagged
+    /// [`DiagnosisReport::degraded`].
+    pub fn degraded(report: &DiagnosisReport) -> Self {
+        let mut report = m3d_diagnosis::baseline_filter(report);
+        report.mark_degraded();
+        PolicyOutcome {
+            report,
+            action: PolicyAction::Degraded,
             backup: Vec::new(),
             predicted_tier: None,
             predicted_mivs: Vec::new(),

@@ -55,6 +55,11 @@ impl DiagSample {
 /// Generates `n` samples under the given observation mode. Deterministic in
 /// `seed`; samples whose failure log is empty (aliased away by the
 /// compactor) are skipped and regenerated.
+///
+/// # Panics
+///
+/// Re-raises a worker panic from the parallel fault-simulation stage; use
+/// [`try_generate_samples`] to receive it as a typed error instead.
 pub fn generate_samples(
     env: &TestEnv,
     fsim: &FaultSim<'_>,
@@ -63,6 +68,25 @@ pub fn generate_samples(
     n: usize,
     seed: u64,
 ) -> Vec<DiagSample> {
+    try_generate_samples(env, fsim, mode, kind, n, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Panic-containing [`generate_samples`]: a panic in any fault-simulation
+/// or back-trace worker is caught per chunk and returned as a typed
+/// [`m3d_par::WorkerPanic`] naming the chunk, deterministically at any
+/// thread count, while sibling chunks complete.
+///
+/// # Errors
+///
+/// The first (lowest-chunk-index) worker panic.
+pub fn try_generate_samples(
+    env: &TestEnv,
+    fsim: &FaultSim<'_>,
+    mode: ObsMode,
+    kind: InjectionKind,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<DiagSample>, m3d_par::WorkerPanic> {
     let detected = env.detected_faults();
     assert!(!detected.is_empty(), "no detectable faults to inject");
     let miv_faults: Vec<Fault> = detected
@@ -88,7 +112,7 @@ pub fn generate_samples(
                 wave.push(injected);
             }
         }
-        let results = m3d_par::par_map_init(
+        let results = m3d_par::try_par_map_init(
             &wave,
             || fsim.detector(),
             |detector, injected| {
@@ -100,7 +124,7 @@ pub fn generate_samples(
                 let subgraph = back_trace(&env.het, fsim, &env.scan, &log);
                 Some((log, subgraph))
             },
-        );
+        )?;
         for (injected, result) in wave.into_iter().zip(results) {
             if out.len() >= n {
                 break;
@@ -125,7 +149,7 @@ pub fn generate_samples(
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// Draws one candidate injection; `None` when the draw is structurally

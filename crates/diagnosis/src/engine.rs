@@ -140,9 +140,23 @@ impl<'a> Diagnoser<'a> {
         self.mode
     }
 
+    /// Whether a log entry references a pattern and observation point that
+    /// exist in this test setup. Failure logs are *untrusted input* (they
+    /// come from a tester datalog); entries referencing out-of-range
+    /// patterns or scan cells are dropped by [`Diagnoser::diagnose`] with a
+    /// degraded tag rather than indexing out of bounds.
+    fn entry_in_range(&self, entry: &FailEntry) -> bool {
+        self.fsim.patterns().checked_locate(entry.pattern).is_some()
+            && self
+                .scan
+                .candidate_flops(entry.obs)
+                .iter()
+                .all(|f| f.index() < self.cone_sites.len())
+    }
+
     /// Suspect sites for one failing log entry: cone sites of every scan
     /// cell the observation could map to, filtered to sites transitioning
-    /// under the failing pattern.
+    /// under the failing pattern. Entries must already be range-checked.
     fn entry_suspects(&self, entry: &FailEntry) -> HashSet<SiteId> {
         let (blk, bit) = self.fsim.patterns().locate(entry.pattern);
         let mut set = HashSet::new();
@@ -206,8 +220,34 @@ impl<'a> Diagnoser<'a> {
 
     /// Diagnoses one failure log into a ranked candidate report.
     ///
-    /// An empty log (the chip passed) yields an empty report.
+    /// An empty log (the chip passed) yields an empty report. Entries
+    /// referencing patterns or scan cells that do not exist in this test
+    /// setup (a malformed or mismatched tester log) are dropped and the
+    /// report is tagged [`DiagnosisReport::degraded`] — graceful
+    /// degradation instead of an out-of-bounds panic.
     pub fn diagnose(&self, log: &FailureLog) -> DiagnosisReport {
+        let dropped = log.entries().iter().any(|e| !self.entry_in_range(e));
+        let sanitized: FailureLog;
+        let log = if dropped {
+            sanitized = log
+                .entries()
+                .iter()
+                .filter(|e| self.entry_in_range(e))
+                .copied()
+                .collect();
+            &sanitized
+        } else {
+            log
+        };
+        let mut report = self.diagnose_trusted(log);
+        if dropped {
+            report.mark_degraded();
+        }
+        report
+    }
+
+    /// [`Diagnoser::diagnose`] after entry sanitization.
+    fn diagnose_trusted(&self, log: &FailureLog) -> DiagnosisReport {
         if log.is_empty() {
             return DiagnosisReport::default();
         }
@@ -476,6 +516,57 @@ mod tests {
             }
         }
         assert!(any_hit >= 4, "cover diagnosis hit {any_hit}/5");
+    }
+
+    #[test]
+    fn out_of_range_entries_degrade_instead_of_panicking() {
+        let e = env();
+        let fsim = FaultSim::new(&e.design, &e.ts.patterns);
+        let diag = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default());
+        let f = detected_faults(&e)[0];
+        let mut det = fsim.detector();
+        let dets = fsim.detections(&mut det, &[f]);
+        let clean = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
+        let clean_report = diag.diagnose(&clean);
+        assert!(!clean_report.degraded());
+
+        // A malformed tester log: the real entries plus one referencing a
+        // nonexistent pattern and one referencing a nonexistent scan cell
+        // (what `fail pattern 4294967295 flop 4294967295` parses to).
+        let poisoned: FailureLog = clean
+            .entries()
+            .iter()
+            .copied()
+            .chain([
+                FailEntry {
+                    pattern: u32::MAX,
+                    obs: m3d_dft::ObsPoint::Flop(m3d_netlist::FlopId::new(u32::MAX as usize)),
+                },
+                FailEntry {
+                    pattern: 0,
+                    obs: m3d_dft::ObsPoint::Flop(m3d_netlist::FlopId::new(
+                        e.design.netlist().flops().len() + 7,
+                    )),
+                },
+            ])
+            .collect();
+        let report = diag.diagnose(&poisoned);
+        assert!(report.degraded(), "dropped entries must tag the report");
+        assert_eq!(
+            report.candidates(),
+            clean_report.candidates(),
+            "valid entries still diagnose normally"
+        );
+
+        // A log of *only* junk entries degrades to an empty report.
+        let junk: FailureLog = std::iter::once(FailEntry {
+            pattern: u32::MAX,
+            obs: m3d_dft::ObsPoint::Flop(m3d_netlist::FlopId::new(u32::MAX as usize)),
+        })
+        .collect();
+        let report = diag.diagnose(&junk);
+        assert!(report.degraded());
+        assert_eq!(report.resolution(), 0);
     }
 
     #[test]

@@ -69,12 +69,29 @@ pub struct Candidate {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DiagnosisReport {
     candidates: Vec<Candidate>,
+    degraded: bool,
 }
 
 impl DiagnosisReport {
     /// Wraps a ranked candidate list.
     pub fn new(candidates: Vec<Candidate>) -> Self {
-        DiagnosisReport { candidates }
+        DiagnosisReport {
+            candidates,
+            degraded: false,
+        }
+    }
+
+    /// `true` when the producer fell back to a degraded path — malformed
+    /// log entries were dropped, or a classifier's confidence was unusable
+    /// and a structural baseline ranked the report instead.
+    #[inline]
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Tags the report as produced by a degraded (fallback) path.
+    pub fn mark_degraded(&mut self) {
+        self.degraded = true;
     }
 
     /// The ranked candidates.
@@ -122,9 +139,13 @@ impl DiagnosisReport {
         self.candidate_tiers().len() <= 1
     }
 
-    /// Replaces the candidate list (used by pruning/reordering policies).
+    /// Replaces the candidate list (used by pruning/reordering policies);
+    /// the degraded tag is carried over.
     pub fn with_candidates(&self, candidates: Vec<Candidate>) -> Self {
-        DiagnosisReport { candidates }
+        DiagnosisReport {
+            candidates,
+            degraded: self.degraded,
+        }
     }
 }
 
@@ -228,7 +249,12 @@ impl std::fmt::Display for DiagnosisReport {
     /// Formats the ranked candidate list the way a diagnosis engineer
     /// would read it.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "diagnosis report: {} candidate(s)", self.resolution())?;
+        writeln!(
+            f,
+            "diagnosis report: {} candidate(s){}",
+            self.resolution(),
+            if self.degraded { " (degraded)" } else { "" }
+        )?;
         for (i, c) in self.candidates.iter().enumerate() {
             writeln!(
                 f,
@@ -276,8 +302,16 @@ mod display_tests {
         ]);
         let text = report.to_string();
         assert!(text.contains("2 candidate(s)"));
+        assert!(!text.contains("(degraded)"));
         assert!(text.contains("#1"));
         assert!(text.contains("tier=top"));
         assert!(text.contains("tier=MIV"));
+        let mut tagged = report.clone();
+        tagged.mark_degraded();
+        assert!(tagged.to_string().contains("2 candidate(s) (degraded)"));
+        assert!(
+            tagged.with_candidates(Vec::new()).degraded(),
+            "degraded tag survives candidate replacement"
+        );
     }
 }

@@ -36,6 +36,37 @@ impl Param {
         &mut self.grad
     }
 
+    /// Read-only view of the gradient accumulator (used by the numeric
+    /// guards to scan merged gradients without mutating anything).
+    pub fn grad(&self) -> &Matrix {
+        &self.grad
+    }
+
+    /// The Adam moment estimates `(m, v)`, for checkpointing.
+    pub fn moments(&self) -> (&Matrix, &Matrix) {
+        (&self.m, &self.v)
+    }
+
+    /// Restores the Adam moments from a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either moment's shape differs from the parameter's.
+    pub fn set_moments(&mut self, m: Matrix, v: Matrix) {
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (self.value.rows(), self.value.cols()),
+            "m moment shape mismatch"
+        );
+        assert_eq!(
+            (v.rows(), v.cols()),
+            (self.value.rows(), self.value.cols()),
+            "v moment shape mismatch"
+        );
+        self.m = m;
+        self.v = v;
+    }
+
     /// One Adam update (`t` is the 1-based step for bias correction).
     pub fn adam_step(&mut self, lr: f32, t: u64) {
         const B1: f32 = 0.9;

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod graph;
+mod guard;
 mod layers;
 mod matrix;
 mod metrics;
@@ -42,9 +43,13 @@ mod pca;
 mod significance;
 
 pub use graph::GcnGraph;
+pub use guard::{
+    EpochReport, GuardAction, GuardCause, GuardConfig, GuardEvent, GuardPolicy, NumericFault,
+    TrainReport,
+};
 pub use layers::{sigmoid, softmax, DenseLayer, GcnLayer, Param};
 pub use matrix::Matrix;
 pub use metrics::{accuracy, PrCurve, PrPoint, RocCurve, RocPoint, ScoredSample};
-pub use model::{GcnClassifier, GraphData, NodeClassifier, TrainConfig};
+pub use model::{GcnClassifier, GraphData, NodeClassifier, TrainConfig, TrainCursor};
 pub use pca::pca_project;
 pub use significance::permutation_significance;

@@ -6,7 +6,13 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::graph::GcnGraph;
-use crate::layers::{sigmoid, sigmoid_bce, softmax, softmax_ce, DenseLayer, GcnCache, GcnLayer};
+use crate::guard::{
+    EpochReport, GuardAction, GuardCause, GuardConfig, GuardEvent, GuardPolicy, NumericFault,
+    TrainReport,
+};
+use crate::layers::{
+    sigmoid, sigmoid_bce, softmax, softmax_ce, DenseLayer, GcnCache, GcnLayer, Param,
+};
 use crate::matrix::Matrix;
 
 /// Per-sample parameter gradients of a classifier, computed without
@@ -60,6 +66,64 @@ impl Default for TrainConfig {
             learning_rate: 0.01,
             batch_size: 16,
             seed: 1,
+        }
+    }
+}
+
+/// The mutable position of a training run: epoch counter, Adam step count,
+/// current learning rate, shuffle RNG, and the shuffle order.
+///
+/// The order vector is shuffled *in place* at the start of every epoch, so
+/// epoch `k`'s permutation is the composition of `k` shuffles — it cannot
+/// be reconstructed from the seed and epoch number alone. A resumable
+/// checkpoint therefore must carry the cursor verbatim
+/// ([`TrainCursor::rng_state`] + [`TrainCursor::order`]), which is exactly
+/// what `m3d-resilient` snapshots. Restoring a cursor with
+/// [`TrainCursor::restore`] and continuing produces weights bit-identical
+/// to the uninterrupted run.
+#[derive(Clone, Debug)]
+pub struct TrainCursor {
+    /// Completed epochs; the next `train_epoch` call runs this epoch.
+    pub epoch: usize,
+    /// 1-based Adam step count (batches stepped so far).
+    pub t: u64,
+    /// Current learning rate. Starts at [`TrainConfig::learning_rate`];
+    /// only [`GuardPolicy::RollbackAndHalveLr`] changes it.
+    pub lr: f32,
+    rng: StdRng,
+    order: Vec<usize>,
+}
+
+impl TrainCursor {
+    /// A fresh cursor at epoch 0 for `n_samples` training samples.
+    pub fn start(cfg: &TrainConfig, n_samples: usize) -> Self {
+        TrainCursor {
+            epoch: 0,
+            t: 0,
+            lr: cfg.learning_rate,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            order: (0..n_samples).collect(),
+        }
+    }
+
+    /// The raw shuffle-RNG state, for checkpointing.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// The current shuffle order, for checkpointing.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Reconstructs a cursor captured mid-run by a checkpoint.
+    pub fn restore(epoch: usize, t: u64, lr: f32, rng_state: u64, order: Vec<usize>) -> Self {
+        TrainCursor {
+            epoch,
+            t,
+            lr,
+            rng: StdRng::from_state(rng_state),
+            order,
         }
     }
 }
@@ -206,30 +270,183 @@ impl GcnClassifier {
     /// before the Adam step, so the trained weights are bitwise identical
     /// at any thread count (`M3D_THREADS=1` included).
     pub fn fit(&mut self, samples: &[(&GraphData, usize)], cfg: &TrainConfig) -> f32 {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut order: Vec<usize> = (0..samples.len()).collect();
-        let mut t = 0u64;
+        let guard = GuardConfig::off();
+        let mut cursor = TrainCursor::start(cfg, samples.len());
         let mut last_loss = 0.0f32;
-        for _epoch in 0..cfg.epochs {
-            order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0f32;
-            for chunk in order.chunks(cfg.batch_size) {
-                self.zero_grads();
-                let model = &*self;
-                let grads = m3d_par::par_map(chunk, |&idx| {
-                    let (data, label) = samples[idx];
-                    model.sample_grads(data, label)
-                });
-                for g in grads {
-                    epoch_loss += g.loss;
-                    self.apply_grads(&g);
-                }
-                t += 1;
-                self.step(cfg.learning_rate, t);
-            }
-            last_loss = epoch_loss / samples.len().max(1) as f32;
+        while cursor.epoch < cfg.epochs {
+            let ep = self
+                .train_epoch(samples, cfg, &mut cursor, &guard)
+                .expect("guards disabled: no numeric fault can surface");
+            last_loss = ep.mean_loss;
         }
         last_loss
+    }
+
+    /// [`GcnClassifier::fit`] with numeric guardrails: per-sample losses
+    /// and merged gradients are checked for NaN/Inf before every Adam step
+    /// and the configured [`GuardPolicy`] applied. Returns a
+    /// [`TrainReport`] recording every intervention, or a typed
+    /// [`NumericFault`] under [`GuardPolicy::Abort`].
+    ///
+    /// On healthy data the result is bit-identical to [`GcnClassifier::fit`]
+    /// — the checks are pure reads.
+    pub fn fit_guarded(
+        &mut self,
+        samples: &[(&GraphData, usize)],
+        cfg: &TrainConfig,
+        guard: &GuardConfig,
+    ) -> Result<TrainReport, NumericFault> {
+        let mut cursor = TrainCursor::start(cfg, samples.len());
+        self.resume_guarded(samples, cfg, guard, &mut cursor)
+    }
+
+    /// Runs guarded training from an existing cursor (fresh or restored
+    /// from a checkpoint) until `cfg.epochs` epochs have completed.
+    pub fn resume_guarded(
+        &mut self,
+        samples: &[(&GraphData, usize)],
+        cfg: &TrainConfig,
+        guard: &GuardConfig,
+        cursor: &mut TrainCursor,
+    ) -> Result<TrainReport, NumericFault> {
+        let mut report = TrainReport::default();
+        while cursor.epoch < cfg.epochs {
+            report.absorb(self.train_epoch(samples, cfg, cursor, guard)?);
+        }
+        Ok(report)
+    }
+
+    /// Runs exactly one training epoch from `cursor`, advancing it.
+    ///
+    /// This is the unit the crash-safe trainer in `m3d-resilient` wraps:
+    /// it checkpoints the model plus cursor between epochs. With
+    /// `guard.enabled` the batch loop checks per-sample losses and merged
+    /// gradients before stepping; a detected fault is handled per
+    /// `guard.policy` (see [`GuardConfig`]). After an `Err` the cursor is
+    /// mid-epoch and must not be reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor was built for a different sample count.
+    pub fn train_epoch(
+        &mut self,
+        samples: &[(&GraphData, usize)],
+        cfg: &TrainConfig,
+        cursor: &mut TrainCursor,
+        guard: &GuardConfig,
+    ) -> Result<EpochReport, NumericFault> {
+        assert_eq!(
+            cursor.order.len(),
+            samples.len(),
+            "cursor built for a different sample count"
+        );
+        cursor.order.shuffle(&mut cursor.rng);
+        let epoch = cursor.epoch;
+        let order = cursor.order.clone();
+        let mut epoch_loss = 0.0f32;
+        let mut events = Vec::new();
+        for (batch, chunk) in order.chunks(cfg.batch_size).enumerate() {
+            self.zero_grads();
+            let model = &*self;
+            let grads = m3d_par::par_map(chunk, |&idx| {
+                let (data, label) = samples[idx];
+                model.sample_grads(data, label)
+            });
+            let loss_before = epoch_loss;
+            let mut fault = None;
+            for (&idx, g) in chunk.iter().zip(&grads) {
+                if guard.enabled && fault.is_none() && !g.loss.is_finite() {
+                    fault = Some(GuardCause::NonFiniteLoss { sample: idx });
+                }
+                epoch_loss += g.loss;
+                self.apply_grads(g);
+            }
+            if guard.enabled && fault.is_none() && !self.grads_finite() {
+                fault = Some(GuardCause::NonFiniteGrad);
+            }
+            if let Some(cause) = fault {
+                match guard.policy {
+                    GuardPolicy::Abort => {
+                        return Err(NumericFault {
+                            epoch,
+                            batch,
+                            cause,
+                        })
+                    }
+                    GuardPolicy::SkipBatch => {
+                        epoch_loss = loss_before;
+                        events.push(GuardEvent {
+                            epoch,
+                            batch,
+                            cause,
+                            action: GuardAction::SkippedBatch,
+                        });
+                        continue;
+                    }
+                    GuardPolicy::RollbackAndHalveLr => {
+                        epoch_loss = loss_before;
+                        cursor.lr = (cursor.lr * 0.5).max(guard.min_lr);
+                        events.push(GuardEvent {
+                            epoch,
+                            batch,
+                            cause,
+                            action: GuardAction::RolledBack { new_lr: cursor.lr },
+                        });
+                        continue;
+                    }
+                }
+            }
+            cursor.t += 1;
+            self.step(cursor.lr, cursor.t);
+        }
+        cursor.epoch += 1;
+        Ok(EpochReport {
+            mean_loss: epoch_loss / samples.len().max(1) as f32,
+            events,
+        })
+    }
+
+    /// Whether every merged gradient accumulator is finite (pure read).
+    fn grads_finite(&self) -> bool {
+        self.params()
+            .iter()
+            .all(|p| p.grad().data().iter().all(|g| g.is_finite()))
+    }
+
+    /// Every trainable parameter, in the same fixed order as
+    /// [`GcnClassifier::flat_params`] (GCN layers, hidden head, head;
+    /// weights before biases). The checkpoint format is defined over this
+    /// order.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.push(&l.w);
+            out.push(&l.b);
+        }
+        if let Some(h) = &self.head_hidden {
+            out.push(&h.w);
+            out.push(&h.b);
+        }
+        out.push(&self.head.w);
+        out.push(&self.head.b);
+        out
+    }
+
+    /// Mutable access to every trainable parameter, in
+    /// [`GcnClassifier::params`] order (checkpoint restore).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for l in &mut self.layers {
+            out.push(&mut l.w);
+            out.push(&mut l.b);
+        }
+        if let Some(h) = &mut self.head_hidden {
+            out.push(&mut h.w);
+            out.push(&mut h.b);
+        }
+        out.push(&mut self.head.w);
+        out.push(&mut self.head.b);
+        out
     }
 
     /// Forward + backward for one sample without mutating the model.
@@ -407,39 +624,161 @@ impl NodeClassifier {
         pos_weight: f32,
         cfg: &TrainConfig,
     ) -> f32 {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut order: Vec<usize> = (0..samples.len()).collect();
-        let mut t = 0u64;
+        let guard = GuardConfig::off();
+        let mut cursor = TrainCursor::start(cfg, samples.len());
         let mut last_loss = 0.0f32;
-        for _epoch in 0..cfg.epochs {
-            order.shuffle(&mut rng);
-            let mut epoch_loss = 0.0f32;
-            for chunk in order.chunks(cfg.batch_size) {
-                for l in &mut self.layers {
-                    l.zero_grad();
-                }
-                self.head.zero_grad();
-                let model = &*self;
-                let grads = m3d_par::par_map(chunk, |&idx| {
-                    let (data, labels) = samples[idx];
-                    model.sample_grads(data, labels, pos_weight)
-                });
-                for g in grads {
-                    epoch_loss += g.loss;
-                    for (layer, (dw, db)) in self.layers.iter_mut().zip(&g.layers) {
-                        layer.accumulate(dw, db);
-                    }
-                    self.head.accumulate(&g.head.0, &g.head.1);
-                }
-                t += 1;
-                for l in &mut self.layers {
-                    l.step(cfg.learning_rate, t);
-                }
-                self.head.step(cfg.learning_rate, t);
-            }
-            last_loss = epoch_loss / samples.len().max(1) as f32;
+        while cursor.epoch < cfg.epochs {
+            let ep = self
+                .train_epoch(samples, pos_weight, cfg, &mut cursor, &guard)
+                .expect("guards disabled: no numeric fault can surface");
+            last_loss = ep.mean_loss;
         }
         last_loss
+    }
+
+    /// [`NodeClassifier::fit`] with numeric guardrails — the node-level
+    /// counterpart of [`GcnClassifier::fit_guarded`].
+    pub fn fit_guarded(
+        &mut self,
+        samples: &[(&GraphData, &[(usize, bool)])],
+        pos_weight: f32,
+        cfg: &TrainConfig,
+        guard: &GuardConfig,
+    ) -> Result<TrainReport, NumericFault> {
+        let mut cursor = TrainCursor::start(cfg, samples.len());
+        let mut report = TrainReport::default();
+        while cursor.epoch < cfg.epochs {
+            report.absorb(self.train_epoch(samples, pos_weight, cfg, &mut cursor, guard)?);
+        }
+        Ok(report)
+    }
+
+    /// Runs exactly one training epoch from `cursor`, advancing it — the
+    /// node-level counterpart of [`GcnClassifier::train_epoch`], with the
+    /// same guard semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor was built for a different sample count.
+    pub fn train_epoch(
+        &mut self,
+        samples: &[(&GraphData, &[(usize, bool)])],
+        pos_weight: f32,
+        cfg: &TrainConfig,
+        cursor: &mut TrainCursor,
+        guard: &GuardConfig,
+    ) -> Result<EpochReport, NumericFault> {
+        assert_eq!(
+            cursor.order.len(),
+            samples.len(),
+            "cursor built for a different sample count"
+        );
+        cursor.order.shuffle(&mut cursor.rng);
+        let epoch = cursor.epoch;
+        let order = cursor.order.clone();
+        let mut epoch_loss = 0.0f32;
+        let mut events = Vec::new();
+        for (batch, chunk) in order.chunks(cfg.batch_size).enumerate() {
+            for l in &mut self.layers {
+                l.zero_grad();
+            }
+            self.head.zero_grad();
+            let model = &*self;
+            let grads = m3d_par::par_map(chunk, |&idx| {
+                let (data, labels) = samples[idx];
+                model.sample_grads(data, labels, pos_weight)
+            });
+            let loss_before = epoch_loss;
+            let mut fault = None;
+            for (&idx, g) in chunk.iter().zip(&grads) {
+                if guard.enabled && fault.is_none() && !g.loss.is_finite() {
+                    fault = Some(GuardCause::NonFiniteLoss { sample: idx });
+                }
+                epoch_loss += g.loss;
+                for (layer, (dw, db)) in self.layers.iter_mut().zip(&g.layers) {
+                    layer.accumulate(dw, db);
+                }
+                self.head.accumulate(&g.head.0, &g.head.1);
+            }
+            if guard.enabled && fault.is_none() && !self.grads_finite() {
+                fault = Some(GuardCause::NonFiniteGrad);
+            }
+            if let Some(cause) = fault {
+                match guard.policy {
+                    GuardPolicy::Abort => {
+                        return Err(NumericFault {
+                            epoch,
+                            batch,
+                            cause,
+                        })
+                    }
+                    GuardPolicy::SkipBatch => {
+                        epoch_loss = loss_before;
+                        events.push(GuardEvent {
+                            epoch,
+                            batch,
+                            cause,
+                            action: GuardAction::SkippedBatch,
+                        });
+                        continue;
+                    }
+                    GuardPolicy::RollbackAndHalveLr => {
+                        epoch_loss = loss_before;
+                        cursor.lr = (cursor.lr * 0.5).max(guard.min_lr);
+                        events.push(GuardEvent {
+                            epoch,
+                            batch,
+                            cause,
+                            action: GuardAction::RolledBack { new_lr: cursor.lr },
+                        });
+                        continue;
+                    }
+                }
+            }
+            cursor.t += 1;
+            for l in &mut self.layers {
+                l.step(cursor.lr, cursor.t);
+            }
+            self.head.step(cursor.lr, cursor.t);
+        }
+        cursor.epoch += 1;
+        Ok(EpochReport {
+            mean_loss: epoch_loss / samples.len().max(1) as f32,
+            events,
+        })
+    }
+
+    /// Whether every merged gradient accumulator is finite (pure read).
+    fn grads_finite(&self) -> bool {
+        self.params()
+            .iter()
+            .all(|p| p.grad().data().iter().all(|g| g.is_finite()))
+    }
+
+    /// Every trainable parameter, in [`NodeClassifier::flat_params`]
+    /// order.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.push(&l.w);
+            out.push(&l.b);
+        }
+        out.push(&self.head.w);
+        out.push(&self.head.b);
+        out
+    }
+
+    /// Mutable access to every trainable parameter, in
+    /// [`NodeClassifier::params`] order (checkpoint restore).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        for l in &mut self.layers {
+            out.push(&mut l.w);
+            out.push(&mut l.b);
+        }
+        out.push(&mut self.head.w);
+        out.push(&mut self.head.b);
+        out
     }
 
     /// Forward + backward for one sample without mutating the model.

@@ -63,6 +63,8 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, OnceLock};
 
@@ -140,6 +142,43 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Typed report of a panic inside a worker closure.
+///
+/// Returned by the `try_*` entry points ([`try_par_map`],
+/// [`try_par_map_init`], [`try_par_chunks`], [`try_par_fold`]), which
+/// `catch_unwind` each chunk instead of letting the panic poison the whole
+/// run. Sibling chunks always run to completion, and when several chunks
+/// panic the error reported is the one with the **smallest chunk index** —
+/// so the returned error is deterministic at any thread count, like every
+/// other result in this crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the (lowest-indexed) chunk whose closure panicked.
+    pub chunk: usize,
+    /// The panic payload rendered as text (`&str` / `String` payloads are
+    /// preserved; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panic in chunk {}: {}", self.chunk, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a `catch_unwind` payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// The engine: applies `chunk_fn` to every `chunk_size`-sized chunk of
 /// `items` and returns the per-chunk results in chunk order. `init` builds
 /// per-worker scratch (once per worker thread; once total when serial).
@@ -207,12 +246,56 @@ fn chunk_results<T: Sync, S, R: Send>(
         .collect()
 }
 
+/// Fallible engine wrapper: runs the same chunk walk as [`chunk_results`]
+/// but catches a panic in `chunk_fn` per chunk. Sibling chunks are
+/// unaffected — every chunk still runs — and the error returned is the one
+/// from the smallest panicking chunk index, so the outcome (value *or*
+/// error) is deterministic at any thread count.
+fn try_chunk_results<T: Sync, S, R: Send>(
+    items: &[T],
+    chunk_size: usize,
+    init: impl Fn() -> S + Sync,
+    chunk_fn: impl Fn(&mut S, usize, &[T]) -> R + Sync,
+) -> Result<Vec<R>, WorkerPanic> {
+    let wrapped = chunk_results(items, chunk_size, init, |scratch, ci, c| {
+        catch_unwind(AssertUnwindSafe(|| chunk_fn(scratch, ci, c))).map_err(|payload| WorkerPanic {
+            chunk: ci,
+            message: panic_message(payload),
+        })
+    });
+    // `wrapped` is in chunk order, so the first `Err` has the smallest
+    // chunk index.
+    let mut out = Vec::with_capacity(wrapped.len());
+    for r in wrapped {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
 /// Order-preserving parallel map: `out[i] = f(&items[i])`.
 ///
 /// Deterministic for pure `f`: the output is identical at any thread
 /// count.
+///
+/// # Panics
+///
+/// A panic in `f` does **not** abort sibling workers mid-chunk: every
+/// other chunk runs to completion, then the panic resumes on the calling
+/// thread when the scope joins. Callers that want the panic as a typed
+/// error instead should use [`try_par_map`].
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     par_map_init(items, || (), |(), item| f(item))
+}
+
+/// Fallible [`par_map`]: a panic in `f` becomes a [`WorkerPanic`] carrying
+/// the chunk index, instead of unwinding through the caller. All sibling
+/// chunks still run; with several panicking chunks the lowest chunk index
+/// wins, so the `Err` is deterministic at any thread count.
+pub fn try_par_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Result<Vec<R>, WorkerPanic> {
+    try_par_map_init(items, || (), |(), item| f(item))
 }
 
 /// Order-preserving parallel map with per-worker scratch state.
@@ -237,6 +320,25 @@ pub fn par_map_init<T: Sync, S, R: Send>(
     out
 }
 
+/// Fallible [`par_map_init`]: a panic in `f` becomes a [`WorkerPanic`]
+/// carrying the chunk index (the [`default_chunk_size`] chunking, as used
+/// by `par_map_init` itself).
+pub fn try_par_map_init<T: Sync, S, R: Send>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Result<Vec<R>, WorkerPanic> {
+    let chunk = default_chunk_size(items.len());
+    let per_chunk = try_chunk_results(items, chunk, init, |scratch, _, c| {
+        c.iter().map(|item| f(scratch, item)).collect::<Vec<R>>()
+    })?;
+    let mut out = Vec::with_capacity(items.len());
+    for c in per_chunk {
+        out.extend(c);
+    }
+    Ok(out)
+}
+
 /// Applies `f` to fixed `chunk_size`-sized chunks in parallel; returns one
 /// result per chunk, in chunk order. `f` receives the chunk index and the
 /// chunk slice.
@@ -246,6 +348,16 @@ pub fn par_chunks<T: Sync, R: Send>(
     f: impl Fn(usize, &[T]) -> R + Sync,
 ) -> Vec<R> {
     chunk_results(items, chunk_size, || (), |(), ci, c| f(ci, c))
+}
+
+/// Fallible [`par_chunks`]: a panic in `f` becomes a [`WorkerPanic`]
+/// carrying the index of the chunk that panicked.
+pub fn try_par_chunks<T: Sync, R: Send>(
+    items: &[T],
+    chunk_size: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Result<Vec<R>, WorkerPanic> {
+    try_chunk_results(items, chunk_size, || (), |(), ci, c| f(ci, c))
 }
 
 /// Deterministic parallel fold: each chunk folds its items (in item order,
@@ -283,6 +395,38 @@ pub fn par_fold<T: Sync, A: Send>(
         None => return acc(),
     };
     it.fold(first, merge)
+}
+
+/// Fallible [`par_fold`]: a panic in `fold` becomes a [`WorkerPanic`]
+/// carrying the chunk index; the left-to-right merge then never runs.
+/// `merge` itself executes on the calling thread outside the pool, so a
+/// panic there unwinds normally.
+pub fn try_par_fold<T: Sync, A: Send>(
+    items: &[T],
+    chunk_size: usize,
+    acc: impl Fn() -> A + Sync,
+    fold: impl Fn(A, usize, &T) -> A + Sync,
+    merge: impl Fn(A, A) -> A,
+) -> Result<A, WorkerPanic> {
+    let partials = try_chunk_results(
+        items,
+        chunk_size,
+        || (),
+        |(), ci, c| {
+            let base = ci * chunk_size;
+            let mut a = acc();
+            for (off, item) in c.iter().enumerate() {
+                a = fold(a, base + off, item);
+            }
+            a
+        },
+    )?;
+    let mut it = partials.into_iter();
+    let first = match it.next() {
+        Some(a) => a,
+        None => return Ok(acc()),
+    };
+    Ok(it.fold(first, merge))
 }
 
 #[cfg(test)]
@@ -391,7 +535,7 @@ mod tests {
     #[test]
     fn worker_panics_propagate() {
         let items: Vec<usize> = (0..64).collect();
-        let result = std::panic::catch_unwind(|| {
+        let result = catch_unwind(|| {
             with_threads(4, || {
                 par_map(&items, |&x| {
                     assert!(x != 40, "boom");
@@ -400,6 +544,106 @@ mod tests {
             })
         });
         assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn panicking_chunk_does_not_abort_siblings() {
+        // Satellite guarantee: a panic in one chunk never cancels work in
+        // sibling chunks. Every item outside the panicking chunk must have
+        // been processed, whichever of `par_map` (panic propagates at scope
+        // join) or `try_par_map` (typed error) the caller used.
+        let items: Vec<usize> = (0..64).collect();
+        let chunk = default_chunk_size(items.len()); // 1 → chunk == item
+        assert_eq!(chunk, 1);
+        let processed = AtomicUsize::new(0);
+        let result = with_threads(4, || {
+            try_par_map(&items, |&x| {
+                if x == 9 {
+                    panic!("chaos: injected worker panic");
+                }
+                processed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        });
+        let err = result.expect_err("the injected panic must surface as Err");
+        assert_eq!(err.chunk, 9);
+        assert!(err.message.contains("injected worker panic"), "{err}");
+        assert_eq!(
+            processed.load(Ordering::Relaxed),
+            items.len() - 1,
+            "all sibling chunks ran to completion"
+        );
+    }
+
+    #[test]
+    fn try_error_is_deterministic_across_thread_counts() {
+        // Several chunks panic; the reported chunk index must always be
+        // the smallest, at any thread count.
+        let items: Vec<usize> = (0..256).collect();
+        for threads in [1, 2, 4, 8] {
+            let err = with_threads(threads, || {
+                try_par_map(&items, |&x| {
+                    assert!(x % 50 != 3, "boom at {x}");
+                    x
+                })
+            })
+            .expect_err("must fail");
+            // 256 items → chunk size 4; first failing item is 3 → chunk 0.
+            assert_eq!(err.chunk, 0, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_variants_match_plain_ones_on_success() {
+        let items: Vec<u64> = (0..300).collect();
+        let ok = try_par_map(&items, |&x| x * 7).expect("no panic");
+        assert_eq!(ok, par_map(&items, |&x| x * 7));
+        let folded = try_par_fold(
+            &items,
+            default_chunk_size(items.len()),
+            || 0u64,
+            |a, _, &x| a + x,
+            |a, b| a + b,
+        )
+        .expect("no panic");
+        assert_eq!(folded, (0..300).sum::<u64>());
+        let chunks = try_par_chunks(&items, 32, |ci, c| (ci, c.len())).expect("no panic");
+        assert_eq!(chunks, par_chunks(&items, 32, |ci, c| (ci, c.len())));
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(try_par_map(&empty, |&x| x), Ok(Vec::new()));
+        assert_eq!(
+            try_par_fold(&empty, 4, || 5u64, |a, _, _| a, |a, b| a + b),
+            Ok(5)
+        );
+    }
+
+    #[test]
+    fn try_par_fold_reports_panicking_chunk() {
+        let items: Vec<usize> = (0..100).collect();
+        let err = with_threads(3, || {
+            try_par_fold(
+                &items,
+                10,
+                || 0usize,
+                |a, i, _| {
+                    assert!(i != 57, "fold chaos");
+                    a + 1
+                },
+                |a, b| a + b,
+            )
+        })
+        .expect_err("must fail");
+        assert_eq!(err.chunk, 5, "item 57 lives in chunk 5 of size 10");
+        assert!(err.message.contains("fold chaos"));
+    }
+
+    #[test]
+    fn worker_panic_displays_chunk_and_message() {
+        let e = WorkerPanic {
+            chunk: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "worker panic in chunk 3: boom");
     }
 
     #[test]
@@ -416,7 +660,7 @@ mod tests {
         let base = num_threads();
         with_threads(7, || assert_eq!(num_threads(), 7));
         assert_eq!(num_threads(), base);
-        let caught = std::panic::catch_unwind(|| with_threads(5, || panic!("x")));
+        let caught = catch_unwind(|| with_threads(5, || panic!("x")));
         assert!(caught.is_err());
         assert_eq!(num_threads(), base, "override must unwind-restore");
     }

@@ -1,0 +1,140 @@
+//! Deterministic fault injection for the resilience test suite.
+//!
+//! Every injector is seeded: the same seed corrupts the same byte, poisons
+//! the same feature, or garbles the same log line on every run, so a chaos
+//! test that fails is a chaos test that reproduces. This module is a test
+//! harness — production code must never call it.
+//!
+//! Fault classes covered (the chaos matrix in DESIGN.md §11):
+//!
+//! * NaN gradients — [`poison_nan`] plants a NaN in a sample's feature
+//!   matrix; the real forward/backward pass then produces non-finite
+//!   losses/gradients for the numeric guards to catch.
+//! * Truncated checkpoint — [`truncate_file`].
+//! * Bit-flipped checkpoint — [`flip_bit`], caught by the CRC trailer.
+//! * Malformed failure-log lines — [`garble_text`].
+//! * Worker panics — [`panic_on`] builds a closure for `m3d_par`'s `try_`
+//!   entry points to contain.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use m3d_gnn::Matrix;
+
+/// Truncates the file at `path` to its first `keep` bytes (no-op when the
+/// file is already that short). Returns the resulting length.
+pub fn truncate_file(path: &Path, keep: usize) -> io::Result<usize> {
+    let mut bytes = fs::read(path)?;
+    bytes.truncate(keep);
+    fs::write(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// Flips one seeded-random bit of the file at `path`; returns the
+/// `(byte offset, bit)` flipped.
+///
+/// # Panics
+///
+/// Panics if the file is empty.
+pub fn flip_bit(path: &Path, seed: u64) -> io::Result<(usize, u8)> {
+    let mut bytes = fs::read(path)?;
+    assert!(!bytes.is_empty(), "cannot flip a bit of an empty file");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let byte = rng.gen_range(0..bytes.len());
+    let bit = rng.gen_range(0..8u8);
+    bytes[byte] ^= 1 << bit;
+    fs::write(path, &bytes)?;
+    Ok((byte, bit))
+}
+
+/// Plants a NaN at one seeded-random element of `m`; returns the flat
+/// index poisoned. Feeding the poisoned features through a model's
+/// forward/backward pass yields non-finite losses and gradients via the
+/// real arithmetic path — no production-code hooks required.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+pub fn poison_nan(m: &mut Matrix, seed: u64) -> usize {
+    let data = m.data_mut();
+    assert!(!data.is_empty(), "cannot poison an empty matrix");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = rng.gen_range(0..data.len());
+    data[idx] = f32::NAN;
+    idx
+}
+
+/// Garbles one seeded-random line of a text document (a tester failure
+/// log, say): the line is rewritten with one of a rotating set of
+/// malformations — token garbage, a non-numeric field, binary noise, or a
+/// wildly out-of-range number.
+pub fn garble_text(text: &str, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return "\u{7f}garbage\u{7f}".to_string();
+    }
+    let target = rng.gen_range(0..lines.len());
+    let mut out = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        if i == target {
+            match rng.gen_range(0..4u8) {
+                0 => out.push_str("fail pattern NOTANUMBER flop 3"),
+                1 => out.push_str(&format!("{line} trailing garbage tokens")),
+                2 => out.push_str("\u{1}\u{2}\u{3} binary noise \u{fffd}"),
+                _ => out.push_str("fail pattern 4294967295 flop 4294967295"),
+            }
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Builds a closure that panics for item `target` and returns the item
+/// otherwise — the worker-panic fault class, for driving `m3d_par`'s
+/// `try_` entry points.
+pub fn panic_on(target: usize) -> impl Fn(&usize) -> usize + Sync {
+    move |&x| {
+        assert!(x != target, "chaos: injected worker panic at item {target}");
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_are_deterministic_per_seed() {
+        let mut a = Matrix::zeros(3, 4);
+        let mut b = Matrix::zeros(3, 4);
+        let ia = poison_nan(&mut a, 9);
+        let ib = poison_nan(&mut b, 9);
+        assert_eq!(ia, ib);
+        assert!(a.data()[ia].is_nan());
+
+        let text = "line one\nline two\nline three\n";
+        assert_eq!(garble_text(text, 5), garble_text(text, 5));
+        assert_ne!(garble_text(text, 5), text);
+    }
+
+    #[test]
+    fn file_injectors_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("m3d-chaos-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("victim.bin");
+        fs::write(&path, [0u8; 64]).expect("write");
+        assert_eq!(truncate_file(&path, 10).expect("truncate"), 10);
+        assert_eq!(fs::read(&path).expect("read").len(), 10);
+        let (byte, bit) = flip_bit(&path, 3).expect("flip");
+        assert!(byte < 10 && bit < 8);
+        assert_eq!(fs::read(&path).expect("read")[byte], 1 << bit);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

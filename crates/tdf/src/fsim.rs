@@ -278,12 +278,34 @@ impl<'a> FaultSim<'a> {
     /// across the `m3d_par` pool with one [`BlockDetector`] scratch per
     /// worker. Results are identical to the serial method (blocks are
     /// independent and reassembled in block order).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic (with its chunk index) after the sibling
+    /// blocks finish; use [`FaultSim::try_detections_par`] to receive it as
+    /// a typed error instead.
     pub fn detections_par(&self, faults: &[Fault]) -> Vec<Detection> {
-        let per_block = m3d_par::par_map_init(
+        self.try_detections_par(faults)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Panic-containing [`FaultSim::detections_par`]: a panic in any
+    /// propagation worker is caught per chunk and returned as a typed
+    /// [`m3d_par::WorkerPanic`] naming the chunk, deterministically at any
+    /// thread count, while sibling blocks complete.
+    ///
+    /// # Errors
+    ///
+    /// The first (lowest-chunk-index) worker panic.
+    pub fn try_detections_par(
+        &self,
+        faults: &[Fault],
+    ) -> Result<Vec<Detection>, m3d_par::WorkerPanic> {
+        let per_block = m3d_par::try_par_map_init(
             &self.blocks,
             || self.detector(),
             |det, base| det.detect(base, faults),
-        );
+        )?;
         let mut out = Vec::new();
         for (bi, hits) in per_block.into_iter().enumerate() {
             for (bit, flop) in hits {
@@ -293,7 +315,7 @@ impl<'a> FaultSim<'a> {
                 });
             }
         }
-        out
+        Ok(out)
     }
 
     /// Lanes of `block` in which `site` transitions (fault-free).

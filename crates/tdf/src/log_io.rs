@@ -19,13 +19,15 @@ use crate::log::{FailEntry, FailureLog};
 pub struct ParseLogError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based character column of the offending token.
+    pub col: usize,
     /// What went wrong.
     pub reason: String,
 }
 
 impl fmt::Display for ParseLogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.reason)
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.reason)
     }
 }
 
@@ -63,42 +65,78 @@ pub fn write_failure_log(log: &FailureLog) -> String {
     out
 }
 
+/// Splits a line into whitespace-separated tokens, each paired with its
+/// 1-based character column in the untrimmed line.
+fn tokens_with_columns(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut col = 0usize;
+    let mut start: Option<(usize, usize)> = None; // (byte offset, column)
+    for (b, ch) in line.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((s, c)) = start.take() {
+                out.push((c, &line[s..b]));
+            }
+        } else if start.is_none() {
+            start = Some((b, col));
+        }
+    }
+    if let Some((s, c)) = start {
+        out.push((c, &line[s..]));
+    }
+    out
+}
+
 /// Parses the text format back into a [`FailureLog`].
+///
+/// Never panics, whatever the input bytes: every failure is reported as a
+/// [`ParseLogError`] carrying the 1-based line and column of the offending
+/// token (the fuzz suite in `tests/log_fuzz.rs` holds this to arbitrary
+/// input).
 ///
 /// # Errors
 ///
-/// Returns [`ParseLogError`] with the offending line on malformed input.
+/// Returns [`ParseLogError`] with the offending position on malformed
+/// input.
 pub fn read_failure_log(text: &str) -> Result<FailureLog, ParseLogError> {
     let mut entries = Vec::new();
-    for (ln, line) in text.lines().enumerate() {
-        let line = line.trim();
+    for (ln, raw) in text.lines().enumerate() {
         let lineno = ln + 1;
-        if line.is_empty() || line.starts_with('#') {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let bad = |reason: &str| ParseLogError {
-            line: lineno,
-            reason: reason.to_owned(),
+        let toks = tokens_with_columns(raw);
+        let parse_num = |ti: usize, what: &str| -> Result<u32, ParseLogError> {
+            let (col, tok) = toks[ti];
+            tok.parse().map_err(|_| ParseLogError {
+                line: lineno,
+                col,
+                reason: format!("bad {what} `{tok}`"),
+            })
         };
-        let toks: Vec<&str> = line.split_whitespace().collect();
-        let parse_num = |tok: &str, what: &str| -> Result<u32, ParseLogError> {
-            tok.parse().map_err(|_| bad(&format!("bad {what} `{tok}`")))
-        };
-        match toks.as_slice() {
-            ["fail", "pattern", p, "flop", f] => entries.push(FailEntry {
-                pattern: parse_num(p, "pattern")?,
-                obs: ObsPoint::Flop(FlopId::new(parse_num(f, "flop")? as usize)),
+        let words: Vec<&str> = toks.iter().map(|&(_, t)| t).collect();
+        match words.as_slice() {
+            ["fail", "pattern", _, "flop", _] => entries.push(FailEntry {
+                pattern: parse_num(2, "pattern")?,
+                obs: ObsPoint::Flop(FlopId::new(parse_num(4, "flop")? as usize)),
             }),
-            ["fail", "pattern", p, "channel", c, "cycle", y] => entries.push(FailEntry {
-                pattern: parse_num(p, "pattern")?,
+            ["fail", "pattern", _, "channel", _, "cycle", _] => entries.push(FailEntry {
+                pattern: parse_num(2, "pattern")?,
                 obs: ObsPoint::ChannelCycle {
-                    channel: parse_num(c, "channel")? as u16,
-                    cycle: parse_num(y, "cycle")? as u16,
+                    channel: parse_num(4, "channel")? as u16,
+                    cycle: parse_num(6, "cycle")? as u16,
                 },
             }),
-            _ => return Err(bad(
-                "expected `fail pattern <p> flop <f>` or `fail pattern <p> channel <c> cycle <y>`",
-            )),
+            _ => {
+                return Err(ParseLogError {
+                    line: lineno,
+                    col: toks.first().map_or(1, |&(c, _)| c),
+                    reason: "expected `fail pattern <p> flop <f>` or \
+                             `fail pattern <p> channel <c> cycle <y>`"
+                        .to_owned(),
+                })
+            }
         }
     }
     Ok(entries.into_iter().collect())
@@ -142,9 +180,23 @@ mod tests {
     fn bad_lines_are_reported_with_position() {
         let err = read_failure_log("# ok\nfail pattern x flop 2\n").unwrap_err();
         assert_eq!(err.line, 2);
+        // `x` starts at character 14 of "fail pattern x flop 2".
+        assert_eq!(err.col, 14);
         assert!(err.to_string().contains("bad pattern"));
+        assert!(err.to_string().contains("line 2, col 14"));
         let err = read_failure_log("nonsense\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 1));
         assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn columns_account_for_leading_whitespace() {
+        let err = read_failure_log("   fail pattern 3 flop NOPE\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        // "NOPE" starts at character 24 (3 leading spaces + "fail pattern 3 flop ").
+        assert_eq!(err.col, 24);
+        let err = read_failure_log("\t\tgarbage\n").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
     }
 
     #[test]

@@ -125,9 +125,21 @@ impl PatternSet {
     /// Decomposes a pattern id into `(block index, lane bit)`.
     ///
     /// Valid because every block except possibly the last holds 64 patterns.
+    /// The result is meaningful only for `id < self.len()`; callers handling
+    /// untrusted ids (e.g. parsed failure logs) must use
+    /// [`PatternSet::checked_locate`] instead.
     #[inline]
     pub fn locate(&self, id: PatternId) -> (usize, u8) {
         ((id / 64) as usize, (id % 64) as u8)
+    }
+
+    /// Bounds-checked [`PatternSet::locate`]: `None` when `id` names no
+    /// pattern of this set, so out-of-range ids from a malformed failure
+    /// log surface as an absent value instead of an out-of-bounds index
+    /// downstream.
+    #[inline]
+    pub fn checked_locate(&self, id: PatternId) -> Option<(usize, u8)> {
+        ((id as usize) < self.len).then(|| self.locate(id))
     }
 
     /// The global id of lane `bit` in block `block`.
@@ -171,7 +183,18 @@ mod tests {
         for id in [0u32, 63, 64, 199] {
             let (blk, bit) = p.locate(id);
             assert_eq!(p.id_at(blk, bit), id);
+            assert_eq!(p.checked_locate(id), Some((blk, bit)));
         }
+    }
+
+    #[test]
+    fn checked_locate_rejects_out_of_range_ids() {
+        let nl = Benchmark::Aes.generate(&GenParams::small(1));
+        let p = PatternSet::random(&nl, 200, 5);
+        for id in [200u32, 201, 64 * 4, u32::MAX] {
+            assert_eq!(p.checked_locate(id), None, "id {id} is out of range");
+        }
+        assert_eq!(PatternSet::new().checked_locate(0), None);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Fuzzing the failure-log parser: `read_failure_log` must never panic,
+//! whatever bytes the "tester" hands it, and every rejection must name the
+//! 1-based line and column of the offending token (chaos fault class 4 of
+//! `m3d-resilient`'s matrix — the parser-side proof).
+
+use proptest::prelude::*;
+
+use m3d_dft::ObsPoint;
+use m3d_netlist::FlopId;
+use m3d_resilient::chaos;
+use m3d_tdf::{read_failure_log, write_failure_log, FailEntry, FailureLog};
+
+/// Checks the error contract: positions are 1-based and surface in the
+/// rendered message.
+fn check_error(e: &m3d_tdf::ParseLogError) {
+    assert!(e.line >= 1, "line must be 1-based, got {}", e.line);
+    assert!(e.col >= 1, "col must be 1-based, got {}", e.col);
+    let shown = e.to_string();
+    assert!(
+        shown.contains(&format!("line {}, col {}", e.line, e.col)),
+        "message must carry the position: {shown}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw fuzz: arbitrary (lossily decoded) bytes parse or fail typed.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Err(e) = read_failure_log(&text) {
+            check_error(&e);
+        }
+    }
+
+    /// Structured fuzz: token soup drawn from the format's own vocabulary,
+    /// so the deeper match arms and numeric parses get exercised too.
+    #[test]
+    fn token_soup_never_panics(words in prop::collection::vec((0u8..10, any::<u32>()), 0..48)) {
+        let mut text = String::new();
+        for (kind, val) in words {
+            match kind {
+                0 => text.push_str("fail"),
+                1 => text.push_str("pattern"),
+                2 => text.push_str("flop"),
+                3 => text.push_str("channel"),
+                4 => text.push_str("cycle"),
+                5 => text.push_str(&val.to_string()),
+                6 => text.push('#'),
+                7 => text.push_str("-1"),
+                8 => text.push_str("99999999999999999999"),
+                _ => text.push_str("\u{fffd}x\u{1}"),
+            }
+            text.push(if val % 5 == 0 { '\n' } else { ' ' });
+        }
+        if let Err(e) = read_failure_log(&text) {
+            check_error(&e);
+            prop_assert!(e.line <= text.lines().count().max(1));
+        }
+    }
+
+    /// Valid logs round-trip losslessly through write → read.
+    #[test]
+    fn valid_logs_round_trip(
+        entries in prop::collection::vec((any::<bool>(), 0u32..512, 0u32..256, 0u32..64), 0..24),
+    ) {
+        let log: FailureLog = entries
+            .into_iter()
+            .map(|(bypass, pattern, a, b)| FailEntry {
+                pattern,
+                obs: if bypass {
+                    ObsPoint::Flop(FlopId::new(a as usize))
+                } else {
+                    ObsPoint::ChannelCycle {
+                        channel: a as u16,
+                        cycle: b as u16,
+                    }
+                },
+            })
+            .collect();
+        let text = write_failure_log(&log);
+        prop_assert_eq!(read_failure_log(&text).expect("wrote it ourselves"), log);
+    }
+
+    /// Deterministically garbled valid logs (the `m3d-resilient` chaos
+    /// injector) either still parse or fail typed with a position — the
+    /// cross-crate half of chaos fault class 4.
+    #[test]
+    fn garbled_logs_fail_typed_not_panicking(seed in 0u64..4096) {
+        let log: FailureLog = (0..6)
+            .map(|i| FailEntry {
+                pattern: i * 3,
+                obs: ObsPoint::Flop(FlopId::new(i as usize)),
+            })
+            .collect();
+        let garbled = chaos::garble_text(&write_failure_log(&log), seed);
+        if let Err(e) = read_failure_log(&garbled) {
+            check_error(&e);
+        }
+    }
+}

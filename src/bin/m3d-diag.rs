@@ -7,6 +7,10 @@
 //! m3d-diag stats     --netlist F [--partition F]
 //! m3d-diag inject    --netlist F --partition F --site K [--fall] [--patterns N] [--compacted] [-o FILE]
 //! m3d-diag diagnose  --netlist F --partition F --log F [--patterns N] [--compacted]
+//! m3d-diag train     --checkpoint-dir D [--bench aes] [--target N] [--samples N]
+//!                    [--epochs N] [--seed S] [--model-seed S] [--checkpoint-every N]
+//!                    [--resume] [--guard-policy abort|skip|rollback]
+//!                    [--halt-after K] [--compacted]
 //! m3d-diag demo      --bench tate [--target N] [--compacted]
 //! m3d-diag lint      [--bench all|aes|tate|netcard|leon3mp] [--target N] [--samples N] [--json]
 //! m3d-diag lint      --netlist F [--partition F] [--json]
@@ -17,6 +21,13 @@
 //! `inject`/`diagnose` derive the TDF pattern set deterministically from
 //! `--pattern-seed`, so a log injected with the same seed diagnoses
 //! correctly without shipping pattern files.
+//!
+//! `train` runs the crash-safe Tier-predictor training loop of
+//! `m3d-resilient`: it checkpoints into `--checkpoint-dir` every
+//! `--checkpoint-every` epochs, `--resume` continues an interrupted run
+//! bit-identically (the printed `weights digest` matches an uninterrupted
+//! run's), `--halt-after K` simulates a crash after `K` epochs, and
+//! `--guard-policy` selects how NaN/Inf losses or gradients are handled.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -106,6 +117,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(rest),
         "inject" => cmd_inject(rest),
         "diagnose" => cmd_diagnose(rest),
+        "train" => cmd_train(rest),
         "demo" => cmd_demo(rest),
         "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
@@ -117,7 +129,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: m3d-diag <gen|partition|stats|inject|diagnose|demo|lint|help> [flags]\n\
+    "usage: m3d-diag <gen|partition|stats|inject|diagnose|train|demo|lint|help> [flags]\n\
      see the binary's doc comment for per-command flags"
         .to_owned()
 }
@@ -335,6 +347,99 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     let errors: usize = reports.iter().map(LintReport::error_count).sum();
     if errors > 0 {
         return Err(format!("lint found {errors} error(s)"));
+    }
+    Ok(())
+}
+
+/// `m3d-diag train`: the crash-safe Tier-predictor training loop.
+///
+/// Builds a benchmark test environment, generates tier-labelled diagnosis
+/// samples, and trains the Tier-predictor GCN through
+/// `m3d_resilient::train_resilient` — guarded epochs, periodic atomic
+/// checkpoints, and bit-exact resume. The final `weights digest` line is
+/// the stable hook for resume-equivalence checks: an interrupted run
+/// (`--halt-after`) continued with `--resume` prints the same digest as an
+/// uninterrupted one.
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    use m3d_fault_diagnosis::gnn::{
+        GcnClassifier, GraphData, GuardConfig, GuardPolicy, TrainConfig,
+    };
+    use m3d_fault_diagnosis::hetgraph::FEATURE_DIM;
+    use m3d_fault_diagnosis::resilient::{train_resilient, weights_digest, CheckpointConfig};
+
+    let flags = Flags::parse(args, &["compacted", "resume"])?;
+    let bench = parse_bench(flags.get("bench").unwrap_or("aes"))?;
+    let target = flags
+        .get("target")
+        .map(|t| t.parse().map_err(|_| "bad --target"))
+        .transpose()?;
+    let mode = mode_of(&flags);
+    let n = flags.num("samples", 60usize)?;
+    let seed = flags.num("seed", 1u64)?;
+    let policy: GuardPolicy = flags.get("guard-policy").unwrap_or("abort").parse()?;
+    let ckpt = CheckpointConfig {
+        dir: flags.require("checkpoint-dir")?.into(),
+        every: flags.num("checkpoint-every", 1usize)?,
+    };
+    let halt_after = flags
+        .get("halt-after")
+        .map(|v| v.parse().map_err(|_| format!("bad --halt-after `{v}`")))
+        .transpose()?;
+    let cfg = TrainConfig {
+        epochs: flags.num("epochs", 8usize)?,
+        ..TrainConfig::default()
+    };
+
+    eprintln!("building {} and generating {n} samples…", bench.name());
+    let env = TestEnv::build(bench, m3d_fault_diagnosis::part::DesignConfig::Syn1, target);
+    let fsim = env.fault_sim();
+    let samples = generate_samples(&env, &fsim, mode, InjectionKind::Single, n, seed);
+    let data: Vec<(&GraphData, usize)> = samples
+        .iter()
+        .filter(|s| s.tier_trainable())
+        .map(|s| {
+            (
+                &s.subgraph.as_ref().expect("tier_trainable").data,
+                s.faulty_tier.expect("tier_trainable").index(),
+            )
+        })
+        .collect();
+    if data.is_empty() {
+        return Err("no tier-trainable samples; raise --samples or --target".to_owned());
+    }
+    eprintln!(
+        "training on {} tier-labelled samples ({} epochs, {:?})…",
+        data.len(),
+        cfg.epochs,
+        policy
+    );
+    let mut model = GcnClassifier::new(FEATURE_DIM, 16, 2, 2, flags.num("model-seed", 7u64)?);
+    let outcome = train_resilient(
+        &mut model,
+        &data,
+        &cfg,
+        &GuardConfig::new(policy),
+        &ckpt,
+        flags.flag("resume"),
+        halt_after,
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(epoch) = outcome.resumed_from {
+        println!("resumed from checkpoint at epoch {epoch}");
+    }
+    println!(
+        "epochs run: {} of {}",
+        outcome.report.epochs_run, cfg.epochs
+    );
+    println!("guard interventions: {}", outcome.report.interventions());
+    println!("checkpoints written: {}", outcome.checkpoints_written);
+    println!("final loss: {:.6}", outcome.report.final_loss);
+    println!(
+        "weights digest: {:08x}",
+        weights_digest(&model.flat_params())
+    );
+    if let Some(epoch) = outcome.halted_at {
+        println!("halted after epoch {epoch} (simulated crash); continue with --resume");
     }
     Ok(())
 }

@@ -115,6 +115,108 @@ fn cli_rejects_bad_input_with_useful_errors() {
     assert!(!out.status.success());
 }
 
+/// Runs `m3d-diag train` with shared small-benchmark knobs plus `extra`
+/// flags, asserts success, and returns captured stdout.
+fn run_train(dir: &PathBuf, extra: &[&str]) -> String {
+    let mut cmd = bin();
+    cmd.args([
+        "train",
+        "--bench",
+        "aes",
+        "--target",
+        "240",
+        "--samples",
+        "24",
+        "--epochs",
+        "6",
+        "--checkpoint-dir",
+    ])
+    .arg(dir)
+    .args(extra);
+    let out = cmd.output().expect("run train");
+    assert!(
+        out.status.success(),
+        "train {extra:?}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Extracts the value of a `key: value` stdout line.
+fn stdout_field<'a>(stdout: &'a str, key: &str) -> &'a str {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix(": ")))
+        .unwrap_or_else(|| panic!("no `{key}:` line in:\n{stdout}"))
+}
+
+#[test]
+fn cli_train_halt_and_resume_match_an_uninterrupted_run() {
+    let straight_dir = tmp("ckpt_straight");
+    let resumed_dir = tmp("ckpt_resumed");
+
+    // Reference: 6 epochs, no interruption.
+    let straight = run_train(&straight_dir, &["--guard-policy", "skip"]);
+    assert_eq!(stdout_field(&straight, "epochs run"), "6 of 6");
+    let want = stdout_field(&straight, "weights digest");
+
+    // Simulated crash after epoch 3, then resume to completion.
+    let halted = run_train(
+        &resumed_dir,
+        &["--guard-policy", "skip", "--halt-after", "3"],
+    );
+    assert!(
+        halted.contains("halted after epoch 3"),
+        "halt must be reported:\n{halted}"
+    );
+    assert_ne!(
+        stdout_field(&halted, "weights digest"),
+        want,
+        "half-trained weights must differ from fully-trained ones"
+    );
+
+    let resumed = run_train(&resumed_dir, &["--guard-policy", "skip", "--resume"]);
+    assert!(
+        resumed.contains("resumed from checkpoint at epoch 3"),
+        "resume must be reported:\n{resumed}"
+    );
+    assert_eq!(stdout_field(&resumed, "epochs run"), "3 of 6");
+    assert_eq!(
+        stdout_field(&resumed, "weights digest"),
+        want,
+        "resumed run must be bit-identical to the uninterrupted run\n\
+         straight:\n{straight}\nresumed:\n{resumed}"
+    );
+    assert_eq!(
+        stdout_field(&resumed, "final loss"),
+        stdout_field(&straight, "final loss"),
+    );
+
+    for d in [straight_dir, resumed_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn cli_train_rejects_unknown_guard_policy() {
+    let out = bin()
+        .args([
+            "train",
+            "--checkpoint-dir",
+            "/tmp/x",
+            "--guard-policy",
+            "yolo",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown guard policy"));
+
+    let out = bin().args(["train"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checkpoint-dir"));
+}
+
 #[test]
 fn cli_help_prints_usage() {
     let out = bin().args(["help"]).output().unwrap();
