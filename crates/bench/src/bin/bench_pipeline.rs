@@ -1,7 +1,12 @@
 //! Thread-scaling benchmark of the parallelized pipeline stages: dataset
 //! generation, GNN training, and fault simulation, each timed at one
 //! thread and at the configured pool width, with a bit-identity check
-//! between the two runs. Results land in `BENCH_pipeline.json`.
+//! between the two runs. Each stage is also re-run with `m3d-obs`
+//! recording enabled to measure observability overhead and capture the
+//! effective worker count from pool events. All stage numbers are routed
+//! through the `m3d-obs` metrics registry before being written out, so
+//! `BENCH_pipeline.json` and `BENCH_pipeline_metrics.jsonl` come from one
+//! deterministic source.
 //!
 //! Run: `cargo run --release -p m3d-bench --bin bench_pipeline`
 //! (`M3D_QUICK=1` for the smoke scale, `M3D_THREADS=N` to pin the pool).
@@ -21,25 +26,85 @@ struct StageResult {
     name: &'static str,
     secs_1t: f64,
     secs_nt: f64,
+    /// Wall time of the pool-width run repeated with obs recording on.
+    secs_nt_obs: f64,
+    /// Largest worker count any dispatch in this stage actually used
+    /// (`min(pool width, chunks)`), read back from obs pool events.
+    effective_threads: usize,
     throughput_nt: f64,
     unit: &'static str,
     deterministic: bool,
 }
 
 impl StageResult {
-    fn speedup(&self) -> f64 {
+    /// `None` when the configured pool width is 1: the "1t" and "nt"
+    /// runs are then the same configuration, and their wall-time ratio
+    /// is timer noise, not a speedup.
+    fn speedup(&self, configured: usize) -> Option<f64> {
+        if configured <= 1 || self.secs_nt <= 0.0 {
+            None
+        } else {
+            Some(self.secs_1t / self.secs_nt)
+        }
+    }
+
+    /// Relative cost of enabling tracing + metrics on the pool-width run.
+    fn obs_overhead_pct(&self) -> f64 {
         if self.secs_nt > 0.0 {
-            self.secs_1t / self.secs_nt
+            100.0 * (self.secs_nt_obs - self.secs_nt) / self.secs_nt
         } else {
             0.0
         }
     }
 }
 
-fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
-    let t = Instant::now();
-    let r = f();
-    (r, t.elapsed().as_secs_f64())
+/// Repetitions per timed variant; the minimum wall time is kept, which
+/// filters scheduler noise out of the obs-overhead comparison.
+const REPS: usize = 5;
+
+fn timed<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (out.expect("REPS > 0"), best)
+}
+
+/// Runs `f` with obs recording enabled on a clean slate and returns the
+/// result, its minimum wall time over [`REPS`] runs, and the largest
+/// effective worker count among the pool dispatches it issued.
+fn timed_with_obs<R>(mut f: impl FnMut() -> R) -> (R, f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    let mut effective = 1;
+    for _ in 0..REPS {
+        m3d_obs::reset();
+        m3d_obs::set_enabled(true);
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        m3d_obs::set_enabled(false);
+        effective = m3d_obs::trace_events()
+            .iter()
+            .filter_map(|e| match e {
+                m3d_obs::Event::Pool { threads, .. } => Some(*threads),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(1);
+        m3d_obs::reset();
+        out = Some(r);
+    }
+    (out.expect("REPS > 0"), best, effective)
+}
+
+fn gauge_of(reg: &m3d_obs::Registry, name: &str) -> f64 {
+    reg.gauge_value(name)
+        .unwrap_or_else(|| panic!("gauge {name} missing from registry"))
 }
 
 fn main() {
@@ -49,16 +114,17 @@ fn main() {
     } else {
         (Some(1200), 40, 30, 1500)
     };
-    let pool = m3d_par::num_threads();
-    eprintln!("bench_pipeline: pool width {pool}, quick = {quick}");
+    let configured = m3d_par::num_threads();
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("bench_pipeline: pool width {configured} (host has {host}), quick = {quick}");
 
     let env = TestEnv::build(Benchmark::Aes, DesignConfig::Syn1, target);
     let fsim = env.fault_sim();
     let mut stages = Vec::new();
 
     // Stage 1: dataset generation (wave-parallel fault sim + back-trace).
-    let (batch_1t, gen_1t) = timed(|| {
-        m3d_par::with_threads(1, || {
+    let gen = |threads: usize| {
+        m3d_par::with_threads(threads, || {
             generate_samples(
                 &env,
                 &fsim,
@@ -68,31 +134,25 @@ fn main() {
                 7,
             )
         })
-    });
-    let (batch_nt, gen_nt) = timed(|| {
-        m3d_par::with_threads(pool, || {
-            generate_samples(
-                &env,
-                &fsim,
-                ObsMode::Bypass,
-                InjectionKind::Single,
-                n_samples,
-                7,
-            )
-        })
-    });
-    let gen_same = batch_1t.len() == batch_nt.len()
-        && batch_1t
-            .iter()
-            .zip(&batch_nt)
-            .all(|(a, b)| a.injected == b.injected && a.log == b.log);
+    };
+    let (batch_1t, gen_1t) = timed(|| gen(1));
+    let (batch_nt, gen_nt) = timed(|| gen(configured));
+    let (batch_obs, gen_obs, gen_threads) = timed_with_obs(|| gen(configured));
+    let batch_eq = |a: &[DiagSample], b: &[DiagSample]| {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.injected == y.injected && x.log == y.log)
+    };
     stages.push(StageResult {
         name: "sample_generation",
         secs_1t: gen_1t,
         secs_nt: gen_nt,
+        secs_nt_obs: gen_obs,
+        effective_threads: gen_threads,
         throughput_nt: batch_nt.len() as f64 / gen_nt.max(1e-12),
         unit: "samples/s",
-        deterministic: gen_same,
+        deterministic: batch_eq(&batch_1t, &batch_nt) && batch_eq(&batch_nt, &batch_obs),
     });
 
     // Stage 2: GNN training (per-sample gradients fan across the pool).
@@ -104,20 +164,25 @@ fn main() {
         },
         ..ModelConfig::default()
     };
-    let (tier_1t, fit_1t) =
-        timed(|| m3d_par::with_threads(1, || TierPredictor::train(&trainable, &cfg)));
-    let (tier_nt, fit_nt) =
-        timed(|| m3d_par::with_threads(pool, || TierPredictor::train(&trainable, &cfg)));
-    let fit_same = tier_1t
-        .model()
-        .flat_params()
-        .iter()
-        .map(|p| p.to_bits())
-        .eq(tier_nt.model().flat_params().iter().map(|p| p.to_bits()));
+    let fit =
+        |threads: usize| m3d_par::with_threads(threads, || TierPredictor::train(&trainable, &cfg));
+    let (tier_1t, fit_1t) = timed(|| fit(1));
+    let (tier_nt, fit_nt) = timed(|| fit(configured));
+    let (tier_obs, fit_obs, fit_threads) = timed_with_obs(|| fit(configured));
+    let bits = |t: &TierPredictor| {
+        t.model()
+            .flat_params()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect::<Vec<_>>()
+    };
+    let fit_same = bits(&tier_1t) == bits(&tier_nt) && bits(&tier_nt) == bits(&tier_obs);
     stages.push(StageResult {
         name: "gnn_fit",
         secs_1t: fit_1t,
         secs_nt: fit_nt,
+        secs_nt_obs: fit_obs,
+        effective_threads: fit_threads,
         throughput_nt: epochs as f64 / fit_nt.max(1e-12),
         unit: "epochs/s",
         deterministic: fit_same,
@@ -133,42 +198,97 @@ fn main() {
             .map(|f| fsim.detections(&mut det, std::slice::from_ref(f)))
             .collect::<Vec<_>>()
     });
-    let (dets_nt, fsim_nt) = timed(|| {
-        m3d_par::with_threads(pool, || {
+    let sweep = |threads: usize| {
+        m3d_par::with_threads(threads, || {
             m3d_par::par_map_init(
                 &faults,
                 || fsim.detector(),
                 |det, f| fsim.detections(det, std::slice::from_ref(f)),
             )
         })
-    });
+    };
+    let (dets_nt, fsim_nt) = timed(|| sweep(configured));
+    let (dets_obs, fsim_obs, fsim_threads) = timed_with_obs(|| sweep(configured));
     stages.push(StageResult {
         name: "fault_simulation",
         secs_1t: fsim_1t,
         secs_nt: fsim_nt,
+        secs_nt_obs: fsim_obs,
+        effective_threads: fsim_threads,
         throughput_nt: faults.len() as f64 / fsim_nt.max(1e-12),
         unit: "faults/s",
-        deterministic: dets_1t == dets_nt,
+        deterministic: dets_1t == dets_nt && dets_nt == dets_obs,
     });
+
+    // Route every stage number through the metrics registry: the JSON and
+    // the metrics JSONL below are both rendered from this one snapshot, in
+    // the registry's deterministic (alphabetical) event order.
+    m3d_obs::reset();
+    m3d_obs::set_enabled(true);
+    for s in &stages {
+        m3d_obs::gauge(&format!("bench.{}.secs_1t", s.name), s.secs_1t);
+        m3d_obs::gauge(&format!("bench.{}.secs_nt", s.name), s.secs_nt);
+        m3d_obs::gauge(&format!("bench.{}.secs_nt_obs", s.name), s.secs_nt_obs);
+        m3d_obs::gauge(
+            &format!("bench.{}.obs_overhead_pct", s.name),
+            s.obs_overhead_pct(),
+        );
+        m3d_obs::gauge(&format!("bench.{}.throughput_nt", s.name), s.throughput_nt);
+        if let Some(x) = s.speedup(configured) {
+            m3d_obs::gauge(&format!("bench.{}.speedup", s.name), x);
+        }
+        m3d_obs::counter(
+            &format!("bench.{}.effective_threads", s.name),
+            s.effective_threads as u64,
+        );
+    }
+    let reg = m3d_obs::registry_snapshot();
+    let mut metrics_jsonl = String::new();
+    for e in reg.events() {
+        let _ = writeln!(metrics_jsonl, "{}", e.render_line());
+    }
+    std::fs::write("BENCH_pipeline_metrics.jsonl", &metrics_jsonl)
+        .expect("write BENCH_pipeline_metrics.jsonl");
+    m3d_obs::set_enabled(false);
+    m3d_obs::reset();
 
     let all_ok = stages.iter().all(|s| s.deterministic);
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"host_threads\": {pool},");
+    let _ = writeln!(json, "  \"host_threads\": {host},");
+    let _ = writeln!(json, "  \"configured_threads\": {configured},");
+    if configured <= 1 {
+        let _ = writeln!(
+            json,
+            "  \"speedup_note\": \"pool width is 1; the 1t and nt runs share one \
+             configuration, so per-stage speedup is omitted\","
+        );
+    }
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"stages\": [");
     for (i, s) in stages.iter().enumerate() {
         let comma = if i + 1 < stages.len() { "," } else { "" };
+        let speedup = match s.speedup(configured) {
+            Some(_) => format!(
+                "{:.3}",
+                gauge_of(&reg, &format!("bench.{}.speedup", s.name))
+            ),
+            None => "null".to_string(),
+        };
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"secs_1t\": {:.6}, \"secs_nt\": {:.6}, \
-             \"speedup\": {:.3}, \"throughput_nt\": {:.3}, \"unit\": \"{}\", \
+             \"secs_nt_obs\": {:.6}, \"effective_threads\": {}, \
+             \"speedup\": {speedup}, \"obs_overhead_pct\": {:.2}, \
+             \"throughput_nt\": {:.3}, \"unit\": \"{}\", \
              \"deterministic\": {}}}{comma}",
             s.name,
-            s.secs_1t,
-            s.secs_nt,
-            s.speedup(),
-            s.throughput_nt,
+            gauge_of(&reg, &format!("bench.{}.secs_1t", s.name)),
+            gauge_of(&reg, &format!("bench.{}.secs_nt", s.name)),
+            gauge_of(&reg, &format!("bench.{}.secs_nt_obs", s.name)),
+            s.effective_threads,
+            gauge_of(&reg, &format!("bench.{}.obs_overhead_pct", s.name)),
+            gauge_of(&reg, &format!("bench.{}.throughput_nt", s.name)),
             s.unit,
             s.deterministic,
         );
@@ -179,18 +299,24 @@ fn main() {
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
 
     for s in &stages {
+        let speedup = match s.speedup(configured) {
+            Some(x) => format!("{x:>5.2}x"),
+            None => "  n/a ".to_string(),
+        };
         println!(
-            "{:<18} 1t {:>8.3}s  {}t {:>8.3}s  speedup {:>5.2}x  {:>10.1} {}  deterministic: {}",
+            "{:<18} 1t {:>8.3}s  {}t {:>8.3}s  speedup {speedup}  obs {:>+5.1}%  \
+             eff {}  {:>10.1} {}  deterministic: {}",
             s.name,
             s.secs_1t,
-            pool,
+            configured,
             s.secs_nt,
-            s.speedup(),
+            s.obs_overhead_pct(),
+            s.effective_threads,
             s.throughput_nt,
             s.unit,
             s.deterministic,
         );
     }
     assert!(all_ok, "parallel results diverged from serial results");
-    println!("wrote BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json and BENCH_pipeline_metrics.jsonl");
 }

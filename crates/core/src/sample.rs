@@ -87,6 +87,7 @@ pub fn try_generate_samples(
     n: usize,
     seed: u64,
 ) -> Result<Vec<DiagSample>, m3d_par::WorkerPanic> {
+    let mut span = m3d_obs::span("sample_generation");
     let detected = env.detected_faults();
     assert!(!detected.is_empty(), "no detectable faults to inject");
     let miv_faults: Vec<Fault> = detected
@@ -104,6 +105,7 @@ pub fn try_generate_samples(
     // Candidates are accepted in draw order, so the output is identical to
     // the serial flow at any thread count.
     while out.len() < n && attempts < n * 20 {
+        span.add("waves", 1);
         let want = n - out.len();
         let mut wave: Vec<Vec<Fault>> = Vec::with_capacity(want);
         while wave.len() < want && attempts < n * 20 {
@@ -149,6 +151,10 @@ pub fn try_generate_samples(
             });
         }
     }
+    span.add("samples", out.len() as u64);
+    span.add("attempts", attempts as u64);
+    m3d_obs::counter("core.samples.generated", out.len() as u64);
+    m3d_obs::counter("core.samples.attempts", attempts as u64);
     Ok(out)
 }
 

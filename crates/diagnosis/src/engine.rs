@@ -226,6 +226,8 @@ impl<'a> Diagnoser<'a> {
     /// report is tagged [`DiagnosisReport::degraded`] — graceful
     /// degradation instead of an out-of-bounds panic.
     pub fn diagnose(&self, log: &FailureLog) -> DiagnosisReport {
+        let mut span = m3d_obs::span("diagnosis");
+        span.add("entries", log.entries().len() as u64);
         let dropped = log.entries().iter().any(|e| !self.entry_in_range(e));
         let sanitized: FailureLog;
         let log = if dropped {
@@ -242,7 +244,12 @@ impl<'a> Diagnoser<'a> {
         let mut report = self.diagnose_trusted(log);
         if dropped {
             report.mark_degraded();
+            span.add("degraded", 1);
+            m3d_obs::counter("diagnosis.degraded_reports", 1);
         }
+        span.add("candidates", report.candidates().len() as u64);
+        m3d_obs::counter("diagnosis.reports", 1);
+        m3d_obs::counter("diagnosis.candidates", report.candidates().len() as u64);
         report
     }
 

@@ -270,6 +270,8 @@ impl GcnClassifier {
     /// before the Adam step, so the trained weights are bitwise identical
     /// at any thread count (`M3D_THREADS=1` included).
     pub fn fit(&mut self, samples: &[(&GraphData, usize)], cfg: &TrainConfig) -> f32 {
+        let mut span = m3d_obs::span("gnn_fit");
+        span.add("samples", samples.len() as u64);
         let guard = GuardConfig::off();
         let mut cursor = TrainCursor::start(cfg, samples.len());
         let mut last_loss = 0.0f32;
@@ -309,6 +311,8 @@ impl GcnClassifier {
         guard: &GuardConfig,
         cursor: &mut TrainCursor,
     ) -> Result<TrainReport, NumericFault> {
+        let mut span = m3d_obs::span("gnn_fit");
+        span.add("samples", samples.len() as u64);
         let mut report = TrainReport::default();
         while cursor.epoch < cfg.epochs {
             report.absorb(self.train_epoch(samples, cfg, cursor, guard)?);
@@ -340,6 +344,13 @@ impl GcnClassifier {
             samples.len(),
             "cursor built for a different sample count"
         );
+        // Observability here is a pure read of training state (loss,
+        // merged gradients, lr) recorded on the orchestrating thread —
+        // it never changes RNG draws, merge order, or trained weights.
+        let obs_on = m3d_obs::enabled();
+        let mut span = m3d_obs::span("train_epoch");
+        let mut grad_norm_sum = 0.0f64;
+        let mut steps = 0u64;
         cursor.order.shuffle(&mut cursor.rng);
         let epoch = cursor.epoch;
         let order = cursor.order.clone();
@@ -367,14 +378,16 @@ impl GcnClassifier {
             if let Some(cause) = fault {
                 match guard.policy {
                     GuardPolicy::Abort => {
+                        m3d_obs::counter("gnn.guard.aborted", 1);
                         return Err(NumericFault {
                             epoch,
                             batch,
                             cause,
-                        })
+                        });
                     }
                     GuardPolicy::SkipBatch => {
                         epoch_loss = loss_before;
+                        m3d_obs::counter("gnn.guard.skipped_batch", 1);
                         events.push(GuardEvent {
                             epoch,
                             batch,
@@ -386,6 +399,7 @@ impl GcnClassifier {
                     GuardPolicy::RollbackAndHalveLr => {
                         epoch_loss = loss_before;
                         cursor.lr = (cursor.lr * 0.5).max(guard.min_lr);
+                        m3d_obs::counter("gnn.guard.rolled_back", 1);
                         events.push(GuardEvent {
                             epoch,
                             batch,
@@ -396,14 +410,43 @@ impl GcnClassifier {
                     }
                 }
             }
+            if obs_on {
+                grad_norm_sum += self.grad_l2();
+                steps += 1;
+            }
             cursor.t += 1;
             self.step(cursor.lr, cursor.t);
         }
         cursor.epoch += 1;
-        Ok(EpochReport {
-            mean_loss: epoch_loss / samples.len().max(1) as f32,
-            events,
-        })
+        let mean_loss = epoch_loss / samples.len().max(1) as f32;
+        if obs_on {
+            let n_batches = samples.len().div_ceil(cfg.batch_size.max(1)) as u64;
+            span.add("batches", n_batches);
+            span.add("guard_events", events.len() as u64);
+            m3d_obs::counter("gnn.train.epochs", 1);
+            m3d_obs::counter("gnn.train.batches", n_batches);
+            m3d_obs::series_push("gnn.epoch_loss", f64::from(mean_loss));
+            m3d_obs::series_push("gnn.lr", f64::from(cursor.lr));
+            let mean_norm = if steps > 0 {
+                grad_norm_sum / steps as f64
+            } else {
+                0.0
+            };
+            m3d_obs::series_push("gnn.grad_norm", mean_norm);
+        }
+        Ok(EpochReport { mean_loss, events })
+    }
+
+    /// L2 norm of every merged gradient accumulator (pure read; only
+    /// computed when observability is recording).
+    fn grad_l2(&self) -> f64 {
+        let sum: f64 = self
+            .params()
+            .iter()
+            .flat_map(|p| p.grad().data().iter())
+            .map(|&g| f64::from(g) * f64::from(g))
+            .sum();
+        sum.sqrt()
     }
 
     /// Whether every merged gradient accumulator is finite (pure read).

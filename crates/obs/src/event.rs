@@ -1,0 +1,357 @@
+//! The observability event schema and its JSONL wire format.
+//!
+//! Every line in a trace or metrics file is one JSON object whose
+//! `"type"` field selects the variant:
+//!
+//! | `type`    | meaning                                              |
+//! |-----------|------------------------------------------------------|
+//! | `span`    | one completed span (id, parent, wall time, counters) |
+//! | `pool`    | one thread-pool dispatch (utilization accounting)    |
+//! | `counter` | final value of a monotonic counter                   |
+//! | `gauge`   | final value of a gauge                               |
+//! | `hist`    | a fixed-bucket histogram snapshot                    |
+//! | `series`  | an ordered numeric series (e.g. per-epoch loss)      |
+
+use crate::json::{self, Json};
+
+/// One observability event; see the module docs for the line schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A completed span. `parent` is `None` for root spans; `t_us` is
+    /// the start offset from the process trace epoch.
+    Span {
+        /// Unique id within the trace (allocation order).
+        id: u64,
+        /// Enclosing span id, if any.
+        parent: Option<u64>,
+        /// Static stage name, e.g. `"fault_simulation"`.
+        name: String,
+        /// Start time, microseconds since the trace epoch.
+        t_us: u64,
+        /// Wall-clock duration in microseconds.
+        dur_us: u64,
+        /// Per-span counters accumulated via `SpanGuard::add`.
+        counters: Vec<(String, u64)>,
+    },
+    /// One parallel dispatch through the `m3d-par` pool.
+    Pool {
+        /// Name of the span the dispatch ran under (empty at top level).
+        in_span: String,
+        /// Worker threads used for this dispatch.
+        threads: usize,
+        /// Number of chunks the input was split into.
+        chunks: usize,
+        /// Total items processed.
+        items: usize,
+        /// Wall time of the whole dispatch, microseconds.
+        wall_us: u64,
+        /// Summed per-chunk execution time, microseconds.
+        busy_us: u64,
+    },
+    /// Final value of a monotonic counter.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// Final value of a gauge.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Last written value.
+        value: f64,
+    },
+    /// A histogram snapshot (see `metrics::Histogram` for semantics).
+    Hist {
+        /// Metric name.
+        name: String,
+        /// Bucket upper bounds.
+        bounds: Vec<f64>,
+        /// Per-bucket counts (`bounds.len() + 1`; last is overflow).
+        counts: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Smallest observation.
+        min: f64,
+        /// Largest observation.
+        max: f64,
+    },
+    /// An ordered numeric series.
+    Series {
+        /// Metric name.
+        name: String,
+        /// Values in record order.
+        values: Vec<f64>,
+    },
+}
+
+fn num_arr(xs: &[f64]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect())
+}
+
+fn u64_arr(xs: &[u64]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Num(x as f64)).collect())
+}
+
+impl Event {
+    /// Converts the event to its JSON object form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::Span {
+                id,
+                parent,
+                name,
+                t_us,
+                dur_us,
+                counters,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("span".into())),
+                ("id".into(), Json::Num(*id as f64)),
+                (
+                    "parent".into(),
+                    parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+                ),
+                ("name".into(), Json::Str(name.clone())),
+                ("t_us".into(), Json::Num(*t_us as f64)),
+                ("dur_us".into(), Json::Num(*dur_us as f64)),
+                (
+                    "counters".into(),
+                    Json::Obj(
+                        counters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::Pool {
+                in_span,
+                threads,
+                chunks,
+                items,
+                wall_us,
+                busy_us,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("pool".into())),
+                ("in".into(), Json::Str(in_span.clone())),
+                ("threads".into(), Json::Num(*threads as f64)),
+                ("chunks".into(), Json::Num(*chunks as f64)),
+                ("items".into(), Json::Num(*items as f64)),
+                ("wall_us".into(), Json::Num(*wall_us as f64)),
+                ("busy_us".into(), Json::Num(*busy_us as f64)),
+            ]),
+            Event::Counter { name, value } => Json::Obj(vec![
+                ("type".into(), Json::Str("counter".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("value".into(), Json::Num(*value as f64)),
+            ]),
+            Event::Gauge { name, value } => Json::Obj(vec![
+                ("type".into(), Json::Str("gauge".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("value".into(), Json::Num(*value)),
+            ]),
+            Event::Hist {
+                name,
+                bounds,
+                counts,
+                count,
+                sum,
+                min,
+                max,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("hist".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("bounds".into(), num_arr(bounds)),
+                ("counts".into(), u64_arr(counts)),
+                ("count".into(), Json::Num(*count as f64)),
+                ("sum".into(), Json::Num(*sum)),
+                ("min".into(), Json::Num(*min)),
+                ("max".into(), Json::Num(*max)),
+            ]),
+            Event::Series { name, values } => Json::Obj(vec![
+                ("type".into(), Json::Str("series".into())),
+                ("name".into(), Json::Str(name.clone())),
+                ("values".into(), num_arr(values)),
+            ]),
+        }
+    }
+
+    /// Renders the event as one JSONL line (no trailing newline).
+    pub fn render_line(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstructs an event from its JSON object form.
+    pub fn from_json(v: &Json) -> Result<Event, String> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("event missing `type`")?;
+        let name = || -> Result<String, String> {
+            Ok(v.get("name")
+                .and_then(Json::as_str)
+                .ok_or("event missing `name`")?
+                .to_string())
+        };
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event missing integer `{key}`"))
+        };
+        let f = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event missing number `{key}`"))
+        };
+        let fs = |key: &str| -> Result<Vec<f64>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("event missing array `{key}`"))?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("non-number in `{key}`")))
+                .collect()
+        };
+        match kind {
+            "span" => {
+                let parent = match v.get("parent") {
+                    Some(Json::Null) | None => None,
+                    Some(p) => Some(p.as_u64().ok_or("bad `parent`")?),
+                };
+                let counters = match v.get("counters") {
+                    Some(Json::Obj(pairs)) => pairs
+                        .iter()
+                        .map(|(k, n)| {
+                            n.as_u64()
+                                .map(|n| (k.clone(), n))
+                                .ok_or_else(|| format!("non-integer counter `{k}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    _ => Vec::new(),
+                };
+                Ok(Event::Span {
+                    id: u("id")?,
+                    parent,
+                    name: name()?,
+                    t_us: u("t_us")?,
+                    dur_us: u("dur_us")?,
+                    counters,
+                })
+            }
+            "pool" => Ok(Event::Pool {
+                in_span: v
+                    .get("in")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                threads: u("threads")? as usize,
+                chunks: u("chunks")? as usize,
+                items: u("items")? as usize,
+                wall_us: u("wall_us")?,
+                busy_us: u("busy_us")?,
+            }),
+            "counter" => Ok(Event::Counter {
+                name: name()?,
+                value: u("value")?,
+            }),
+            "gauge" => Ok(Event::Gauge {
+                name: name()?,
+                value: f("value")?,
+            }),
+            "hist" => Ok(Event::Hist {
+                name: name()?,
+                bounds: fs("bounds")?,
+                counts: v
+                    .get("counts")
+                    .and_then(Json::as_arr)
+                    .ok_or("event missing array `counts`")?
+                    .iter()
+                    .map(|x| x.as_u64().ok_or("non-integer in `counts`".to_string()))
+                    .collect::<Result<Vec<_>, _>>()?,
+                count: u("count")?,
+                sum: f("sum")?,
+                min: f("min")?,
+                max: f("max")?,
+            }),
+            "series" => Ok(Event::Series {
+                name: name()?,
+                values: fs("values")?,
+            }),
+            other => Err(format!("unknown event type `{other}`")),
+        }
+    }
+
+    /// Parses one JSONL line into an event.
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        Event::from_json(&json::parse(line)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: Event) {
+        let line = e.render_line();
+        let back = Event::parse_line(&line).unwrap_or_else(|err| panic!("{err}: {line}"));
+        assert_eq!(back, e, "line: {line}");
+    }
+
+    #[test]
+    fn all_event_kinds_round_trip_through_jsonl() {
+        round_trip(Event::Span {
+            id: 3,
+            parent: Some(1),
+            name: "fault_simulation".into(),
+            t_us: 120,
+            dur_us: 4_567,
+            counters: vec![("faults".into(), 12), ("blocks".into(), 3)],
+        });
+        round_trip(Event::Span {
+            id: 1,
+            parent: None,
+            name: "train".into(),
+            t_us: 0,
+            dur_us: 9,
+            counters: Vec::new(),
+        });
+        round_trip(Event::Pool {
+            in_span: "sample_generation".into(),
+            threads: 4,
+            chunks: 16,
+            items: 240,
+            wall_us: 1000,
+            busy_us: 3600,
+        });
+        round_trip(Event::Counter {
+            name: "gnn.train.batches".into(),
+            value: 42,
+        });
+        round_trip(Event::Gauge {
+            name: "tdf.fsim.detections_per_s".into(),
+            value: 1234.5,
+        });
+        round_trip(Event::Hist {
+            name: "par.exec_us".into(),
+            bounds: vec![10.0, 100.0],
+            counts: vec![1, 2, 0],
+            count: 3,
+            sum: 151.5,
+            min: 8.25,
+            max: 99.0,
+        });
+        round_trip(Event::Series {
+            name: "gnn.epoch_loss".into(),
+            values: vec![0.9, 0.5, 0.25],
+        });
+    }
+
+    #[test]
+    fn parse_line_rejects_unknown_type_and_garbage() {
+        assert!(Event::parse_line("{\"type\":\"nope\"}").is_err());
+        assert!(Event::parse_line("not json").is_err());
+        assert!(Event::parse_line("{\"name\":\"x\"}").is_err());
+    }
+}

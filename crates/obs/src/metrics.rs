@@ -1,0 +1,367 @@
+//! Deterministic metrics registry: counters, gauges, fixed-bucket
+//! histograms, and ordered numeric series.
+//!
+//! Everything is stored in `BTreeMap`s so exported event order is a
+//! function of metric names alone, and [`Registry::merge`] folds a
+//! second registry in left-to-right (like `par_fold` merges chunks) so
+//! aggregation is bitwise-reproducible regardless of thread count.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+
+/// Default bucket upper bounds (microseconds) for latency histograms,
+/// spanning 10 µs to 5 s on a coarse exponential grid.
+pub const TIME_US_BOUNDS: [f64; 12] = [
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1_000.0,
+    5_000.0,
+    10_000.0,
+    50_000.0,
+    100_000.0,
+    500_000.0,
+    1_000_000.0,
+    5_000_000.0,
+];
+
+/// A fixed-bucket histogram.
+///
+/// Bucket `i` counts observations `v <= bounds[i]` (upper-bound
+/// inclusive, first match wins); one extra overflow bucket counts
+/// everything above the last bound. Bounds are fixed at first
+/// observation, so two histograms with the same name always merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Both must share bucket bounds; the
+    /// caller (the registry) guarantees this by keying on metric name.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Arithmetic mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A registry of named metrics with deterministic export order.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `n` to the monotonic counter `name`.
+    pub fn counter(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets the gauge `name` to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `v` into histogram `name`, creating it with `bounds` on
+    /// first use (later calls reuse the original bounds).
+    pub fn observe_with(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(v);
+    }
+
+    /// Records `v` into histogram `name` with [`TIME_US_BOUNDS`].
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.observe_with(name, &TIME_US_BOUNDS, v);
+    }
+
+    /// Records every value in `values` into histogram `name` (created
+    /// with [`TIME_US_BOUNDS`] on first use) after a single map lookup —
+    /// the batch form of [`Registry::observe`] for hot paths that record
+    /// one value per chunk.
+    pub fn observe_all(&mut self, name: &str, values: impl IntoIterator<Item = f64>) {
+        let h = self
+            .hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(&TIME_US_BOUNDS));
+        for v in values {
+            h.record(v);
+        }
+    }
+
+    /// Appends `v` to the ordered series `name`.
+    pub fn series_push(&mut self, name: &str, v: f64) {
+        self.series.entry(name.to_string()).or_default().push(v);
+    }
+
+    /// Reads back a counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Reads back a gauge.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads back a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Reads back a series.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// True when no metric of any kind has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.series.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value (last write wins), histograms merge, series concatenate.
+    /// Merging in chunk order keeps aggregation order-deterministic.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, n) in &other.counters {
+            self.counter(name, *n);
+        }
+        for (name, v) in &other.gauges {
+            self.gauge(name, *v);
+        }
+        for (name, h) in &other.hists {
+            self.hists
+                .entry(name.clone())
+                .and_modify(|mine| mine.merge(h))
+                .or_insert_with(|| h.clone());
+        }
+        for (name, vs) in &other.series {
+            self.series
+                .entry(name.clone())
+                .or_default()
+                .extend_from_slice(vs);
+        }
+    }
+
+    /// Exports every metric as events, ordered counters → gauges →
+    /// histograms → series, each alphabetically by name.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for (name, n) in &self.counters {
+            out.push(Event::Counter {
+                name: name.clone(),
+                value: *n,
+            });
+        }
+        for (name, v) in &self.gauges {
+            out.push(Event::Gauge {
+                name: name.clone(),
+                value: *v,
+            });
+        }
+        for (name, h) in &self.hists {
+            out.push(Event::Hist {
+                name: name.clone(),
+                bounds: h.bounds.clone(),
+                counts: h.counts.clone(),
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+            });
+        }
+        for (name, vs) in &self.series {
+            out.push(Event::Series {
+                name: name.clone(),
+                values: vs.clone(),
+            });
+        }
+        out
+    }
+
+    /// Drops every recorded metric.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+        self.series.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_upper_bound_inclusive() {
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        h.record(10.0); // exactly on the first bound → bucket 0
+        h.record(10.5); // just above → bucket 1
+        h.record(100.0); // exactly on the last bound → bucket 1
+        h.record(101.0); // above all bounds → overflow
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 10.0);
+        assert_eq!(h.max(), 101.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucketwise() {
+        let mut a = Histogram::new(&[1.0]);
+        a.record(0.5);
+        let mut b = Histogram::new(&[1.0]);
+        b.record(2.0);
+        b.record(0.25);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 0.25);
+        assert_eq!(a.max(), 2.0);
+    }
+
+    #[test]
+    fn registry_merge_is_order_deterministic_for_counters_and_hists() {
+        let mut chunk_a = Registry::new();
+        chunk_a.counter("x", 2);
+        chunk_a.observe_with("lat", &[1.0], 0.5);
+        let mut chunk_b = Registry::new();
+        chunk_b.counter("x", 3);
+        chunk_b.observe_with("lat", &[1.0], 4.0);
+
+        let mut ab = Registry::new();
+        ab.merge(&chunk_a);
+        ab.merge(&chunk_b);
+        let mut ba = Registry::new();
+        ba.merge(&chunk_b);
+        ba.merge(&chunk_a);
+
+        assert_eq!(ab.counter_value("x"), Some(5));
+        assert_eq!(ab.counter_value("x"), ba.counter_value("x"));
+        assert_eq!(ab.histogram("lat"), ba.histogram("lat"));
+    }
+
+    #[test]
+    fn series_concatenate_in_merge_order() {
+        let mut a = Registry::new();
+        a.series_push("loss", 1.0);
+        let mut b = Registry::new();
+        b.series_push("loss", 0.5);
+        a.merge(&b);
+        assert_eq!(a.series("loss"), Some(&[1.0, 0.5][..]));
+    }
+
+    #[test]
+    fn events_are_sorted_by_kind_then_name() {
+        let mut r = Registry::new();
+        r.series_push("s", 1.0);
+        r.gauge("g", 2.0);
+        r.counter("z", 1);
+        r.counter("a", 1);
+        let kinds: Vec<_> = r
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Counter { name, .. } => format!("c:{name}"),
+                Event::Gauge { name, .. } => format!("g:{name}"),
+                Event::Series { name, .. } => format!("s:{name}"),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kinds, ["c:a", "c:z", "g:g", "s:s"]);
+    }
+}

@@ -1,0 +1,406 @@
+//! Profiling-report rendering: turns a JSONL trace/metrics stream back
+//! into a human-readable top-down time breakdown.
+//!
+//! The report has three sections:
+//!
+//! 1. **Span breakdown** — spans aggregated by call path (a child
+//!    appears under its parent), with call count, total wall time, and
+//!    self time (total minus time attributed to child spans).
+//! 2. **Pool utilization** — `m3d-par` dispatches grouped by enclosing
+//!    span, with busy/(threads × wall) utilization.
+//! 3. **Metrics** — counters, gauges, histogram summaries, and series.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::Event;
+
+/// Parses a JSONL document into events, skipping blank lines. Errors
+/// carry the 1-based line number of the offending line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(Event::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// One span occurrence, extracted for tree building.
+struct SpanRec {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    dur_us: u64,
+}
+
+/// Aggregate of all spans sharing one call path.
+#[derive(Default)]
+struct PathAgg {
+    calls: u64,
+    total_us: u64,
+    child_us: u64,
+    /// Children keyed by name, in first-seen order.
+    children: Vec<String>,
+    child_aggs: BTreeMap<String, PathAgg>,
+}
+
+impl PathAgg {
+    fn child(&mut self, name: &str) -> &mut PathAgg {
+        if !self.child_aggs.contains_key(name) {
+            self.children.push(name.to_string());
+            self.child_aggs.insert(name.to_string(), PathAgg::default());
+        }
+        self.child_aggs.get_mut(name).expect("just inserted")
+    }
+}
+
+fn spans_of(events: &[Event]) -> Vec<SpanRec> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span {
+                id,
+                parent,
+                name,
+                dur_us,
+                ..
+            } => Some(SpanRec {
+                id: *id,
+                parent: *parent,
+                name: name.clone(),
+                dur_us: *dur_us,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Builds the path-aggregated span tree rooted at a synthetic node.
+fn aggregate(spans: &[SpanRec]) -> PathAgg {
+    let by_id: BTreeMap<u64, &SpanRec> = spans.iter().map(|s| (s.id, s)).collect();
+    // Path of each span = path of parent + own name. The trace is in
+    // completion order (parents last), so walk in id (allocation) order
+    // instead — a parent always has a smaller id than its children.
+    let mut root = PathAgg::default();
+    let mut path_of: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for s in by_id.values().copied() {
+        let mut path = s
+            .parent
+            .and_then(|p| path_of.get(&p).cloned())
+            .unwrap_or_default();
+        path.push(s.name.clone());
+        path_of.insert(s.id, path.clone());
+
+        let mut node = &mut root;
+        for name in &path {
+            node = node.child(name);
+        }
+        node.calls += 1;
+        node.total_us += s.dur_us;
+        if let Some(p) = s.parent {
+            if let Some(parent_path) = path_of.get(&p).cloned() {
+                let mut pnode = &mut root;
+                for name in &parent_path {
+                    pnode = pnode.child(name);
+                }
+                pnode.child_us += s.dur_us;
+            }
+        }
+    }
+    root
+}
+
+fn render_agg(node: &PathAgg, name: &str, depth: usize, out: &mut String) {
+    if depth > 0 {
+        let self_us = node.total_us.saturating_sub(node.child_us);
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{name}");
+        let _ = writeln!(
+            out,
+            "  {label:<34} {:>10} {:>10} {:>6}",
+            node.total_us, self_us, node.calls
+        );
+    }
+    for child in &node.children {
+        render_agg(&node.child_aggs[child], child, depth + 1, out);
+    }
+}
+
+/// Renders only the span tree (used by `m3d_obs::render_tree`).
+pub fn render_span_tree(events: &[Event]) -> String {
+    let spans = spans_of(events);
+    if spans.is_empty() {
+        return "no spans recorded\n".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>10} {:>10} {:>6}",
+        "span", "total_us", "self_us", "calls"
+    );
+    render_agg(&aggregate(&spans), "", 0, &mut out);
+    out
+}
+
+/// Per-enclosing-span pool dispatch aggregate.
+#[derive(Default)]
+struct PoolAgg {
+    dispatches: u64,
+    items: u64,
+    wall_us: u64,
+    busy_us: u64,
+    /// Σ threads_i × wall_i — the utilization denominator.
+    capacity_us: u64,
+    max_threads: usize,
+}
+
+fn render_pools(events: &[Event], out: &mut String) {
+    let mut aggs: BTreeMap<String, PoolAgg> = BTreeMap::new();
+    for e in events {
+        if let Event::Pool {
+            in_span,
+            threads,
+            chunks: _,
+            items,
+            wall_us,
+            busy_us,
+        } = e
+        {
+            let key = if in_span.is_empty() {
+                "(top level)".to_string()
+            } else {
+                in_span.clone()
+            };
+            let a = aggs.entry(key).or_default();
+            a.dispatches += 1;
+            a.items += *items as u64;
+            a.wall_us += wall_us;
+            a.busy_us += busy_us;
+            a.capacity_us += *threads as u64 * wall_us;
+            a.max_threads = a.max_threads.max(*threads);
+        }
+    }
+    if aggs.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\npool utilization:");
+    let _ = writeln!(
+        out,
+        "  {:<26} {:>10} {:>8} {:>10} {:>10} {:>6}",
+        "span", "dispatches", "threads", "wall_us", "busy_us", "util"
+    );
+    for (name, a) in &aggs {
+        let util = if a.capacity_us == 0 {
+            0.0
+        } else {
+            100.0 * a.busy_us as f64 / a.capacity_us as f64
+        };
+        let _ = writeln!(
+            out,
+            "  {:<26} {:>10} {:>8} {:>10} {:>10} {:>5.0}%",
+            name, a.dispatches, a.max_threads, a.wall_us, a.busy_us, util
+        );
+    }
+}
+
+fn render_metrics(events: &[Event], out: &mut String) {
+    let counters: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Counter { name, value } => Some((name, *value)),
+            _ => None,
+        })
+        .collect();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, value) in counters {
+            let _ = writeln!(out, "  {name:<40} {value:>12}");
+        }
+    }
+
+    let gauges: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Gauge { name, value } => Some((name, *value)),
+            _ => None,
+        })
+        .collect();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges:");
+        for (name, value) in gauges {
+            let _ = writeln!(out, "  {name:<40} {value:>12.3}");
+        }
+    }
+
+    let mut wrote_hist_header = false;
+    for e in events {
+        if let Event::Hist {
+            name,
+            count,
+            sum,
+            min,
+            max,
+            ..
+        } = e
+        {
+            if !wrote_hist_header {
+                let _ = writeln!(out, "\nhistograms:");
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+                    "name", "count", "mean", "min", "max"
+                );
+                wrote_hist_header = true;
+            }
+            let mean = if *count == 0 {
+                0.0
+            } else {
+                sum / *count as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<28} {count:>8} {mean:>12.1} {min:>12.1} {max:>12.1}"
+            );
+        }
+    }
+
+    let mut wrote_series_header = false;
+    for e in events {
+        if let Event::Series { name, values } = e {
+            if !wrote_series_header {
+                let _ = writeln!(out, "\nseries:");
+                wrote_series_header = true;
+            }
+            let first = values.first().copied().unwrap_or(0.0);
+            let last = values.last().copied().unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "  {name:<28} {:>4} points  first {first:.6}  last {last:.6}",
+                values.len()
+            );
+        }
+    }
+}
+
+/// Renders the full profiling report for a parsed event stream.
+pub fn render_report(events: &[Event]) -> String {
+    let mut out = String::new();
+    let spans = spans_of(events);
+    if spans.is_empty() {
+        out.push_str("no spans recorded\n");
+    } else {
+        out.push_str("span breakdown:\n");
+        let _ = writeln!(
+            out,
+            "  {:<34} {:>10} {:>10} {:>6}",
+            "span", "total_us", "self_us", "calls"
+        );
+        render_agg(&aggregate(&spans), "", 0, &mut out);
+    }
+    render_pools(events, &mut out);
+    render_metrics(events, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &str, dur_us: u64) -> Event {
+        Event::Span {
+            id,
+            parent,
+            name: name.into(),
+            t_us: 0,
+            dur_us,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn report_aggregates_self_and_total_time_per_path() {
+        let events = vec![
+            span(2, Some(1), "epoch", 40),
+            span(3, Some(1), "epoch", 50),
+            span(1, None, "fit", 100),
+        ];
+        let text = render_report(&events);
+        let fit = text.lines().find(|l| l.contains("fit")).unwrap();
+        // fit: total 100, self 100 - 90 = 10, 1 call.
+        assert!(
+            fit.contains("100") && fit.contains("10") && fit.ends_with('1'),
+            "{text}"
+        );
+        let epoch = text.lines().find(|l| l.contains("epoch")).unwrap();
+        // epoch: total 90, self 90, 2 calls.
+        assert!(epoch.contains("90"), "{text}");
+        assert!(epoch.ends_with('2'), "{text}");
+    }
+
+    #[test]
+    fn report_renders_pool_utilization() {
+        let events = vec![
+            span(1, None, "fsim", 100),
+            Event::Pool {
+                in_span: "fsim".into(),
+                threads: 4,
+                chunks: 8,
+                items: 64,
+                wall_us: 100,
+                busy_us: 200,
+            },
+        ];
+        let text = render_report(&events);
+        assert!(text.contains("pool utilization"), "{text}");
+        // busy / (threads * wall) = 200 / 400 = 50%.
+        assert!(text.contains("50%"), "{text}");
+    }
+
+    #[test]
+    fn report_renders_metrics_sections() {
+        let events = vec![
+            Event::Counter {
+                name: "hits".into(),
+                value: 3,
+            },
+            Event::Gauge {
+                name: "speed".into(),
+                value: 1.5,
+            },
+            Event::Hist {
+                name: "lat".into(),
+                bounds: vec![1.0],
+                counts: vec![1, 1],
+                count: 2,
+                sum: 3.0,
+                min: 0.5,
+                max: 2.5,
+            },
+            Event::Series {
+                name: "loss".into(),
+                values: vec![0.9, 0.1],
+            },
+        ];
+        let text = render_report(&events);
+        for needle in [
+            "counters:",
+            "gauges:",
+            "histograms:",
+            "series:",
+            "hits",
+            "loss",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_jsonl_reports_line_numbers() {
+        let err = parse_jsonl("{\"type\":\"counter\",\"name\":\"a\",\"value\":1}\n\nnot json")
+            .unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+    }
+}

@@ -179,9 +179,40 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Per-chunk `[queue_us, exec_us]` timing measured by whichever thread ran
+/// the chunk. Queue latency is the gap between the dispatch starting and
+/// the chunk starting to execute.
+type ChunkTiming = [u64; 2];
+
+/// Records one finished dispatch into `m3d-obs`, on the calling thread,
+/// with per-chunk observations folded **in chunk-index order** — the same
+/// rule `par_fold` uses for accumulators — so metric aggregation order is
+/// a function of the input, never of worker interleaving.
+fn record_dispatch(
+    threads: usize,
+    chunks: usize,
+    items: usize,
+    call_start: std::time::Instant,
+    timings: &[ChunkTiming],
+) {
+    let wall_us = call_start.elapsed().as_micros() as u64;
+    let busy_us: u64 = timings.iter().map(|&[_, exec_us]| exec_us).sum();
+    m3d_obs::observe_batch("par.queue_us", timings.iter().map(|&[q, _]| q as f64));
+    m3d_obs::observe_batch("par.exec_us", timings.iter().map(|&[_, e]| e as f64));
+    m3d_obs::counter("par.calls", 1);
+    m3d_obs::counter("par.chunks", chunks as u64);
+    m3d_obs::counter("par.items", items as u64);
+    m3d_obs::record_pool(threads, chunks, items, wall_us, busy_us);
+}
+
 /// The engine: applies `chunk_fn` to every `chunk_size`-sized chunk of
 /// `items` and returns the per-chunk results in chunk order. `init` builds
 /// per-worker scratch (once per worker thread; once total when serial).
+///
+/// When `m3d-obs` recording is enabled, the outermost call also reports
+/// per-chunk queue/exec timing and a pool-utilization event. Workers only
+/// *measure* timestamps; all recording happens on the calling thread after
+/// chunk-order reassembly, so results — and event order — are untouched.
 fn chunk_results<T: Sync, S, R: Send>(
     items: &[T],
     chunk_size: usize,
@@ -191,19 +222,36 @@ fn chunk_results<T: Sync, S, R: Send>(
     assert!(chunk_size > 0, "chunk size must be positive");
     let n_chunks = items.len().div_ceil(chunk_size);
     let threads = num_threads().min(n_chunks);
+    // Nested (in-worker) calls stay invisible to obs: their recording
+    // order would depend on which worker ran them.
+    let obs_on = m3d_obs::enabled() && !IN_WORKER.with(Cell::get);
+    let call_start = std::time::Instant::now();
     if threads <= 1 {
         // Serial fallback: the identical chunk walk, inline.
         let mut scratch = init();
-        return items
+        let mut timings: Vec<ChunkTiming> = Vec::new();
+        let out = items
             .chunks(chunk_size)
             .enumerate()
-            .map(|(ci, c)| chunk_fn(&mut scratch, ci, c))
+            .map(|(ci, c)| {
+                let t0 = std::time::Instant::now();
+                let r = chunk_fn(&mut scratch, ci, c);
+                if obs_on {
+                    let queue_us = t0.duration_since(call_start).as_micros() as u64;
+                    timings.push([queue_us, t0.elapsed().as_micros() as u64]);
+                }
+                r
+            })
             .collect();
+        if obs_on {
+            record_dispatch(1, n_chunks, items.len(), call_start, &timings);
+        }
+        return out;
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut out: Vec<Option<R>> = Vec::with_capacity(n_chunks);
+    let (tx, rx) = mpsc::channel::<(usize, R, ChunkTiming)>();
+    let mut out: Vec<Option<(R, ChunkTiming)>> = Vec::with_capacity(n_chunks);
     out.resize_with(n_chunks, || None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -226,8 +274,15 @@ fn chunk_results<T: Sync, S, R: Send>(
                     }
                     let lo = ci * chunk_size;
                     let hi = (lo + chunk_size).min(items.len());
+                    let t0 = std::time::Instant::now();
                     let r = chunk_fn(&mut scratch, ci, &items[lo..hi]);
-                    if tx.send((ci, r)).is_err() {
+                    let timing = if obs_on {
+                        let queue_us = t0.duration_since(call_start).as_micros() as u64;
+                        [queue_us, t0.elapsed().as_micros() as u64]
+                    } else {
+                        [0, 0]
+                    };
+                    if tx.send((ci, r, timing)).is_err() {
                         break;
                     }
                 }
@@ -235,15 +290,25 @@ fn chunk_results<T: Sync, S, R: Send>(
         }
         drop(tx);
         // Collect while workers run; ends when every sender is dropped.
-        for (ci, r) in rx {
-            out[ci] = Some(r);
+        for (ci, r, timing) in rx {
+            out[ci] = Some((r, timing));
         }
     });
     // A worker panic propagates out of the scope above, so every slot is
     // filled here.
-    out.into_iter()
-        .map(|r| r.expect("every chunk completed"))
-        .collect()
+    let mut results = Vec::with_capacity(n_chunks);
+    let mut timings: Vec<ChunkTiming> = Vec::with_capacity(if obs_on { n_chunks } else { 0 });
+    for slot in out {
+        let (r, timing) = slot.expect("every chunk completed");
+        results.push(r);
+        if obs_on {
+            timings.push(timing);
+        }
+    }
+    if obs_on {
+        record_dispatch(threads, n_chunks, items.len(), call_start, &timings);
+    }
+    results
 }
 
 /// Fallible engine wrapper: runs the same chunk walk as [`chunk_results`]

@@ -1,0 +1,139 @@
+//! Trace-shape determinism: the span/pool event stream recorded around
+//! `m3d_par` dispatches must be identical at any pool width — same event
+//! count, same order, same span ids and nesting, same chunk/item counts —
+//! because all recording happens on the orchestrating thread after
+//! chunk-order reassembly. Only wall-clock fields and the worker count
+//! may differ between runs.
+//!
+//! Single `#[test]`: obs state is process-global, so the scenarios run
+//! sequentially inside one test function.
+
+use m3d_obs::Event;
+
+/// Structural fingerprint of an event stream: everything except timing
+/// and the effective worker count.
+fn shape(events: &[Event]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| match e {
+            Event::Span {
+                id,
+                parent,
+                name,
+                counters,
+                ..
+            } => format!("span id={id} parent={parent:?} name={name} counters={counters:?}"),
+            Event::Pool {
+                in_span,
+                chunks,
+                items,
+                ..
+            } => format!("pool in={in_span} chunks={chunks} items={items}"),
+            other => format!("unexpected {other:?}"),
+        })
+        .collect()
+}
+
+struct TracedRun {
+    shape: Vec<String>,
+    events: Vec<Event>,
+    calls: u64,
+    chunks: u64,
+    items: u64,
+    exec_samples: u64,
+}
+
+fn traced_run(threads: usize) -> TracedRun {
+    let data: Vec<u64> = (0..1000).collect();
+    m3d_obs::reset();
+    m3d_obs::set_enabled(true);
+    {
+        let mut outer = m3d_obs::span("pipeline");
+        {
+            let mut inner = m3d_obs::span("sweep");
+            let doubled =
+                m3d_par::with_threads(threads, || m3d_par::par_map(&data, |&x| x.wrapping_mul(2)));
+            inner.add("items", doubled.len() as u64);
+        }
+        let squared =
+            m3d_par::with_threads(threads, || m3d_par::par_map(&data, |&x| x.wrapping_mul(x)));
+        outer.add("stages", 2);
+        outer.add("items", squared.len() as u64);
+    }
+    m3d_obs::set_enabled(false);
+    let events = m3d_obs::trace_events();
+    let reg = m3d_obs::registry_snapshot();
+    let run = TracedRun {
+        shape: shape(&events),
+        events,
+        calls: reg.counter_value("par.calls").unwrap_or(0),
+        chunks: reg.counter_value("par.chunks").unwrap_or(0),
+        items: reg.counter_value("par.items").unwrap_or(0),
+        exec_samples: reg.histogram("par.exec_us").map_or(0, |h| h.count()),
+    };
+    m3d_obs::reset();
+    run
+}
+
+#[test]
+fn trace_shape_is_identical_at_any_pool_width() {
+    let serial = traced_run(1);
+    let wide = traced_run(4);
+
+    // 1000 items → 63 chunks of 16 across two dispatches.
+    assert_eq!(serial.calls, 2, "two par dispatches");
+    assert_eq!(serial.items, 2000);
+    assert_eq!(serial.chunks, 126);
+    assert_eq!(serial.exec_samples, 126, "one exec sample per chunk");
+
+    // Same structure event-for-event: order, ids, nesting, counters.
+    assert_eq!(
+        serial.shape, wide.shape,
+        "trace shape must not depend on pool width"
+    );
+    assert_eq!(
+        (wide.calls, wide.chunks, wide.items, wide.exec_samples),
+        (
+            serial.calls,
+            serial.chunks,
+            serial.items,
+            serial.exec_samples
+        ),
+        "registry aggregates must not depend on pool width"
+    );
+
+    // Explicit nesting check: completion order is pool(sweep), span sweep,
+    // pool(pipeline), span pipeline; sweep's parent is pipeline's id.
+    let spans: Vec<(&u64, &Option<u64>, &str)> = serial
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span {
+                id, parent, name, ..
+            } => Some((id, parent, name.as_str())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(spans.len(), 2);
+    assert_eq!(spans[0].2, "sweep", "inner span completes first");
+    assert_eq!(spans[1].2, "pipeline");
+    assert_eq!(*spans[1].1, None, "outer span has no parent");
+    assert_eq!(
+        *spans[0].1,
+        Some(*spans[1].0),
+        "inner span's parent is the outer span"
+    );
+    let pool_spans: Vec<&str> = serial
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Pool { in_span, .. } => Some(in_span.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        pool_spans,
+        ["sweep", "pipeline"],
+        "dispatches attribute to the innermost open span"
+    );
+}

@@ -389,13 +389,22 @@ impl Reader<'_> {
 /// directory, `fsync`, then atomically rename over `path`. Readers never
 /// observe a torn file.
 pub fn save_atomic(path: &Path, ckpt: &TrainCheckpoint) -> Result<(), CheckpointError> {
+    let mut span = m3d_obs::span("checkpoint_write");
+    let start = std::time::Instant::now();
     let tmp = path.with_extension("tmp");
+    let bytes = ckpt.to_bytes();
+    span.add("bytes", bytes.len() as u64);
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(&ckpt.to_bytes())?;
+        f.write_all(&bytes)?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
+    m3d_obs::counter("resilient.checkpoints_written", 1);
+    m3d_obs::observe(
+        "resilient.checkpoint_write_us",
+        start.elapsed().as_micros() as f64,
+    );
     Ok(())
 }
 

@@ -83,6 +83,7 @@ impl TestSet {
 /// assert!(ts.fault_coverage > 0.5);
 /// ```
 pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
+    let mut span = m3d_obs::span("atpg");
     let faults = full_fault_list(design);
     let site_ok = testable_sites(design);
     let testable: Vec<bool> = faults.iter().map(|f| site_ok[f.site.index()]).collect();
@@ -107,6 +108,7 @@ pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
         let undetected: Vec<usize> = (0..faults.len())
             .filter(|&i| !detected[i] && testable[i])
             .collect();
+        let sweep_start = std::time::Instant::now();
         let hits = m3d_par::par_map_init(
             &undetected,
             || BlockDetector::new(design),
@@ -115,6 +117,12 @@ pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
                     .is_empty()
             },
         );
+        m3d_obs::observe(
+            "tdf.atpg.block_sweep_us",
+            sweep_start.elapsed().as_micros() as f64,
+        );
+        span.add("blocks_tried", 1);
+        span.add("faults_swept", undetected.len() as u64);
         let mut new_hits = 0usize;
         for (&i, hit) in undetected.iter().zip(hits) {
             if hit {
@@ -127,6 +135,7 @@ pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
         // up after a few consecutive useless blocks (random-resistant tail).
         if new_hits > 0 {
             misses = 0;
+            span.add("blocks_kept", 1);
             patterns.push_block(block);
         } else {
             misses += 1;
@@ -136,9 +145,13 @@ pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
         }
     }
 
+    let fault_coverage = detected_n as f64 / testable_n as f64;
+    span.add("patterns", patterns.len() as u64);
+    m3d_obs::counter("tdf.atpg.patterns", patterns.len() as u64);
+    m3d_obs::gauge("tdf.atpg.fault_coverage", fault_coverage);
     TestSet {
         patterns,
-        fault_coverage: detected_n as f64 / testable_n as f64,
+        fault_coverage,
         detected,
         testable,
     }

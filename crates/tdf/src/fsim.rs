@@ -301,6 +301,10 @@ impl<'a> FaultSim<'a> {
         &self,
         faults: &[Fault],
     ) -> Result<Vec<Detection>, m3d_par::WorkerPanic> {
+        let mut span = m3d_obs::span("fault_simulation");
+        span.add("faults", faults.len() as u64);
+        span.add("blocks", self.blocks.len() as u64);
+        let start = std::time::Instant::now();
         let per_block = m3d_par::try_par_map_init(
             &self.blocks,
             || self.detector(),
@@ -314,6 +318,13 @@ impl<'a> FaultSim<'a> {
                     flop,
                 });
             }
+        }
+        span.add("detections", out.len() as u64);
+        m3d_obs::counter("tdf.fsim.calls", 1);
+        m3d_obs::counter("tdf.fsim.detections", out.len() as u64);
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            m3d_obs::gauge("tdf.fsim.detections_per_s", out.len() as f64 / secs);
         }
         Ok(out)
     }

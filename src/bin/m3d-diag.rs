@@ -14,7 +14,15 @@
 //! m3d-diag demo      --bench tate [--target N] [--compacted]
 //! m3d-diag lint      [--bench all|aes|tate|netcard|leon3mp] [--target N] [--samples N] [--json]
 //! m3d-diag lint      --netlist F [--partition F] [--json]
+//! m3d-diag report    FILE.jsonl [MORE.jsonl…]
+//! m3d-diag help      [COMMAND]
 //! ```
+//!
+//! Every command also accepts the global observability flags
+//! `--trace FILE` (hierarchical span trace as JSON-lines) and
+//! `--metrics FILE` (counters/gauges/histograms/series as JSON-lines);
+//! `m3d-diag report` renders either file — or both together — into a
+//! per-span time breakdown with pool utilization and metric tables.
 //!
 //! File formats are the plain-text ones of `m3d_netlist::io`,
 //! `m3d_part::write_partition`, and `m3d_tdf::write_failure_log`.
@@ -107,31 +115,270 @@ impl Flags {
     }
 }
 
+/// Destinations for the global `--trace` / `--metrics` flags.
+#[derive(Default)]
+struct ObsSinks {
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+}
+
+impl ObsSinks {
+    fn wanted(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Writes whichever JSONL sinks were requested (a failed command
+    /// still flushes — a trace of the failure is exactly what you want).
+    fn flush(&self) -> Result<(), String> {
+        if let Some(path) = &self.trace {
+            m3d_obs::write_trace(path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        if let Some(path) = &self.metrics {
+            m3d_obs::write_metrics(path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Strips the global `--trace FILE` / `--metrics FILE` flags out of the
+/// argument list (any position) so per-command parsers never see them.
+fn extract_obs_flags(args: &[String]) -> Result<(Vec<String>, ObsSinks), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut sinks = ObsSinks::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let slot = match a.as_str() {
+            "--trace" => &mut sinks.trace,
+            "--metrics" => &mut sinks.metrics,
+            _ => {
+                rest.push(a.clone());
+                continue;
+            }
+        };
+        let path = it
+            .next()
+            .ok_or_else(|| format!("flag `{a}` needs a value"))?;
+        *slot = Some(path.into());
+    }
+    Ok((rest, sinks))
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    let (args, sinks) = extract_obs_flags(args)?;
+    if sinks.wanted() {
+        m3d_obs::set_enabled(true);
+    }
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage());
     };
-    match cmd.as_str() {
-        "gen" => cmd_gen(rest),
-        "partition" => cmd_partition(rest),
-        "stats" => cmd_stats(rest),
-        "inject" => cmd_inject(rest),
-        "diagnose" => cmd_diagnose(rest),
-        "train" => cmd_train(rest),
-        "demo" => cmd_demo(rest),
-        "lint" => cmd_lint(rest),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
+    let result = {
+        // One root span named after the command, so the report's tree has
+        // a stable top-level node (inert unless --trace/--metrics given).
+        let _root = m3d_obs::span(root_span_name(cmd));
+        match cmd.as_str() {
+            "gen" => cmd_gen(rest),
+            "partition" => cmd_partition(rest),
+            "stats" => cmd_stats(rest),
+            "inject" => cmd_inject(rest),
+            "diagnose" => cmd_diagnose(rest),
+            "train" => cmd_train(rest),
+            "demo" => cmd_demo(rest),
+            "lint" => cmd_lint(rest),
+            "report" => cmd_report(rest),
+            "help" | "--help" | "-h" => cmd_help(rest),
+            other => Err(format!("unknown command `{other}`\n{}", usage())),
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    let flushed = if sinks.wanted() {
+        sinks.flush()
+    } else {
+        Ok(())
+    };
+    // A command error outranks a flush error.
+    result.and(flushed)
+}
+
+/// The `&'static` span name for a command's root span.
+fn root_span_name(cmd: &str) -> &'static str {
+    match cmd {
+        "gen" => "gen",
+        "partition" => "partition",
+        "stats" => "stats",
+        "inject" => "inject",
+        "diagnose" => "diagnose",
+        "train" => "train",
+        "demo" => "demo",
+        "lint" => "lint",
+        "report" => "report",
+        _ => "cli",
     }
 }
 
 fn usage() -> String {
-    "usage: m3d-diag <gen|partition|stats|inject|diagnose|train|demo|lint|help> [flags]\n\
-     see the binary's doc comment for per-command flags"
-        .to_owned()
+    let mut out = String::from(
+        "usage: m3d-diag <command> [flags]\n\
+         \n\
+         commands:\n",
+    );
+    for cmd in COMMANDS {
+        out.push_str(&format!("  {:<10} {}\n", cmd.name, cmd.summary));
+    }
+    out.push_str(
+        "\nglobal flags (any command):\n  \
+         --trace FILE    write a hierarchical span trace as JSON-lines\n  \
+         --metrics FILE  write counters/gauges/histograms as JSON-lines\n\
+         \nrun `m3d-diag help <command>` for per-command flags",
+    );
+    out
+}
+
+/// One entry of the command reference: name, one-line summary, and the
+/// per-command flag help printed by `m3d-diag help <command>`.
+struct CommandHelp {
+    name: &'static str,
+    summary: &'static str,
+    flags: &'static str,
+}
+
+const COMMANDS: &[CommandHelp] = &[
+    CommandHelp {
+        name: "gen",
+        summary: "generate a scaled benchmark netlist",
+        flags: "  --bench NAME      benchmark: aes|tate|netcard|leon3mp (required)\n  \
+                --target N        approximate gate-count target\n  \
+                --synth-seed S    synthesis seed (default 1)\n  \
+                -o FILE           write the netlist to FILE (default stdout)",
+    },
+    CommandHelp {
+        name: "partition",
+        summary: "partition a netlist into two tiers",
+        flags: "  --netlist FILE    input netlist (required)\n  \
+                --algo NAME       mincut|levelbanded|random (default mincut)\n  \
+                --seed S          partitioning seed (default 1)\n  \
+                -o FILE           write the partition to FILE (default stdout)",
+    },
+    CommandHelp {
+        name: "stats",
+        summary: "print netlist (and optional partition) statistics",
+        flags: "  --netlist FILE    input netlist (required)\n  \
+                --partition FILE  also report MIV count and tier balance",
+    },
+    CommandHelp {
+        name: "inject",
+        summary: "inject a delay fault and emit its tester failure log",
+        flags: "  --netlist FILE    input netlist (required)\n  \
+                --partition FILE  tier assignment (required)\n  \
+                --site K          fault site index (required)\n  \
+                --fall            slow-to-fall instead of slow-to-rise\n  \
+                --patterns N      ATPG pattern cap (default 1024)\n  \
+                --pattern-seed S  ATPG seed (default 1)\n  \
+                --compacted       compacted (MISR-style) observation mode\n  \
+                -o FILE           write the failure log to FILE (default stdout)",
+    },
+    CommandHelp {
+        name: "diagnose",
+        summary: "diagnose a failure log into ranked fault candidates",
+        flags: "  --netlist FILE    input netlist (required)\n  \
+                --partition FILE  tier assignment (required)\n  \
+                --log FILE        tester failure log (required)\n  \
+                --patterns N      ATPG pattern cap (default 1024)\n  \
+                --pattern-seed S  ATPG seed (default 1)\n  \
+                --compacted       compacted (MISR-style) observation mode",
+    },
+    CommandHelp {
+        name: "train",
+        summary: "crash-safe Tier-predictor training with checkpoints",
+        flags: "  --checkpoint-dir D    checkpoint directory (required)\n  \
+                --bench NAME          benchmark (default aes)\n  \
+                --target N            approximate gate-count target\n  \
+                --samples N           diagnosis samples to generate (default 60)\n  \
+                --epochs N            training epochs (default 8)\n  \
+                --seed S              sample-generation seed (default 1)\n  \
+                --model-seed S        weight-init seed (default 7)\n  \
+                --checkpoint-every N  checkpoint cadence in epochs (default 1)\n  \
+                --resume              continue from the latest checkpoint\n  \
+                --guard-policy P      abort|skip|rollback (default abort)\n  \
+                --halt-after K        simulate a crash after K epochs\n  \
+                --compacted           compacted observation mode",
+    },
+    CommandHelp {
+        name: "demo",
+        summary: "end-to-end inject → diagnose → GNN-enhance walkthrough",
+        flags: "  --bench NAME      benchmark (default aes)\n  \
+                --target N        approximate gate-count target\n  \
+                --compacted       compacted observation mode",
+    },
+    CommandHelp {
+        name: "lint",
+        summary: "structural static analysis over benchmarks or files",
+        flags: "  --bench NAME      all|aes|tate|netcard|leon3mp (default all)\n  \
+                --target N        benchmark gate-count target (default 400)\n  \
+                --samples N       diagnosis samples per benchmark (default 4)\n  \
+                --seed S          sample seed (default 1)\n  \
+                --netlist FILE    lint a netlist file instead of benchmarks\n  \
+                --partition FILE  with --netlist: lint the full design\n  \
+                --json            machine-readable report\n  \
+                --compacted       compacted observation mode",
+    },
+    CommandHelp {
+        name: "report",
+        summary: "render --trace/--metrics JSONL into a profiling report",
+        flags:
+            "  FILE.jsonl…       one or more JSONL files written by --trace\n                    \
+                and/or --metrics; events are merged before rendering",
+    },
+    CommandHelp {
+        name: "help",
+        summary: "show this overview or per-command flags",
+        flags: "  COMMAND           the command to describe",
+    },
+];
+
+/// `m3d-diag help [command]`.
+fn cmd_help(args: &[String]) -> Result<(), String> {
+    match args.first() {
+        None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(name) => {
+            let cmd = COMMANDS
+                .iter()
+                .find(|c| c.name == name.as_str())
+                .ok_or_else(|| format!("unknown command `{name}`\n{}", usage()))?;
+            println!(
+                "usage: m3d-diag {} — {}\n\nflags:\n{}",
+                cmd.name, cmd.summary, cmd.flags
+            );
+            println!(
+                "\nglobal flags:\n  --trace FILE    write a span trace (JSON-lines)\n  \
+                 --metrics FILE  write metrics (JSON-lines)"
+            );
+            Ok(())
+        }
+    }
+}
+
+/// `m3d-diag report`: renders JSONL trace/metrics files into the
+/// top-down profiling report of `m3d_obs::report`.
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if paths.is_empty() {
+        return Err("usage: m3d-diag report FILE.jsonl [MORE.jsonl…]".to_owned());
+    }
+    let mut events = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        events.extend(
+            m3d_fault_diagnosis::obs::report::parse_jsonl(&text)
+                .map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    print!(
+        "{}",
+        m3d_fault_diagnosis::obs::report::render_report(&events)
+    );
+    Ok(())
 }
 
 fn parse_bench(name: &str) -> Result<Benchmark, String> {
@@ -440,7 +687,21 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     );
     if let Some(epoch) = outcome.halted_at {
         println!("halted after epoch {epoch} (simulated crash); continue with --resume");
+        return Ok(());
     }
+    // Held-out evaluation of the finished model's environment: one fresh
+    // sample through parallel fault simulation and cause-effect diagnosis.
+    // This also exercises the remaining instrumented pipeline stages, so a
+    // single `train --trace` run profiles the whole Fig. 2 flow.
+    let probe = &generate_samples(&env, &fsim, mode, InjectionKind::Single, 1, 0xE7A1)[0];
+    let detections = fsim.detections_par(&probe.injected);
+    let diagnoser = Diagnoser::new(&fsim, &env.scan, mode, DiagnosisConfig::default());
+    let report = diagnoser.diagnose(&probe.log);
+    println!(
+        "eval: {} detections, {} diagnosis candidate(s) on a held-out sample",
+        detections.len(),
+        report.candidates().len()
+    );
     Ok(())
 }
 

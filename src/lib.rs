@@ -14,6 +14,7 @@ pub use m3d_gnn as gnn;
 pub use m3d_hetgraph as hetgraph;
 pub use m3d_lint as lint;
 pub use m3d_netlist as netlist;
+pub use m3d_obs as obs;
 pub use m3d_par as par;
 pub use m3d_part as part;
 pub use m3d_resilient as resilient;

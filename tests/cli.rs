@@ -223,3 +223,103 @@ fn cli_help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
 }
+
+#[test]
+fn cli_help_documents_per_command_and_global_flags() {
+    let out = bin().args(["help", "train"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--checkpoint-dir", "--guard-policy", "--trace", "--metrics"] {
+        assert!(
+            text.contains(flag),
+            "help train must mention {flag}:\n{text}"
+        );
+    }
+
+    let out = bin().args(["help", "report"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("report"));
+
+    let out = bin().args(["help", "nosuch"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_train_emits_valid_trace_and_metrics_and_report_renders_them() {
+    let ckpt = tmp("ckpt_obs");
+    let trace = tmp("trace.jsonl");
+    let metrics = tmp("metrics.jsonl");
+
+    let stdout = run_train(
+        &ckpt,
+        &[
+            "--trace",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(stdout_field(&stdout, "epochs run"), "6 of 6");
+
+    // Every line of both sinks must parse back as a schema-valid event.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    let trace_events =
+        m3d_fault_diagnosis::obs::report::parse_jsonl(&trace_text).expect("trace parses");
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    m3d_fault_diagnosis::obs::report::parse_jsonl(&metrics_text).expect("metrics parse");
+
+    // The trace must cover every instrumented pipeline stage.
+    let span_names: Vec<&str> = trace_events
+        .iter()
+        .filter_map(|e| match e {
+            m3d_fault_diagnosis::obs::Event::Span { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for stage in [
+        "train",
+        "atpg",
+        "sample_generation",
+        "train_epoch",
+        "checkpoint_write",
+        "fault_simulation",
+        "diagnosis",
+    ] {
+        assert!(
+            span_names.contains(&stage),
+            "trace must contain a {stage} span, got {span_names:?}"
+        );
+    }
+
+    // The report subcommand renders both sinks into one breakdown.
+    let out = bin()
+        .arg("report")
+        .arg(&trace)
+        .arg(&metrics)
+        .output()
+        .expect("run report");
+    assert!(
+        out.status.success(),
+        "report: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8_lossy(&out.stdout);
+    for needle in ["span breakdown:", "train_epoch", "counters:", "series:"] {
+        assert!(
+            report.contains(needle),
+            "report must contain {needle}:\n{report}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(ckpt);
+    for f in [trace, metrics] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn cli_report_requires_a_file_argument() {
+    let out = bin().args(["report"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: m3d-diag report"));
+}
