@@ -14,6 +14,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use m3d_dataflow::{ConstProp, StaticProofs};
 use m3d_dft::ObsMode;
 use m3d_fault_localization::{
     generate_samples, DiagSample, InjectionKind, ModelConfig, TestEnv, TierPredictor,
@@ -21,6 +22,7 @@ use m3d_fault_localization::{
 use m3d_gnn::TrainConfig;
 use m3d_netlist::generate::Benchmark;
 use m3d_part::DesignConfig;
+use m3d_tdf::{full_fault_list, Fault};
 
 struct StageResult {
     name: &'static str,
@@ -220,6 +222,68 @@ fn main() {
         deterministic: dets_1t == dets_nt && dets_nt == dets_obs,
     });
 
+    // Stage 4 (unthreaded comparison): dataflow fault-sim pruning. Sites
+    // the static analysis proves untestable are dropped before the sweep;
+    // the pruned sweep must reproduce every surviving fault's detection
+    // signature bit-for-bit, and the full sweep must confirm the proofs by
+    // finding no detections at any pruned fault.
+    let mut all_faults = full_fault_list(&env.design);
+    if all_faults.len() > 4 * fault_cap {
+        // Sample evenly rather than truncating: the site table is laid out
+        // by object kind, so a prefix would bias the pruning rate.
+        let stride = all_faults.len().div_ceil(4 * fault_cap);
+        all_faults = all_faults.into_iter().step_by(stride).collect();
+    }
+    let (proofs, proof_secs) = timed(|| {
+        let cp = ConstProp::compute(env.design.netlist());
+        StaticProofs::compute(&env.design, &cp)
+    });
+    let skip_site = proofs.prunable_sites();
+    let pruned_faults: Vec<Fault> = all_faults
+        .iter()
+        .copied()
+        .filter(|f| !skip_site[f.site.index()])
+        .collect();
+    let sweep_list = |list: &[Fault]| {
+        m3d_par::with_threads(configured, || {
+            m3d_par::par_map_init(
+                list,
+                || fsim.detector(),
+                |det, f| fsim.detections(det, std::slice::from_ref(f)),
+            )
+        })
+    };
+    let t = Instant::now();
+    let full_dets = sweep_list(&all_faults);
+    let full_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let pruned_dets = sweep_list(&pruned_faults);
+    let pruned_secs = t.elapsed().as_secs_f64();
+    let mut survivors = pruned_dets.iter();
+    let signatures_equal = all_faults.iter().zip(&full_dets).all(|(f, d)| {
+        if skip_site[f.site.index()] {
+            d.is_empty() // a proven-untestable fault must never detect
+        } else {
+            survivors.next() == Some(d)
+        }
+    }) && survivors.next().is_none();
+    let n_pruned = all_faults.len() - pruned_faults.len();
+    println!(
+        "fault_sim_pruning  {} faults, {} proven untestable ({:.1}%), \
+         full {:.3}s vs pruned {:.3}s (+{:.3}s proof), signatures equal: {}",
+        all_faults.len(),
+        n_pruned,
+        100.0 * n_pruned as f64 / all_faults.len().max(1) as f64,
+        full_secs,
+        pruned_secs,
+        proof_secs,
+        signatures_equal,
+    );
+    assert!(
+        signatures_equal,
+        "pruned sweep changed a detectable fault's signature"
+    );
+
     // Route every stage number through the metrics registry: the JSON and
     // the metrics JSONL below are both rendered from this one snapshot, in
     // the registry's deterministic (alphabetical) event order.
@@ -242,6 +306,18 @@ fn main() {
             s.effective_threads as u64,
         );
     }
+    m3d_obs::counter(
+        "bench.fault_sim_pruning.faults_total",
+        all_faults.len() as u64,
+    );
+    m3d_obs::counter("bench.fault_sim_pruning.faults_pruned", n_pruned as u64);
+    m3d_obs::counter(
+        "bench.fault_sim_pruning.faults_simulated",
+        pruned_faults.len() as u64,
+    );
+    m3d_obs::gauge("bench.fault_sim_pruning.proof_secs", proof_secs);
+    m3d_obs::gauge("bench.fault_sim_pruning.full_secs", full_secs);
+    m3d_obs::gauge("bench.fault_sim_pruning.pruned_secs", pruned_secs);
     let reg = m3d_obs::registry_snapshot();
     let mut metrics_jsonl = String::new();
     for e in reg.events() {
@@ -294,6 +370,16 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"fault_sim_pruning\": {{\"faults_total\": {}, \"faults_pruned\": {}, \
+         \"faults_simulated\": {}, \"proof_secs\": {proof_secs:.6}, \
+         \"full_secs\": {full_secs:.6}, \"pruned_secs\": {pruned_secs:.6}, \
+         \"signatures_equal\": {signatures_equal}}},",
+        all_faults.len(),
+        n_pruned,
+        pruned_faults.len(),
+    );
     let _ = writeln!(json, "  \"all_deterministic\": {all_ok}");
     let _ = writeln!(json, "}}");
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");

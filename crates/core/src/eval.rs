@@ -17,11 +17,11 @@ use crate::sample::DiagSample;
 pub struct MethodEval {
     /// Raw ATPG diagnosis reports (Tables V / VII).
     pub atpg: ReportQuality,
-    /// The 2D baseline [11] applied to the ATPG reports.
+    /// The 2D baseline \[11\] applied to the ATPG reports.
     pub baseline: ReportQuality,
     /// The proposed framework standalone (GNN pruning/reordering).
     pub gnn: ReportQuality,
-    /// The framework followed by the baseline (GNN + [11]).
+    /// The framework followed by the baseline (GNN + \[11\]).
     pub combined: ReportQuality,
 }
 

@@ -53,7 +53,10 @@ impl TierPredictor {
                 )
             })
             .collect();
-        let mut model = GcnClassifier::new(FEATURE_DIM, cfg.hidden, cfg.layers, 2, cfg.seed);
+        // The input width follows the data: 13 Table II columns, or 16
+        // when the sub-graphs carry the SCOAP extension.
+        let dim = data.first().map_or(FEATURE_DIM, |(d, _)| d.features.cols());
+        let mut model = GcnClassifier::new(dim, cfg.hidden, cfg.layers, 2, cfg.seed);
         model.fit(&data, &cfg.train);
         TierPredictor { model }
     }
@@ -175,12 +178,9 @@ impl MivPinpointer {
         };
         let refs: Vec<(&GraphData, &[(usize, bool)])> =
             labelled.iter().map(|(d, l)| (*d, l.as_slice())).collect();
-        let mut model = NodeClassifier::new(
-            FEATURE_DIM,
-            cfg.hidden,
-            cfg.layers,
-            cfg.seed.wrapping_add(1000),
-        );
+        let dim = refs.first().map_or(FEATURE_DIM, |(d, _)| d.features.cols());
+        let mut model =
+            NodeClassifier::new(dim, cfg.hidden, cfg.layers, cfg.seed.wrapping_add(1000));
         model.fit(&refs, pos_weight, &cfg.train);
         MivPinpointer {
             model,

@@ -1,0 +1,146 @@
+//! The `verify` entry point: run every dataflow analysis over a design
+//! and assemble one report.
+
+use m3d_netlist::SiteId;
+use m3d_part::M3dDesign;
+use m3d_tdf::{StaticTiming, TimingModel};
+
+use crate::constprop::ConstProp;
+use crate::scoap::{Scoap, SiteScoap};
+use crate::untestable::{StaticProofs, UntestableClass};
+
+/// Configuration for [`verify_design`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VerifyConfig {
+    /// Clock period as a multiple of the design's critical path (at-speed
+    /// test clocks run a small guard band above the critical path).
+    pub clock_factor: f32,
+    /// Fraction of the clock period above which a site's minimum
+    /// detectable delay defect is flagged as a small-delay escape risk:
+    /// defects smaller than `min_detectable_delta` slip through gross-TDF
+    /// testing, and a large `min_detectable_delta` means a large escape
+    /// window.
+    pub slack_frac: f32,
+    /// Timing model used for the slack screen.
+    pub timing: TimingModel,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            clock_factor: 1.1,
+            slack_frac: 0.75,
+            timing: TimingModel::default(),
+        }
+    }
+}
+
+/// The combined static verdict for one fault site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SiteVerdict {
+    /// The site this verdict covers.
+    pub site: SiteId,
+    /// Untestability proof, if any.
+    pub class: Option<UntestableClass>,
+    /// SCOAP testability measures of the site.
+    pub scoap: SiteScoap,
+    /// Minimum detectable delay-defect size at the report's clock period
+    /// (the site's path slack).
+    pub min_delta: f32,
+}
+
+/// Everything `m3d-diag verify` reports about a design.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Per-net SCOAP measures.
+    pub scoap: Scoap,
+    /// Constant-propagation results.
+    pub constprop: ConstProp,
+    /// Per-site untestability proofs.
+    pub proofs: StaticProofs,
+    /// Per-site verdicts, in site order.
+    pub sites: Vec<SiteVerdict>,
+    /// The clock period used for the slack screen.
+    pub clock_period: f32,
+    /// The design's critical launch-to-capture path.
+    pub critical_path: f32,
+    /// Sites are flagged when `min_delta >= slack_threshold`.
+    pub slack_threshold: f32,
+}
+
+impl VerifyReport {
+    /// Testable sites whose minimum detectable defect exceeds the slack
+    /// threshold — the small-delay escape surface of the design.
+    pub fn slack_site_count(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|v| v.class.is_none() && v.min_delta >= self.slack_threshold)
+            .count()
+    }
+}
+
+/// Runs SCOAP, constant propagation, untestability proofs and the slack
+/// screen over `design`.
+///
+/// Per-site assembly fans out through `m3d-par` with order-preserving
+/// reduction, so the report is bitwise identical at any thread count.
+pub fn verify_design(design: &M3dDesign, cfg: &VerifyConfig) -> VerifyReport {
+    let mut span = m3d_obs::span("dataflow.verify");
+    let nl = design.netlist();
+
+    let scoap = Scoap::compute(nl);
+    let constprop = ConstProp::compute(nl);
+    let proofs = StaticProofs::compute(design, &constprop);
+    let timing = {
+        let mut s = m3d_obs::span("dataflow.timing");
+        let t = StaticTiming::compute(design, &cfg.timing);
+        s.add("nets", nl.net_count() as u64);
+        t
+    };
+    let critical_path = timing.critical_path();
+    let clock_period = critical_path * cfg.clock_factor;
+    let slack_threshold = clock_period * cfg.slack_frac;
+
+    let site_ids: Vec<SiteId> = design.sites().iter().map(|(s, _)| s).collect();
+    let sites = m3d_par::par_map(&site_ids, |&site| SiteVerdict {
+        site,
+        class: proofs.class(site),
+        scoap: scoap.site_measures(design, site),
+        min_delta: timing.min_detectable_delta(design, site, clock_period),
+    });
+
+    span.add("sites", sites.len() as u64);
+    span.add("untestable_sites", proofs.untestable_count() as u64);
+    span.add("constant_nets", constprop.constant_nets().len() as u64);
+    let report = VerifyReport {
+        scoap,
+        constprop,
+        proofs,
+        sites,
+        clock_period,
+        critical_path,
+        slack_threshold,
+    };
+    span.add("slack_sites", report.slack_site_count() as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::generate::Benchmark;
+    use m3d_part::DesignConfig;
+
+    #[test]
+    fn report_covers_every_site_and_respects_timing_bounds() {
+        let d = DesignConfig::Syn1.build_sized(Benchmark::Tate, Some(400));
+        let r = verify_design(&d, &VerifyConfig::default());
+        assert_eq!(r.sites.len(), d.sites().len());
+        assert!(r.clock_period > r.critical_path);
+        for v in &r.sites {
+            assert!(v.min_delta >= 0.0 && v.min_delta <= r.clock_period + 1e-4);
+        }
+        // Slack screen only flags testable sites.
+        assert!(r.slack_site_count() <= r.sites.iter().filter(|v| v.class.is_none()).count());
+    }
+}

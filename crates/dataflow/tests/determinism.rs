@@ -1,0 +1,45 @@
+//! Thread-count independence of the verify verdicts.
+//!
+//! `verify_design` fans per-site assembly across the `m3d-par` pool; the
+//! report must be bitwise identical at any thread width (CI runs this
+//! test at `M3D_THREADS=1` and `4`, mirroring the core determinism
+//! suite).
+
+use m3d_dataflow::{verify_design, VerifyConfig};
+use m3d_netlist::generate::Benchmark;
+use m3d_part::DesignConfig;
+
+#[test]
+fn verify_report_is_thread_count_independent() {
+    let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+    let cfg = VerifyConfig::default();
+    let one = m3d_par::with_threads(1, || verify_design(&d, &cfg));
+    let four = m3d_par::with_threads(4, || verify_design(&d, &cfg));
+
+    assert_eq!(one.sites.len(), four.sites.len());
+    for (a, b) in one.sites.iter().zip(&four.sites) {
+        assert_eq!(a.site, b.site);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.scoap, b.scoap);
+        assert_eq!(a.min_delta.to_bits(), b.min_delta.to_bits());
+    }
+    assert_eq!(one.scoap, four.scoap);
+    assert_eq!(one.constprop, four.constprop);
+    assert_eq!(one.proofs, four.proofs);
+    assert_eq!(one.clock_period.to_bits(), four.clock_period.to_bits());
+    assert_eq!(one.slack_site_count(), four.slack_site_count());
+}
+
+#[test]
+fn verify_report_is_run_to_run_deterministic() {
+    let d = DesignConfig::Syn1.build_sized(Benchmark::Netcard, Some(300));
+    let cfg = VerifyConfig::default();
+    let a = verify_design(&d, &cfg);
+    let b = verify_design(&d, &cfg);
+    assert_eq!(a.proofs, b.proofs);
+    assert_eq!(a.sites.len(), b.sites.len());
+    for (x, y) in a.sites.iter().zip(&b.sites) {
+        assert_eq!(x.min_delta.to_bits(), y.min_delta.to_bits());
+        assert_eq!(x.scoap, y.scoap);
+    }
+}

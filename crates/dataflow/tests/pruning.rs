@@ -1,0 +1,86 @@
+//! Integration of the static proofs with ATPG fault-list pruning.
+//!
+//! The contract: pruning may only remove work, never change results. On
+//! the Aes archetype the dataflow proofs go strictly beyond the
+//! structural testability filter (constant reconvergent nets), so this
+//! exercises the real pruning path, not just the structural subset.
+
+use m3d_dataflow::{ConstProp, StaticProofs, UntestableClass};
+use m3d_netlist::generate::Benchmark;
+use m3d_netlist::{GateKind, NetlistBuilder};
+use m3d_part::{DesignConfig, M3dDesign, PartitionAlgo};
+use m3d_tdf::{generate_patterns, generate_patterns_pruned, testable_sites, AtpgConfig};
+
+#[test]
+fn dataflow_pruned_atpg_is_bitwise_identical_on_archetype() {
+    let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+    let cp = ConstProp::compute(d.netlist());
+    let proofs = StaticProofs::compute(&d, &cp);
+    let skip = proofs.prunable_sites();
+
+    // The mask strictly extends the structural filter ATPG already
+    // applies: constant sites are structurally testable but frozen.
+    let structural = testable_sites(&d);
+    let beyond: usize = d
+        .sites()
+        .iter()
+        .filter(|&(s, _)| skip[s.index()] && structural[s.index()])
+        .count();
+    assert!(
+        beyond > 0,
+        "constant proofs prune beyond the structural set"
+    );
+
+    let cfg = AtpgConfig::new(3, 256);
+    let base = generate_patterns(&d, &cfg);
+    let pruned = generate_patterns_pruned(&d, &cfg, &skip);
+    assert_eq!(base.detected, pruned.detected);
+    assert_eq!(base.testable, pruned.testable);
+    assert_eq!(base.fault_coverage, pruned.fault_coverage);
+    assert_eq!(base.patterns.blocks(), pruned.patterns.blocks());
+}
+
+#[test]
+fn constant_sites_are_pruned_in_handcrafted_design() {
+    // And(q, !q) is constant-0 but fully connected and structurally
+    // launch/capture-capable: only the constant proof removes it.
+    let mut b = NetlistBuilder::new("const-core");
+    let a = b.add_input("a");
+    let c = b.add_input("c");
+    let q = b.add_dff(a);
+    let r = b.add_dff(c);
+    let nq = b.add_gate(GateKind::Inv, &[q]);
+    let z = b.add_gate(GateKind::And, &[q, nq]);
+    let x = b.add_gate(GateKind::Or, &[z, r]);
+    let f = b.add_dff(x);
+    b.add_output("f", f);
+    let nl = b.finish().expect("valid");
+    let part = PartitionAlgo::MinCut.partition(&nl, 1);
+    let d = M3dDesign::new(nl, part);
+
+    let cp = ConstProp::compute(d.netlist());
+    let proofs = StaticProofs::compute(&d, &cp);
+    assert_eq!(cp.constant(z), Some(false));
+
+    // Every site whose net is z must carry the constant proof.
+    let mut constant_sites = 0;
+    for (site, _) in d.sites().iter() {
+        if m3d_tdf::site_net(&d, site) == z {
+            assert_eq!(proofs.class(site), Some(UntestableClass::ConstantSite));
+            constant_sites += 1;
+        }
+    }
+    assert!(constant_sites > 0, "z has sites");
+
+    // And the structural filter alone would have kept them.
+    let structural = testable_sites(&d);
+    let and_gate = d.netlist().net(z).driver();
+    let and_out_site = d.sites().output_site(d.netlist(), and_gate).expect("site");
+    assert!(structural[and_out_site.index()], "structurally testable");
+
+    let cfg = AtpgConfig::new(1, 128);
+    let base = generate_patterns(&d, &cfg);
+    let pruned = generate_patterns_pruned(&d, &cfg, &proofs.prunable_sites());
+    assert_eq!(base.detected, pruned.detected);
+    assert_eq!(base.patterns.blocks(), pruned.patterns.blocks());
+}

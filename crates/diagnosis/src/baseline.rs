@@ -1,4 +1,4 @@
-//! The 2D baseline fault-localization algorithm (paper reference [11]).
+//! The 2D baseline fault-localization algorithm (paper reference \[11\]).
 //!
 //! PADRE's first-level classifier improves diagnostic resolution by
 //! filtering unlikely candidates from a diagnosis report using per-candidate
@@ -17,7 +17,7 @@ use crate::report::{Candidate, DiagnosisReport};
 /// Returns a report containing only the retained candidates, in the
 /// original rank order. The top candidate is always retained, so the filter
 /// can only lose accuracy when the ground truth ranked below a cluster
-/// boundary — matching the near-zero accuracy loss of [11].
+/// boundary — matching the near-zero accuracy loss of \[11\].
 ///
 /// # Examples
 ///

@@ -74,6 +74,12 @@ pub struct Diagnoser<'a> {
     config: DiagnosisConfig,
     /// Per flop: every fault site in its structural fan-in cone.
     cone_sites: Vec<Vec<SiteId>>,
+    /// Optional per-site SCOAP observability: a rank tie-breaker inside a
+    /// score band (lower = easier to observe = ranked first).
+    obs_prior: Option<Vec<u32>>,
+    /// Optional per-site untestable mask: proven-untestable suspects are
+    /// dropped before fault simulation (they can never match a log).
+    untestable: Option<Vec<bool>>,
 }
 
 impl<'a> Diagnoser<'a> {
@@ -132,12 +138,58 @@ impl<'a> Diagnoser<'a> {
             mode,
             config,
             cone_sites,
+            obs_prior: None,
+            untestable: None,
         }
+    }
+
+    /// Attaches a per-site observability prior (SCOAP CO, one value per
+    /// fault site). Candidates tied within a rank band order by ascending
+    /// observability cost; an all-zero prior leaves ranking unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `co` does not have one entry per fault site.
+    pub fn with_observability_prior(mut self, co: Vec<u32>) -> Self {
+        assert_eq!(
+            co.len(),
+            self.fsim.design().sites().len(),
+            "one CO value per fault site"
+        );
+        self.obs_prior = Some(co);
+        self
+    }
+
+    /// Attaches a per-site untestable mask (e.g. from
+    /// `m3d_dataflow::StaticProofs::prunable_sites`). Masked suspects are
+    /// dropped before fault simulation; because a proven-untestable fault
+    /// never produces failures, the reported candidates are unchanged —
+    /// only the simulation work shrinks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `untestable` does not have one entry per fault site.
+    pub fn with_untestable_sites(mut self, untestable: Vec<bool>) -> Self {
+        assert_eq!(
+            untestable.len(),
+            self.fsim.design().sites().len(),
+            "one flag per fault site"
+        );
+        self.untestable = Some(untestable);
+        self
     }
 
     /// The observation mode the engine diagnoses under.
     pub fn mode(&self) -> ObsMode {
         self.mode
+    }
+
+    fn is_pruned(&self, site: SiteId) -> bool {
+        self.untestable.as_ref().is_some_and(|u| u[site.index()])
+    }
+
+    fn prior_of(&self, site: SiteId) -> u32 {
+        self.obs_prior.as_ref().map_or(0, |p| p[site.index()])
     }
 
     /// Whether a log entry references a pattern and observation point that
@@ -278,6 +330,17 @@ impl<'a> Diagnoser<'a> {
             .collect();
         suspects.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         suspects.truncate(self.config.max_cover_suspects);
+        // Proven-untestable suspects would simulate to an empty signature
+        // and score zero; drop them here (after the truncation, so the
+        // slot allocation — and with it the report — is unchanged).
+        if self.untestable.is_some() {
+            let before = suspects.len();
+            suspects.retain(|&(s, _)| !self.is_pruned(s));
+            m3d_obs::counter(
+                "diagnosis.suspects_pruned",
+                (before - suspects.len()) as u64,
+            );
+        }
 
         let scored: Vec<(Candidate, HashSet<FailEntry>)> = suspects
             .iter()
@@ -316,6 +379,7 @@ impl<'a> Diagnoser<'a> {
         let mut by_freq: Vec<(SiteId, u32)> = freq.into_iter().collect();
         by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         by_freq.truncate(self.config.max_cover_suspects);
+        by_freq.retain(|&(s, _)| !self.is_pruned(s));
 
         let mut pool: HashMap<SiteId, (Candidate, HashSet<FailEntry>)> = seed
             .into_iter()
@@ -380,6 +444,10 @@ impl<'a> Diagnoser<'a> {
             b.score
                 .tfsf
                 .cmp(&a.score.tfsf)
+                .then(
+                    self.prior_of(a.fault.site)
+                        .cmp(&self.prior_of(b.fault.site)),
+                )
                 .then(a.fault.site.cmp(&b.fault.site))
         });
         let candidates: Vec<Candidate> = selected
@@ -402,9 +470,15 @@ impl<'a> Diagnoser<'a> {
         // indistinguishable under small-delay uncertainty; they share a
         // rank band and order structurally inside it.
         let band = |tfsf: u32| -> u32 { u32::from(tfsf * 2 > best_tfsf) };
+        // Inside a band, an attached SCOAP prior ranks easier-to-observe
+        // sites first (a zero prior degenerates to structural order).
         scored.sort_by(|(a, _), (b, _)| {
             band(b.score.tfsf)
                 .cmp(&band(a.score.tfsf))
+                .then(
+                    self.prior_of(a.fault.site)
+                        .cmp(&self.prior_of(b.fault.site)),
+                )
                 .then(a.fault.site.cmp(&b.fault.site))
         });
         let floor = (f64::from(best_tfsf) * self.config.retain_ratio).ceil() as u32;
@@ -574,6 +648,68 @@ mod tests {
         let report = diag.diagnose(&junk);
         assert!(report.degraded());
         assert_eq!(report.resolution(), 0);
+    }
+
+    #[test]
+    fn zero_prior_and_untestable_pruning_leave_reports_identical() {
+        let e = env();
+        let fsim = FaultSim::new(&e.design, &e.ts.patterns);
+        let n = e.design.sites().len();
+        let plain = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default());
+        let zeroed = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default())
+            .with_observability_prior(vec![0; n]);
+        let cp = m3d_dataflow::ConstProp::compute(e.design.netlist());
+        let proofs = m3d_dataflow::StaticProofs::compute(&e.design, &cp);
+        assert!(proofs.untestable_count() > 0);
+        let pruned = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default())
+            .with_untestable_sites(proofs.prunable_sites());
+
+        let faults = detected_faults(&e);
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..6 {
+            // Mix single- and multi-fault logs to cover both rank paths.
+            let k = 1 + trial % 3;
+            let picks: Vec<Fault> = faults.choose_multiple(&mut rng, k).copied().collect();
+            let mut det = fsim.detector();
+            let dets = fsim.detections(&mut det, &picks);
+            let log = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
+            let base = plain.diagnose(&log);
+            assert_eq!(base.candidates(), zeroed.diagnose(&log).candidates());
+            assert_eq!(base.candidates(), pruned.diagnose(&log).candidates());
+        }
+    }
+
+    #[test]
+    fn observability_prior_reorders_only_within_score_ties() {
+        let e = env();
+        let fsim = FaultSim::new(&e.design, &e.ts.patterns);
+        let scoap = m3d_dataflow::Scoap::compute(e.design.netlist());
+        let co: Vec<u32> = e
+            .design
+            .sites()
+            .iter()
+            .map(|(s, _)| scoap.site_measures(&e.design, s).co)
+            .collect();
+        let plain = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default());
+        let prior = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default())
+            .with_observability_prior(co);
+        let faults = detected_faults(&e);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..6 {
+            let f = faults[rng.gen_range(0..faults.len())];
+            let mut det = fsim.detector();
+            let dets = fsim.detections(&mut det, &[f]);
+            let log = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
+            let a = plain.diagnose(&log);
+            let b = prior.diagnose(&log);
+            // Same candidate *set*; the prior only permutes rank order.
+            let key = |c: &Candidate| (c.fault.site, c.fault.polarity);
+            let mut sa: Vec<_> = a.candidates().iter().map(key).collect();
+            let mut sb: Vec<_> = b.candidates().iter().map(key).collect();
+            sa.sort_unstable();
+            sb.sort_unstable();
+            assert_eq!(sa, sb);
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! [`DiagnosisReport`] of suspect fault sites, with the three quality
 //! measures the paper evaluates — diagnostic resolution, accuracy, and
 //! first-hit index. It also implements the paper's 2D comparison baseline
-//! ([`baseline_filter`], reference [11]/PADRE first-level classifier).
+//! ([`baseline_filter`], reference \[11\]/PADRE first-level classifier).
 //!
 //! See [`Diagnoser`] for the engine and [`QualityAccumulator`] for the
 //! table metrics.

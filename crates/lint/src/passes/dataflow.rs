@@ -1,0 +1,112 @@
+//! Flow-sensitive findings from `m3d-dataflow`: the `L1xxx` family.
+//!
+//! Unlike the structural families, these diagnostics describe properties
+//! a perfectly well-formed design legitimately has — untestable input
+//! cones, a few reconvergent constants — so the family is opt-in (see
+//! [`Pass::Dataflow`](crate::Pass::Dataflow)) and meant to be gated with
+//! a committed baseline rather than demanded clean.
+
+use m3d_dataflow::{UntestableClass, VerifyConfig, VerifyReport};
+use m3d_part::M3dDesign;
+
+use crate::diag::{Diagnostic, LintCode, Span};
+
+/// Runs every dataflow analysis over a design with default configuration.
+pub fn check_design(design: &M3dDesign) -> Vec<Diagnostic> {
+    let report = m3d_dataflow::verify_design(design, &VerifyConfig::default());
+    report_diagnostics(design, &report)
+}
+
+/// Renders an existing [`VerifyReport`] as `L1xxx` diagnostics (lets the
+/// CLI reuse one analysis run for both the report and the lint view).
+pub fn report_diagnostics(design: &M3dDesign, report: &VerifyReport) -> Vec<Diagnostic> {
+    let nl = design.netlist();
+    let mut diags = Vec::new();
+
+    for (net, value) in report.constprop.constant_nets() {
+        diags.push(Diagnostic::new(
+            LintCode::ConstantNet,
+            Span::Net(net),
+            format!("net {net} is statically constant {}", u8::from(value)),
+        ));
+    }
+    for gate in report.constprop.redundant_gates(nl) {
+        let out = nl.gate(gate).output().expect("combinational");
+        let what = match report.constprop.alias(out) {
+            Some((root, false)) => format!("copies net {root}"),
+            Some((root, true)) => format!("inverts net {root}"),
+            None => "computes a constant".to_string(),
+        };
+        diags.push(Diagnostic::new(
+            LintCode::RedundantLogic,
+            Span::Gate(gate),
+            format!("{} gate {gate} {what}", nl.gate(gate).kind()),
+        ));
+    }
+
+    for v in &report.sites {
+        let (code, why) = match v.class {
+            Some(UntestableClass::NoLaunch) => (
+                LintCode::UntestableNoLaunch,
+                "site net is not sequentially driven",
+            ),
+            Some(UntestableClass::NoCapture) => (
+                LintCode::UntestableNoCapture,
+                "no structural path to a scan capture point",
+            ),
+            Some(UntestableClass::ConstantSite) => (
+                LintCode::UntestableConstant,
+                "site net is statically constant",
+            ),
+            None => continue,
+        };
+        diags.push(Diagnostic::new(
+            code,
+            Span::Site(v.site),
+            format!("transition faults here are untestable: {why}"),
+        ));
+    }
+
+    let slack = report.slack_site_count();
+    if slack > 0 {
+        diags.push(Diagnostic::new(
+            LintCode::SmallDelayEscapes,
+            Span::Design,
+            format!(
+                "{slack} of {} testable sites admit delay defects up to {:.2} \
+                 (>= {:.0}% of the {:.2} clock) that gross-TDF testing misses",
+                report.sites.iter().filter(|v| v.class.is_none()).count(),
+                report.slack_threshold,
+                100.0 * report.slack_threshold / report.clock_period,
+                report.clock_period,
+            ),
+        ));
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_netlist::generate::Benchmark;
+    use m3d_part::DesignConfig;
+
+    #[test]
+    fn archetype_findings_cover_expected_families() {
+        let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+        let diags = check_design(&d);
+        assert!(!diags.is_empty());
+        // Aes at this size has reconvergent constants, untestable cones,
+        // and a non-empty slack surface.
+        let has = |c: LintCode| diags.iter().any(|d| d.code == c);
+        assert!(has(LintCode::ConstantNet));
+        assert!(has(LintCode::RedundantLogic));
+        assert!(has(LintCode::UntestableConstant));
+        assert!(has(LintCode::UntestableNoLaunch));
+        // No errors: these are advisory findings.
+        assert!(diags
+            .iter()
+            .all(|d| d.severity != crate::diag::Severity::Error));
+    }
+}

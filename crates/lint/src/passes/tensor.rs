@@ -8,7 +8,7 @@
 
 use m3d_fault_localization::DiagSample;
 use m3d_gnn::GraphData;
-use m3d_hetgraph::{SubGraph, FEATURE_DIM};
+use m3d_hetgraph::{SubGraph, FEATURE_DIM, SCOAP_FEATURE_DIM};
 use m3d_netlist::SitePos;
 use m3d_part::M3dDesign;
 
@@ -51,12 +51,14 @@ pub fn check_graph_data(data: &GraphData) -> Vec<Diagnostic> {
             ),
         ));
     }
-    if data.features.cols() != FEATURE_DIM {
+    let scoap_cols = FEATURE_DIM + SCOAP_FEATURE_DIM;
+    if data.features.cols() != FEATURE_DIM && data.features.cols() != scoap_cols {
         diags.push(Diagnostic::new(
             LintCode::FeatureShape,
             Span::Design,
             format!(
-                "feature matrix has {} columns; Table II defines {FEATURE_DIM}",
+                "feature matrix has {} columns; Table II defines {FEATURE_DIM} \
+                 ({scoap_cols} with the SCOAP extension)",
                 data.features.cols()
             ),
         ));
@@ -72,7 +74,7 @@ pub fn check_graph_data(data: &GraphData) -> Vec<Diagnostic> {
             }
         }
     }
-    let ranged = data.features.cols() == FEATURE_DIM;
+    let ranged = data.features.cols() == FEATURE_DIM || data.features.cols() == scoap_cols;
     for r in 0..data.features.rows() {
         for (c, &x) in data.features.row(r).iter().enumerate() {
             if !x.is_finite() {
@@ -82,7 +84,12 @@ pub fn check_graph_data(data: &GraphData) -> Vec<Diagnostic> {
                     format!("feature value {x} is not finite"),
                 ));
             } else if ranged {
-                let (lo, hi) = FEATURE_BOUNDS[c];
+                // SCOAP columns are normalized into [0, 1].
+                let (lo, hi) = if c < FEATURE_DIM {
+                    FEATURE_BOUNDS[c]
+                } else {
+                    (0.0, 1.0)
+                };
                 if x < lo - RANGE_EPS || x > hi + RANGE_EPS {
                     diags.push(Diagnostic::new(
                         LintCode::FeatureRange,
@@ -284,6 +291,21 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, LintCode::FeatureRange);
         assert_eq!(diags[0].severity, crate::Severity::Warn);
+    }
+
+    #[test]
+    fn scoap_extended_width_is_accepted_and_ranged() {
+        let n = 3;
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        let mut d = GraphData::new(
+            GcnGraph::from_edges(n, &edges),
+            Matrix::zeros(n, FEATURE_DIM + SCOAP_FEATURE_DIM),
+        );
+        assert!(check_graph_data(&d).is_empty());
+        d.features.row_mut(1)[FEATURE_DIM + 2] = 1.5; // CO out of [0, 1]
+        let diags = check_graph_data(&d);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::FeatureRange);
     }
 
     #[test]

@@ -108,6 +108,22 @@ impl LintReport {
         }
     }
 
+    /// Keeps only diagnostics the predicate accepts and rebuilds the
+    /// per-code totals from the survivors (overflow counts beyond
+    /// [`MAX_PER_CODE`] are dropped with their suppressed diagnostics).
+    /// This is how `--baseline` waives previously accepted findings.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Diagnostic) -> bool) {
+        self.diagnostics.retain(|d| keep(d));
+        self.counts.clear();
+        let counted: Vec<LintCode> = self.diagnostics.iter().map(|d| d.code).collect();
+        for code in counted {
+            match self.counts.iter_mut().find(|(c, _)| *c == code) {
+                Some((_, n)) => *n += 1,
+                None => self.counts.push((code, 1)),
+            }
+        }
+    }
+
     /// Sorts diagnostics by severity (errors first), then code, then span
     /// order of emission (stable).
     pub fn sorted(mut self) -> Self {
@@ -271,6 +287,24 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn retain_filters_and_recounts() {
+        let mut r = LintReport::new("t");
+        r.push(diag(LintCode::DanglingNet, "keep"));
+        r.push(diag(LintCode::NoFlops, "drop"));
+        r.push(Diagnostic::new(
+            LintCode::TierImbalance,
+            Span::Design,
+            "keep",
+        ));
+        r.retain(|d| d.message == "keep");
+        assert_eq!(r.diagnostics().len(), 2);
+        assert!(r.has(LintCode::DanglingNet));
+        assert!(!r.has(LintCode::NoFlops));
+        assert_eq!(r.total_count(LintCode::NoFlops), 0);
+        assert_eq!(r.total_count(LintCode::TierImbalance), 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! This module is the single source of truth for what a *structurally
 //! sound* netlist looks like. It is consumed three ways:
 //!
-//! * [`Netlist::from_parts`] enforces the fatal subset at construction time
+//! * `Netlist::from_parts` enforces the fatal subset at construction time
 //!   (via the same issue enumeration, so the two can never diverge),
 //! * [`io::read_netlist`](crate::io::read_netlist) re-runs the full check so
 //!   a successfully parsed file is lint-clean by construction,
@@ -110,7 +110,7 @@ pub enum StructuralIssue {
 impl StructuralIssue {
     /// Whether the issue violates a hard [`Netlist`] invariant.
     ///
-    /// Fatal issues are rejected by [`NetlistBuilder::finish`]
+    /// Fatal issues are rejected by [`NetlistBuilder::finish`](crate::NetlistBuilder::finish)
     /// (crate::NetlistBuilder::finish) and
     /// [`io::read_netlist`](crate::io::read_netlist); advisory issues only
     /// surface through `m3d-lint` as warnings.

@@ -13,8 +13,8 @@
 //! g4 OUTPUT n3
 //! ```
 //!
-//! Gates appear in [`GateId`](crate::GateId) order; `n<k>` names net `k`
-//! in [`NetId`](crate::NetId) order. The reader validates exactly like
+//! Gates appear in [`GateId`] order; `n<k>` names net `k`
+//! in [`NetId`] order. The reader validates exactly like
 //! [`NetlistBuilder::finish`](crate::NetlistBuilder::finish).
 
 use std::error::Error;

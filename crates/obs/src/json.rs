@@ -210,6 +210,13 @@ fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         .map_err(|_| format!("malformed number `{text}` at byte {start}"))
 }
 
+/// Four hex digits at `bytes[at..at + 4]`, as in a `\uXXXX` escape.
+fn hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".into())
+}
+
 fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
@@ -232,13 +239,27 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let hi = hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        if (0xD800..0xDC00).contains(&hi) {
+                            // High surrogate: JSON encodes astral-plane
+                            // characters as a `\uD8xx\uDCxx` pair.
+                            if bytes.get(*pos + 1..*pos + 3) == Some(br"\u") {
+                                let lo = hex4(bytes, *pos + 3)?;
+                                if (0xDC00..0xE000).contains(&lo) {
+                                    let code = 0x10000 + (((hi - 0xD800) << 10) | (lo - 0xDC00));
+                                    out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                    *pos += 6;
+                                } else {
+                                    out.push('\u{fffd}'); // unpaired high surrogate
+                                }
+                            } else {
+                                out.push('\u{fffd}');
+                            }
+                        } else {
+                            // Lone low surrogates also fall to U+FFFD here.
+                            out.push(char::from_u32(hi).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
@@ -326,6 +347,37 @@ mod tests {
         ]);
         let text = v.render();
         assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        // U+1F600 as the \uXXXX\uXXXX pair JSON writers emit for astral chars.
+        assert_eq!(
+            parse(r#""\uD83D\uDE00""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+        // Mixed with surrounding text.
+        assert_eq!(
+            parse(r#""a\uD83D\uDE00b""#).unwrap(),
+            Json::Str("a\u{1F600}b".into())
+        );
+        // Literal astral characters round-trip through render + parse.
+        let v = Json::Str("net \u{1F600} \u{10FFFF}".into());
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        assert_eq!(parse(r#""\uD800""#).unwrap(), Json::Str("\u{fffd}".into()));
+        assert_eq!(
+            parse(r#""\uDC00x""#).unwrap(),
+            Json::Str("\u{fffd}x".into())
+        );
+        // High surrogate followed by a non-surrogate escape: both survive.
+        assert_eq!(
+            parse(r#""\uD800A""#).unwrap(),
+            Json::Str("\u{fffd}A".into())
+        );
     }
 
     #[test]

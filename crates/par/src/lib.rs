@@ -85,7 +85,7 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-/// The default chunk size for `len` items: at most [`DEFAULT_MAX_CHUNKS`]
+/// The default chunk size for `len` items: at most `DEFAULT_MAX_CHUNKS` (64)
 /// chunks, never empty. A function of `len` only — see the crate docs for
 /// why that matters.
 pub fn default_chunk_size(len: usize) -> usize {

@@ -83,11 +83,45 @@ impl TestSet {
 /// assert!(ts.fault_coverage > 0.5);
 /// ```
 pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
+    generate(design, config, None)
+}
+
+/// Like [`generate_patterns`], but skips simulating faults at sites the
+/// caller has *proven* undetectable (`skip_sites[site] == true`, indexed
+/// by `SiteId`; `m3d-dataflow` produces such masks).
+///
+/// The skip mask only filters the per-block simulation sweep: the
+/// testable-fault denominator, the coverage stopping rule, the pattern
+/// blocks and every detection flag are computed exactly as in
+/// [`generate_patterns`]. If the mask honours its contract (skipped
+/// faults are never detectable), the returned [`TestSet`] is bitwise
+/// identical to the unpruned one — the sweep just stops paying for faults
+/// that cannot hit.
+pub fn generate_patterns_pruned(
+    design: &M3dDesign,
+    config: &AtpgConfig,
+    skip_sites: &[bool],
+) -> TestSet {
+    assert_eq!(
+        skip_sites.len(),
+        design.sites().len(),
+        "skip mask must cover every site"
+    );
+    generate(design, config, Some(skip_sites))
+}
+
+fn generate(design: &M3dDesign, config: &AtpgConfig, skip_sites: Option<&[bool]>) -> TestSet {
     let mut span = m3d_obs::span("atpg");
     let faults = full_fault_list(design);
     let site_ok = testable_sites(design);
     let testable: Vec<bool> = faults.iter().map(|f| site_ok[f.site.index()]).collect();
     let testable_n = testable.iter().filter(|&&t| t).count().max(1);
+    let skip = |i: usize| skip_sites.is_some_and(|s| s[faults[i].site.index()]);
+    let pruned_n = (0..faults.len())
+        .filter(|&i| testable[i] && skip(i))
+        .count();
+    span.add("faults_pruned", pruned_n as u64);
+    m3d_obs::counter("tdf.atpg.faults_pruned", pruned_n as u64);
     let mut detected = vec![false; faults.len()];
     let mut detected_n = 0usize;
 
@@ -106,7 +140,7 @@ pub fn generate_patterns(design: &M3dDesign, config: &AtpgConfig) -> TestSet {
         // against a fixed baseline, so fan the remaining ones across the
         // pool with one propagation scratch per worker.
         let undetected: Vec<usize> = (0..faults.len())
-            .filter(|&i| !detected[i] && testable[i])
+            .filter(|&i| !detected[i] && testable[i] && !skip(i))
             .collect();
         let sweep_start = std::time::Instant::now();
         let hits = m3d_par::par_map_init(
@@ -204,6 +238,20 @@ mod tests {
         let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
         let ts = generate_patterns(&d, &AtpgConfig::new(1, 64));
         assert!(ts.pattern_count() <= 64);
+    }
+
+    #[test]
+    fn pruned_atpg_is_bitwise_identical_under_a_sound_mask() {
+        let d = DesignConfig::Syn1.build_sized(Benchmark::Aes, Some(300));
+        // The structural untestable set is a sound skip mask by definition.
+        let skip: Vec<bool> = testable_sites(&d).iter().map(|&t| !t).collect();
+        assert!(skip.iter().any(|&s| s), "archetype has untestable sites");
+        let base = generate_patterns(&d, &AtpgConfig::new(5, 256));
+        let pruned = generate_patterns_pruned(&d, &AtpgConfig::new(5, 256), &skip);
+        assert_eq!(base.detected, pruned.detected);
+        assert_eq!(base.testable, pruned.testable);
+        assert_eq!(base.fault_coverage, pruned.fault_coverage);
+        assert_eq!(base.patterns.blocks(), pruned.patterns.blocks());
     }
 
     #[test]

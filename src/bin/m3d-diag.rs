@@ -13,7 +13,11 @@
 //!                    [--halt-after K] [--compacted]
 //! m3d-diag demo      --bench tate [--target N] [--compacted]
 //! m3d-diag lint      [--bench all|aes|tate|netcard|leon3mp] [--target N] [--samples N] [--json]
+//!                    [--deny] [--baseline FILE] [--write-baseline FILE]
 //! m3d-diag lint      --netlist F [--partition F] [--json]
+//! m3d-diag verify    [--bench all|aes|tate|netcard|leon3mp] [--target N] [--json]
+//!                    [--deny] [--baseline FILE] [--write-baseline FILE]
+//! m3d-diag verify    --netlist F --partition F [--json]
 //! m3d-diag report    FILE.jsonl [MORE.jsonl…]
 //! m3d-diag help      [COMMAND]
 //! ```
@@ -184,6 +188,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "train" => cmd_train(rest),
             "demo" => cmd_demo(rest),
             "lint" => cmd_lint(rest),
+            "verify" => cmd_verify(rest),
             "report" => cmd_report(rest),
             "help" | "--help" | "-h" => cmd_help(rest),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -209,6 +214,7 @@ fn root_span_name(cmd: &str) -> &'static str {
         "train" => "train",
         "demo" => "demo",
         "lint" => "lint",
+        "verify" => "verify",
         "report" => "report",
         _ => "cli",
     }
@@ -318,7 +324,24 @@ const COMMANDS: &[CommandHelp] = &[
                 --netlist FILE    lint a netlist file instead of benchmarks\n  \
                 --partition FILE  with --netlist: lint the full design\n  \
                 --json            machine-readable report\n  \
+                --deny            exit nonzero on any finding (not just errors)\n  \
+                --baseline FILE   waive the findings listed in FILE\n  \
+                --write-baseline FILE  write the current findings as a baseline\n  \
                 --compacted       compacted observation mode",
+    },
+    CommandHelp {
+        name: "verify",
+        summary: "flow-sensitive design verification (SCOAP, constants, untestable faults)",
+        flags: "  --bench NAME          all|aes|tate|netcard|leon3mp (default all)\n  \
+                --target N            benchmark gate-count target (default 400)\n  \
+                --netlist FILE        verify a netlist file instead of benchmarks\n  \
+                --partition FILE      with --netlist: tier assignment (required)\n  \
+                --clock-factor X      test clock as a multiple of the critical path (default 1.1)\n  \
+                --slack-frac X        escape threshold as a clock fraction (default 0.75)\n  \
+                --json                machine-readable report\n  \
+                --deny                exit nonzero on any unwaived finding\n  \
+                --baseline FILE       waive the findings listed in FILE\n  \
+                --write-baseline FILE write the current findings as a baseline",
     },
     CommandHelp {
         name: "report",
@@ -527,17 +550,64 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The stable identity of a diagnostic in a baseline file:
+/// `target<TAB>code<TAB>span`. Messages are excluded on purpose — they
+/// carry counts and measures that legitimately drift.
+fn diag_key(target: &str, d: &m3d_fault_diagnosis::lint::Diagnostic) -> String {
+    format!("{target}\t{}\t{}", d.code, d.span)
+}
+
+/// Drops every report diagnostic whose key appears in the baseline file
+/// (blank lines and `#` comments ignored). Returns the waived count.
+fn apply_baseline(
+    reports: &mut [m3d_fault_diagnosis::lint::LintReport],
+    path: &str,
+) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let waivers: std::collections::HashSet<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let mut waived = 0usize;
+    for report in reports {
+        let target = report.target().to_owned();
+        report.retain(|d| {
+            let known = waivers.contains(diag_key(&target, d).as_str());
+            waived += usize::from(known);
+            !known
+        });
+    }
+    Ok(waived)
+}
+
+/// Writes every current diagnostic's key, one per line, as a baseline.
+fn write_baseline(
+    reports: &[m3d_fault_diagnosis::lint::LintReport],
+    path: &str,
+) -> Result<(), String> {
+    let mut out = String::from("# m3d-diag baseline: target\tcode\tspan\n");
+    for report in reports {
+        for d in report.diagnostics() {
+            out.push_str(&diag_key(report.target(), d));
+            out.push('\n');
+        }
+    }
+    std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))
+}
+
 /// `m3d-diag lint`: static analysis over generated benchmarks or files.
 ///
 /// Without `--netlist`, builds each selected benchmark archetype end to
 /// end (design, scan, a few diagnosis samples, and a TPI variant of the
 /// netlist) and lints the lot. With `--netlist` (and optionally
 /// `--partition`), lints the given files instead. Exits nonzero when any
-/// target carries error-severity diagnostics.
+/// target carries error-severity diagnostics — or, under `--deny`, any
+/// diagnostic at all that `--baseline` does not waive.
 fn cmd_lint(args: &[String]) -> Result<(), String> {
     use m3d_fault_diagnosis::lint::{LintReport, LintRunner, LintTarget};
 
-    let flags = Flags::parse(args, &["json", "compacted"])?;
+    let flags = Flags::parse(args, &["json", "compacted", "deny"])?;
     let runner = LintRunner::new();
     let mut reports: Vec<LintReport> = Vec::new();
 
@@ -583,6 +653,14 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         }
     }
 
+    if let Some(path) = flags.get("write-baseline") {
+        write_baseline(&reports, path)?;
+        eprintln!("baseline written to {path}");
+    }
+    if let Some(path) = flags.get("baseline") {
+        let waived = apply_baseline(&mut reports, path)?;
+        eprintln!("baseline {path}: {waived} finding(s) waived");
+    }
     if flags.flag("json") {
         let body: Vec<String> = reports.iter().map(LintReport::render_json).collect();
         println!("[{}]", body.join(","));
@@ -594,6 +672,104 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     let errors: usize = reports.iter().map(LintReport::error_count).sum();
     if errors > 0 {
         return Err(format!("lint found {errors} error(s)"));
+    }
+    if flags.flag("deny") {
+        let total: usize = reports.iter().map(|r| r.diagnostics().len()).sum();
+        if total > 0 {
+            return Err(format!("lint found {total} finding(s) under --deny"));
+        }
+    }
+    Ok(())
+}
+
+/// `m3d-diag verify`: flow-sensitive design verification.
+///
+/// Runs the `m3d-dataflow` analyses — SCOAP testability, constant
+/// propagation, and static untestable-fault proofs — over benchmark
+/// archetypes (or a `--netlist`/`--partition` pair) and reports the
+/// `L1xxx` findings with a per-design summary. Findings are facts about
+/// healthy designs, so gating is baseline-driven: `--write-baseline`
+/// records the current state, `--baseline` waives it, and `--deny` fails
+/// on anything new.
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    use m3d_fault_diagnosis::dataflow::{verify_design, UntestableClass, VerifyConfig};
+    use m3d_fault_diagnosis::lint::{passes, LintReport};
+
+    let flags = Flags::parse(args, &["json", "deny"])?;
+    let mut named: Vec<(String, M3dDesign)> = Vec::new();
+    if flags.get("netlist").is_some() {
+        let design = load_design(&flags)?;
+        named.push((design.netlist().name().to_owned(), design));
+    } else {
+        let benches: Vec<Benchmark> = match flags.get("bench").unwrap_or("all") {
+            "all" => Benchmark::ALL.to_vec(),
+            name => vec![parse_bench(name)?],
+        };
+        let target_size = flags.num("target", 400usize)?;
+        for bench in benches {
+            let design =
+                m3d_fault_diagnosis::part::DesignConfig::Syn1.build_sized(bench, Some(target_size));
+            named.push((bench.name().to_owned(), design));
+        }
+    }
+
+    let cfg = VerifyConfig {
+        clock_factor: flags.num("clock-factor", 1.1f32)?,
+        slack_frac: flags.num("slack-frac", 0.75f32)?,
+        ..VerifyConfig::default()
+    };
+    let mut reports: Vec<LintReport> = Vec::new();
+    let mut summaries: Vec<String> = Vec::new();
+    for (name, design) in &named {
+        let verify = verify_design(design, &cfg);
+        let mut report = LintReport::new(name.clone());
+        for d in passes::dataflow::report_diagnostics(design, &verify) {
+            report.push(d);
+        }
+        let class_count = |c: UntestableClass| {
+            verify
+                .proofs
+                .classes()
+                .iter()
+                .filter(|&&x| x == Some(c))
+                .count()
+        };
+        summaries.push(format!(
+            "{name}: {} sites, {} untestable ({} constant-site, {} no-launch, \
+             {} no-capture), {} constant nets, {} slack sites, clock {:.2}",
+            verify.sites.len(),
+            verify.proofs.untestable_count(),
+            class_count(UntestableClass::ConstantSite),
+            class_count(UntestableClass::NoLaunch),
+            class_count(UntestableClass::NoCapture),
+            verify.constprop.constant_nets().len(),
+            verify.slack_site_count(),
+            verify.clock_period,
+        ));
+        reports.push(report.sorted());
+    }
+
+    if let Some(path) = flags.get("write-baseline") {
+        write_baseline(&reports, path)?;
+        eprintln!("baseline written to {path}");
+    }
+    if let Some(path) = flags.get("baseline") {
+        let waived = apply_baseline(&mut reports, path)?;
+        eprintln!("baseline {path}: {waived} finding(s) waived");
+    }
+
+    if flags.flag("json") {
+        let body: Vec<String> = reports.iter().map(LintReport::render_json).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for (summary, report) in summaries.iter().zip(&reports) {
+            println!("{summary}");
+            print!("{}", report.render_text());
+        }
+    }
+    let total: usize = reports.iter().map(|r| r.diagnostics().len()).sum();
+    if flags.flag("deny") && total > 0 {
+        return Err(format!("verify found {total} unwaived finding(s)"));
     }
     Ok(())
 }
@@ -660,7 +836,10 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         cfg.epochs,
         policy
     );
-    let mut model = GcnClassifier::new(FEATURE_DIM, 16, 2, 2, flags.num("model-seed", 7u64)?);
+    // Input width follows the sample tensors (13 Table II columns, or 16
+    // with the SCOAP feature extension).
+    let dim = data.first().map_or(FEATURE_DIM, |(d, _)| d.features.cols());
+    let mut model = GcnClassifier::new(dim, 16, 2, 2, flags.num("model-seed", 7u64)?);
     let outcome = train_resilient(
         &mut model,
         &data,
