@@ -1,0 +1,229 @@
+//! Throughput-regression guard over `BENCH_pipeline.json`.
+//!
+//! Usage: `bench_guard <current.json> [<baseline.json>]`
+//!
+//! With one argument it validates the run's invariants: every stage
+//! reported `deterministic: true`, the file says `all_deterministic:
+//! true`, and — when the run was configured with more than one pool
+//! thread — at least one stage actually dispatched more than one worker
+//! (`effective_threads > 1`). With a second argument it additionally
+//! compares per-stage throughput against the committed baseline: each
+//! stage present in both files must reach at least `tolerance ×
+//! baseline` throughput, where `tolerance` comes from
+//! `M3D_BENCH_TOLERANCE` (default 0.25 — a wide band, because CI runners
+//! vary several-fold in single-core speed; the guard exists to catch
+//! algorithmic regressions, not scheduler noise).
+//!
+//! The parser reads only the fixed line-oriented layout `bench_pipeline`
+//! itself writes (one stage object per line, one scalar key per line);
+//! the workspace deliberately has no JSON dependency.
+
+use std::process::ExitCode;
+
+#[derive(Debug, PartialEq)]
+struct StageRow {
+    /// `stage` in the default tier, `archetype/stage` in the paper tier.
+    key: String,
+    throughput: f64,
+    effective_threads: u64,
+    deterministic: bool,
+}
+
+#[derive(Debug, Default)]
+struct Report {
+    configured_threads: u64,
+    all_deterministic: bool,
+    stages: Vec<StageRow>,
+}
+
+/// Extracts the value after `"key": ` on `line`, up to the next comma or
+/// closing brace.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    Some(field(line, key)?.trim_matches('"').to_string())
+}
+
+/// Parses the fixed format written by `bench_pipeline`. Stage objects
+/// occupy one line each; the paper tier nests them under an archetype
+/// whose `"name"` appears alone on a preceding line.
+fn parse_report(text: &str) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut arch: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(v) = field(trimmed, "configured_threads") {
+            report.configured_threads =
+                v.parse().map_err(|e| format!("configured_threads: {e}"))?;
+        }
+        if let Some(v) = field(trimmed, "all_deterministic") {
+            report.all_deterministic = v == "true";
+        }
+        if trimmed.starts_with("{\"name\":") {
+            let stage = str_field(trimmed, "name").ok_or("stage line without name")?;
+            let key = match &arch {
+                Some(a) => format!("{a}/{stage}"),
+                None => stage,
+            };
+            report.stages.push(StageRow {
+                key,
+                throughput: field(trimmed, "throughput_nt")
+                    .ok_or("stage line without throughput_nt")?
+                    .parse()
+                    .map_err(|e| format!("throughput_nt: {e}"))?,
+                effective_threads: field(trimmed, "effective_threads")
+                    .ok_or("stage line without effective_threads")?
+                    .parse()
+                    .map_err(|e| format!("effective_threads: {e}"))?,
+                deterministic: field(trimmed, "deterministic") == Some("true"),
+            });
+        } else if trimmed.starts_with("\"name\":") {
+            arch = str_field(trimmed, "name");
+        }
+    }
+    if report.stages.is_empty() {
+        return Err("no stage rows found".to_string());
+    }
+    Ok(report)
+}
+
+fn check(current: &Report, baseline: Option<&Report>, tolerance: f64) -> Result<(), String> {
+    if !current.all_deterministic {
+        return Err("all_deterministic is not true".to_string());
+    }
+    if let Some(bad) = current.stages.iter().find(|s| !s.deterministic) {
+        return Err(format!("stage {} is not deterministic", bad.key));
+    }
+    if current.configured_threads > 1 && !current.stages.iter().any(|s| s.effective_threads > 1) {
+        return Err(format!(
+            "configured {} pool threads but no stage dispatched more than one worker",
+            current.configured_threads
+        ));
+    }
+    let Some(base) = baseline else {
+        return Ok(());
+    };
+    let mut compared = 0;
+    for b in &base.stages {
+        let Some(c) = current.stages.iter().find(|s| s.key == b.key) else {
+            return Err(format!("stage {} missing from current run", b.key));
+        };
+        let floor = tolerance * b.throughput;
+        if c.throughput < floor {
+            return Err(format!(
+                "stage {}: throughput {:.1} below {:.0}% of baseline {:.1}",
+                b.key,
+                c.throughput,
+                100.0 * tolerance,
+                b.throughput
+            ));
+        }
+        compared += 1;
+    }
+    println!("bench_guard: {compared} stages within tolerance {tolerance}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 2 {
+        eprintln!("usage: bench_guard <current.json> [<baseline.json>]");
+        return ExitCode::FAILURE;
+    }
+    let tolerance = std::env::var("M3D_BENCH_TOLERANCE")
+        .ok()
+        .map(|v| v.parse().expect("M3D_BENCH_TOLERANCE must be a number"))
+        .unwrap_or(0.25);
+    let read = |path: &str| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        parse_report(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+    };
+    let current = read(&args[0]);
+    let baseline = args.get(1).map(|p| read(p));
+    match check(&current, baseline.as_ref(), tolerance) {
+        Ok(()) => {
+            println!("bench_guard: OK ({})", args[0]);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_guard: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEFAULT_TIER: &str = r#"{
+  "tier": "default",
+  "configured_threads": 4,
+  "stages": [
+    {"name": "gnn_fit", "secs_1t": 0.01, "secs_nt": 0.01, "effective_threads": 4, "speedup": 1.0, "throughput_nt": 3000.0, "unit": "epochs/s", "deterministic": true},
+    {"name": "fault_simulation", "secs_1t": 0.01, "secs_nt": 0.01, "effective_threads": 4, "speedup": 1.0, "throughput_nt": 150000.0, "unit": "faults/s", "deterministic": true}
+  ],
+  "all_deterministic": true
+}
+"#;
+
+    #[test]
+    fn parses_and_accepts_a_clean_default_tier() {
+        let r = parse_report(DEFAULT_TIER).unwrap();
+        assert_eq!(r.configured_threads, 4);
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stages[0].key, "gnn_fit");
+        assert_eq!(r.stages[1].throughput, 150000.0);
+        check(&r, Some(&r), 0.25).unwrap();
+    }
+
+    #[test]
+    fn paper_tier_stages_are_keyed_by_archetype() {
+        let text = r#"{
+  "tier": "paper_scale",
+  "configured_threads": 4,
+  "archetypes": [
+    {
+      "name": "aes",
+      "stages": [
+        {"name": "atpg", "effective_threads": 4, "throughput_nt": 100.0, "deterministic": true}
+      ]
+    }
+  ],
+  "all_deterministic": true
+}
+"#;
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.stages[0].key, "aes/atpg");
+    }
+
+    #[test]
+    fn flags_throughput_regression_and_lost_determinism() {
+        let base = parse_report(DEFAULT_TIER).unwrap();
+        let mut cur = parse_report(DEFAULT_TIER).unwrap();
+        cur.stages[1].throughput = 1000.0; // far below 0.25 × 150000
+        assert!(check(&cur, Some(&base), 0.25)
+            .unwrap_err()
+            .contains("below"));
+        cur.stages[1].throughput = 150000.0;
+        cur.all_deterministic = false;
+        assert!(check(&cur, Some(&base), 0.25).is_err());
+    }
+
+    #[test]
+    fn flags_serial_fallback_at_configured_width() {
+        let mut cur = parse_report(DEFAULT_TIER).unwrap();
+        for s in &mut cur.stages {
+            s.effective_threads = 1;
+        }
+        assert!(check(&cur, None, 0.25)
+            .unwrap_err()
+            .contains("no stage dispatched"));
+    }
+}

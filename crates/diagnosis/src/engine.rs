@@ -16,6 +16,16 @@ use m3d_tdf::{FailEntry, FailureLog, Fault, FaultSim, Polarity};
 
 use crate::report::{Candidate, DiagnosisReport, MatchScore};
 
+/// Per-worker scratch for the cone DFS: epoch-stamped visited marks, so
+/// the gate/net-sized arrays are allocated once per worker instead of once
+/// per flop.
+struct ConeScratch {
+    epoch: u32,
+    gate_mark: Vec<u32>,
+    net_mark: Vec<u32>,
+    stack: Vec<NetId>,
+}
+
 /// Retention knobs for the ranked report.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DiagnosisConfig {
@@ -94,44 +104,55 @@ impl<'a> Diagnoser<'a> {
     ) -> Self {
         let design = fsim.design();
         let nl = design.netlist();
-        let cone_sites = nl
-            .flops()
-            .iter()
-            .map(|&fg| {
+        // Per-flop backward cone DFS, fanned over the pool. The visited
+        // marks are epoch-stamped per-worker scratch (zeroing two
+        // gate/net-sized arrays per flop is quadratic at paper scale);
+        // each flop's cone is independent of scratch history, so the
+        // result is identical at any thread count.
+        let cone_sites = m3d_par::par_map_init(
+            nl.flops(),
+            || ConeScratch {
+                epoch: 0,
+                gate_mark: vec![0u32; nl.gate_count()],
+                net_mark: vec![0u32; nl.net_count()],
+                stack: Vec::new(),
+            },
+            |scr, &fg| {
+                scr.epoch += 1;
+                let epoch = scr.epoch;
                 let mut sites = Vec::new();
-                let mut seen_gates = vec![false; nl.gate_count()];
-                let mut seen_nets = vec![false; nl.net_count()];
                 // The flop's own D pin is a suspect.
                 sites.push(design.sites().input_site(fg, 0));
-                let mut stack: Vec<NetId> = vec![nl.gate(fg).inputs()[0]];
-                while let Some(net) = stack.pop() {
-                    if seen_nets[net.index()] {
+                scr.stack.clear();
+                scr.stack.push(nl.gate(fg).inputs()[0]);
+                while let Some(net) = scr.stack.pop() {
+                    if scr.net_mark[net.index()] == epoch {
                         continue;
                     }
-                    seen_nets[net.index()] = true;
+                    scr.net_mark[net.index()] = epoch;
                     if let Some(m) = design.miv_on_net(net) {
                         sites.push(design.miv_site(m as usize));
                     }
                     let driver: GateId = nl.net(net).driver();
-                    if seen_gates[driver.index()] {
+                    if scr.gate_mark[driver.index()] == epoch {
                         continue;
                     }
-                    seen_gates[driver.index()] = true;
+                    scr.gate_mark[driver.index()] = epoch;
                     if let Some(out) = design.sites().output_site(nl, driver) {
                         sites.push(out);
                     }
                     if nl.gate(driver).kind().is_combinational() {
                         for (pin, &inp) in nl.gate(driver).inputs().iter().enumerate() {
                             sites.push(design.sites().input_site(driver, pin as u8));
-                            stack.push(inp);
+                            scr.stack.push(inp);
                         }
                     }
                 }
                 sites.sort_unstable();
                 sites.dedup();
                 sites
-            })
-            .collect();
+            },
+        );
         Diagnoser {
             fsim,
             scan,
@@ -222,10 +243,15 @@ impl<'a> Diagnoser<'a> {
         set
     }
 
-    /// Predicted failure entries for a fault set.
-    fn predicted_entries(&self, faults: &[Fault]) -> HashSet<FailEntry> {
-        let mut det = self.fsim.detector();
-        let dets = self.fsim.detections(&mut det, faults);
+    /// Predicted failure entries for a fault set, using the caller's
+    /// propagation scratch (one [`m3d_tdf::BlockDetector`] per worker when
+    /// suspects are scored in parallel).
+    fn predicted_entries(
+        &self,
+        det: &mut m3d_tdf::BlockDetector<'_>,
+        faults: &[Fault],
+    ) -> HashSet<FailEntry> {
+        let dets = self.fsim.detections(det, faults);
         FailureLog::from_detections(&dets, self.scan, self.mode)
             .entries()
             .iter()
@@ -245,6 +271,7 @@ impl<'a> Diagnoser<'a> {
     /// Simulates both polarities of a site and keeps the better match.
     fn best_candidate(
         &self,
+        det: &mut m3d_tdf::BlockDetector<'_>,
         site: SiteId,
         tester: &HashSet<FailEntry>,
     ) -> (Candidate, HashSet<FailEntry>) {
@@ -252,7 +279,7 @@ impl<'a> Diagnoser<'a> {
         let mut best: Option<(Candidate, HashSet<FailEntry>)> = None;
         for pol in Polarity::ALL {
             let fault = Fault::new(site, pol);
-            let predicted = self.predicted_entries(&[fault]);
+            let predicted = self.predicted_entries(det, &[fault]);
             let score = Self::score_against(&predicted, tester);
             let cand = Candidate {
                 fault,
@@ -342,10 +369,16 @@ impl<'a> Diagnoser<'a> {
             );
         }
 
-        let scored: Vec<(Candidate, HashSet<FailEntry>)> = suspects
-            .iter()
-            .map(|&(s, _)| self.best_candidate(s, &tester))
-            .collect();
+        // Score every suspect in parallel: each candidate re-simulates two
+        // polarities over the full pattern set, which is the dominant cost
+        // of a diagnosis at paper scale. Suspects are independent and the
+        // map is order-preserving with one propagation scratch per worker,
+        // so the report is bitwise identical at any thread count.
+        let scored: Vec<(Candidate, HashSet<FailEntry>)> = m3d_par::par_map_init(
+            &suspects,
+            || self.fsim.detector(),
+            |det, &(s, _)| self.best_candidate(det, s, &tester),
+        );
 
         let single_explains = scored.iter().any(|(c, _)| c.score.is_perfect());
 
@@ -385,9 +418,20 @@ impl<'a> Diagnoser<'a> {
             .into_iter()
             .map(|(c, p)| (c.fault.site, (c, p)))
             .collect();
-        for (site, _) in &by_freq {
-            pool.entry(*site)
-                .or_insert_with(|| self.best_candidate(*site, tester));
+        // Batch-simulate the cover suspects the seed pass did not already
+        // score, fanned over the pool like the phase-1 scoring.
+        let missing: Vec<SiteId> = by_freq
+            .iter()
+            .map(|&(s, _)| s)
+            .filter(|s| !pool.contains_key(s))
+            .collect();
+        let scored_missing = m3d_par::par_map_init(
+            &missing,
+            || self.fsim.detector(),
+            |det, &s| self.best_candidate(det, s, tester),
+        );
+        for (site, cand) in missing.into_iter().zip(scored_missing) {
+            pool.insert(site, cand);
         }
 
         let mut residual: HashSet<FailEntry> = tester.clone();

@@ -1,10 +1,34 @@
-//! A small dense `f32` matrix for the GNN kernels.
+//! A dense `f32` matrix for the GNN kernels.
 //!
-//! Row-major storage; sized for the workloads here (hundreds of rows,
-//! tens of columns), so the kernels favour clarity over blocking.
+//! Row-major storage. The product kernels are cache-blocked and
+//! register-tiled, and split their output rows into panels across the
+//! `m3d-par` pool — while staying **bitwise identical** to the naive
+//! triple-loop references ([`Matrix::matmul_naive`] and friends): every
+//! output element accumulates its contributions in ascending inner-index
+//! order as separate adds, so no float reassociation ever happens and the
+//! result is the same at any thread count, tile size or block size.
+
+use std::ops::Range;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Register-tile height (output rows held live per inner loop).
+const MR: usize = 4;
+/// Register-tile width (output columns held live per inner loop).
+const NR: usize = 8;
+/// Cache-block depth: the shared dimension is walked in panels of this
+/// many rows so the streamed operand panel stays hot across a row tile.
+const KB: usize = 128;
+/// Outputs with fewer rows than this stay on the serial path: panel
+/// buffers and their reassembly cost more than they save.
+const PAR_MIN_ROWS: usize = 64;
+/// Outputs at most this wide skip the register-tile grid for a full-row
+/// kernel: a whole output row fits in registers anyway, and the tile
+/// load/store bookkeeping costs more than it saves. This covers the GNN
+/// training shapes (hidden width ≤ 16), where the full-row kernel
+/// measures ~2× faster than the tiled one.
+const NARROW_N: usize = 2 * NR;
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -121,12 +145,13 @@ impl Matrix {
 
     /// `self · other`.
     ///
-    /// The kernel is `i`/`k`-outer with the `k` loop unrolled by 4, so the
-    /// contiguous inner sweep over the output row autovectorizes and the
-    /// four B rows are streamed per pass. Each output element still
-    /// receives its `k` contributions in ascending order as four separate
-    /// adds, so the result is **bitwise identical** to the naive
-    /// triple-loop (the property tests below assert exactly that).
+    /// Cache-blocked (`KB`-deep panels of B), register-tiled (`MR × NR`
+    /// accumulator tiles) and row-panel-parallel: disjoint ranges of
+    /// output rows are computed on the `m3d-par` pool and reassembled in
+    /// order. Each output element receives its `k` contributions in
+    /// ascending order as separate adds, so the result is **bitwise
+    /// identical** to [`Matrix::matmul_naive`] at any thread count (the
+    /// property tests assert exactly that).
     ///
     /// # Panics
     ///
@@ -134,129 +159,114 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let n = other.cols;
-        let mut out = Matrix::zeros(self.rows, n);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            let mut k = 0;
-            while k + 4 <= self.cols {
-                let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
-                let b0 = &other.data[k * n..(k + 1) * n];
-                let b1 = &other.data[(k + 1) * n..(k + 2) * n];
-                let b2 = &other.data[(k + 2) * n..(k + 3) * n];
-                let b3 = &other.data[(k + 3) * n..(k + 4) * n];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    // Four separate adds: keeps the naive accumulation
-                    // association (bitwise reproducibility).
-                    let mut v = *o;
-                    v += a0 * b0[j];
-                    v += a1 * b1[j];
-                    v += a2 * b2[j];
-                    v += a3 * b3[j];
-                    *o = v;
-                }
-                k += 4;
-            }
-            while k < self.cols {
-                let a = arow[k];
-                let brow = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-                k += 1;
-            }
-        }
-        out
+        Self::build_rows(self.rows, n, |rows, out| {
+            matmul_panel(&self.data, self.cols, &other.data, n, rows, out);
+        })
     }
 
     /// `selfᵀ · other` without materializing the transpose.
     ///
-    /// Same unrolling scheme (and the same bitwise-equals-naive guarantee)
-    /// as [`Matrix::matmul`], with the shared row dimension unrolled by 4.
+    /// Blocked over the shared row dimension, register-tiled, and
+    /// parallel over panels of *output* rows (columns of `self`); bitwise
+    /// identical to [`Matrix::t_matmul_naive`].
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let n = other.cols;
-        let mut out = Matrix::zeros(self.cols, n);
-        let mut r = 0;
-        while r + 4 <= self.rows {
-            for i in 0..self.cols {
-                let (a0, a1, a2, a3) = (
-                    self.data[r * self.cols + i],
-                    self.data[(r + 1) * self.cols + i],
-                    self.data[(r + 2) * self.cols + i],
-                    self.data[(r + 3) * self.cols + i],
-                );
-                let b0 = &other.data[r * n..(r + 1) * n];
-                let b1 = &other.data[(r + 1) * n..(r + 2) * n];
-                let b2 = &other.data[(r + 2) * n..(r + 3) * n];
-                let b3 = &other.data[(r + 3) * n..(r + 4) * n];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let mut v = *o;
-                    v += a0 * b0[j];
-                    v += a1 * b1[j];
-                    v += a2 * b2[j];
-                    v += a3 * b3[j];
-                    *o = v;
-                }
-            }
-            r += 4;
-        }
-        while r < self.rows {
-            let brow = &other.data[r * n..(r + 1) * n];
-            for i in 0..self.cols {
-                let a = self.data[r * self.cols + i];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-            r += 1;
-        }
-        out
+        Self::build_rows(self.cols, n, |rows, out| {
+            t_matmul_panel(&self.data, self.rows, self.cols, &other.data, n, rows, out);
+        })
     }
 
     /// `self · otherᵀ`.
     ///
-    /// Dot-product kernel with four output columns per pass: the four
-    /// accumulators share each load of the A row and give the backend
-    /// independent FMA chains. Every accumulator sums its `k` terms in
-    /// ascending order, so the result is bitwise identical to the naive
-    /// version.
+    /// Dot-product kernel over `MR × NR` accumulator tiles with the shared
+    /// dimension cache-blocked; parallel over output-row panels; bitwise
+    /// identical to [`Matrix::matmul_t_naive`].
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        Self::build_rows(self.rows, other.rows, |rows, out| {
+            matmul_t_panel(&self.data, self.cols, &other.data, other.rows, rows, out);
+        })
+    }
+
+    /// Reference `self · other`: the naive triple loop, each element
+    /// summed in ascending `k` order. The blocked kernel
+    /// [`Matrix::matmul`] is proptest-proven bitwise equal to this.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut s = 0.0f32;
+                for k in 0..self.cols {
+                    s += self[(i, k)] * other[(k, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    /// Reference `selfᵀ · other` (ascending shared-row order); see
+    /// [`Matrix::matmul_naive`].
+    pub fn t_matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for i in 0..self.cols {
+            for j in 0..other.cols {
+                let mut s = 0.0f32;
+                for r in 0..self.rows {
+                    s += self[(r, i)] * other[(r, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    /// Reference `self · otherᵀ` (ascending `k` order); see
+    /// [`Matrix::matmul_naive`].
+    pub fn matmul_t_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let mut j = 0;
-            while j + 4 <= other.rows {
-                let b0 = other.row(j);
-                let b1 = other.row(j + 1);
-                let b2 = other.row(j + 2);
-                let b3 = other.row(j + 3);
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                for (k, &a) in arow.iter().enumerate() {
-                    s0 += a * b0[k];
-                    s1 += a * b1[k];
-                    s2 += a * b2[k];
-                    s3 += a * b3[k];
-                }
-                let orow = out.row_mut(i);
-                orow[j] = s0;
-                orow[j + 1] = s1;
-                orow[j + 2] = s2;
-                orow[j + 3] = s3;
-                j += 4;
-            }
-            while j < other.rows {
-                let brow = other.row(j);
+            for j in 0..other.rows {
                 let mut s = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    s += a * b;
+                for k in 0..self.cols {
+                    s += self[(i, k)] * other[(j, k)];
                 }
                 out[(i, j)] = s;
-                j += 1;
             }
+        }
+        out
+    }
+
+    /// Builds a `rows × cols` matrix by running `f` over disjoint
+    /// output-row panels — serially when the pool is width 1 (or the
+    /// output is small), otherwise on the pool with the panels reassembled
+    /// in range order. `f(range, out)` must fill `out` (zeroed,
+    /// `range.len() * cols` long) with rows `range` of the result; since
+    /// every row is computed identically regardless of which panel it
+    /// lands in, the output is bitwise identical at any thread count.
+    pub(crate) fn build_rows(
+        rows: usize,
+        cols: usize,
+        f: impl Fn(Range<usize>, &mut [f32]) + Sync,
+    ) -> Matrix {
+        let mut out = Matrix::zeros(rows, cols);
+        if m3d_par::num_threads() <= 1 || rows < PAR_MIN_ROWS {
+            f(0..rows, &mut out.data);
+            return out;
+        }
+        let panels = m3d_par::par_ranges(rows, |r| {
+            let mut buf = vec![0.0f32; r.len() * cols];
+            f(r.clone(), &mut buf);
+            buf
+        });
+        let mut off = 0;
+        for p in panels {
+            out.data[off..off + p.len()].copy_from_slice(&p);
+            off += p.len();
         }
         out
     }
@@ -305,6 +315,206 @@ impl Matrix {
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Shared blocked driver for the `A·B`-shaped kernels:
+/// `out[i][j] += Σ_k av(k, i) · b[k·n + j]`, with `k` walked in ascending
+/// order through `KB`-deep cache blocks and an `MR × NR` register-tile
+/// grid over the output panel. Because every output element sees its `k`
+/// contributions in ascending order as separate adds, the result is
+/// bitwise identical to the naive triple loop for any `KB`/`MR`/`NR`.
+fn panel_driver(
+    kd: usize,
+    b: &[f32],
+    n: usize,
+    rows: Range<usize>,
+    out: &mut [f32],
+    av: impl Fn(usize, usize) -> f32,
+) {
+    if n == 0 {
+        return;
+    }
+    for k0 in (0..kd).step_by(KB) {
+        let kend = (k0 + KB).min(kd);
+        let mut i = rows.start;
+        while i < rows.end {
+            let mh = MR.min(rows.end - i);
+            let o0 = (i - rows.start) * n;
+            let mut j = 0;
+            while j < n {
+                let nw = NR.min(n - j);
+                let mut acc = [[0.0f32; NR]; MR];
+                for (mi, accr) in acc.iter_mut().enumerate().take(mh) {
+                    let base = o0 + mi * n + j;
+                    accr[..nw].copy_from_slice(&out[base..base + nw]);
+                }
+                for k in k0..kend {
+                    let brow = &b[k * n + j..k * n + j + nw];
+                    for (mi, accr) in acc.iter_mut().enumerate().take(mh) {
+                        let v = av(k, i + mi);
+                        for (s, &bv) in accr[..nw].iter_mut().zip(brow) {
+                            *s += v * bv;
+                        }
+                    }
+                }
+                for (mi, accr) in acc.iter().enumerate().take(mh) {
+                    let base = o0 + mi * n + j;
+                    out[base..base + nw].copy_from_slice(&accr[..nw]);
+                }
+                j += nw;
+            }
+            i += mh;
+        }
+    }
+}
+
+/// Rows `rows` of `A·B` into `out` (`A` is `? × kd`, `B` is `kd × n`).
+fn matmul_panel(a: &[f32], kd: usize, b: &[f32], n: usize, rows: Range<usize>, out: &mut [f32]) {
+    if n <= NARROW_N {
+        // Full-row kernel, `k` unrolled by four: each output element still
+        // receives its `k` contributions in ascending order as separate
+        // adds, so this stays bitwise equal to the naive reference.
+        for i in rows.clone() {
+            let arow = &a[i * kd..(i + 1) * kd];
+            let o0 = (i - rows.start) * n;
+            let orow = &mut out[o0..o0 + n];
+            let mut k = 0;
+            while k + 4 <= kd {
+                let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+                let b0 = &b[k * n..(k + 1) * n];
+                let b1 = &b[(k + 1) * n..(k + 2) * n];
+                let b2 = &b[(k + 2) * n..(k + 3) * n];
+                let b3 = &b[(k + 3) * n..(k + 4) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let mut v = *o;
+                    v += a0 * b0[j];
+                    v += a1 * b1[j];
+                    v += a2 * b2[j];
+                    v += a3 * b3[j];
+                    *o = v;
+                }
+                k += 4;
+            }
+            while k < kd {
+                let av = arow[k];
+                let brow = &b[k * n..(k + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+                k += 1;
+            }
+        }
+        return;
+    }
+    panel_driver(kd, b, n, rows, out, |k, i| a[i * kd + k]);
+}
+
+/// Rows `rows` of `Aᵀ·B` into `out` (`A` is `ar × ac`, `B` is `ar × n`;
+/// output rows index columns of `A`).
+fn t_matmul_panel(
+    a: &[f32],
+    ar: usize,
+    ac: usize,
+    b: &[f32],
+    n: usize,
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    if (MR..=NARROW_N).contains(&n) {
+        // Shared-row-outer accumulation: for each row `r` of the operands,
+        // scatter `a[r][i] · b[r][·]` into every output row of the panel.
+        // Each output element receives its contributions in ascending `r`
+        // order as separate adds — bitwise equal to the naive reference —
+        // and the panel (at most `rows.len() × NARROW_N` floats, i.e. the
+        // weight-gradient shape in training) stays cache-hot across `r`.
+        for r in 0..ar {
+            let brow = &b[r * n..(r + 1) * n];
+            let arow = &a[r * ac..(r + 1) * ac];
+            for i in rows.clone() {
+                let av = arow[i];
+                let o0 = (i - rows.start) * n;
+                for (o, &bv) in out[o0..o0 + n].iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        return;
+    }
+    panel_driver(ar, b, n, rows, out, |r, i| a[r * ac + i]);
+}
+
+/// Rows `rows` of `A·Bᵀ` into `out` (`A` is `? × kd`, `B` is `bn × kd`).
+/// Both operands stream stride-1 over the `KB`-blocked shared dimension;
+/// the `MR × NR` tile keeps the touched `A`/`B` rows hot across the tile.
+fn matmul_t_panel(a: &[f32], kd: usize, b: &[f32], bn: usize, rows: Range<usize>, out: &mut [f32]) {
+    if bn == 0 {
+        return;
+    }
+    if bn <= NARROW_N {
+        // Four independent dot-product accumulators per step: each is a
+        // single ascending-`k` chain (bitwise equal to the naive
+        // reference), and the four chains give the ILP the one-element-
+        // at-a-time tile loop lacks at narrow widths.
+        for i in rows.clone() {
+            let arow = &a[i * kd..(i + 1) * kd];
+            let o0 = (i - rows.start) * bn;
+            let mut j = 0;
+            while j + 4 <= bn {
+                let b0 = &b[j * kd..(j + 1) * kd];
+                let b1 = &b[(j + 1) * kd..(j + 2) * kd];
+                let b2 = &b[(j + 2) * kd..(j + 3) * kd];
+                let b3 = &b[(j + 3) * kd..(j + 4) * kd];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for (k, &av) in arow.iter().enumerate() {
+                    s0 += av * b0[k];
+                    s1 += av * b1[k];
+                    s2 += av * b2[k];
+                    s3 += av * b3[k];
+                }
+                out[o0 + j] = s0;
+                out[o0 + j + 1] = s1;
+                out[o0 + j + 2] = s2;
+                out[o0 + j + 3] = s3;
+                j += 4;
+            }
+            while j < bn {
+                let brow = &b[j * kd..(j + 1) * kd];
+                let mut s = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    s += x * y;
+                }
+                out[o0 + j] = s;
+                j += 1;
+            }
+        }
+        return;
+    }
+    for k0 in (0..kd).step_by(KB) {
+        let kend = (k0 + KB).min(kd);
+        let mut i = rows.start;
+        while i < rows.end {
+            let mh = MR.min(rows.end - i);
+            let o0 = (i - rows.start) * bn;
+            let mut j = 0;
+            while j < bn {
+                let nw = NR.min(bn - j);
+                for mi in 0..mh {
+                    let arow = &a[(i + mi) * kd + k0..(i + mi) * kd + kend];
+                    let orow = &mut out[o0 + mi * bn + j..o0 + mi * bn + j + nw];
+                    for (nj, o) in orow.iter_mut().enumerate() {
+                        let brow = &b[(j + nj) * kd + k0..(j + nj) * kd + kend];
+                        let mut s = *o;
+                        for (&x, &y) in arow.iter().zip(brow) {
+                            s += x * y;
+                        }
+                        *o = s;
+                    }
+                }
+                j += nw;
+            }
+            i += mh;
+        }
     }
 }
 
@@ -392,10 +602,12 @@ mod tests {
 
 #[cfg(test)]
 mod kernel_reference_tests {
-    //! The unrolled kernels must be *bitwise* equal to naive triple-loop
-    //! references: each output element accumulates its terms in the same
-    //! ascending-k order, so no float tolerance is needed (and the GNN's
-    //! bitwise thread-count determinism can rest on these kernels).
+    //! The blocked kernels must be *bitwise* equal to the retained naive
+    //! triple-loop references: each output element accumulates its terms
+    //! in the same ascending-k order, so no float tolerance is needed (and
+    //! the GNN's bitwise thread-count determinism can rest on these
+    //! kernels). The 1-vs-N-thread sweep over edge shapes lives in
+    //! `tests/kernel_equiv.rs`.
 
     use super::*;
     use proptest::prelude::*;
@@ -418,48 +630,6 @@ mod kernel_reference_tests {
         Matrix::from_vec(rows, cols, data)
     }
 
-    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(a.rows(), b.cols());
-        for i in 0..a.rows() {
-            for j in 0..b.cols() {
-                let mut s = 0.0f32;
-                for k in 0..a.cols() {
-                    s += a[(i, k)] * b[(k, j)];
-                }
-                out[(i, j)] = s;
-            }
-        }
-        out
-    }
-
-    fn naive_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(a.cols(), b.cols());
-        for i in 0..a.cols() {
-            for j in 0..b.cols() {
-                let mut s = 0.0f32;
-                for r in 0..a.rows() {
-                    s += a[(r, i)] * b[(r, j)];
-                }
-                out[(i, j)] = s;
-            }
-        }
-        out
-    }
-
-    fn naive_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(a.rows(), b.rows());
-        for i in 0..a.rows() {
-            for j in 0..b.rows() {
-                let mut s = 0.0f32;
-                for k in 0..a.cols() {
-                    s += a[(i, k)] * b[(j, k)];
-                }
-                out[(i, j)] = s;
-            }
-        }
-        out
-    }
-
     fn assert_bitwise_eq(got: &Matrix, want: &Matrix, what: &str) {
         assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
         for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
@@ -475,7 +645,7 @@ mod kernel_reference_tests {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
         #[test]
-        fn unrolled_kernels_match_naive_bitwise(
+        fn blocked_kernels_match_naive_bitwise(
             m in 1usize..18,
             k in 1usize..18,
             n in 1usize..18,
@@ -483,14 +653,37 @@ mod kernel_reference_tests {
         ) {
             let a = random_matrix(m, k, seed);
             let b = random_matrix(k, n, seed.wrapping_add(1));
-            assert_bitwise_eq(&a.matmul(&b), &naive_matmul(&a, &b), "matmul");
+            assert_bitwise_eq(&a.matmul(&b), &a.matmul_naive(&b), "matmul");
 
             let at = random_matrix(k, m, seed.wrapping_add(2));
             let bt = random_matrix(k, n, seed.wrapping_add(3));
-            assert_bitwise_eq(&at.t_matmul(&bt), &naive_t_matmul(&at, &bt), "t_matmul");
+            assert_bitwise_eq(&at.t_matmul(&bt), &at.t_matmul_naive(&bt), "t_matmul");
 
             let c = random_matrix(n, k, seed.wrapping_add(4));
-            assert_bitwise_eq(&a.matmul_t(&c), &naive_matmul_t(&a, &c), "matmul_t");
+            assert_bitwise_eq(&a.matmul_t(&c), &a.matmul_t_naive(&c), "matmul_t");
+        }
+    }
+
+    /// Shapes chosen to straddle the tile and block boundaries (`MR`,
+    /// `NR`, `KB`) and the parallel row threshold.
+    #[test]
+    fn boundary_shapes_match_naive_bitwise() {
+        let shapes = [
+            (1, 1, 1),
+            (MR, NR, KB),
+            (MR + 1, NR + 1, KB + 1),
+            (MR - 1, NR - 1, KB - 1),
+            (PAR_MIN_ROWS + 3, 5, 7),
+            (2 * MR + 3, 2 * NR + 5, 2 * KB + 9),
+        ];
+        for (si, &(m, n, k)) in shapes.iter().enumerate() {
+            let a = random_matrix(m, k, si as u64 * 10 + 1);
+            let b = random_matrix(k, n, si as u64 * 10 + 2);
+            assert_bitwise_eq(&a.matmul(&b), &a.matmul_naive(&b), "matmul");
+            let at = random_matrix(k, m, si as u64 * 10 + 3);
+            assert_bitwise_eq(&at.t_matmul(&b), &at.t_matmul_naive(&b), "t_matmul");
+            let c = random_matrix(n, k, si as u64 * 10 + 4);
+            assert_bitwise_eq(&a.matmul_t(&c), &a.matmul_t_naive(&c), "matmul_t");
         }
     }
 }

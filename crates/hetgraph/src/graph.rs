@@ -74,8 +74,11 @@ pub struct HetGraph {
     /// Directed predecessor CSR.
     in_offsets: Vec<u32>,
     in_edges: Vec<u32>,
-    /// Per Topnode (flop): its Topedges (cone + path features).
-    topedges: Vec<Vec<TopEdge>>,
+    /// Topedge CSR offsets, one per Topnode (flop) plus a tail: the
+    /// Topedges of flop `f` are `topedges[top_offsets[f]..top_offsets[f+1]]`.
+    top_offsets: Vec<u32>,
+    /// Flat Topedge storage (cone + path features), grouped by flop.
+    topedges: Vec<TopEdge>,
     /// Per-site static features.
     features: Vec<SiteFeatures>,
     /// Optional per-site normalized SCOAP `[cc0, cc1, co]` (see
@@ -144,7 +147,11 @@ impl HetGraph {
         };
 
         // --- Topnodes: backward BFS per flop over predecessor edges ---
-        let mut topedges: Vec<Vec<TopEdge>> = Vec::with_capacity(nl.flops().len());
+        // Cones are appended to one flat CSR-style store (offsets + flat
+        // storage) instead of one `Vec` per flop.
+        let mut top_offsets: Vec<u32> = Vec::with_capacity(nl.flops().len() + 1);
+        top_offsets.push(0);
+        let mut topedges: Vec<TopEdge> = Vec::new();
         let mut dist = vec![u32::MAX; n];
         let mut mivs = vec![0u16; n];
         let mut touched: Vec<u32> = Vec::new();
@@ -155,10 +162,9 @@ impl HetGraph {
             mivs[root.index()] = 0;
             touched.push(root.0);
             queue.push_back(root.0);
-            let mut cone = Vec::new();
             while let Some(v) = queue.pop_front() {
                 let vi = v as usize;
-                cone.push(TopEdge {
+                topedges.push(TopEdge {
                     site: SiteId(v),
                     dist: dist[vi],
                     mivs: mivs[vi],
@@ -187,7 +193,7 @@ impl HetGraph {
                 mivs[t as usize] = 0;
             }
             touched.clear();
-            topedges.push(cone);
+            top_offsets.push(topedges.len() as u32);
         }
 
         // --- Per-site features ---
@@ -217,16 +223,14 @@ impl HetGraph {
         let mut sum_m = vec![0.0f64; n];
         let mut sum_m2 = vec![0.0f64; n];
         let mut max_dist = 1.0f32;
-        for cone in &topedges {
-            for te in cone {
-                let i = te.site.index();
-                features[i].top_edges += 1;
-                sum_d[i] += f64::from(te.dist);
-                sum_d2[i] += f64::from(te.dist) * f64::from(te.dist);
-                sum_m[i] += f64::from(te.mivs);
-                sum_m2[i] += f64::from(te.mivs) * f64::from(te.mivs);
-                max_dist = max_dist.max(te.dist as f32);
-            }
+        for te in &topedges {
+            let i = te.site.index();
+            features[i].top_edges += 1;
+            sum_d[i] += f64::from(te.dist);
+            sum_d2[i] += f64::from(te.dist) * f64::from(te.dist);
+            sum_m[i] += f64::from(te.mivs);
+            sum_m2[i] += f64::from(te.mivs) * f64::from(te.mivs);
+            max_dist = max_dist.max(te.dist as f32);
         }
         for (i, f) in features.iter_mut().enumerate() {
             let c = f64::from(f.top_edges);
@@ -247,6 +251,7 @@ impl HetGraph {
             out_edges,
             in_offsets,
             in_edges,
+            top_offsets,
             topedges,
             features,
             scoap: None,
@@ -314,7 +319,8 @@ impl HetGraph {
     /// The Topedges of a Topnode (one per fan-in cone member).
     #[inline]
     pub fn topedges(&self, flop: FlopId) -> &[TopEdge] {
-        &self.topedges[flop.index()]
+        let f = flop.index();
+        &self.topedges[self.top_offsets[f] as usize..self.top_offsets[f + 1] as usize]
     }
 
     /// Static features of a site.

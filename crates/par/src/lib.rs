@@ -404,6 +404,32 @@ pub fn try_par_map_init<T: Sync, S, R: Send>(
     Ok(out)
 }
 
+/// Splits `0..len` into the [`default_chunk_size`] layout and runs `f` on
+/// each index range in parallel; returns one result per range, in range
+/// order.
+///
+/// The range boundaries are a function of `len` only, so for a pure `f`
+/// the output is identical at any thread count. This is the row-panel
+/// primitive behind the blocked GNN kernels: each panel owns a disjoint
+/// range of output rows, computes into private storage, and the panels are
+/// reassembled in order.
+///
+/// # Examples
+///
+/// ```
+/// let sums = m3d_par::par_ranges(10, |r| r.sum::<usize>());
+/// let total: usize = sums.into_iter().sum();
+/// assert_eq!(total, 45);
+/// ```
+pub fn par_ranges<R: Send>(len: usize, f: impl Fn(std::ops::Range<usize>) -> R + Sync) -> Vec<R> {
+    let chunk = default_chunk_size(len);
+    let ranges: Vec<std::ops::Range<usize>> = (0..len)
+        .step_by(chunk)
+        .map(|s| s..(s + chunk).min(len))
+        .collect();
+    par_map(&ranges, |r| f(r.clone()))
+}
+
 /// Applies `f` to fixed `chunk_size`-sized chunks in parallel; returns one
 /// result per chunk, in chunk order. `f` receives the chunk index and the
 /// chunk slice.
@@ -718,6 +744,27 @@ mod tests {
         assert_eq!(default_chunk_size(64), 1);
         assert_eq!(default_chunk_size(65), 2);
         assert_eq!(default_chunk_size(6400), 100);
+    }
+
+    #[test]
+    fn par_ranges_covers_exactly_and_in_order() {
+        for len in [0usize, 1, 3, 64, 65, 200, 6401] {
+            let ranges = par_ranges(len, |r| r);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must tile 0..{len} in order");
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, len);
+        }
+    }
+
+    #[test]
+    fn par_ranges_is_thread_count_invariant() {
+        let serial = with_threads(1, || par_ranges(1000, |r| r.sum::<usize>()));
+        let wide = with_threads(8, || par_ranges(1000, |r| r.sum::<usize>()));
+        assert_eq!(serial, wide);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 
 use m3d_part::M3dDesign;
 
-use crate::fault::{full_fault_list, testable_sites, Fault};
+use crate::fault::{full_fault_list, site_net, testable_sites, Fault};
 use crate::fsim::BlockDetector;
 use crate::pattern::PatternSet;
 use crate::sim::Simulator;
@@ -136,19 +136,48 @@ fn generate(design: &M3dDesign, config: &AtpgConfig, skip_sites: Option<&[bool]>
         let count = 64.min(config.max_patterns - patterns.len()) as u8;
         let block = PatternSet::random_block(design.netlist(), &mut rng, count);
         let base = sim.run_block(&block);
-        // The per-fault sweep dominates ATPG runtime; faults are independent
-        // against a fixed baseline, so fan the remaining ones across the
-        // pool with one propagation scratch per worker.
-        let undetected: Vec<usize> = (0..faults.len())
-            .filter(|&i| !detected[i] && testable[i] && !skip(i))
+        // The sweep dominates ATPG runtime. Faults are grouped by site:
+        // the two polarities have disjoint activation lanes and the
+        // bit-parallel propagation is lane-wise independent, so one
+        // propagation of the union mask answers both — each remaining
+        // site pays for its fanout cone once per block. Sites are
+        // independent against the fixed baseline and fan across the pool
+        // with one propagation scratch per worker.
+        let undetected_sites: Vec<u32> = (0..design.sites().len() as u32)
+            .filter(|&s| {
+                let (i0, i1) = (2 * s as usize, 2 * s as usize + 1);
+                (!detected[i0] && testable[i0] && !skip(i0))
+                    || (!detected[i1] && testable[i1] && !skip(i1))
+            })
             .collect();
+        let faults_swept: u64 = undetected_sites
+            .iter()
+            .map(|&s| {
+                let (i0, i1) = (2 * s as usize, 2 * s as usize + 1);
+                u64::from(!detected[i0] && testable[i0] && !skip(i0))
+                    + u64::from(!detected[i1] && testable[i1] && !skip(i1))
+            })
+            .sum();
         let sweep_start = std::time::Instant::now();
         let hits = m3d_par::par_map_init(
-            &undetected,
+            &undetected_sites,
             || BlockDetector::new(design),
-            |det, &i| {
-                !det.detect(&base, std::slice::from_ref(&faults[i]))
-                    .is_empty()
+            |det, &s| {
+                let (i0, i1) = (2 * s as usize, 2 * s as usize + 1);
+                debug_assert_eq!(faults[i0].site.index(), s as usize);
+                let net = site_net(design, faults[i0].site);
+                let (f1, f2) = (base.f1[net.index()], base.f2[net.index()]);
+                let act = [
+                    faults[i0].polarity.activation(f1, f2) & base.lanes,
+                    faults[i1].polarity.activation(f1, f2) & base.lanes,
+                ];
+                let want = [
+                    !detected[i0] && testable[i0] && !skip(i0),
+                    !detected[i1] && testable[i1] && !skip(i1),
+                ];
+                let lanes = (if want[0] { act[0] } else { 0 }) | (if want[1] { act[1] } else { 0 });
+                let diff = det.propagate_site_mask(&base, faults[i0].site, lanes);
+                [want[0] && diff & act[0] != 0, want[1] && diff & act[1] != 0]
             },
         );
         m3d_obs::observe(
@@ -156,13 +185,16 @@ fn generate(design: &M3dDesign, config: &AtpgConfig, skip_sites: Option<&[bool]>
             sweep_start.elapsed().as_micros() as f64,
         );
         span.add("blocks_tried", 1);
-        span.add("faults_swept", undetected.len() as u64);
+        span.add("faults_swept", faults_swept);
+        span.add("sites_swept", undetected_sites.len() as u64);
         let mut new_hits = 0usize;
-        for (&i, hit) in undetected.iter().zip(hits) {
-            if hit {
-                detected[i] = true;
-                detected_n += 1;
-                new_hits += 1;
+        for (&s, hit) in undetected_sites.iter().zip(hits) {
+            for (p, &h) in hit.iter().enumerate() {
+                if h {
+                    detected[2 * s as usize + p] = true;
+                    detected_n += 1;
+                    new_hits += 1;
+                }
             }
         }
         // Fault dropping: keep only blocks that paid for themselves; give

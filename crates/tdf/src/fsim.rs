@@ -45,6 +45,14 @@ pub struct BlockDetector<'a> {
     topo_pos: Vec<u32>,
     /// Sparse branch flips: key = gate << 8 | pin.
     branch_flips: Vec<(u64, u64)>,
+    /// CSR offsets into `d_flops`, one entry per net plus a tail.
+    d_flops_off: Vec<u32>,
+    /// Flop indices whose D input is the net (capture-compare candidates).
+    d_flops: Vec<u32>,
+    /// Flop index per gate (`u32::MAX` for non-flops).
+    flop_of_gate: Vec<u32>,
+    /// Scratch for candidate-flop collection.
+    cand_flops: Vec<u32>,
 }
 
 impl<'a> BlockDetector<'a> {
@@ -55,6 +63,26 @@ impl<'a> BlockDetector<'a> {
         for (i, &g) in nl.topo_order().iter().enumerate() {
             topo_pos[g.index()] = i as u32;
         }
+        // Net → capturing flops, as a counting-sort CSR: the capture
+        // compare then visits only flops whose D net the propagation
+        // actually touched, instead of every flop per fault.
+        let mut flop_of_gate = vec![u32::MAX; nl.gate_count()];
+        let mut counts = vec![0u32; nl.net_count()];
+        for (fi, &fgate) in nl.flops().iter().enumerate() {
+            flop_of_gate[fgate.index()] = fi as u32;
+            counts[nl.gate(fgate).inputs()[0].index()] += 1;
+        }
+        let mut d_flops_off = vec![0u32; nl.net_count() + 1];
+        for n in 0..nl.net_count() {
+            d_flops_off[n + 1] = d_flops_off[n] + counts[n];
+        }
+        let mut d_flops = vec![0u32; d_flops_off[nl.net_count()] as usize];
+        let mut cursor: Vec<u32> = d_flops_off[..nl.net_count()].to_vec();
+        for (fi, &fgate) in nl.flops().iter().enumerate() {
+            let n = nl.gate(fgate).inputs()[0].index();
+            d_flops[cursor[n] as usize] = fi as u32;
+            cursor[n] += 1;
+        }
         BlockDetector {
             design,
             overlay: vec![0; nl.net_count()],
@@ -64,6 +92,10 @@ impl<'a> BlockDetector<'a> {
             heap: BinaryHeap::new(),
             topo_pos,
             branch_flips: Vec::new(),
+            d_flops_off,
+            d_flops,
+            flop_of_gate,
+            cand_flops: Vec::new(),
         }
     }
 
@@ -110,6 +142,90 @@ impl<'a> BlockDetector<'a> {
         }
     }
 
+    /// Seeds the frame-2 flip for one site on `act` lanes.
+    fn seed_site(&mut self, base: &BlockSim, site: m3d_netlist::SiteId, act: u64) {
+        let nl = self.design.netlist();
+        match injection_scope(self.design, site) {
+            InjectionScope::Net(n) => {
+                let v = self.net_value(base, n) ^ act;
+                self.set_net(n, v);
+                for &(sink, _) in nl.net(n).sinks() {
+                    self.push_gate(sink);
+                }
+            }
+            InjectionScope::Branch(g, pin) => {
+                self.add_branch_flip(g, pin, act);
+                self.push_gate(g);
+            }
+            InjectionScope::MivBranches(branches) => {
+                for (g, pin) in branches {
+                    self.add_branch_flip(g, pin, act);
+                    self.push_gate(g);
+                }
+            }
+        }
+    }
+
+    /// Event-driven frame-2 propagation in topological order.
+    fn propagate(&mut self, base: &BlockSim) {
+        let nl = self.design.netlist();
+        while let Some(Reverse((_, gi))) = self.heap.pop() {
+            let gate = GateId::new(gi as usize);
+            self.in_heap[gate.index()] = false;
+            let g = nl.gate(gate);
+            let mut inputs = [0u64; 4];
+            for (pin, &n) in g.inputs().iter().enumerate() {
+                inputs[pin] = self.net_value(base, n) ^ self.branch_flip(gate, pin as u8);
+            }
+            let out = g.output().expect("only combinational gates enter the heap");
+            let new = g.kind().eval(&inputs[..g.inputs().len()]);
+            if new != self.net_value(base, out) {
+                self.set_net(out, new);
+                for &(sink, _) in nl.net(out).sinks() {
+                    self.push_gate(sink);
+                }
+            }
+        }
+    }
+
+    /// Collects the flops whose capture can differ — those with a touched
+    /// D net or a direct branch flip on the D pin — into `cand_flops`,
+    /// sorted and deduplicated. Untouched flops capture the fault-free
+    /// value by construction and need no compare.
+    fn collect_candidate_flops(&mut self) {
+        self.cand_flops.clear();
+        for i in 0..self.touched_nets.len() {
+            let n = self.touched_nets[i] as usize;
+            let (s, e) = (
+                self.d_flops_off[n] as usize,
+                self.d_flops_off[n + 1] as usize,
+            );
+            for j in s..e {
+                self.cand_flops.push(self.d_flops[j]);
+            }
+        }
+        for i in 0..self.branch_flips.len() {
+            let (key, _) = self.branch_flips[i];
+            if key & 0xff == 0 {
+                let fi = self.flop_of_gate[(key >> 8) as usize];
+                if fi != u32::MAX {
+                    self.cand_flops.push(fi);
+                }
+            }
+        }
+        self.cand_flops.sort_unstable();
+        self.cand_flops.dedup();
+    }
+
+    /// Resets the per-call scratch (touched overlay entries and flips).
+    fn reset_scratch(&mut self) {
+        for &n in &self.touched_nets {
+            self.net_dirty[n as usize] = false;
+        }
+        self.touched_nets.clear();
+        self.branch_flips.clear();
+    }
+
     /// Simulates `faults` simultaneously against one block and returns the
     /// failing `(lane, flop)` pairs.
     ///
@@ -133,50 +249,19 @@ impl<'a> BlockDetector<'a> {
             if act == 0 {
                 continue;
             }
-            match injection_scope(self.design, fault.site) {
-                InjectionScope::Net(n) => {
-                    let v = self.net_value(base, n) ^ act;
-                    self.set_net(n, v);
-                    for &(sink, _) in nl.net(n).sinks() {
-                        self.push_gate(sink);
-                    }
-                }
-                InjectionScope::Branch(g, pin) => {
-                    self.add_branch_flip(g, pin, act);
-                    self.push_gate(g);
-                }
-                InjectionScope::MivBranches(branches) => {
-                    for (g, pin) in branches {
-                        self.add_branch_flip(g, pin, act);
-                        self.push_gate(g);
-                    }
-                }
-            }
+            self.seed_site(base, fault.site, act);
         }
 
         // 2. Event-driven frame-2 propagation in topological order.
-        while let Some(Reverse((_, gi))) = self.heap.pop() {
-            let gate = GateId::new(gi as usize);
-            self.in_heap[gate.index()] = false;
-            let g = nl.gate(gate);
-            let mut inputs = [0u64; 4];
-            for (pin, &n) in g.inputs().iter().enumerate() {
-                inputs[pin] = self.net_value(base, n) ^ self.branch_flip(gate, pin as u8);
-            }
-            let out = g.output().expect("only combinational gates enter the heap");
-            let new = g.kind().eval(&inputs[..g.inputs().len()]);
-            if new != self.net_value(base, out) {
-                self.set_net(out, new);
-                for &(sink, _) in nl.net(out).sinks() {
-                    self.push_gate(sink);
-                }
-            }
-        }
+        self.propagate(base);
 
-        // 3. Compare scan captures (flop D pins, including direct branch
-        // flips on D).
+        // 3. Compare scan captures at the flops the propagation could have
+        // reached (touched D nets plus direct branch flips on D).
+        self.collect_candidate_flops();
         let mut detections = Vec::new();
-        for (fi, &fgate) in nl.flops().iter().enumerate() {
+        for i in 0..self.cand_flops.len() {
+            let fi = self.cand_flops[i] as usize;
+            let fgate = nl.flops()[fi];
             let d_net = nl.gate(fgate).inputs()[0];
             let val = self.net_value(base, d_net) ^ self.branch_flip(fgate, 0);
             let diff = (val ^ base.capture2[fi]) & base.lanes;
@@ -191,13 +276,43 @@ impl<'a> BlockDetector<'a> {
         }
 
         // 4. Reset scratch.
-        for &n in &self.touched_nets {
-            self.net_dirty[n as usize] = false;
-        }
-        self.touched_nets.clear();
-        self.branch_flips.clear();
+        self.reset_scratch();
         detections.sort_unstable();
         detections
+    }
+
+    /// Propagates a frame-2 flip at `site` on `lanes` and returns the
+    /// union, over all scan flops, of the lanes whose captures differ.
+    ///
+    /// Because the bit-parallel propagation is lane-wise independent, this
+    /// one call answers detection for *both* polarities of the site at
+    /// once: a polarity with activation mask `act ⊆ lanes` is detected iff
+    /// `returned & act != 0`, exactly as if it had been propagated alone
+    /// (the ATPG sweep relies on this to pay for each site's fanout cone
+    /// once instead of once per fault).
+    pub fn propagate_site_mask(
+        &mut self,
+        base: &BlockSim,
+        site: m3d_netlist::SiteId,
+        lanes: u64,
+    ) -> u64 {
+        if lanes == 0 {
+            return 0;
+        }
+        let nl = self.design.netlist();
+        self.seed_site(base, site, lanes);
+        self.propagate(base);
+        self.collect_candidate_flops();
+        let mut diff_union = 0u64;
+        for i in 0..self.cand_flops.len() {
+            let fi = self.cand_flops[i] as usize;
+            let fgate = nl.flops()[fi];
+            let d_net = nl.gate(fgate).inputs()[0];
+            let val = self.net_value(base, d_net) ^ self.branch_flip(fgate, 0);
+            diff_union |= (val ^ base.capture2[fi]) & base.lanes;
+        }
+        self.reset_scratch();
+        diff_union
     }
 }
 
@@ -225,10 +340,12 @@ pub struct FaultSim<'a> {
 }
 
 impl<'a> FaultSim<'a> {
-    /// Runs the fault-free baseline over every block.
+    /// Runs the fault-free baseline over every block, fanned across the
+    /// `m3d-par` pool (blocks are independent; results are reassembled in
+    /// block order, so the baseline is identical at any thread count).
     pub fn new(design: &'a M3dDesign, patterns: &'a PatternSet) -> Self {
         let sim = Simulator::new(design.netlist());
-        let blocks = patterns.blocks().iter().map(|b| sim.run_block(b)).collect();
+        let blocks = sim.run_blocks(patterns.blocks());
         FaultSim {
             design,
             patterns,

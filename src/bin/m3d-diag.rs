@@ -27,6 +27,9 @@
 //! `--metrics FILE` (counters/gauges/histograms/series as JSON-lines);
 //! `m3d-diag report` renders either file — or both together — into a
 //! per-span time breakdown with pool utilization and metric tables.
+//! `--threads N` pins the worker-pool width for the invocation (same as
+//! `M3D_THREADS=N`); every parallel stage is bitwise deterministic in the
+//! width, so the flag changes wall time only.
 //!
 //! File formats are the plain-text ones of `m3d_netlist::io`,
 //! `m3d_part::write_partition`, and `m3d_tdf::write_failure_log`.
@@ -144,13 +147,27 @@ impl ObsSinks {
     }
 }
 
-/// Strips the global `--trace FILE` / `--metrics FILE` flags out of the
-/// argument list (any position) so per-command parsers never see them.
-fn extract_obs_flags(args: &[String]) -> Result<(Vec<String>, ObsSinks), String> {
+/// Strips the global `--trace FILE` / `--metrics FILE` / `--threads N`
+/// flags out of the argument list (any position) so per-command parsers
+/// never see them.
+fn extract_global_flags(args: &[String]) -> Result<(Vec<String>, ObsSinks, Option<usize>), String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut sinks = ObsSinks::default();
+    let mut threads = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("flag `{a}` needs a value"))?;
+            threads = Some(
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad value for `--threads`: `{v}`"))?,
+            );
+            continue;
+        }
         let slot = match a.as_str() {
             "--trace" => &mut sinks.trace,
             "--metrics" => &mut sinks.metrics,
@@ -164,18 +181,18 @@ fn extract_obs_flags(args: &[String]) -> Result<(Vec<String>, ObsSinks), String>
             .ok_or_else(|| format!("flag `{a}` needs a value"))?;
         *slot = Some(path.into());
     }
-    Ok((rest, sinks))
+    Ok((rest, sinks, threads))
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let (args, sinks) = extract_obs_flags(args)?;
+    let (args, sinks, threads) = extract_global_flags(args)?;
     if sinks.wanted() {
         m3d_obs::set_enabled(true);
     }
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage());
     };
-    let result = {
+    let run_cmd = || {
         // One root span named after the command, so the report's tree has
         // a stable top-level node (inert unless --trace/--metrics given).
         let _root = m3d_obs::span(root_span_name(cmd));
@@ -193,6 +210,14 @@ fn run(args: &[String]) -> Result<(), String> {
             "help" | "--help" | "-h" => cmd_help(rest),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
         }
+    };
+    // `--threads N` pins the worker pool for the whole command (the same
+    // effect as M3D_THREADS=N, but per invocation). Every parallel stage
+    // is bitwise deterministic in the pool width, so this only changes
+    // wall time, never output.
+    let result = match threads {
+        Some(n) => m3d_par::with_threads(n, run_cmd),
+        None => run_cmd(),
     };
     let flushed = if sinks.wanted() {
         sinks.flush()
@@ -232,7 +257,9 @@ fn usage() -> String {
     out.push_str(
         "\nglobal flags (any command):\n  \
          --trace FILE    write a hierarchical span trace as JSON-lines\n  \
-         --metrics FILE  write counters/gauges/histograms as JSON-lines\n\
+         --metrics FILE  write counters/gauges/histograms as JSON-lines\n  \
+         --threads N     pin the worker-pool width (like M3D_THREADS=N;\n                  \
+         outputs are bitwise identical at any width)\n\
          \nrun `m3d-diag help <command>` for per-command flags",
     );
     out
