@@ -6,19 +6,37 @@
 //! reported `deterministic: true`, the file says `all_deterministic:
 //! true`, and — when the run was configured with more than one pool
 //! thread — at least one stage actually dispatched more than one worker
-//! (`effective_threads > 1`). With a second argument it additionally
-//! compares per-stage throughput against the committed baseline: each
-//! stage present in both files must reach at least `tolerance ×
-//! baseline` throughput, where `tolerance` comes from
+//! (`effective_threads > 1`) and no stage of measurable length ran
+//! slower at the configured width than at one thread (the 1.05× rule).
+//! The slower-than-serial rule is skipped when the run reports
+//! `oversubscribed: true` (pool width above the host's core count):
+//! speedup floors on a host that cannot run the workers concurrently
+//! compare scheduler interleaving, not the code.
+//!
+//! With a second argument it additionally compares against the committed
+//! baseline: each stage present in both files must reach at least
+//! `tolerance × baseline` throughput, and each recorded speedup ratio
+//! (`wide_kernel_speedup_vs_naive`, `wide_agg_speedup_vs_unpartitioned`)
+//! must reach `tolerance × baseline`. `tolerance` comes from
 //! `M3D_BENCH_TOLERANCE` (default 0.25 — a wide band, because CI runners
 //! vary several-fold in single-core speed; the guard exists to catch
 //! algorithmic regressions, not scheduler noise).
 //!
 //! The parser reads only the fixed line-oriented layout `bench_pipeline`
-//! itself writes (one stage object per line, one scalar key per line);
-//! the workspace deliberately has no JSON dependency.
+//! itself writes (one stage object per line, one scalar key per line)
+//! and ignores keys it does not know, so adding report fields never
+//! breaks an old guard; the workspace deliberately has no JSON
+//! dependency.
 
 use std::process::ExitCode;
+
+/// Stages shorter than this at one thread are exempt from the
+/// slower-than-serial rule: their wall time is timer noise.
+const PENALTY_MIN_SECS: f64 = 0.01;
+
+/// A stage at the configured width may be at most this factor slower
+/// than its own one-thread run before the guard fails the run.
+const PENALTY_FACTOR: f64 = 1.05;
 
 #[derive(Debug, PartialEq)]
 struct StageRow {
@@ -27,13 +45,23 @@ struct StageRow {
     throughput: f64,
     effective_threads: u64,
     deterministic: bool,
+    /// Wall seconds at one thread / at the configured width. Zero when
+    /// the file predates these fields (old baselines stay parseable).
+    secs_1t: f64,
+    secs_nt: f64,
 }
 
 #[derive(Debug, Default)]
 struct Report {
     configured_threads: u64,
     all_deterministic: bool,
+    /// Pool width above the host's core count; speedup-floor checks are
+    /// meaningless there and are skipped.
+    oversubscribed: bool,
     stages: Vec<StageRow>,
+    /// Named speedup ratios (`archetype/metric`) compared against the
+    /// baseline like throughputs are.
+    ratios: Vec<(String, f64)>,
 }
 
 /// Extracts the value after `"key": ` on `line`, up to the next comma or
@@ -50,9 +78,17 @@ fn str_field(line: &str, key: &str) -> Option<String> {
     Some(field(line, key)?.trim_matches('"').to_string())
 }
 
+/// The speedup ratios bench_pipeline records per archetype that the
+/// guard holds to the baseline.
+const RATIO_KEYS: [&str; 2] = [
+    "wide_kernel_speedup_vs_naive",
+    "wide_agg_speedup_vs_unpartitioned",
+];
+
 /// Parses the fixed format written by `bench_pipeline`. Stage objects
 /// occupy one line each; the paper tier nests them under an archetype
-/// whose `"name"` appears alone on a preceding line.
+/// whose `"name"` appears alone on a preceding line. Unknown keys are
+/// ignored.
 fn parse_report(text: &str) -> Result<Report, String> {
     let mut report = Report::default();
     let mut arch: Option<String> = None;
@@ -65,11 +101,19 @@ fn parse_report(text: &str) -> Result<Report, String> {
         if let Some(v) = field(trimmed, "all_deterministic") {
             report.all_deterministic = v == "true";
         }
+        if !trimmed.starts_with('{') {
+            if let Some(v) = field(trimmed, "oversubscribed") {
+                report.oversubscribed = v == "true";
+            }
+        }
         if trimmed.starts_with("{\"name\":") {
             let stage = str_field(trimmed, "name").ok_or("stage line without name")?;
             let key = match &arch {
                 Some(a) => format!("{a}/{stage}"),
                 None => stage,
+            };
+            let secs = |k: &str| -> Result<f64, String> {
+                field(trimmed, k).map_or(Ok(0.0), |v| v.parse().map_err(|e| format!("{k}: {e}")))
             };
             report.stages.push(StageRow {
                 key,
@@ -82,9 +126,18 @@ fn parse_report(text: &str) -> Result<Report, String> {
                     .parse()
                     .map_err(|e| format!("effective_threads: {e}"))?,
                 deterministic: field(trimmed, "deterministic") == Some("true"),
+                secs_1t: secs("secs_1t")?,
+                secs_nt: secs("secs_nt")?,
             });
         } else if trimmed.starts_with("\"name\":") {
             arch = str_field(trimmed, "name");
+        } else if let Some(a) = &arch {
+            for k in RATIO_KEYS {
+                if let Some(v) = field(trimmed, k) {
+                    let x: f64 = v.parse().map_err(|e| format!("{k}: {e}"))?;
+                    report.ratios.push((format!("{a}/{k}"), x));
+                }
+            }
         }
     }
     if report.stages.is_empty() {
@@ -106,6 +159,20 @@ fn check(current: &Report, baseline: Option<&Report>, tolerance: f64) -> Result<
             current.configured_threads
         ));
     }
+    if current.configured_threads > 1 && !current.oversubscribed {
+        // On a genuinely multicore host, fanning out must never make a
+        // measurable stage slower than its own serial run.
+        for s in &current.stages {
+            if s.secs_1t >= PENALTY_MIN_SECS && s.secs_nt > PENALTY_FACTOR * s.secs_1t {
+                return Err(format!(
+                    "stage {}: {:.3}s at {} threads vs {:.3}s serial (> {PENALTY_FACTOR}x)",
+                    s.key, s.secs_nt, current.configured_threads, s.secs_1t
+                ));
+            }
+        }
+    } else if current.oversubscribed {
+        println!("bench_guard: oversubscribed run; speedup-floor checks skipped");
+    }
     let Some(base) = baseline else {
         return Ok(());
     };
@@ -126,7 +193,19 @@ fn check(current: &Report, baseline: Option<&Report>, tolerance: f64) -> Result<
         }
         compared += 1;
     }
-    println!("bench_guard: {compared} stages within tolerance {tolerance}");
+    for (key, b) in &base.ratios {
+        let Some((_, c)) = current.ratios.iter().find(|(k, _)| k == key) else {
+            return Err(format!("ratio {key} missing from current run"));
+        };
+        if *c < tolerance * b {
+            return Err(format!(
+                "ratio {key}: {c:.3} below {:.0}% of baseline {b:.3}",
+                100.0 * tolerance
+            ));
+        }
+        compared += 1;
+    }
+    println!("bench_guard: {compared} metrics within tolerance {tolerance}");
     Ok(())
 }
 
@@ -164,10 +243,13 @@ mod tests {
 
     const DEFAULT_TIER: &str = r#"{
   "tier": "default",
+  "host_threads": 4,
   "configured_threads": 4,
+  "oversubscribed": false,
+  "partition_budget": 262144,
   "stages": [
-    {"name": "gnn_fit", "secs_1t": 0.01, "secs_nt": 0.01, "effective_threads": 4, "speedup": 1.0, "throughput_nt": 3000.0, "unit": "epochs/s", "deterministic": true},
-    {"name": "fault_simulation", "secs_1t": 0.01, "secs_nt": 0.01, "effective_threads": 4, "speedup": 1.0, "throughput_nt": 150000.0, "unit": "faults/s", "deterministic": true}
+    {"name": "gnn_fit", "secs_1t": 0.04, "secs_nt": 0.02, "secs_nt_obs": 0.02, "effective_threads": 4, "speedup": 2.0, "scaling_efficiency": 0.5, "obs_overhead_pct": 1.0, "noise_floor_pct": 2.0, "obs_noise": true, "throughput_nt": 3000.0, "unit": "epochs/s", "deterministic": true},
+    {"name": "fault_simulation", "secs_1t": 0.04, "secs_nt": 0.02, "secs_nt_obs": 0.02, "effective_threads": 4, "speedup": 2.0, "scaling_efficiency": 0.5, "obs_overhead_pct": 1.0, "noise_floor_pct": 2.0, "obs_noise": true, "throughput_nt": 150000.0, "unit": "faults/s", "deterministic": true}
   ],
   "all_deterministic": true
 }
@@ -177,10 +259,33 @@ mod tests {
     fn parses_and_accepts_a_clean_default_tier() {
         let r = parse_report(DEFAULT_TIER).unwrap();
         assert_eq!(r.configured_threads, 4);
+        assert!(!r.oversubscribed);
         assert_eq!(r.stages.len(), 2);
         assert_eq!(r.stages[0].key, "gnn_fit");
+        assert_eq!(r.stages[0].secs_1t, 0.04);
         assert_eq!(r.stages[1].throughput, 150000.0);
         check(&r, Some(&r), 0.25).unwrap();
+    }
+
+    #[test]
+    fn unknown_fields_and_missing_optional_fields_are_tolerated() {
+        // Future fields on stage and scalar lines must be ignored, and
+        // stage rows from reports that predate secs_1t/secs_nt must
+        // still parse (they default to zero, exempting the 1.05x rule).
+        let text = r#"{
+  "tier": "default",
+  "configured_threads": 4,
+  "frobnication_level": 9,
+  "stages": [
+    {"name": "gnn_fit", "effective_threads": 4, "novel_metric": 1.5, "throughput_nt": 3000.0, "unit": "epochs/s", "deterministic": true}
+  ],
+  "all_deterministic": true
+}
+"#;
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.stages[0].secs_1t, 0.0);
+        assert_eq!(r.stages[0].secs_nt, 0.0);
+        check(&r, None, 0.25).unwrap();
     }
 
     #[test]
@@ -188,9 +293,12 @@ mod tests {
         let text = r#"{
   "tier": "paper_scale",
   "configured_threads": 4,
+  "oversubscribed": false,
   "archetypes": [
     {
       "name": "aes",
+      "wide_kernel_speedup_vs_naive": 4.2,
+      "wide_agg_speedup_vs_unpartitioned": 1.3,
       "stages": [
         {"name": "atpg", "effective_threads": 4, "throughput_nt": 100.0, "deterministic": true}
       ]
@@ -201,6 +309,17 @@ mod tests {
 "#;
         let r = parse_report(text).unwrap();
         assert_eq!(r.stages[0].key, "aes/atpg");
+        assert_eq!(
+            r.ratios,
+            vec![
+                ("aes/wide_kernel_speedup_vs_naive".to_string(), 4.2),
+                ("aes/wide_agg_speedup_vs_unpartitioned".to_string(), 1.3),
+            ]
+        );
+        // A regressed ratio in a new run fails against this baseline.
+        let mut cur = parse_report(text).unwrap();
+        cur.ratios[1].1 = 0.2; // below 0.25 × 1.3
+        assert!(check(&cur, Some(&r), 0.25).unwrap_err().contains("ratio"));
     }
 
     #[test]
@@ -225,5 +344,27 @@ mod tests {
         assert!(check(&cur, None, 0.25)
             .unwrap_err()
             .contains("no stage dispatched"));
+    }
+
+    #[test]
+    fn flags_stage_slower_at_width_than_serial() {
+        let mut cur = parse_report(DEFAULT_TIER).unwrap();
+        cur.stages[0].secs_1t = 0.10;
+        cur.stages[0].secs_nt = 0.12; // > 1.05 × 0.10 on a multicore host
+        assert!(check(&cur, None, 0.25).unwrap_err().contains("serial"));
+        // ... but sub-10ms stages are timer noise, not evidence.
+        cur.stages[0].secs_1t = 0.005;
+        cur.stages[0].secs_nt = 0.009;
+        check(&cur, None, 0.25).unwrap();
+    }
+
+    #[test]
+    fn oversubscribed_run_skips_speedup_floor_checks() {
+        let mut cur = parse_report(DEFAULT_TIER).unwrap();
+        cur.stages[0].secs_1t = 0.10;
+        cur.stages[0].secs_nt = 0.30; // 4 workers time-slicing one core
+        assert!(check(&cur, None, 0.25).is_err());
+        cur.oversubscribed = true;
+        check(&cur, None, 0.25).unwrap();
     }
 }

@@ -108,51 +108,56 @@ impl<'a> Diagnoser<'a> {
         // marks are epoch-stamped per-worker scratch (zeroing two
         // gate/net-sized arrays per flop is quadratic at paper scale);
         // each flop's cone is independent of scratch history, so the
-        // result is identical at any thread count.
-        let cone_sites = m3d_par::par_map_init(
-            nl.flops(),
-            || ConeScratch {
-                epoch: 0,
-                gate_mark: vec![0u32; nl.gate_count()],
-                net_mark: vec![0u32; nl.net_count()],
-                stack: Vec::new(),
-            },
-            |scr, &fg| {
-                scr.epoch += 1;
-                let epoch = scr.epoch;
-                let mut sites = Vec::new();
-                // The flop's own D pin is a suspect.
-                sites.push(design.sites().input_site(fg, 0));
-                scr.stack.clear();
-                scr.stack.push(nl.gate(fg).inputs()[0]);
-                while let Some(net) = scr.stack.pop() {
-                    if scr.net_mark[net.index()] == epoch {
-                        continue;
-                    }
-                    scr.net_mark[net.index()] = epoch;
-                    if let Some(m) = design.miv_on_net(net) {
-                        sites.push(design.miv_site(m as usize));
-                    }
-                    let driver: GateId = nl.net(net).driver();
-                    if scr.gate_mark[driver.index()] == epoch {
-                        continue;
-                    }
-                    scr.gate_mark[driver.index()] = epoch;
-                    if let Some(out) = design.sites().output_site(nl, driver) {
-                        sites.push(out);
-                    }
-                    if nl.gate(driver).kind().is_combinational() {
-                        for (pin, &inp) in nl.gate(driver).inputs().iter().enumerate() {
-                            sites.push(design.sites().input_site(driver, pin as u8));
-                            scr.stack.push(inp);
+        // result is identical at any thread count. The cost gate keeps
+        // small test designs serial — worker-dispatch overhead exceeds a
+        // handful of tiny cone walks — and cannot change the cones.
+        let cone_work = nl.flops().len() as u64 * 4096;
+        let cone_sites = m3d_par::with_threads(m3d_par::par_gate(cone_work), || {
+            m3d_par::par_map_init(
+                nl.flops(),
+                || ConeScratch {
+                    epoch: 0,
+                    gate_mark: vec![0u32; nl.gate_count()],
+                    net_mark: vec![0u32; nl.net_count()],
+                    stack: Vec::new(),
+                },
+                |scr, &fg| {
+                    scr.epoch += 1;
+                    let epoch = scr.epoch;
+                    let mut sites = Vec::new();
+                    // The flop's own D pin is a suspect.
+                    sites.push(design.sites().input_site(fg, 0));
+                    scr.stack.clear();
+                    scr.stack.push(nl.gate(fg).inputs()[0]);
+                    while let Some(net) = scr.stack.pop() {
+                        if scr.net_mark[net.index()] == epoch {
+                            continue;
+                        }
+                        scr.net_mark[net.index()] = epoch;
+                        if let Some(m) = design.miv_on_net(net) {
+                            sites.push(design.miv_site(m as usize));
+                        }
+                        let driver: GateId = nl.net(net).driver();
+                        if scr.gate_mark[driver.index()] == epoch {
+                            continue;
+                        }
+                        scr.gate_mark[driver.index()] = epoch;
+                        if let Some(out) = design.sites().output_site(nl, driver) {
+                            sites.push(out);
+                        }
+                        if nl.gate(driver).kind().is_combinational() {
+                            for (pin, &inp) in nl.gate(driver).inputs().iter().enumerate() {
+                                sites.push(design.sites().input_site(driver, pin as u8));
+                                scr.stack.push(inp);
+                            }
                         }
                     }
-                }
-                sites.sort_unstable();
-                sites.dedup();
-                sites
-            },
-        );
+                    sites.sort_unstable();
+                    sites.dedup();
+                    sites
+                },
+            )
+        });
         Diagnoser {
             fsim,
             scan,
@@ -373,12 +378,18 @@ impl<'a> Diagnoser<'a> {
         // polarities over the full pattern set, which is the dominant cost
         // of a diagnosis at paper scale. Suspects are independent and the
         // map is order-preserving with one propagation scratch per worker,
-        // so the report is bitwise identical at any thread count.
-        let scored: Vec<(Candidate, HashSet<FailEntry>)> = m3d_par::par_map_init(
-            &suspects,
-            || self.fsim.detector(),
-            |det, &(s, _)| self.best_candidate(det, s, &tester),
-        );
+        // so the report is bitwise identical at any thread count — which
+        // is also why the cost gate (suspects × design size) can keep
+        // small-design diagnoses serial without changing any report.
+        let score_work = self.scoring_work(suspects.len());
+        let scored: Vec<(Candidate, HashSet<FailEntry>)> =
+            m3d_par::with_threads(m3d_par::par_gate(score_work), || {
+                m3d_par::par_map_init(
+                    &suspects,
+                    || self.fsim.detector(),
+                    |det, &(s, _)| self.best_candidate(det, s, &tester),
+                )
+            });
 
         let single_explains = scored.iter().any(|(c, _)| c.score.is_perfect());
 
@@ -392,6 +403,13 @@ impl<'a> Diagnoser<'a> {
         }
 
         self.rank_and_retain(scored)
+    }
+
+    /// Work estimate for scoring `n` suspects, for the `m3d-par` cost
+    /// gate: each suspect re-simulates two polarities over the design, so
+    /// design size is the per-suspect element count.
+    fn scoring_work(&self, n: usize) -> u64 {
+        n as u64 * self.fsim.design().netlist().gate_count() as u64 * 2
     }
 
     /// Greedy cover: repeatedly pick the suspect explaining the most
@@ -425,11 +443,14 @@ impl<'a> Diagnoser<'a> {
             .map(|&(s, _)| s)
             .filter(|s| !pool.contains_key(s))
             .collect();
-        let scored_missing = m3d_par::par_map_init(
-            &missing,
-            || self.fsim.detector(),
-            |det, &s| self.best_candidate(det, s, tester),
-        );
+        let missing_work = self.scoring_work(missing.len());
+        let scored_missing = m3d_par::with_threads(m3d_par::par_gate(missing_work), || {
+            m3d_par::par_map_init(
+                &missing,
+                || self.fsim.detector(),
+                |det, &s| self.best_candidate(det, s, tester),
+            )
+        });
         for (site, cand) in missing.into_iter().zip(scored_missing) {
             pool.insert(site, cand);
         }

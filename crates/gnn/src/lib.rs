@@ -39,6 +39,7 @@ mod layers;
 mod matrix;
 mod metrics;
 mod model;
+mod partition;
 mod pca;
 mod significance;
 
@@ -48,8 +49,11 @@ pub use guard::{
     TrainReport,
 };
 pub use layers::{sigmoid, softmax, DenseLayer, GcnLayer, Param};
-pub use matrix::Matrix;
+pub use matrix::{spmm, spmm_naive, Matrix};
 pub use metrics::{accuracy, PrCurve, PrPoint, RocCurve, RocPoint, ScoredSample};
 pub use model::{GcnClassifier, GraphData, NodeClassifier, TrainConfig, TrainCursor};
+pub use partition::{
+    partition_budget, set_partition_budget, GraphPartition, DEFAULT_PARTITION_BUDGET,
+};
 pub use pca::pca_project;
 pub use significance::permutation_significance;

@@ -28,7 +28,7 @@ const PAR_MIN_ROWS: usize = 64;
 /// load/store bookkeeping costs more than it saves. This covers the GNN
 /// training shapes (hidden width ≤ 16), where the full-row kernel
 /// measures ~2× faster than the tiled one.
-const NARROW_N: usize = 2 * NR;
+pub(crate) const NARROW_N: usize = 2 * NR;
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -159,7 +159,8 @@ impl Matrix {
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let n = other.cols;
-        Self::build_rows(self.rows, n, |rows, out| {
+        let work = (self.rows * n * self.cols) as u64;
+        Self::build_rows(self.rows, n, work, |rows, out| {
             matmul_panel(&self.data, self.cols, &other.data, n, rows, out);
         })
     }
@@ -172,7 +173,8 @@ impl Matrix {
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let n = other.cols;
-        Self::build_rows(self.cols, n, |rows, out| {
+        let work = (self.cols * n * self.rows) as u64;
+        Self::build_rows(self.cols, n, work, |rows, out| {
             t_matmul_panel(&self.data, self.rows, self.cols, &other.data, n, rows, out);
         })
     }
@@ -184,7 +186,8 @@ impl Matrix {
     /// identical to [`Matrix::matmul_t_naive`].
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
-        Self::build_rows(self.rows, other.rows, |rows, out| {
+        let work = (self.rows * other.rows * self.cols) as u64;
+        Self::build_rows(self.rows, other.rows, work, |rows, out| {
             matmul_t_panel(&self.data, self.cols, &other.data, other.rows, rows, out);
         })
     }
@@ -242,19 +245,23 @@ impl Matrix {
     }
 
     /// Builds a `rows × cols` matrix by running `f` over disjoint
-    /// output-row panels — serially when the pool is width 1 (or the
-    /// output is small), otherwise on the pool with the panels reassembled
-    /// in range order. `f(range, out)` must fill `out` (zeroed,
-    /// `range.len() * cols` long) with rows `range` of the result; since
-    /// every row is computed identically regardless of which panel it
-    /// lands in, the output is bitwise identical at any thread count.
+    /// output-row panels — serially when the pool is width 1, the output
+    /// is small, or the estimated `work` (in element-units ≈ one float
+    /// multiply-add each) is below the [`m3d_par::par_gate`] break-even —
+    /// otherwise on the pool with the panels reassembled in range order.
+    /// `f(range, out)` must fill `out` (zeroed, `range.len() * cols`
+    /// long) with rows `range` of the result; since every row is computed
+    /// identically regardless of which panel it lands in, the output is
+    /// bitwise identical at any thread count *and* either side of the
+    /// cost gate.
     pub(crate) fn build_rows(
         rows: usize,
         cols: usize,
+        work: u64,
         f: impl Fn(Range<usize>, &mut [f32]) + Sync,
     ) -> Matrix {
         let mut out = Matrix::zeros(rows, cols);
-        if m3d_par::num_threads() <= 1 || rows < PAR_MIN_ROWS {
+        if m3d_par::num_threads() <= 1 || rows < PAR_MIN_ROWS || m3d_par::par_gate(work) <= 1 {
             f(0..rows, &mut out.data);
             return out;
         }
@@ -315,6 +322,197 @@ impl Matrix {
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// True CSR sparse × dense product: `out[i][j] = Σ_{nz ∈ row i} v(nz) ·
+/// b[indices[nz]][j]` with the nonzeros of each row walked in ascending
+/// order. `vals: None` means unit values, accumulated as **pure adds**
+/// (no multiply), which is what makes this kernel bitwise equal to the
+/// add-only mean-aggregation inner loop; `vals: Some(v)` scales each
+/// nonzero's contribution (one value per nonzero, aligned with
+/// `indices`).
+///
+/// The kernel walks each row's nonzeros in `KB`-sized panels with
+/// `NR`-wide register tiles over the dense columns and the nonzero walk
+/// unrolled by four; every output element still receives its
+/// contributions in ascending nonzero order as separate adds, so the
+/// result is bitwise identical to [`spmm_naive`] for any panel or tile
+/// size — and at any thread count (output-row panels fan out via the
+/// pool).
+///
+/// # Panics
+///
+/// Panics if `offsets` is empty, its last entry doesn't cover `indices`,
+/// `vals` (when present) isn't nonzero-aligned, or a column index is out
+/// of range for `b`.
+pub fn spmm(offsets: &[u32], indices: &[u32], vals: Option<&[f32]>, b: &Matrix) -> Matrix {
+    assert!(!offsets.is_empty(), "offsets must have rows + 1 entries");
+    assert_eq!(
+        *offsets.last().expect("nonempty") as usize,
+        indices.len(),
+        "offsets must cover indices"
+    );
+    if let Some(v) = vals {
+        assert_eq!(v.len(), indices.len(), "one value per nonzero");
+    }
+    let rows = offsets.len() - 1;
+    let n = b.cols();
+    let work = indices.len() as u64 * n as u64;
+    Matrix::build_rows(rows, n, work, |r, out| {
+        spmm_panel(offsets, indices, vals, b.data(), n, r, out);
+    })
+}
+
+/// Reference CSR sparse × dense product: plain per-row nonzero walk in
+/// ascending order, pure adds when `vals` is `None`. [`spmm`] is
+/// proptest-proven bitwise equal to this at any thread count.
+pub fn spmm_naive(offsets: &[u32], indices: &[u32], vals: Option<&[f32]>, b: &Matrix) -> Matrix {
+    assert!(!offsets.is_empty(), "offsets must have rows + 1 entries");
+    assert_eq!(
+        *offsets.last().expect("nonempty") as usize,
+        indices.len(),
+        "offsets must cover indices"
+    );
+    let rows = offsets.len() - 1;
+    let n = b.cols();
+    let mut out = Matrix::zeros(rows, n);
+    for i in 0..rows {
+        let row = out.row_mut(i);
+        for nz in offsets[i] as usize..offsets[i + 1] as usize {
+            let brow = b.row(indices[nz] as usize);
+            match vals {
+                Some(v) => {
+                    let s = v[nz];
+                    for (o, &x) in row.iter_mut().zip(brow) {
+                        *o += s * x;
+                    }
+                }
+                None => {
+                    for (o, &x) in row.iter_mut().zip(brow) {
+                        *o += x;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rows `rows` of the CSR sparse × dense product into `out` (`out` is the
+/// zeroed panel buffer, `rows.len() * n` long). `offsets` index
+/// absolutely into `indices`/`vals`; column indices address rows of the
+/// dense operand `b` (row-major, `n` wide). Shared by [`spmm`] and the
+/// partitioned aggregation (which passes a *local* CSR over a gathered
+/// scratch as `b`).
+pub(crate) fn spmm_panel(
+    offsets: &[u32],
+    indices: &[u32],
+    vals: Option<&[f32]>,
+    b: &[f32],
+    n: usize,
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    if n == 0 {
+        return;
+    }
+    if n <= NARROW_N {
+        // Full-row kernel: the whole output row stays hot, one ascending
+        // pass over the nonzeros.
+        for i in rows.clone() {
+            let o0 = (i - rows.start) * n;
+            let orow = &mut out[o0..o0 + n];
+            for nz in offsets[i] as usize..offsets[i + 1] as usize {
+                let brow = &b[indices[nz] as usize * n..][..n];
+                match vals {
+                    Some(v) => {
+                        let s = v[nz];
+                        for (o, &x) in orow.iter_mut().zip(brow) {
+                            *o += s * x;
+                        }
+                    }
+                    None => {
+                        for (o, &x) in orow.iter_mut().zip(brow) {
+                            *o += x;
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+    // Wide outputs: per row, KB-sized nonzero panels; per panel, NR-wide
+    // register tiles over the dense columns with the nonzero walk
+    // unrolled by four. The panel keeps the ≤KB gathered `b` rows hot
+    // across the column tiles; the register tile keeps the accumulators
+    // out of memory across the nonzero walk. Ascending-nonzero order per
+    // element is preserved by construction (panels ascend, the unroll
+    // adds in order).
+    for i in rows.clone() {
+        let o0 = (i - rows.start) * n;
+        let (s, e) = (offsets[i] as usize, offsets[i + 1] as usize);
+        let mut p0 = s;
+        while p0 < e {
+            let p1 = (p0 + KB).min(e);
+            let mut j = 0;
+            while j < n {
+                let nw = NR.min(n - j);
+                let mut acc = [0.0f32; NR];
+                acc[..nw].copy_from_slice(&out[o0 + j..o0 + j + nw]);
+                let mut nz = p0;
+                while nz + 4 <= p1 {
+                    let b0 = &b[indices[nz] as usize * n + j..][..nw];
+                    let b1 = &b[indices[nz + 1] as usize * n + j..][..nw];
+                    let b2 = &b[indices[nz + 2] as usize * n + j..][..nw];
+                    let b3 = &b[indices[nz + 3] as usize * n + j..][..nw];
+                    match vals {
+                        Some(v) => {
+                            let (v0, v1, v2, v3) = (v[nz], v[nz + 1], v[nz + 2], v[nz + 3]);
+                            for l in 0..nw {
+                                let mut a = acc[l];
+                                a += v0 * b0[l];
+                                a += v1 * b1[l];
+                                a += v2 * b2[l];
+                                a += v3 * b3[l];
+                                acc[l] = a;
+                            }
+                        }
+                        None => {
+                            for l in 0..nw {
+                                let mut a = acc[l];
+                                a += b0[l];
+                                a += b1[l];
+                                a += b2[l];
+                                a += b3[l];
+                                acc[l] = a;
+                            }
+                        }
+                    }
+                    nz += 4;
+                }
+                while nz < p1 {
+                    let brow = &b[indices[nz] as usize * n + j..][..nw];
+                    match vals {
+                        Some(v) => {
+                            let s = v[nz];
+                            for (a, &x) in acc[..nw].iter_mut().zip(brow) {
+                                *a += s * x;
+                            }
+                        }
+                        None => {
+                            for (a, &x) in acc[..nw].iter_mut().zip(brow) {
+                                *a += x;
+                            }
+                        }
+                    }
+                    nz += 1;
+                }
+                out[o0 + j..o0 + j + nw].copy_from_slice(&acc[..nw]);
+                j += nw;
+            }
+            p0 = p1;
+        }
     }
 }
 
@@ -661,6 +859,77 @@ mod kernel_reference_tests {
 
             let c = random_matrix(n, k, seed.wrapping_add(4));
             assert_bitwise_eq(&a.matmul_t(&c), &a.matmul_t_naive(&c), "matmul_t");
+        }
+    }
+
+    /// A random CSR: per row, a sorted, deduped set of column indices
+    /// into `n_cols` rows of the dense operand.
+    fn random_csr(rows: usize, n_cols: usize, avg_nnz: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets = vec![0u32];
+        let mut indices = Vec::new();
+        for _ in 0..rows {
+            let k = rng.gen_range(0..=2 * avg_nnz).min(n_cols);
+            let mut row: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n_cols as u32)).collect();
+            row.sort_unstable();
+            row.dedup();
+            indices.extend_from_slice(&row);
+            offsets.push(indices.len() as u32);
+        }
+        (offsets, indices)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The tiled SpMM must be bitwise equal to the naive nonzero walk
+        /// for unit and scaled values, across the narrow/wide column
+        /// boundary and nonzero counts straddling the KB panel.
+        #[test]
+        fn spmm_matches_naive_bitwise(
+            rows in 1usize..40,
+            bcols in 1usize..40,
+            brows in 1usize..60,
+            avg_nnz in 0usize..40,
+            seed in 0u64..1_000_000,
+        ) {
+            let (offsets, indices) = random_csr(rows, brows, avg_nnz, seed);
+            let b = random_matrix(brows, bcols, seed.wrapping_add(5));
+            let got = spmm(&offsets, &indices, None, &b);
+            assert_bitwise_eq(&got, &spmm_naive(&offsets, &indices, None, &b), "spmm unit");
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(6));
+            let vals: Vec<f32> = (0..indices.len())
+                .map(|_| rng.gen_range(-1.5f32..1.5))
+                .collect();
+            let gotv = spmm(&offsets, &indices, Some(&vals), &b);
+            assert_bitwise_eq(
+                &gotv,
+                &spmm_naive(&offsets, &indices, Some(&vals), &b),
+                "spmm scaled",
+            );
+        }
+    }
+
+    /// Rows with more nonzeros than one KB panel, plus empty rows, at the
+    /// exact NARROW_N boundary and just past it.
+    #[test]
+    fn spmm_panel_boundaries_match_naive_bitwise() {
+        let brows = 3 * KB + 7;
+        for &bcols in &[NARROW_N, NARROW_N + 1, 4 * NR + 3] {
+            let b = random_matrix(brows, bcols, 77);
+            // Row 0: every b row (multi-panel). Row 1: empty. Row 2: one.
+            let mut indices: Vec<u32> = (0..brows as u32).collect();
+            indices.push(5);
+            let offsets = vec![0u32, brows as u32, brows as u32, brows as u32 + 1];
+            let got = spmm(&offsets, &indices, None, &b);
+            assert_bitwise_eq(&got, &spmm_naive(&offsets, &indices, None, &b), "spmm");
+            let vals: Vec<f32> = (0..indices.len()).map(|i| 0.25 + (i % 7) as f32).collect();
+            let gotv = spmm(&offsets, &indices, Some(&vals), &b);
+            assert_bitwise_eq(
+                &gotv,
+                &spmm_naive(&offsets, &indices, Some(&vals), &b),
+                "spmm scaled",
+            );
         }
     }
 

@@ -359,9 +359,23 @@ impl GcnClassifier {
         for (batch, chunk) in order.chunks(cfg.batch_size).enumerate() {
             self.zero_grads();
             let model = &*self;
-            let grads = m3d_par::par_map(chunk, |&idx| {
-                let (data, label) = samples[idx];
-                model.sample_grads(data, label)
+            // Adaptive granularity: tiny batches (small graphs × narrow
+            // features) run serial — pool dispatch would cost more than
+            // it saves — via the calibrated `m3d-par` cost gate. Serial
+            // and parallel paths are bitwise identical, so the gate can
+            // only change wall time, never trained weights.
+            let work: u64 = chunk
+                .iter()
+                .map(|&idx| {
+                    let (data, _) = samples[idx];
+                    data.graph.edge_count() as u64 * data.features.cols().max(1) as u64 * 8
+                })
+                .sum();
+            let grads = m3d_par::with_threads(m3d_par::par_gate(work), || {
+                m3d_par::par_map(chunk, |&idx| {
+                    let (data, label) = samples[idx];
+                    model.sample_grads(data, label)
+                })
             });
             let loss_before = epoch_loss;
             let mut fault = None;
@@ -727,9 +741,21 @@ impl NodeClassifier {
             }
             self.head.zero_grad();
             let model = &*self;
-            let grads = m3d_par::par_map(chunk, |&idx| {
-                let (data, labels) = samples[idx];
-                model.sample_grads(data, labels, pos_weight)
+            // Same adaptive-granularity gate as `GcnClassifier`: the
+            // decision is timing-derived but the gated paths are bitwise
+            // identical, so results never depend on it.
+            let work: u64 = chunk
+                .iter()
+                .map(|&idx| {
+                    let (data, _) = samples[idx];
+                    data.graph.edge_count() as u64 * data.features.cols().max(1) as u64 * 8
+                })
+                .sum();
+            let grads = m3d_par::with_threads(m3d_par::par_gate(work), || {
+                m3d_par::par_map(chunk, |&idx| {
+                    let (data, labels) = samples[idx];
+                    model.sample_grads(data, labels, pos_weight)
+                })
             });
             let loss_before = epoch_loss;
             let mut fault = None;

@@ -1,0 +1,350 @@
+//! Cache-resident row partitioning of CSR adjacency.
+//!
+//! At paper scale (98K–338K nodes) a feature matrix is megabytes: the
+//! aggregation kernels stream every neighbour row from DRAM because the
+//! working set long since fell out of L2. The partitioner splits the CSR
+//! rows into contiguous ranges sized so that each range's *touched*
+//! source rows — the distinct feature rows its nonzeros read — fit a
+//! configurable L2 budget (default 256 KiB). The aggregation kernels
+//! then gather each partition's touched rows into a dense scratch once
+//! and accumulate from the scratch, so every feature value is pulled
+//! from DRAM once per partition instead of once per edge.
+//!
+//! The plan is **deterministic**: a pure function of the CSR, the
+//! feature width, and the byte budget — never of the thread count or of
+//! timing — so partition-parallel aggregation keeps the workspace's
+//! bitwise thread-count-invariance contract. Local indices are assigned
+//! in ascending global order, which preserves the ascending-neighbour
+//! accumulation order the bitwise proofs rest on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Default per-partition gather budget in bytes: one partition's touched
+/// feature rows should fit a typical per-core L2 slice.
+pub const DEFAULT_PARTITION_BUDGET: usize = 256 * 1024;
+
+/// Process-wide budget override set by [`set_partition_budget`]
+/// (0 = unset, fall back to the environment / default).
+static BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+fn env_budget() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("M3D_PARTITION_BUDGET")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&b| b > 0)
+            .unwrap_or(DEFAULT_PARTITION_BUDGET)
+    })
+}
+
+/// The gather budget (bytes) the aggregation kernels plan against:
+/// [`set_partition_budget`] if called, else `M3D_PARTITION_BUDGET`
+/// (parsed once per process), else [`DEFAULT_PARTITION_BUDGET`].
+pub fn partition_budget() -> usize {
+    let b = BUDGET.load(Ordering::Relaxed);
+    if b > 0 {
+        b
+    } else {
+        env_budget()
+    }
+}
+
+/// Sets the process-wide gather budget in bytes (`0` resets to the
+/// environment / default). The budget only moves partition boundaries —
+/// every budget produces bitwise-identical aggregation results — so it
+/// is a pure performance knob (`bench_pipeline --partition-budget`).
+pub fn set_partition_budget(bytes: usize) {
+    BUDGET.store(bytes, Ordering::Relaxed);
+}
+
+/// One partition: a contiguous row range, the sorted distinct source
+/// rows its nonzeros touch, and the row range's CSR rebased onto local
+/// (gather-position) indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Part {
+    pub row_start: u32,
+    pub row_end: u32,
+    /// Sorted distinct source rows to copy into the dense scratch.
+    pub gather: Vec<u32>,
+    /// Local CSR offsets for rows `row_start..row_end`, rebased to 0.
+    pub offsets: Vec<u32>,
+    /// Nonzero column indices remapped to positions in `gather`. Because
+    /// `gather` is sorted, local order equals global order within every
+    /// row — the accumulation order the bitwise proofs require.
+    pub indices: Vec<u32>,
+}
+
+/// A deterministic partition plan for one CSR at one feature width.
+///
+/// Built by [`GraphPartition::plan`]; consumed by the partitioned
+/// aggregation kernels (`GcnGraph::aggregate` switches to them when the
+/// feature matrix overflows the budget). The plan is a function of
+/// `(offsets, indices, cols, budget_bytes)` only.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_gnn::GraphPartition;
+///
+/// // Two rows each touching sources {0, 1}; a budget of one 4-col row
+/// // forces one partition per row.
+/// let offsets = [0u32, 2, 4];
+/// let indices = [0u32, 1, 0, 1];
+/// let plan = GraphPartition::plan(&offsets, &indices, 2, 4, 16);
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphPartition {
+    cols: usize,
+    budget_bytes: usize,
+    n_rows: usize,
+    pub(crate) parts: Vec<Part>,
+}
+
+impl GraphPartition {
+    /// Plans row partitions for the CSR `(offsets, indices)` whose
+    /// column indices address `n_sources` source rows, such that each
+    /// partition's distinct touched source rows occupy at most
+    /// `budget_bytes` at `cols` `f32` columns per row (a single row
+    /// whose own fan-in exceeds the budget becomes its own partition).
+    ///
+    /// Greedy ascending-row sweep with an epoch-stamped touch counter:
+    /// `O(nnz)` time, `O(n_sources)` scratch, and — crucially — a pure
+    /// function of its arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is zero, `offsets` is empty or doesn't cover
+    /// `indices`, or an index is out of range for `n_sources`.
+    pub fn plan(
+        offsets: &[u32],
+        indices: &[u32],
+        n_sources: usize,
+        cols: usize,
+        budget_bytes: usize,
+    ) -> Self {
+        assert!(cols > 0, "feature width must be positive");
+        assert!(!offsets.is_empty(), "offsets must have rows + 1 entries");
+        assert_eq!(
+            *offsets.last().expect("nonempty") as usize,
+            indices.len(),
+            "offsets must cover indices"
+        );
+        let n = offsets.len() - 1;
+        let budget_rows = (budget_bytes / (cols * 4)).max(1);
+        let mut stamp = vec![0u32; n_sources];
+        let mut pos = vec![0u32; n_sources];
+        let mut epoch = 1u32;
+        let mut parts = Vec::new();
+        let mut gather: Vec<u32> = Vec::new();
+        let mut row_start = 0usize;
+        let mut v = 0usize;
+        while v < n {
+            let row = &indices[offsets[v] as usize..offsets[v + 1] as usize];
+            let new = row
+                .iter()
+                .filter(|&&u| {
+                    assert!((u as usize) < n_sources, "index {u} out of range");
+                    stamp[u as usize] != epoch
+                })
+                .count();
+            if v > row_start && gather.len() + new > budget_rows {
+                parts.push(Self::close_part(
+                    offsets,
+                    indices,
+                    row_start,
+                    v,
+                    std::mem::take(&mut gather),
+                    &mut pos,
+                ));
+                row_start = v;
+                epoch += 1;
+                continue; // re-scan row v under the fresh epoch
+            }
+            for &u in row {
+                if stamp[u as usize] != epoch {
+                    stamp[u as usize] = epoch;
+                    gather.push(u);
+                }
+            }
+            v += 1;
+        }
+        if n > row_start {
+            parts.push(Self::close_part(
+                offsets, indices, row_start, n, gather, &mut pos,
+            ));
+        }
+        GraphPartition {
+            cols,
+            budget_bytes,
+            n_rows: n,
+            parts,
+        }
+    }
+
+    fn close_part(
+        offsets: &[u32],
+        indices: &[u32],
+        row_start: usize,
+        row_end: usize,
+        mut gather: Vec<u32>,
+        pos: &mut [u32],
+    ) -> Part {
+        gather.sort_unstable();
+        for (li, &g) in gather.iter().enumerate() {
+            pos[g as usize] = li as u32;
+        }
+        let base = offsets[row_start];
+        let local_offsets: Vec<u32> = offsets[row_start..=row_end]
+            .iter()
+            .map(|&o| o - base)
+            .collect();
+        let local_indices: Vec<u32> = indices[base as usize..offsets[row_end] as usize]
+            .iter()
+            .map(|&u| pos[u as usize])
+            .collect();
+        Part {
+            row_start: row_start as u32,
+            row_end: row_end as u32,
+            gather,
+            offsets: local_offsets,
+            indices: local_indices,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the plan has no partitions (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The feature width the plan was sized for.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The byte budget the plan was sized for.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// The output row range of partition `p`.
+    pub fn part_rows(&self, p: usize) -> std::ops::Range<usize> {
+        let part = &self.parts[p];
+        part.row_start as usize..part.row_end as usize
+    }
+
+    /// Number of distinct source rows partition `p` gathers.
+    pub fn gather_len(&self, p: usize) -> usize {
+        self.parts[p].gather.len()
+    }
+
+    /// The largest gather (scratch rows) any partition needs.
+    pub fn max_gather_rows(&self) -> usize {
+        self.parts.iter().map(|p| p.gather.len()).max().unwrap_or(0)
+    }
+
+    /// Total rows covered (the CSR's row count).
+    pub fn row_count(&self) -> usize {
+        self.n_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_csr(rows: usize, n_sources: usize, avg: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut offsets = vec![0u32];
+        let mut indices = Vec::new();
+        for _ in 0..rows {
+            let k = rng.gen_range(0..=2 * avg).min(n_sources);
+            let mut row: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n_sources as u32)).collect();
+            row.sort_unstable();
+            row.dedup();
+            indices.extend_from_slice(&row);
+            offsets.push(indices.len() as u32);
+        }
+        (offsets, indices)
+    }
+
+    #[test]
+    fn partitions_tile_rows_and_respect_budget() {
+        let (offsets, indices) = random_csr(500, 500, 6, 3);
+        for &budget in &[64usize, 512, 4096, 1 << 20] {
+            let cols = 4;
+            let plan = GraphPartition::plan(&offsets, &indices, 500, cols, budget);
+            let budget_rows = (budget / (cols * 4)).max(1);
+            let mut next = 0usize;
+            for p in 0..plan.len() {
+                let r = plan.part_rows(p);
+                assert_eq!(r.start, next, "partitions must tile rows in order");
+                assert!(r.end > r.start);
+                next = r.end;
+                // Budget holds unless the partition is a single
+                // over-budget row.
+                assert!(
+                    plan.gather_len(p) <= budget_rows || r.len() == 1,
+                    "budget {budget}: partition {p} gathers {} rows",
+                    plan.gather_len(p)
+                );
+            }
+            assert_eq!(next, 500);
+        }
+    }
+
+    #[test]
+    fn local_indices_reproduce_global_neighbours() {
+        let (offsets, indices) = random_csr(120, 80, 5, 9);
+        let plan = GraphPartition::plan(&offsets, &indices, 80, 8, 1024);
+        for part in &plan.parts {
+            // gather is sorted + distinct
+            assert!(part.gather.windows(2).all(|w| w[0] < w[1]));
+            let base = offsets[part.row_start as usize];
+            for (nz, &li) in part.indices.iter().enumerate() {
+                let global = indices[base as usize + nz];
+                assert_eq!(part.gather[li as usize], global);
+            }
+            // local offsets rebased and consistent
+            assert_eq!(part.offsets[0], 0);
+            assert_eq!(*part.offsets.last().unwrap() as usize, part.indices.len());
+        }
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_its_inputs() {
+        let (offsets, indices) = random_csr(300, 300, 4, 5);
+        let a = GraphPartition::plan(&offsets, &indices, 300, 16, 2048);
+        let b = m3d_par::with_threads(4, || {
+            GraphPartition::plan(&offsets, &indices, 300, 16, 2048)
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let plan = GraphPartition::plan(&[0], &[], 0, 4, 1024);
+        assert!(plan.is_empty());
+        let plan = GraphPartition::plan(&[0, 1], &[0], 1, 4, 1);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.gather_len(0), 1);
+    }
+
+    #[test]
+    fn budget_knob_round_trips() {
+        let before = partition_budget();
+        set_partition_budget(12345);
+        assert_eq!(partition_budget(), 12345);
+        set_partition_budget(0);
+        assert_eq!(partition_budget(), before);
+    }
+}

@@ -1,13 +1,17 @@
 //! Blocked/parallel kernels vs naive references, at 1 vs N threads.
 //!
-//! The contract under test: `Matrix::{matmul,t_matmul,matmul_t}` and
-//! `GcnGraph::{aggregate,aggregate_transpose}` are **bitwise** equal to
-//! their retained naive references, at any pool width. Shapes deliberately
+//! The contract under test: `Matrix::{matmul,t_matmul,matmul_t}`,
+//! [`m3d_gnn::spmm`], and `GcnGraph::{aggregate,aggregate_transpose}`
+//! (including the cache-resident partitioned path at arbitrary budgets)
+//! are **bitwise** equal to their retained naive references, at any pool
+//! width and any adaptive-granularity gate decision. Shapes deliberately
 //! cross the register-tile (4×8), cache-block (128) and parallel-row (64)
 //! boundaries: single-row, single-column, and k-not-divisible-by-block
-//! cases included.
+//! cases included. Parallel runs pin the `m3d-par` cost gate open
+//! (`with_par_threshold(0, ..)`) so small proptest shapes genuinely
+//! exercise the fan-out path instead of being gated back to serial.
 
-use m3d_gnn::{GcnGraph, Matrix};
+use m3d_gnn::{spmm, spmm_naive, GcnGraph, Matrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,13 +45,17 @@ fn assert_bitwise(got: &Matrix, want: &Matrix, what: &str) {
     }
 }
 
-/// Runs `f` at pool width 1 and 4, asserts both outputs are bitwise equal
-/// to `want`.
+/// Runs `f` at pool width 1 and 4 — the 4-wide run once under the
+/// calibrated cost gate and once with the gate pinned open so the
+/// parallel path is actually taken — and asserts every output is bitwise
+/// equal to `want`.
 fn check_both_widths(want: &Matrix, what: &str, f: impl Fn() -> Matrix) {
     let one = m3d_par::with_threads(1, &f);
     let four = m3d_par::with_threads(4, &f);
+    let four_forced = m3d_par::with_threads(4, || m3d_par::with_par_threshold(0, &f));
     assert_bitwise(&one, want, &format!("{what} @1t"));
     assert_bitwise(&four, want, &format!("{what} @4t"));
+    assert_bitwise(&four_forced, want, &format!("{what} @4t forced-parallel"));
 }
 
 fn random_graph(n: usize, m: usize, seed: u64) -> GcnGraph {
@@ -100,6 +108,67 @@ proptest! {
             || g.aggregate_transpose(&x),
         );
     }
+
+    /// The tiled SpMM (ISSUE 8): bitwise equal to the naive nonzero walk
+    /// at 1 vs 4 threads, unit-valued and scaled, for widths spanning the
+    /// narrow-output boundary.
+    #[test]
+    fn spmm_bitwise_equal_at_1_and_4_threads(
+        rows in 1usize..120,
+        brows in 1usize..80,
+        bcols in 1usize..40,
+        avg_nnz in 0usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        let (offsets, indices) = random_csr(rows, brows, avg_nnz, seed);
+        let b = random_matrix(brows, bcols, seed.wrapping_add(21));
+        let want = spmm_naive(&offsets, &indices, None, &b);
+        check_both_widths(&want, "spmm unit", || spmm(&offsets, &indices, None, &b));
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(22));
+        let vals: Vec<f32> = (0..indices.len()).map(|_| rng.gen_range(-1.5f32..1.5)).collect();
+        let wantv = spmm_naive(&offsets, &indices, Some(&vals), &b);
+        check_both_widths(&wantv, "spmm scaled", || spmm(&offsets, &indices, Some(&vals), &b));
+    }
+
+    /// The partitioned aggregation (ISSUE 8): bitwise equal to the naive
+    /// references across random partition budgets — boundaries anywhere,
+    /// results identical — at 1 vs 4 threads and widths on both sides of
+    /// the narrow-output boundary.
+    #[test]
+    fn partitioned_aggregation_bitwise_equal_across_budgets(
+        n in 2usize..150,
+        extra in 0usize..300,
+        cols in 1usize..36,
+        budget in 4usize..32_768,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = random_graph(n, extra, seed);
+        let x = random_matrix(n, cols, seed.wrapping_add(31));
+        let plan = g.plan_partitions(cols, budget);
+        let want = g.aggregate_naive(&x);
+        check_both_widths(&want, "partitioned aggregate", || g.aggregate_with_plan(&x, &plan));
+        let want_t = g.aggregate_transpose_naive(&x);
+        check_both_widths(
+            &want_t,
+            "partitioned aggregate_transpose",
+            || g.aggregate_transpose_with_plan(&x, &plan),
+        );
+    }
+}
+
+fn random_csr(rows: usize, n_cols: usize, avg_nnz: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut offsets = vec![0u32];
+    let mut indices = Vec::new();
+    for _ in 0..rows {
+        let k = rng.gen_range(0..=2 * avg_nnz).min(n_cols);
+        let mut row: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n_cols as u32)).collect();
+        row.sort_unstable();
+        row.dedup();
+        indices.extend_from_slice(&row);
+        offsets.push(indices.len() as u32);
+    }
+    (offsets, indices)
 }
 
 /// Deterministic edge shapes: k not divisible by the 128-deep cache block,
@@ -136,6 +205,33 @@ fn large_graph_aggregation_bitwise_equal() {
     check_both_widths(
         &g.aggregate_transpose_naive(&x),
         "aggregate_transpose",
+        || g.aggregate_transpose(&x),
+    );
+}
+
+/// A graph and width large enough that the default dispatch in
+/// `aggregate`/`aggregate_transpose` takes the partitioned path at the
+/// default 256 KiB budget (3000 × 32 × 4 B = 375 KiB of features): the
+/// automatic dispatch — not just the explicit `_with_plan` entry points —
+/// must reproduce the naive scatter bit for bit.
+#[test]
+fn dispatched_partitioned_aggregation_bitwise_equal() {
+    let g = random_graph(3000, 9000, 13);
+    let x = random_matrix(3000, 32, 14);
+    assert!(
+        3000 * 32 * 4 > m3d_gnn::partition_budget(),
+        "shape must overflow the budget for this test to bite"
+    );
+    assert!(
+        g.partition_plan(32).len() > 1,
+        "expected a multi-partition plan"
+    );
+    check_both_widths(&g.aggregate_naive(&x), "aggregate (dispatched)", || {
+        g.aggregate(&x)
+    });
+    check_both_widths(
+        &g.aggregate_transpose_naive(&x),
+        "aggregate_transpose (dispatched)",
         || g.aggregate_transpose(&x),
     );
 }

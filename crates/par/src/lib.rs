@@ -83,6 +83,8 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
     /// Set inside pool workers: nested `par_*` calls run serially.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Scoped break-even override for [`par_gate`] (`u64::MAX` = none).
+    static THRESHOLD_OVERRIDE: Cell<u64> = const { Cell::new(u64::MAX) };
 }
 
 /// The default chunk size for `len` items: at most `DEFAULT_MAX_CHUNKS` (64)
@@ -139,6 +141,126 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
         }
     }
     let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+/// Ratio between estimated serial work and dispatch overhead below which
+/// [`par_gate`] recommends staying serial: the pool must be able to win
+/// back at least this multiple of its own spawn/join cost before it is
+/// worth engaging.
+const GATE_WORK_FACTOR: u64 = 8;
+
+/// One-per-process calibration of the break-even work size (in element
+/// units) for a pool dispatch. Measures (a) the wall cost of a minimal
+/// two-worker dispatch — scope spawn, chunk claim, channel send, join —
+/// and (b) the per-element cost of a simple float multiply-add stream,
+/// then sets the break-even at [`GATE_WORK_FACTOR`] dispatch-costs worth
+/// of elements. `M3D_PAR_THRESHOLD` (elements; `0` = always parallel)
+/// skips the measurement entirely.
+///
+/// The calibration is timing-derived and therefore varies per process —
+/// which is safe precisely because [`par_gate`] only ever chooses between
+/// two paths that are bitwise identical by this crate's chunking rules.
+fn calibrated_break_even() -> u64 {
+    static CAL: OnceLock<u64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        if let Some(v) = std::env::var("M3D_PAR_THRESHOLD")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            return v;
+        }
+        // (a) dispatch overhead: two one-item chunks at width 2 — the
+        // smallest dispatch that actually spawns workers. Minimum of a
+        // few trials filters scheduler noise.
+        let items = [0u8; 2];
+        let mut dispatch_ns = u64::MAX;
+        for _ in 0..4 {
+            let t = std::time::Instant::now();
+            with_threads(2, || {
+                par_chunks(&items, 1, |_, c| std::hint::black_box(c.len()))
+            });
+            dispatch_ns = dispatch_ns.min(t.elapsed().as_nanos() as u64);
+        }
+        // (b) per-element cost of the unit the callers estimate in: one
+        // float multiply-add with a streamed operand.
+        let n = 1usize << 16;
+        let buf: Vec<f32> = (0..n).map(|i| (i as f32) * 0.5 + 1.0).collect();
+        let t = std::time::Instant::now();
+        let mut acc = 0.0f32;
+        for &v in &buf {
+            acc += v * 1.000_1;
+        }
+        std::hint::black_box(acc);
+        let elem_ns = (t.elapsed().as_nanos() as f64 / n as f64).max(0.05);
+        let break_even = (dispatch_ns as f64 * GATE_WORK_FACTOR as f64 / elem_ns) as u64;
+        // Sanity clamp: a mismeasured calibration must never pin every
+        // call site serial (upper bound) or make the gate a no-op that
+        // parallelizes trivia (lower bound).
+        break_even.clamp(1 << 12, 1 << 26)
+    })
+}
+
+/// The break-even work size (element units) the next [`par_gate`] call on
+/// this thread will use: the scoped [`with_par_threshold`] override if
+/// set, else the per-process calibration (or `M3D_PAR_THRESHOLD`).
+pub fn par_break_even() -> u64 {
+    let o = THRESHOLD_OVERRIDE.with(Cell::get);
+    if o != u64::MAX {
+        o
+    } else {
+        calibrated_break_even()
+    }
+}
+
+/// Cost-model gate for adaptive parallel granularity: returns the pool
+/// width a call site should use for an operation of `work_elements`
+/// estimated element-units (one element-unit ≈ one float multiply-add) —
+/// [`num_threads`] when the work amortizes the calibrated dispatch
+/// overhead, `1` (serial) otherwise.
+///
+/// Gating is **bitwise safe by construction**: every `par_*` entry point
+/// in this crate produces identical bits at width 1 and width N (chunk
+/// boundaries are length-only, reduction is chunk-ordered), so a
+/// timing-derived serial/parallel decision can change wall time but never
+/// a computed value. The property test `gate_decisions_never_change_bits`
+/// pins that down.
+///
+/// # Examples
+///
+/// ```
+/// let items: Vec<f32> = (0..64).map(|i| i as f32).collect();
+/// // Tiny work: run serial rather than paying a pool dispatch.
+/// let width = m3d_par::par_gate(items.len() as u64);
+/// let out = m3d_par::with_threads(width, || m3d_par::par_map(&items, |&x| x * 2.0));
+/// assert_eq!(out.len(), 64);
+/// ```
+pub fn par_gate(work_elements: u64) -> usize {
+    let n = num_threads();
+    if n <= 1 || work_elements < par_break_even() {
+        1
+    } else {
+        n
+    }
+}
+
+/// Runs `f` with the [`par_gate`] break-even pinned to `break_even`
+/// element-units on this thread (restored on exit, including on panic).
+/// `0` forces every gated call site parallel, `u64::MAX - 1` (or any huge
+/// value) forces them serial; the determinism tests use both to prove the
+/// decision never changes computed bits.
+pub fn with_par_threshold<R>(break_even: u64, f: impl FnOnce() -> R) -> R {
+    assert!(
+        break_even != u64::MAX,
+        "u64::MAX is the no-override sentinel"
+    );
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THRESHOLD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THRESHOLD_OVERRIDE.with(|c| c.replace(break_even)));
     f()
 }
 
@@ -765,6 +887,71 @@ mod tests {
         let serial = with_threads(1, || par_ranges(1000, |r| r.sum::<usize>()));
         let wide = with_threads(8, || par_ranges(1000, |r| r.sum::<usize>()));
         assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn gate_decisions_never_change_bits() {
+        // The satellite contract: forcing the gate serial and forcing it
+        // parallel must produce bitwise-identical results, because both
+        // sides of the decision share chunk boundaries and merge order.
+        let xs: Vec<f32> = (0..5000)
+            .map(|i| ((i * 2654435761_usize) as f32).sin() * 1e3)
+            .collect();
+        let run = |break_even: u64| {
+            with_par_threshold(break_even, || {
+                let width = par_gate(xs.len() as u64);
+                with_threads(width.max(1), || {
+                    par_fold(
+                        &xs,
+                        default_chunk_size(xs.len()),
+                        || 0.0f32,
+                        |a, _, &x| a + x,
+                        |a, b| a + b,
+                    )
+                })
+            })
+        };
+        let serial = with_threads(4, || run(u64::MAX - 1));
+        let parallel = with_threads(4, || run(0));
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn gate_respects_threshold_and_width() {
+        with_threads(4, || {
+            with_par_threshold(1000, || {
+                assert_eq!(par_gate(999), 1, "below break-even stays serial");
+                assert_eq!(par_gate(1000), 4, "at break-even goes parallel");
+            });
+            with_par_threshold(0, || {
+                assert_eq!(par_gate(0), 4, "zero threshold always parallel");
+            });
+        });
+        with_threads(1, || {
+            with_par_threshold(0, || {
+                assert_eq!(par_gate(u64::MAX - 1), 1, "width 1 is always serial");
+            });
+        });
+    }
+
+    #[test]
+    fn threshold_override_restores_on_exit() {
+        let base = par_break_even();
+        with_par_threshold(123, || assert_eq!(par_break_even(), 123));
+        assert_eq!(par_break_even(), base);
+        let caught = catch_unwind(|| with_par_threshold(7, || panic!("x")));
+        assert!(caught.is_err());
+        assert_eq!(par_break_even(), base, "override must unwind-restore");
+    }
+
+    #[test]
+    fn calibration_is_sane_and_stable() {
+        let a = calibrated_break_even();
+        let b = calibrated_break_even();
+        assert_eq!(a, b, "calibration is once per process");
+        if std::env::var_os("M3D_PAR_THRESHOLD").is_none() {
+            assert!((1 << 12..=1 << 26).contains(&a), "break-even {a} unclamped");
+        }
     }
 
     #[test]
