@@ -22,6 +22,15 @@
 //! vary several-fold in single-core speed; the guard exists to catch
 //! algorithmic regressions, not scheduler noise).
 //!
+//! The `serve` tier (`BENCH_serve.json`, written by `m3d-diag load`)
+//! adds service-level invariants on top: every stage must report zero
+//! `crashed_connections` and zero `mismatches` — a single served report
+//! that diverges from the offline diagnosis fails the run outright —
+//! and, against a baseline, each stage's p99 latency may grow to at
+//! most `baseline / tolerance` (the latency mirror of the throughput
+//! floor). Serve stages omit `secs_1t`/`secs_nt`, so the
+//! slower-than-serial rule exempts them automatically.
+//!
 //! The parser reads only the fixed line-oriented layout `bench_pipeline`
 //! itself writes (one stage object per line, one scalar key per line)
 //! and ignores keys it does not know, so adding report fields never
@@ -49,10 +58,18 @@ struct StageRow {
     /// the file predates these fields (old baselines stay parseable).
     secs_1t: f64,
     secs_nt: f64,
+    /// Serve-tier counters; zero in the offline tiers.
+    crashed_connections: u64,
+    mismatches: u64,
+    /// Serve-tier tail latency; zero in the offline tiers.
+    p99_ms: f64,
 }
 
 #[derive(Debug, Default)]
 struct Report {
+    /// `"default"`, `"paper_scale"`, or `"serve"`; empty in files that
+    /// predate the field.
+    tier: String,
     configured_threads: u64,
     all_deterministic: bool,
     /// Pool width above the host's core count; speedup-floor checks are
@@ -94,6 +111,11 @@ fn parse_report(text: &str) -> Result<Report, String> {
     let mut arch: Option<String> = None;
     for line in text.lines() {
         let trimmed = line.trim();
+        if !trimmed.starts_with('{') {
+            if let Some(v) = str_field(trimmed, "tier") {
+                report.tier = v;
+            }
+        }
         if let Some(v) = field(trimmed, "configured_threads") {
             report.configured_threads =
                 v.parse().map_err(|e| format!("configured_threads: {e}"))?;
@@ -115,6 +137,9 @@ fn parse_report(text: &str) -> Result<Report, String> {
             let secs = |k: &str| -> Result<f64, String> {
                 field(trimmed, k).map_or(Ok(0.0), |v| v.parse().map_err(|e| format!("{k}: {e}")))
             };
+            let count = |k: &str| -> Result<u64, String> {
+                field(trimmed, k).map_or(Ok(0), |v| v.parse().map_err(|e| format!("{k}: {e}")))
+            };
             report.stages.push(StageRow {
                 key,
                 throughput: field(trimmed, "throughput_nt")
@@ -128,6 +153,9 @@ fn parse_report(text: &str) -> Result<Report, String> {
                 deterministic: field(trimmed, "deterministic") == Some("true"),
                 secs_1t: secs("secs_1t")?,
                 secs_nt: secs("secs_nt")?,
+                crashed_connections: count("crashed_connections")?,
+                mismatches: count("mismatches")?,
+                p99_ms: secs("p99_ms")?,
             });
         } else if trimmed.starts_with("\"name\":") {
             arch = str_field(trimmed, "name");
@@ -152,6 +180,25 @@ fn check(current: &Report, baseline: Option<&Report>, tolerance: f64) -> Result<
     }
     if let Some(bad) = current.stages.iter().find(|s| !s.deterministic) {
         return Err(format!("stage {} is not deterministic", bad.key));
+    }
+    if current.tier == "serve" {
+        // The chaos invariant, CI-enforced: no clean connection may
+        // crash, and no served report may diverge from the offline
+        // diagnosis — at any pool width, under any chaos schedule.
+        for s in &current.stages {
+            if s.crashed_connections > 0 {
+                return Err(format!(
+                    "stage {}: {} clean connection(s) crashed",
+                    s.key, s.crashed_connections
+                ));
+            }
+            if s.mismatches > 0 {
+                return Err(format!(
+                    "stage {}: {} served report(s) diverged from the offline diagnosis",
+                    s.key, s.mismatches
+                ));
+            }
+        }
     }
     if current.configured_threads > 1 && !current.stages.iter().any(|s| s.effective_threads > 1) {
         return Err(format!(
@@ -192,6 +239,22 @@ fn check(current: &Report, baseline: Option<&Report>, tolerance: f64) -> Result<
             ));
         }
         compared += 1;
+        if current.tier == "serve" && b.p99_ms > 0.0 && c.p99_ms > 0.0 {
+            // The latency mirror of the throughput floor: the same wide
+            // tolerance band, applied as a ceiling.
+            let ceiling = b.p99_ms / tolerance;
+            if c.p99_ms > ceiling {
+                return Err(format!(
+                    "stage {}: p99 {:.1}ms above {:.1}ms ({:.0}% band over baseline {:.1}ms)",
+                    b.key,
+                    c.p99_ms,
+                    ceiling,
+                    100.0 * tolerance,
+                    b.p99_ms
+                ));
+            }
+            compared += 1;
+        }
     }
     for (key, b) in &base.ratios {
         let Some((_, c)) = current.ratios.iter().find(|(k, _)| k == key) else {
@@ -356,6 +419,59 @@ mod tests {
         cur.stages[0].secs_1t = 0.005;
         cur.stages[0].secs_nt = 0.009;
         check(&cur, None, 0.25).unwrap();
+    }
+
+    const SERVE_TIER: &str = r#"{
+  "tier": "serve",
+  "configured_threads": 4,
+  "clients": 1000,
+  "requests_per_client": 2,
+  "stages": [
+    {"name": "serve_w1", "effective_threads": 1, "throughput_nt": 800.0, "unit": "diagnoses/s", "p50_ms": 20.0, "p99_ms": 40.0, "crashed_connections": 0, "mismatches": 0, "overloaded": 3, "deadline_exceeded": 0, "degraded": 1, "protocol_rejections": 5, "panics_contained": 2, "gave_up": 0, "completed": 2000, "wall_secs": 2.5, "deterministic": true},
+    {"name": "serve_w4", "effective_threads": 4, "throughput_nt": 2400.0, "unit": "diagnoses/s", "p50_ms": 8.0, "p99_ms": 15.0, "crashed_connections": 0, "mismatches": 0, "overloaded": 0, "deadline_exceeded": 0, "degraded": 0, "protocol_rejections": 4, "panics_contained": 2, "gave_up": 0, "completed": 2000, "wall_secs": 0.8, "deterministic": true}
+  ],
+  "all_deterministic": true
+}
+"#;
+
+    #[test]
+    fn serve_tier_parses_and_accepts_a_clean_run() {
+        let r = parse_report(SERVE_TIER).unwrap();
+        assert_eq!(r.tier, "serve");
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stages[0].key, "serve_w1");
+        assert_eq!(r.stages[1].p99_ms, 15.0);
+        // Serve stages omit secs_1t/secs_nt, so the slower-than-serial
+        // rule self-exempts even at configured_threads = 4.
+        assert_eq!(r.stages[0].secs_1t, 0.0);
+        check(&r, Some(&r), 0.25).unwrap();
+    }
+
+    #[test]
+    fn serve_tier_fails_on_crashes_and_mismatches() {
+        let base = parse_report(SERVE_TIER).unwrap();
+        let mut cur = parse_report(SERVE_TIER).unwrap();
+        cur.stages[0].crashed_connections = 1;
+        assert!(check(&cur, None, 0.25).unwrap_err().contains("crashed"));
+        cur.stages[0].crashed_connections = 0;
+        cur.stages[1].mismatches = 1;
+        // A single diverged report fails even without a baseline — the
+        // chaos invariant is unconditional.
+        assert!(check(&cur, None, 0.25).unwrap_err().contains("diverged"));
+        assert!(check(&cur, Some(&base), 0.25).is_err());
+    }
+
+    #[test]
+    fn serve_tier_holds_p99_to_the_baseline_ceiling() {
+        let base = parse_report(SERVE_TIER).unwrap();
+        let mut cur = parse_report(SERVE_TIER).unwrap();
+        cur.stages[1].p99_ms = 100.0; // above 15.0 / 0.25 = 60ms
+        assert!(check(&cur, Some(&base), 0.25).unwrap_err().contains("p99"));
+        cur.stages[1].p99_ms = 55.0; // inside the band
+        check(&cur, Some(&base), 0.25).unwrap();
+        // Offline tiers never trip the latency ceiling.
+        let dbase = parse_report(DEFAULT_TIER).unwrap();
+        check(&dbase, Some(&dbase), 0.25).unwrap();
     }
 
     #[test]

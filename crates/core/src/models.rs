@@ -67,6 +67,12 @@ impl TierPredictor {
         &mut self.model
     }
 
+    /// Wraps an existing classifier (e.g. one whose tensors were restored
+    /// from a CRC-verified checkpoint by the `m3d-serve` artifact cache).
+    pub fn from_model(model: GcnClassifier) -> Self {
+        TierPredictor { model }
+    }
+
     /// `[p_top, p_bottom]` for a sub-graph.
     pub fn predict_proba(&self, subgraph: &SubGraph) -> [f64; 2] {
         let p = self.model.predict_proba(&subgraph.data);
@@ -186,6 +192,23 @@ impl MivPinpointer {
             model,
             threshold: 0.5,
         }
+    }
+
+    /// Wraps an existing node classifier and decision threshold (the
+    /// checkpoint-restore counterpart of [`MivPinpointer::train`]).
+    pub fn from_model(model: NodeClassifier, threshold: f32) -> Self {
+        MivPinpointer { model, threshold }
+    }
+
+    /// The underlying node classifier (for checkpointing).
+    pub fn model(&self) -> &NodeClassifier {
+        &self.model
+    }
+
+    /// Mutable access to the underlying node classifier, for checkpoint
+    /// restore and the fault-injection harness.
+    pub fn model_mut(&mut self) -> &mut NodeClassifier {
+        &mut self.model
     }
 
     /// MIV indices predicted faulty in a sub-graph.

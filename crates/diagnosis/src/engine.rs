@@ -9,6 +9,7 @@
 //! faults that jointly explain the failures.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use m3d_dft::{ObsMode, ScanChains};
 use m3d_netlist::{GateId, NetId, SiteId};
@@ -54,6 +55,20 @@ impl Default for DiagnosisConfig {
         }
     }
 }
+
+/// Returned by [`Diagnoser::try_diagnose`] when the caller's cancel flag
+/// was observed set before the report was complete (a per-request deadline
+/// expired). The partial work is discarded — there is no partial report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("diagnosis cancelled past its deadline")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// The diagnosis engine, reusable across failure logs of one test setup.
 ///
@@ -310,6 +325,32 @@ impl<'a> Diagnoser<'a> {
     /// report is tagged [`DiagnosisReport::degraded`] — graceful
     /// degradation instead of an out-of-bounds panic.
     pub fn diagnose(&self, log: &FailureLog) -> DiagnosisReport {
+        let never = AtomicBool::new(false);
+        match self.try_diagnose(log, &never) {
+            Ok(report) => report,
+            Err(Cancelled) => unreachable!("flag is never set"),
+        }
+    }
+
+    /// [`Diagnoser::diagnose`] with cooperative cancellation: the caller
+    /// owns `cancel` (e.g. a deadline reaper sets it when a request's
+    /// budget expires) and the engine polls it at phase boundaries and
+    /// between suspect simulations, abandoning the remaining cone-scoring
+    /// work with `Err(Cancelled)`.
+    ///
+    /// Cancellation is pure control flow: with the flag never set, the
+    /// computation — and therefore the report — is bit-identical to
+    /// [`Diagnoser::diagnose`] at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the flag was observed set before the report was
+    /// complete. No partial report is returned.
+    pub fn try_diagnose(
+        &self,
+        log: &FailureLog,
+        cancel: &AtomicBool,
+    ) -> Result<DiagnosisReport, Cancelled> {
         let mut span = m3d_obs::span("diagnosis");
         span.add("entries", log.entries().len() as u64);
         let dropped = log.entries().iter().any(|e| !self.entry_in_range(e));
@@ -325,7 +366,7 @@ impl<'a> Diagnoser<'a> {
         } else {
             log
         };
-        let mut report = self.diagnose_trusted(log);
+        let mut report = self.diagnose_trusted(log, cancel)?;
         if dropped {
             report.mark_degraded();
             span.add("degraded", 1);
@@ -334,13 +375,34 @@ impl<'a> Diagnoser<'a> {
         span.add("candidates", report.candidates().len() as u64);
         m3d_obs::counter("diagnosis.reports", 1);
         m3d_obs::counter("diagnosis.candidates", report.candidates().len() as u64);
-        report
+        Ok(report)
+    }
+
+    /// A zero-score placeholder a cancelled scoring worker returns; the
+    /// whole result vector is discarded once the cancel flag is seen, so
+    /// placeholders never reach a report.
+    fn cancelled_stub(site: SiteId) -> (Candidate, HashSet<FailEntry>) {
+        (
+            Candidate {
+                fault: Fault::new(site, Polarity::ALL[0]),
+                score: MatchScore::default(),
+                tier: None,
+            },
+            HashSet::new(),
+        )
     }
 
     /// [`Diagnoser::diagnose`] after entry sanitization.
-    fn diagnose_trusted(&self, log: &FailureLog) -> DiagnosisReport {
+    fn diagnose_trusted(
+        &self,
+        log: &FailureLog,
+        cancel: &AtomicBool,
+    ) -> Result<DiagnosisReport, Cancelled> {
         if log.is_empty() {
-            return DiagnosisReport::default();
+            return Ok(DiagnosisReport::default());
+        }
+        if cancel.load(Ordering::Relaxed) {
+            return Err(Cancelled);
         }
         let tester: HashSet<FailEntry> = log.entries().iter().copied().collect();
 
@@ -387,9 +449,19 @@ impl<'a> Diagnoser<'a> {
                 m3d_par::par_map_init(
                     &suspects,
                     || self.fsim.detector(),
-                    |det, &(s, _)| self.best_candidate(det, s, &tester),
+                    |det, &(s, _)| {
+                        // Deadline early-out: skip the two simulations and
+                        // return a stub; the batch result is discarded.
+                        if cancel.load(Ordering::Relaxed) {
+                            return Self::cancelled_stub(s);
+                        }
+                        self.best_candidate(det, s, &tester)
+                    },
                 )
             });
+        if cancel.load(Ordering::Relaxed) {
+            return Err(Cancelled);
+        }
 
         let single_explains = scored.iter().any(|(c, _)| c.score.is_perfect());
 
@@ -398,11 +470,11 @@ impl<'a> Diagnoser<'a> {
             // selected candidate explains a *disjoint share* of the log,
             // so the single-fault retention floor does not apply — the
             // cover itself is the retention decision.
-            let selected = self.cover_diagnosis(log, &tester, scored);
-            return self.rank_cover(selected);
+            let selected = self.cover_diagnosis(log, &tester, scored, cancel)?;
+            return Ok(self.rank_cover(selected));
         }
 
-        self.rank_and_retain(scored)
+        Ok(self.rank_and_retain(scored))
     }
 
     /// Work estimate for scoring `n` suspects, for the `m3d-par` cost
@@ -419,7 +491,8 @@ impl<'a> Diagnoser<'a> {
         log: &FailureLog,
         tester: &HashSet<FailEntry>,
         seed: Vec<(Candidate, HashSet<FailEntry>)>,
-    ) -> Vec<(Candidate, HashSet<FailEntry>)> {
+        cancel: &AtomicBool,
+    ) -> Result<Vec<(Candidate, HashSet<FailEntry>)>, Cancelled> {
         // Frequency-ranked union of per-entry suspects.
         let mut freq: HashMap<SiteId, u32> = HashMap::new();
         for entry in log.entries() {
@@ -448,9 +521,17 @@ impl<'a> Diagnoser<'a> {
             m3d_par::par_map_init(
                 &missing,
                 || self.fsim.detector(),
-                |det, &s| self.best_candidate(det, s, tester),
+                |det, &s| {
+                    if cancel.load(Ordering::Relaxed) {
+                        return Self::cancelled_stub(s);
+                    }
+                    self.best_candidate(det, s, tester)
+                },
             )
         });
+        if cancel.load(Ordering::Relaxed) {
+            return Err(Cancelled);
+        }
         for (site, cand) in missing.into_iter().zip(scored_missing) {
             pool.insert(site, cand);
         }
@@ -498,7 +579,7 @@ impl<'a> Diagnoser<'a> {
                 }
             }
         }
-        selected
+        Ok(selected)
     }
 
     /// Ranks a multi-fault cover: candidates sorted by explained failures,
@@ -783,5 +864,27 @@ mod tests {
         let fsim = FaultSim::new(&e.design, &e.ts.patterns);
         let diag = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default());
         assert_eq!(diag.diagnose(&FailureLog::default()).resolution(), 0);
+    }
+
+    #[test]
+    fn cancellation_is_pure_control_flow() {
+        let e = env();
+        let fsim = FaultSim::new(&e.design, &e.ts.patterns);
+        let diag = Diagnoser::new(&fsim, &e.scan, ObsMode::Bypass, DiagnosisConfig::default());
+        let faults = detected_faults(&e);
+        let mut det = fsim.detector();
+        let dets = fsim.detections(&mut det, &[faults[3]]);
+        let log = FailureLog::from_detections(&dets, &e.scan, ObsMode::Bypass);
+
+        // An unset flag yields exactly the plain report.
+        let clear = AtomicBool::new(false);
+        let report = diag.try_diagnose(&log, &clear).expect("not cancelled");
+        assert_eq!(report, diag.diagnose(&log));
+
+        // A pre-set flag cancels before any work, even for empty logs'
+        // non-empty siblings; the empty log still short-circuits to Ok.
+        let set = AtomicBool::new(true);
+        assert_eq!(diag.try_diagnose(&log, &set), Err(Cancelled));
+        assert!(diag.try_diagnose(&FailureLog::default(), &set).is_ok());
     }
 }

@@ -18,6 +18,6 @@ mod metrics;
 mod report;
 
 pub use baseline::baseline_filter;
-pub use engine::{Diagnoser, DiagnosisConfig};
+pub use engine::{Cancelled, Diagnoser, DiagnosisConfig};
 pub use metrics::{mean_std, QualityAccumulator, ReportQuality};
 pub use report::{miv_equivalent, Candidate, DiagnosisReport, MatchScore};

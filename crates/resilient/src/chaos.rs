@@ -1,11 +1,16 @@
-//! Deterministic fault injection for the resilience test suite.
+//! Deterministic fault injection, reusable by any harness.
 //!
 //! Every injector is seeded: the same seed corrupts the same byte, poisons
 //! the same feature, or garbles the same log line on every run, so a chaos
-//! test that fails is a chaos test that reproduces. This module is a test
-//! harness — production code must never call it.
+//! run that fails is a chaos run that reproduces. The injectors carry no
+//! training-specific assumptions — the resilience test suite drives them
+//! against checkpoints and sample tensors, and the `m3d-serve` load
+//! harness drives the same schedules against protocol frames and live
+//! connections. (Only the injectors themselves are off-limits to serving
+//! code paths; *consuming* their output is the whole point.)
 //!
-//! Fault classes covered (the chaos matrix in DESIGN.md §11):
+//! Fault classes covered (the chaos matrix in DESIGN.md §11 and the
+//! serving failure model in §16):
 //!
 //! * NaN gradients — [`poison_nan`] plants a NaN in a sample's feature
 //!   matrix; the real forward/backward pass then produces non-finite
@@ -15,6 +20,11 @@
 //! * Malformed failure-log lines — [`garble_text`].
 //! * Worker panics — [`panic_on`] builds a closure for `m3d_par`'s `try_`
 //!   entry points to contain.
+//! * Hostile clients — [`ChaosSchedule`], a seeded iterator of
+//!   [`ChaosAction`]s (garbled/truncated frames, slow writers, mid-stream
+//!   disconnects, duplicated requests, injected worker panics) plus the
+//!   byte-level mutators and the jittered exponential backoff a retrying
+//!   client uses.
 
 use std::fs;
 use std::io;
@@ -106,6 +116,157 @@ pub fn panic_on(target: usize) -> impl Fn(&usize) -> usize + Sync {
     }
 }
 
+/// One step of a seeded chaos schedule: what a hostile-client harness
+/// does to its next operation. `Clean` (the most common draw) performs the
+/// operation faithfully; every other variant injects one fault class of
+/// the serving failure model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Perform the operation cleanly.
+    Clean,
+    /// Corrupt bytes of the outgoing frame ([`ChaosSchedule::garble`]).
+    GarbleFrame,
+    /// Send only a prefix of the frame, then hang up
+    /// ([`ChaosSchedule::truncate_at`]).
+    TruncateFrame,
+    /// Write the frame in tiny dribbles with pauses (a slow-writer /
+    /// slowloris client; [`ChaosSchedule::split_at`] picks the seams).
+    SlowWrite,
+    /// Disconnect without reading the response.
+    Disconnect,
+    /// Send the same request twice (tester retry bugs); both copies must
+    /// be answered identically.
+    Duplicate,
+    /// Ask the harness to inject a worker panic server-side (driven
+    /// through `m3d_par`'s `try_` containment).
+    PanicWorker,
+}
+
+impl ChaosAction {
+    /// Every action, in the fixed order [`ChaosSchedule`] draws from.
+    pub const ALL: [ChaosAction; 7] = [
+        ChaosAction::Clean,
+        ChaosAction::GarbleFrame,
+        ChaosAction::TruncateFrame,
+        ChaosAction::SlowWrite,
+        ChaosAction::Disconnect,
+        ChaosAction::Duplicate,
+        ChaosAction::PanicWorker,
+    ];
+}
+
+/// A seeded, reusable schedule of chaos actions.
+///
+/// The schedule is an infinite iterator: each draw is `Clean` with
+/// probability `1 - rate`, otherwise one of the six fault actions,
+/// uniformly. The same seed yields the same action sequence, the same
+/// corrupted bytes, and the same backoff jitter on every run — a chaos
+/// schedule that breaks something is a reproduction recipe, not a flake.
+///
+/// # Examples
+///
+/// ```
+/// use m3d_resilient::chaos::{ChaosAction, ChaosSchedule};
+///
+/// let a: Vec<ChaosAction> = ChaosSchedule::new(7).take(16).collect();
+/// let b: Vec<ChaosAction> = ChaosSchedule::new(7).take(16).collect();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaosSchedule {
+    rng: StdRng,
+    rate: f64,
+}
+
+impl ChaosSchedule {
+    /// A schedule with the default 25% fault rate.
+    pub fn new(seed: u64) -> Self {
+        Self::with_rate(seed, 0.25)
+    }
+
+    /// A schedule injecting a fault with probability `rate` per draw
+    /// (clamped to `[0, 1]`; `0.0` is an always-clean schedule).
+    pub fn with_rate(seed: u64, rate: f64) -> Self {
+        ChaosSchedule {
+            rng: StdRng::seed_from_u64(seed),
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Draws the next action.
+    pub fn next_action(&mut self) -> ChaosAction {
+        if self.rate == 0.0 || !self.rng.gen_bool(self.rate) {
+            return ChaosAction::Clean;
+        }
+        // Index 0 is Clean; faults are 1..ALL.len().
+        ChaosAction::ALL[self.rng.gen_range(1..ChaosAction::ALL.len())]
+    }
+
+    /// Corrupts 1–4 seeded-random bytes of `frame` in place (no-op on an
+    /// empty frame). Used for [`ChaosAction::GarbleFrame`].
+    pub fn garble(&mut self, frame: &mut [u8]) {
+        if frame.is_empty() {
+            return;
+        }
+        let hits = self.rng.gen_range(1..=4usize).min(frame.len());
+        for _ in 0..hits {
+            let i = self.rng.gen_range(0..frame.len());
+            frame[i] ^= self.rng.gen_range(1..=255u8);
+        }
+    }
+
+    /// A seeded truncation point strictly inside a frame of `len` bytes
+    /// (0 for empty frames). Used for [`ChaosAction::TruncateFrame`].
+    pub fn truncate_at(&mut self, len: usize) -> usize {
+        if len <= 1 {
+            0
+        } else {
+            self.rng.gen_range(0..len)
+        }
+    }
+
+    /// A seeded split point for an interleaved partial write: somewhere in
+    /// `1..len` (or `len` itself when the frame is a single byte). Used for
+    /// [`ChaosAction::SlowWrite`].
+    pub fn split_at(&mut self, len: usize) -> usize {
+        if len <= 1 {
+            len
+        } else {
+            self.rng.gen_range(1..len)
+        }
+    }
+
+    /// Jittered exponential backoff for retry attempt `attempt` (0-based):
+    /// `base_ms << attempt`, capped at `cap_ms`, with ±50% seeded jitter.
+    /// This is what a well-behaved tester client sleeps after a typed
+    /// `Overloaded` response — deterministic per seed so a retry storm
+    /// replays exactly.
+    pub fn backoff_ms(&mut self, attempt: u32, base_ms: u64, cap_ms: u64) -> u64 {
+        let exp = base_ms.saturating_shl(attempt.min(16)).min(cap_ms).max(1);
+        let jitter = self.rng.gen_range(0..=exp);
+        (exp / 2 + jitter).min(cap_ms)
+    }
+}
+
+impl Iterator for ChaosSchedule {
+    type Item = ChaosAction;
+
+    fn next(&mut self) -> Option<ChaosAction> {
+        Some(self.next_action())
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        self.checked_shl(rhs).unwrap_or(u64::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +297,44 @@ mod tests {
         assert!(byte < 10 && bit < 8);
         assert_eq!(fs::read(&path).expect("read")[byte], 1 << bit);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schedules_replay_and_respect_rate() {
+        // Bit-identical replay, including the byte-level mutators.
+        let mut a = ChaosSchedule::new(11);
+        let mut b = ChaosSchedule::new(11);
+        for _ in 0..64 {
+            assert_eq!(a.next_action(), b.next_action());
+        }
+        let mut fa = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut fb = fa.clone();
+        a.garble(&mut fa);
+        b.garble(&mut fb);
+        assert_eq!(fa, fb);
+        assert_ne!(fa, vec![1u8, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(a.truncate_at(100), b.truncate_at(100));
+        assert_eq!(a.split_at(100), b.split_at(100));
+        assert_eq!(a.backoff_ms(3, 10, 5_000), b.backoff_ms(3, 10, 5_000));
+
+        // A zero-rate schedule is always clean; a full-rate one never is.
+        assert!(ChaosSchedule::with_rate(5, 0.0)
+            .take(32)
+            .all(|x| x == ChaosAction::Clean));
+        assert!(ChaosSchedule::with_rate(5, 1.0)
+            .take(32)
+            .all(|x| x != ChaosAction::Clean));
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_capped() {
+        let mut s = ChaosSchedule::new(3);
+        for attempt in 0..40 {
+            let ms = s.backoff_ms(attempt, 8, 2_000);
+            assert!(ms <= 2_000, "attempt {attempt}: {ms}");
+        }
+        // The expected envelope doubles until the cap.
+        let mut lo = ChaosSchedule::new(4);
+        assert!(lo.backoff_ms(0, 8, 2_000) <= 16);
     }
 }

@@ -1,0 +1,261 @@
+//! Admission control: a bounded queue with explicit backpressure and a
+//! load-shedding watermark.
+//!
+//! The server never buffers unbounded work. A diagnosis request either
+//!
+//! 1. fits in the bounded queue → it is admitted (possibly flagged for the
+//!    degraded fast path when the queue is already deep), or
+//! 2. finds the queue full → the client gets a typed
+//!    [`Overloaded`](crate::proto::Response::Overloaded) response with a
+//!    `retry_after_ms` hint scaled to the backlog, and the server does no
+//!    further work for it.
+//!
+//! Shedding is a *ladder*, not a cliff (DESIGN.md §16): below the
+//! watermark requests get the full pipeline (diagnosis + GNN
+//! enhancement); between the watermark and capacity they are admitted but
+//! served the baseline ranking tagged `degraded` (enhancement skipped —
+//! the expensive, optional stage); at capacity they are refused with
+//! `Overloaded`. Every rung is a typed, observable outcome.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use m3d_tdf::FailureLog;
+
+use crate::proto::Response;
+
+/// Admission and scheduling knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Bounded queue capacity; a full queue refuses with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Queue depth at which admitted requests are degraded (enhancement
+    /// skipped). Clamped to `queue_capacity`.
+    pub shed_watermark: usize,
+    /// Deadline applied when the request names none.
+    pub default_deadline_ms: u64,
+    /// Hard cap on client-requested deadlines (a client cannot pin a slot
+    /// for minutes).
+    pub max_deadline_ms: u64,
+    /// Most jobs drained into one scoring batch.
+    pub batch_max: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 64,
+            shed_watermark: 48,
+            default_deadline_ms: 2_000,
+            max_deadline_ms: 10_000,
+            batch_max: 8,
+        }
+    }
+}
+
+/// One admitted diagnosis request, queued for the batcher.
+#[derive(Debug)]
+pub struct Job {
+    /// Client-chosen request id (echoed in the response).
+    pub id: u64,
+    /// Server-assigned admission sequence number (1-based). Stable across
+    /// a panic-recovery re-run of the same job, which is what makes the
+    /// chaos panic injector deterministic.
+    pub seq: u64,
+    /// The parsed failure log.
+    pub log: FailureLog,
+    /// Admission timestamp (queue-latency accounting).
+    pub enqueued: Instant,
+    /// Absolute deadline; past it the job is cancelled.
+    pub deadline: Instant,
+    /// The budget behind `deadline`, echoed in `DeadlineExceeded`.
+    pub budget_ms: u64,
+    /// Cooperative cancellation flag, set by the deadline reaper and
+    /// polled inside the scoring loops.
+    pub cancel: Arc<AtomicBool>,
+    /// Serve the baseline (un-enhanced) ranking, tagged degraded.
+    pub degrade: bool,
+    /// The client opted out of enhancement (not a degradation).
+    pub no_enhance: bool,
+    /// Where the batcher sends the response (the connection handler owns
+    /// the socket).
+    pub reply: Sender<Response>,
+}
+
+/// The admission gate handed to every connection handler. Cloneable; all
+/// clones share one bounded queue and one depth gauge.
+#[derive(Clone)]
+pub struct Admission {
+    tx: SyncSender<Job>,
+    depth: Arc<AtomicUsize>,
+    seq: Arc<AtomicU64>,
+    cfg: AdmissionConfig,
+}
+
+/// Builds the gate and the receiving end the batcher drains.
+pub fn admission_queue(cfg: AdmissionConfig) -> (Admission, Receiver<Job>) {
+    let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+    (
+        Admission {
+            tx,
+            depth: Arc::new(AtomicUsize::new(0)),
+            seq: Arc::new(AtomicU64::new(0)),
+            cfg,
+        },
+        rx,
+    )
+}
+
+impl Admission {
+    /// The shared config.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Current queue depth (gauge for stats).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Resolves a client-requested budget against the server's default
+    /// and cap.
+    pub fn budget_ms(&self, requested: Option<u64>) -> u64 {
+        requested
+            .unwrap_or(self.cfg.default_deadline_ms)
+            .clamp(1, self.cfg.max_deadline_ms)
+    }
+
+    /// Tries to admit a diagnosis request.
+    ///
+    /// On success the job is queued (its `degrade` flag reflecting the
+    /// shed watermark) and its cancellation flag is returned so the caller
+    /// can register the deadline with the reaper. On a full queue the
+    /// typed `Overloaded` response to send back is returned instead.
+    pub fn admit(
+        &self,
+        id: u64,
+        log: FailureLog,
+        requested_deadline_ms: Option<u64>,
+        no_enhance: bool,
+        reply: Sender<Response>,
+    ) -> Result<(Instant, Arc<AtomicBool>), Response> {
+        let depth = self.depth.load(Ordering::Relaxed);
+        let budget_ms = self.budget_ms(requested_deadline_ms);
+        let now = Instant::now();
+        let deadline = now + Duration::from_millis(budget_ms);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let job = Job {
+            id,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            log,
+            enqueued: now,
+            deadline,
+            budget_ms,
+            cancel: Arc::clone(&cancel),
+            degrade: depth >= self.cfg.shed_watermark.min(self.cfg.queue_capacity),
+            no_enhance,
+            reply,
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => {
+                self.depth.fetch_add(1, Ordering::Relaxed);
+                Ok((deadline, cancel))
+            }
+            Err(TrySendError::Full(_)) => Err(Response::Overloaded {
+                id,
+                retry_after_ms: self.retry_after_ms(),
+            }),
+            Err(TrySendError::Disconnected(_)) => Err(Response::Error {
+                id: Some(id),
+                kind: "internal".into(),
+                message: "diagnosis queue closed".into(),
+            }),
+        }
+    }
+
+    /// Backoff hint for a refused request, scaled to the backlog: a full
+    /// queue of slow jobs earns a longer hint than a momentary spike.
+    fn retry_after_ms(&self) -> u64 {
+        let depth = self.depth.load(Ordering::Relaxed) as u64;
+        10 + depth.saturating_mul(5)
+    }
+
+    /// Records that the batcher dequeued one job.
+    pub fn note_dequeued(&self) {
+        // `admit` increments after a successful try_send, so the counter
+        // can transiently lag the channel; saturate instead of wrapping.
+        let _ = self
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn tiny() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: 2,
+            shed_watermark: 1,
+            ..AdmissionConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_queue_refuses_with_typed_backpressure() {
+        let (adm, rx) = admission_queue(tiny());
+        let (reply, _keep) = channel();
+        assert!(adm
+            .admit(1, FailureLog::default(), None, false, reply.clone())
+            .is_ok());
+        assert!(adm
+            .admit(2, FailureLog::default(), None, false, reply.clone())
+            .is_ok());
+        match adm.admit(3, FailureLog::default(), None, false, reply) {
+            Err(Response::Overloaded { id, retry_after_ms }) => {
+                assert_eq!(id, 3);
+                assert!(retry_after_ms >= 10);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Draining reopens admission.
+        let job = rx.recv().expect("queued job");
+        adm.note_dequeued();
+        assert_eq!(job.id, 1);
+        assert!(!job.degrade, "first admit saw an empty queue");
+        let (reply, _keep) = channel();
+        assert!(adm
+            .admit(4, FailureLog::default(), None, false, reply)
+            .is_ok());
+        assert_eq!(adm.depth(), 2);
+    }
+
+    #[test]
+    fn shed_watermark_degrades_instead_of_refusing() {
+        let (adm, _rx) = admission_queue(tiny());
+        let (reply, _keep) = channel();
+        adm.admit(1, FailureLog::default(), None, false, reply.clone())
+            .expect("admit");
+        adm.admit(2, FailureLog::default(), None, false, reply)
+            .expect("admit");
+        let jobs: Vec<Job> = _rx.try_iter().collect();
+        assert_eq!(jobs.len(), 2);
+        assert!(!jobs[0].degrade);
+        assert!(jobs[1].degrade, "above the watermark");
+    }
+
+    #[test]
+    fn deadlines_are_defaulted_and_capped() {
+        let (adm, _rx) = admission_queue(AdmissionConfig::default());
+        assert_eq!(adm.budget_ms(None), 2_000);
+        assert_eq!(adm.budget_ms(Some(0)), 1);
+        assert_eq!(adm.budget_ms(Some(250)), 250);
+        assert_eq!(adm.budget_ms(Some(u64::MAX)), 10_000);
+    }
+}

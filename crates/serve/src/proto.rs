@@ -1,0 +1,889 @@
+//! The wire protocol: length-prefixed JSONL frames and typed messages.
+//!
+//! A frame is an ASCII decimal byte length, a newline, exactly that many
+//! bytes of single-line JSON, and a trailing newline:
+//!
+//! ```text
+//! 23\n{"type":"ping","id":1}\n
+//! ```
+//!
+//! The length prefix lets the reader allocate exactly once and reject
+//! oversized frames ([`MAX_FRAME_LEN`]) before buffering them; the JSON
+//! payload reuses the `m3d_obs` codec (the same deterministic renderer and
+//! recursive-descent parser the trace files use), so every message
+//! round-trips byte-exactly through the observability tooling.
+//!
+//! Frames arrive from *untrusted* testers over TCP. Every malformation —
+//! non-digit length prefixes, oversized declarations, truncated payloads,
+//! invalid UTF-8, garbage JSON, well-formed JSON with a bad shape — maps
+//! to a typed [`ProtoError`], never a panic. The [`Decoder`] is a pure
+//! incremental state machine over pushed bytes, so the fuzz suite drives
+//! it directly, byte by byte, without sockets.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use m3d_diagnosis::DiagnosisReport;
+use m3d_obs::Json;
+use m3d_tdf::Polarity;
+
+/// Hard ceiling on a frame's declared payload length (1 MiB). A tester
+/// failure log is a few KiB; anything larger is hostile or corrupt.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Maximum digits a length prefix may span before it is rejected (covers
+/// [`MAX_FRAME_LEN`] with room; prevents unbounded buffering of a prefix
+/// that never terminates).
+pub const MAX_PREFIX_DIGITS: usize = 8;
+
+/// Why a frame or message could not be decoded. Every variant is a typed,
+/// recoverable verdict on untrusted input — the protocol layer never
+/// panics and never buffers unboundedly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The length prefix was not a short ASCII decimal line.
+    BadLengthPrefix {
+        /// The offending prefix bytes (lossy, truncated for display).
+        found: String,
+    },
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The declared length.
+        len: usize,
+    },
+    /// The byte after the payload was not the terminating newline.
+    BadTerminator,
+    /// The connection ended mid-frame (a truncated frame).
+    Truncated,
+    /// The payload was not valid UTF-8.
+    InvalidUtf8,
+    /// The payload was not valid JSON.
+    BadJson(String),
+    /// The JSON was well-formed but not a valid message shape.
+    BadMessage(String),
+    /// The read timed out (the caller decides whether that is idle
+    /// keep-alive or a slow-writer attack).
+    Timeout,
+    /// Underlying socket failure.
+    Io(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadLengthPrefix { found } => {
+                write!(f, "bad frame length prefix `{found}`")
+            }
+            ProtoError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            ProtoError::BadTerminator => f.write_str("frame payload not newline-terminated"),
+            ProtoError::Truncated => f.write_str("connection closed mid-frame"),
+            ProtoError::InvalidUtf8 => f.write_str("frame payload is not valid UTF-8"),
+            ProtoError::BadJson(e) => write!(f, "frame payload is not valid JSON: {e}"),
+            ProtoError::BadMessage(e) => write!(f, "bad message: {e}"),
+            ProtoError::Timeout => f.write_str("read timed out"),
+            ProtoError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ProtoError::Timeout,
+            _ => ProtoError::Io(e.to_string()),
+        }
+    }
+}
+
+/// Encodes one frame: `len\n<payload>\n`.
+pub fn encode_frame(line: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(line.len() + 12);
+    out.extend_from_slice(line.len().to_string().as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// Propagates the underlying write error.
+pub fn write_frame(w: &mut impl Write, line: &str) -> io::Result<()> {
+    w.write_all(&encode_frame(line))?;
+    w.flush()
+}
+
+/// Incremental frame decoder: push bytes in, pop complete payloads out.
+///
+/// The decoder is a pure function of the pushed byte sequence — no I/O,
+/// no clocks — which is what makes it directly fuzzable. Interleaved
+/// partial writes (any split of the byte stream) decode identically to a
+/// single write. After a decode error the decoder is *poisoned*: framing
+/// has desynchronized, so the caller must drop the connection; further
+/// [`Decoder::next_frame`] calls repeat the error.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: Option<ProtoError>,
+}
+
+impl Decoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether a partial frame is buffered (used by the slow-writer
+    /// defense: a partial frame that stops making progress is an attack,
+    /// an empty buffer is just an idle connection).
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Pops the next complete frame payload, `Ok(None)` when more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ProtoError`] on any framing malformation; the decoder
+    /// stays poisoned with that error afterwards.
+    pub fn next_frame(&mut self) -> Result<Option<String>, ProtoError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match self.scan() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn scan(&mut self) -> Result<Option<String>, ProtoError> {
+        let avail = &self.buf[self.pos..];
+        // Locate the length line.
+        let Some(nl) = avail
+            .iter()
+            .take(MAX_PREFIX_DIGITS + 1)
+            .position(|&b| b == b'\n')
+        else {
+            if avail.len() > MAX_PREFIX_DIGITS {
+                return Err(ProtoError::BadLengthPrefix {
+                    found: String::from_utf8_lossy(&avail[..MAX_PREFIX_DIGITS]).into_owned(),
+                });
+            }
+            return Ok(None); // prefix still arriving
+        };
+        let prefix = &avail[..nl];
+        if prefix.is_empty() || !prefix.iter().all(u8::is_ascii_digit) {
+            return Err(ProtoError::BadLengthPrefix {
+                found: String::from_utf8_lossy(prefix).into_owned(),
+            });
+        }
+        // ≤ 8 digits always fits in usize.
+        let len: usize = std::str::from_utf8(prefix)
+            .expect("ascii digits")
+            .parse()
+            .map_err(|_| ProtoError::BadLengthPrefix {
+                found: String::from_utf8_lossy(prefix).into_owned(),
+            })?;
+        if len > MAX_FRAME_LEN {
+            return Err(ProtoError::Oversized { len });
+        }
+        let body_start = nl + 1;
+        // Payload plus its terminating newline.
+        if avail.len() < body_start + len + 1 {
+            return Ok(None);
+        }
+        if avail[body_start + len] != b'\n' {
+            return Err(ProtoError::BadTerminator);
+        }
+        let payload = std::str::from_utf8(&avail[body_start..body_start + len])
+            .map_err(|_| ProtoError::InvalidUtf8)?
+            .to_owned();
+        self.pos += body_start + len + 1;
+        // Reclaim consumed space once it dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+}
+
+/// Reads one frame from a blocking stream, `Ok(None)` on clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] on EOF mid-frame, [`ProtoError::Timeout`]
+/// when the stream's read timeout elapses, or any decode error.
+pub fn read_frame(stream: &mut impl Read, dec: &mut Decoder) -> Result<Option<String>, ProtoError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = dec.next_frame()? {
+            return Ok(Some(frame));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return if dec.has_partial() {
+                Err(ProtoError::Truncated)
+            } else {
+                Ok(None)
+            };
+        }
+        dec.push(&chunk[..n]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// A client request. Every request carries a client-chosen `id` echoed in
+/// the response, so duplicated or reordered requests stay attributable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Diagnose one tester failure log.
+    Diagnose {
+        /// Echoed request id.
+        id: u64,
+        /// The failure log in `m3d-faillog v1` text form.
+        log: String,
+        /// Per-request budget in milliseconds (`None` = server default).
+        deadline_ms: Option<u64>,
+        /// Skip GNN enhancement even when a model is loaded.
+        no_enhance: bool,
+    },
+    /// Server statistics snapshot.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Atomically reload the artifact bundle (new generation).
+    Reload {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Drain and stop the server (the shutdown signal — std has no
+    /// portable signal API, so shutdown is a protocol message).
+    Shutdown {
+        /// Echoed request id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// Renders the request as a single JSON line.
+    pub fn encode(&self) -> String {
+        let obj = match self {
+            Request::Ping { id } => vec![type_kv("ping"), id_kv(*id)],
+            Request::Diagnose {
+                id,
+                log,
+                deadline_ms,
+                no_enhance,
+            } => {
+                let mut o = vec![
+                    type_kv("diagnose"),
+                    id_kv(*id),
+                    ("log".into(), Json::Str(log.clone())),
+                ];
+                if let Some(ms) = deadline_ms {
+                    o.push(("deadline_ms".into(), Json::Num(*ms as f64)));
+                }
+                if *no_enhance {
+                    o.push(("no_enhance".into(), Json::Bool(true)));
+                }
+                o
+            }
+            Request::Stats { id } => vec![type_kv("stats"), id_kv(*id)],
+            Request::Reload { id } => vec![type_kv("reload"), id_kv(*id)],
+            Request::Shutdown { id } => vec![type_kv("shutdown"), id_kv(*id)],
+        };
+        Json::Obj(obj).render()
+    }
+
+    /// Parses one JSON line into a request.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadJson`] / [`ProtoError::BadMessage`] for malformed
+    /// payloads.
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        let v = m3d_obs::json::parse(line).map_err(ProtoError::BadJson)?;
+        let ty = req_str(&v, "type")?;
+        let id = req_u64(&v, "id")?;
+        match ty.as_str() {
+            "ping" => Ok(Request::Ping { id }),
+            "diagnose" => Ok(Request::Diagnose {
+                id,
+                log: req_str(&v, "log")?,
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
+                no_enhance: matches!(v.get("no_enhance"), Some(Json::Bool(true))),
+            }),
+            "stats" => Ok(Request::Stats { id }),
+            "reload" => Ok(Request::Reload { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(ProtoError::BadMessage(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+}
+
+/// One ranked candidate on the wire. Fields mirror
+/// [`m3d_diagnosis::Candidate`] exactly, so two reports are bit-identical
+/// iff their wire candidates (and degraded tags) are equal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireCandidate {
+    /// Fault-site index.
+    pub site: u64,
+    /// `"rise"` or `"fall"`.
+    pub polarity: String,
+    /// `"top"`, `"bottom"`, or `"miv"`.
+    pub tier: String,
+    /// Explained failures.
+    pub tfsf: u64,
+    /// Unexplained failures.
+    pub tfsp: u64,
+    /// Mispredicted failures.
+    pub tpsf: u64,
+}
+
+impl WireCandidate {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("site".into(), Json::Num(self.site as f64)),
+            ("polarity".into(), Json::Str(self.polarity.clone())),
+            ("tier".into(), Json::Str(self.tier.clone())),
+            ("tfsf".into(), Json::Num(self.tfsf as f64)),
+            ("tfsp".into(), Json::Num(self.tfsp as f64)),
+            ("tpsf".into(), Json::Num(self.tpsf as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<WireCandidate, ProtoError> {
+        Ok(WireCandidate {
+            site: req_u64(v, "site")?,
+            polarity: req_str(v, "polarity")?,
+            tier: req_str(v, "tier")?,
+            tfsf: req_u64(v, "tfsf")?,
+            tfsp: req_u64(v, "tfsp")?,
+            tpsf: req_u64(v, "tpsf")?,
+        })
+    }
+}
+
+/// Converts an in-process report into its wire candidates.
+pub fn wire_candidates(report: &DiagnosisReport) -> Vec<WireCandidate> {
+    report
+        .candidates()
+        .iter()
+        .map(|c| WireCandidate {
+            site: c.fault.site.index() as u64,
+            polarity: match c.fault.polarity {
+                Polarity::SlowToRise => "rise".into(),
+                Polarity::SlowToFall => "fall".into(),
+            },
+            tier: c.tier.map_or_else(|| "miv".into(), |t| t.to_string()),
+            tfsf: u64::from(c.score.tfsf),
+            tfsp: u64::from(c.score.tfsp),
+            tpsf: u64::from(c.score.tpsf),
+        })
+        .collect()
+}
+
+/// A server statistics snapshot (the `stats` response body).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Current artifact-bundle generation.
+    pub generation: u64,
+    /// Requests answered with a report.
+    pub completed: u64,
+    /// Reports served through a degraded path (shed, sanitized, or
+    /// model-fallback).
+    pub degraded: u64,
+    /// Requests rejected with `Overloaded`.
+    pub overloaded: u64,
+    /// Requests cancelled past their deadline.
+    pub deadline_exceeded: u64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Worker panics contained by the pool.
+    pub panics_contained: u64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+}
+
+impl StatsSnapshot {
+    const FIELDS: [&'static str; 9] = [
+        "generation",
+        "completed",
+        "degraded",
+        "overloaded",
+        "deadline_exceeded",
+        "protocol_errors",
+        "panics_contained",
+        "connections",
+        "queue_depth",
+    ];
+
+    fn values(&self) -> [u64; 9] {
+        [
+            self.generation,
+            self.completed,
+            self.degraded,
+            self.overloaded,
+            self.deadline_exceeded,
+            self.protocol_errors,
+            self.panics_contained,
+            self.connections,
+            self.queue_depth,
+        ]
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Liveness answer.
+    Pong {
+        /// Echoed request id.
+        id: u64,
+        /// Current bundle generation.
+        generation: u64,
+    },
+    /// A completed diagnosis.
+    Report {
+        /// Echoed request id.
+        id: u64,
+        /// The report (or the serve path) fell back to a degraded mode.
+        degraded: bool,
+        /// GNN enhancement ran.
+        enhanced: bool,
+        /// Policy action (`reorder`/`prune`/`pass_through`/`degraded`)
+        /// when enhancement ran.
+        action: Option<String>,
+        /// The exact `Display` rendering of the report (bitwise comparable
+        /// with offline `m3d-diag diagnose` output).
+        text: String,
+        /// Structured candidates.
+        candidates: Vec<WireCandidate>,
+    },
+    /// Typed backpressure: the admission queue is full.
+    Overloaded {
+        /// Echoed request id.
+        id: u64,
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request's budget expired before its diagnosis completed.
+    DeadlineExceeded {
+        /// Echoed request id.
+        id: u64,
+        /// The budget that expired, in milliseconds.
+        budget_ms: u64,
+    },
+    /// Statistics snapshot.
+    Stats {
+        /// Echoed request id.
+        id: u64,
+        /// The counters.
+        snapshot: StatsSnapshot,
+    },
+    /// The bundle reloaded into a new generation.
+    Reloaded {
+        /// Echoed request id.
+        id: u64,
+        /// The new generation.
+        generation: u64,
+    },
+    /// The server acknowledged shutdown and is draining.
+    ShuttingDown {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// A typed failure (protocol violation, unreadable log, contained
+    /// worker panic, failed reload).
+    Error {
+        /// Echoed request id when the request parsed far enough to have one.
+        id: Option<u64>,
+        /// Stable machine-readable kind (`protocol`, `bad_log`,
+        /// `internal`, `reload_failed`).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as a single JSON line.
+    pub fn encode(&self) -> String {
+        let obj = match self {
+            Response::Pong { id, generation } => vec![
+                type_kv("pong"),
+                id_kv(*id),
+                ("generation".into(), Json::Num(*generation as f64)),
+            ],
+            Response::Report {
+                id,
+                degraded,
+                enhanced,
+                action,
+                text,
+                candidates,
+            } => {
+                let mut o = vec![
+                    type_kv("report"),
+                    id_kv(*id),
+                    (
+                        "status".into(),
+                        Json::Str(if *degraded { "degraded" } else { "ok" }.into()),
+                    ),
+                    ("enhanced".into(), Json::Bool(*enhanced)),
+                ];
+                if let Some(a) = action {
+                    o.push(("action".into(), Json::Str(a.clone())));
+                }
+                o.push(("text".into(), Json::Str(text.clone())));
+                o.push((
+                    "candidates".into(),
+                    Json::Arr(candidates.iter().map(WireCandidate::to_json).collect()),
+                ));
+                o
+            }
+            Response::Overloaded { id, retry_after_ms } => vec![
+                type_kv("overloaded"),
+                id_kv(*id),
+                ("retry_after_ms".into(), Json::Num(*retry_after_ms as f64)),
+            ],
+            Response::DeadlineExceeded { id, budget_ms } => vec![
+                type_kv("deadline_exceeded"),
+                id_kv(*id),
+                ("budget_ms".into(), Json::Num(*budget_ms as f64)),
+            ],
+            Response::Stats { id, snapshot } => {
+                let mut o = vec![type_kv("stats"), id_kv(*id)];
+                for (k, v) in StatsSnapshot::FIELDS.iter().zip(snapshot.values()) {
+                    o.push(((*k).into(), Json::Num(v as f64)));
+                }
+                o
+            }
+            Response::Reloaded { id, generation } => vec![
+                type_kv("reloaded"),
+                id_kv(*id),
+                ("generation".into(), Json::Num(*generation as f64)),
+            ],
+            Response::ShuttingDown { id } => vec![type_kv("shutting_down"), id_kv(*id)],
+            Response::Error { id, kind, message } => {
+                let mut o = vec![type_kv("error")];
+                if let Some(id) = id {
+                    o.push(id_kv(*id));
+                }
+                o.push(("kind".into(), Json::Str(kind.clone())));
+                o.push(("message".into(), Json::Str(message.clone())));
+                o
+            }
+        };
+        Json::Obj(obj).render()
+    }
+
+    /// Parses one JSON line into a response (the client side).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::BadJson`] / [`ProtoError::BadMessage`] for malformed
+    /// payloads.
+    pub fn parse(line: &str) -> Result<Response, ProtoError> {
+        let v = m3d_obs::json::parse(line).map_err(ProtoError::BadJson)?;
+        let ty = req_str(&v, "type")?;
+        match ty.as_str() {
+            "pong" => Ok(Response::Pong {
+                id: req_u64(&v, "id")?,
+                generation: req_u64(&v, "generation")?,
+            }),
+            "report" => {
+                let status = req_str(&v, "status")?;
+                let degraded = match status.as_str() {
+                    "ok" => false,
+                    "degraded" => true,
+                    other => {
+                        return Err(ProtoError::BadMessage(format!("unknown status `{other}`")))
+                    }
+                };
+                let cands = v
+                    .get("candidates")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::BadMessage("missing `candidates`".into()))?
+                    .iter()
+                    .map(WireCandidate::from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Report {
+                    id: req_u64(&v, "id")?,
+                    degraded,
+                    enhanced: matches!(v.get("enhanced"), Some(Json::Bool(true))),
+                    action: v.get("action").and_then(Json::as_str).map(str::to_owned),
+                    text: req_str(&v, "text")?,
+                    candidates: cands,
+                })
+            }
+            "overloaded" => Ok(Response::Overloaded {
+                id: req_u64(&v, "id")?,
+                retry_after_ms: req_u64(&v, "retry_after_ms")?,
+            }),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded {
+                id: req_u64(&v, "id")?,
+                budget_ms: req_u64(&v, "budget_ms")?,
+            }),
+            "stats" => {
+                let mut snapshot = StatsSnapshot::default();
+                let slots: [&mut u64; 9] = [
+                    &mut snapshot.generation,
+                    &mut snapshot.completed,
+                    &mut snapshot.degraded,
+                    &mut snapshot.overloaded,
+                    &mut snapshot.deadline_exceeded,
+                    &mut snapshot.protocol_errors,
+                    &mut snapshot.panics_contained,
+                    &mut snapshot.connections,
+                    &mut snapshot.queue_depth,
+                ];
+                for (k, slot) in StatsSnapshot::FIELDS.iter().zip(slots) {
+                    *slot = req_u64(&v, k)?;
+                }
+                Ok(Response::Stats {
+                    id: req_u64(&v, "id")?,
+                    snapshot,
+                })
+            }
+            "reloaded" => Ok(Response::Reloaded {
+                id: req_u64(&v, "id")?,
+                generation: req_u64(&v, "generation")?,
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown {
+                id: req_u64(&v, "id")?,
+            }),
+            "error" => Ok(Response::Error {
+                id: opt_u64(&v, "id")?,
+                kind: req_str(&v, "kind")?,
+                message: req_str(&v, "message")?,
+            }),
+            other => Err(ProtoError::BadMessage(format!(
+                "unknown response type `{other}`"
+            ))),
+        }
+    }
+}
+
+fn type_kv(t: &str) -> (String, Json) {
+    ("type".into(), Json::Str(t.into()))
+}
+
+fn id_kv(id: u64) -> (String, Json) {
+    ("id".into(), Json::Num(id as f64))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ProtoError::BadMessage(format!("missing string `{key}`")))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, ProtoError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtoError::BadMessage(format!("missing integer `{key}`")))
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtoError::BadMessage(format!("`{key}` must be an integer"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(bytes: &[u8]) -> (Vec<String>, Option<ProtoError>) {
+        let mut dec = Decoder::new();
+        dec.push(bytes);
+        let mut out = Vec::new();
+        loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => out.push(f),
+                Ok(None) => return (out, None),
+                Err(e) => return (out, Some(e)),
+            }
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_any_split() {
+        let msgs = ["{}", "{\"type\":\"ping\",\"id\":1}", ""];
+        let mut stream = Vec::new();
+        for m in msgs {
+            stream.extend_from_slice(&encode_frame(m));
+        }
+        // Whole-stream decode.
+        let (out, err) = decode_all(&stream);
+        assert_eq!(out, msgs);
+        assert!(err.is_none());
+        // Byte-by-byte decode (worst-case interleaved partial writes).
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        for &b in &stream {
+            dec.push(&[b]);
+            while let Some(f) = dec.next_frame().expect("clean stream") {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, msgs);
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn framing_malformations_are_typed() {
+        let (_, e) = decode_all(b"nope\n{}\n");
+        assert!(matches!(e, Some(ProtoError::BadLengthPrefix { .. })));
+        let (_, e) = decode_all(b"999999999\n");
+        assert!(matches!(e, Some(ProtoError::BadLengthPrefix { .. })));
+        let (_, e) = decode_all(b"9999999\n");
+        assert!(matches!(e, Some(ProtoError::Oversized { len: 9999999 })));
+        let (_, e) = decode_all(b"2\n{}X");
+        assert_eq!(e, Some(ProtoError::BadTerminator));
+        let (_, e) = decode_all(b"2\n\xff\xfe\n");
+        assert_eq!(e, Some(ProtoError::InvalidUtf8));
+        // A poisoned decoder repeats its error instead of resyncing.
+        let mut dec = Decoder::new();
+        dec.push(b"bad\n");
+        assert!(dec.next_frame().is_err());
+        dec.push(&encode_frame("{}"));
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn requests_roundtrip_through_the_obs_parser() {
+        let reqs = [
+            Request::Ping { id: 7 },
+            Request::Diagnose {
+                id: 8,
+                log: "# m3d-faillog v1\nfail pattern 3 flop 2\n".into(),
+                deadline_ms: Some(250),
+                no_enhance: true,
+            },
+            Request::Stats { id: 9 },
+            Request::Reload { id: 10 },
+            Request::Shutdown { id: 11 },
+        ];
+        for r in reqs {
+            assert_eq!(Request::parse(&r.encode()).expect("roundtrip"), r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_the_obs_parser() {
+        let resps = [
+            Response::Pong {
+                id: 1,
+                generation: 2,
+            },
+            Response::Report {
+                id: 3,
+                degraded: true,
+                enhanced: false,
+                action: Some("reorder".into()),
+                text: "diagnosis report: 0 candidate(s)\n".into(),
+                candidates: vec![WireCandidate {
+                    site: 42,
+                    polarity: "rise".into(),
+                    tier: "top".into(),
+                    tfsf: 5,
+                    tfsp: 0,
+                    tpsf: 1,
+                }],
+            },
+            Response::Overloaded {
+                id: 4,
+                retry_after_ms: 30,
+            },
+            Response::DeadlineExceeded {
+                id: 5,
+                budget_ms: 100,
+            },
+            Response::Stats {
+                id: 6,
+                snapshot: StatsSnapshot {
+                    generation: 1,
+                    completed: 2,
+                    degraded: 3,
+                    overloaded: 4,
+                    deadline_exceeded: 5,
+                    protocol_errors: 6,
+                    panics_contained: 7,
+                    connections: 8,
+                    queue_depth: 9,
+                },
+            },
+            Response::Reloaded {
+                id: 7,
+                generation: 3,
+            },
+            Response::ShuttingDown { id: 8 },
+            Response::Error {
+                id: None,
+                kind: "protocol".into(),
+                message: "bad frame".into(),
+            },
+        ];
+        for r in resps {
+            assert_eq!(Response::parse(&r.encode()).expect("roundtrip"), r);
+        }
+    }
+
+    #[test]
+    fn bad_message_shapes_are_typed() {
+        for line in [
+            "[]",
+            "{\"type\":\"warp\",\"id\":1}",
+            "{\"type\":\"diagnose\",\"id\":1}",
+            "{\"type\":\"ping\"}",
+            "{\"type\":\"ping\",\"id\":-3}",
+        ] {
+            assert!(
+                matches!(Request::parse(line), Err(ProtoError::BadMessage(_))),
+                "{line}"
+            );
+        }
+        assert!(matches!(
+            Request::parse("{nope"),
+            Err(ProtoError::BadJson(_))
+        ));
+    }
+}

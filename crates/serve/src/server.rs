@@ -1,0 +1,736 @@
+//! The server: a generation loop around an acceptor, per-connection
+//! handlers, a cross-connection batcher, and a deadline reaper.
+//!
+//! # Ownership: the generation loop
+//!
+//! [`m3d_diagnosis::Diagnoser`] borrows a `FaultSim`, which borrows the
+//! design — a deliberately borrow-heavy design that this workspace cannot
+//! paper over with self-referential tricks (`unsafe` is denied). The
+//! server therefore runs *generations*: each iteration owns one
+//! [`ArtifactBundle`], builds the simulator and diagnoser on the stack,
+//! and opens a [`std::thread::scope`] in which every worker borrows them.
+//! Hot reload is a generation swap: the reloading connection loads and
+//! validates the **new** bundle first (the old generation keeps serving
+//! throughout), parks it, and asks the scope to wind down; the loop then
+//! swaps bundles and re-enters. A failed load is a typed error to the
+//! requesting client and nothing else changes — reload is atomic.
+//!
+//! # Failure containment
+//!
+//! * A malformed frame is a typed [`ProtoError`] response and a closed
+//!   connection — never a panic (`tests/proto_fuzz.rs`).
+//! * A panicking connection handler is caught, counted, and closes only
+//!   its own socket.
+//! * A panicking diagnosis worker is caught by the `m3d_par` `try_*`
+//!   containment; the batch re-runs its jobs individually so the poisoned
+//!   request gets a typed `internal` error while every sibling completes.
+//! * A request past its budget is cancelled cooperatively (the reaper
+//!   sets its flag; the scoring loops poll it) and answered with
+//!   `DeadlineExceeded`.
+//!
+//! The invariant the service tests pin down: for every well-formed
+//! request, the served report is bit-identical to an offline
+//! [`Diagnoser::diagnose`] run — at any pool width, under any chaos
+//! schedule.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use m3d_diagnosis::{Cancelled, Diagnoser};
+use m3d_fault_localization::PolicyAction;
+use m3d_tdf::{read_failure_log, FailureLog, FaultSim};
+
+use crate::admission::{admission_queue, Admission, AdmissionConfig, Job};
+use crate::artifacts::{ArtifactBundle, BundleSpec};
+use crate::proto::{
+    wire_candidates, write_frame, Decoder, ProtoError, Request, Response, StatsSnapshot,
+};
+
+/// Server configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// `m3d_par` pool width for batched diagnosis scoring.
+    pub pool_width: usize,
+    /// Admission / scheduling knobs.
+    pub admission: AdmissionConfig,
+    /// Socket poll tick in milliseconds (read timeout granularity).
+    pub poll_ms: u64,
+    /// A *partial* frame older than this is a slow-writer attack: the
+    /// connection gets a typed protocol error and is closed. Idle
+    /// connections at a frame boundary are unaffected.
+    pub frame_timeout_ms: u64,
+    /// Chaos hook: every Nth admitted job panics inside its diagnosis
+    /// worker (`None` in production). Drives the panic-containment tests.
+    pub chaos_panic_every: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            pool_width: 1,
+            admission: AdmissionConfig::default(),
+            poll_ms: 5,
+            frame_timeout_ms: 2_000,
+            chaos_panic_every: None,
+        }
+    }
+}
+
+/// Monotonic service counters, shared across generations.
+#[derive(Debug, Default)]
+struct Counters {
+    generation: AtomicU64,
+    completed: AtomicU64,
+    degraded: AtomicU64,
+    overloaded: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    protocol_errors: AtomicU64,
+    panics_contained: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Counters {
+    fn bump(&self, field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, queue_depth: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            generation: self.generation.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            queue_depth,
+        }
+    }
+}
+
+/// What a server run amounted to, returned after shutdown.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Artifact generations served (1 + reloads).
+    pub generations: u64,
+    /// Final counter values.
+    pub stats: StatsSnapshot,
+}
+
+/// A server running on a background thread (the in-process mode the load
+/// harness and the service tests use).
+pub struct RunningServer {
+    addr: SocketAddr,
+    join: thread::JoinHandle<Result<ServeSummary, String>>,
+}
+
+impl RunningServer {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to shut down (send it a `shutdown` request).
+    ///
+    /// # Errors
+    ///
+    /// The server's fatal error, if it died instead of draining.
+    pub fn join(self) -> Result<ServeSummary, String> {
+        self.join
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+    }
+}
+
+/// Binds and serves on the calling thread until a `shutdown` request.
+///
+/// # Errors
+///
+/// Bind or initial artifact-load failure.
+pub fn serve(spec: &BundleSpec, cfg: &ServeConfig) -> Result<ServeSummary, String> {
+    let listener = bind(cfg)?;
+    serve_on(listener, spec, cfg)
+}
+
+/// Spawns a server on a background thread, returning once it is bound and
+/// accepting.
+///
+/// # Errors
+///
+/// Bind failure (artifact-load failures surface through
+/// [`RunningServer::join`]).
+pub fn spawn_server(spec: &BundleSpec, cfg: &ServeConfig) -> Result<RunningServer, String> {
+    let listener = bind(cfg)?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let spec = spec.clone();
+    let cfg = cfg.clone();
+    let join = thread::Builder::new()
+        .name("m3d-serve".into())
+        .spawn(move || serve_on(listener, &spec, &cfg))
+        .map_err(|e| e.to_string())?;
+    Ok(RunningServer { addr, join })
+}
+
+fn bind(cfg: &ServeConfig) -> Result<TcpListener, String> {
+    let listener =
+        TcpListener::bind(&cfg.addr).map_err(|e| format!("binding {}: {e}", cfg.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking listener: {e}"))?;
+    Ok(listener)
+}
+
+fn serve_on(
+    listener: TcpListener,
+    spec: &BundleSpec,
+    cfg: &ServeConfig,
+) -> Result<ServeSummary, String> {
+    let mut bundle = ArtifactBundle::load(spec)?;
+    let counters = Counters::default();
+    let shutdown = AtomicBool::new(false);
+    let mut generations = 0u64;
+    loop {
+        generations += 1;
+        counters.generation.store(generations, Ordering::Relaxed);
+        let next = run_generation(&listener, &bundle, spec, cfg, &counters, &shutdown);
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match next {
+            Some(fresh) => bundle = fresh,
+            // Generation ended without a successor or a shutdown — only
+            // reachable if every exit path raced; treat as shutdown.
+            None => break,
+        }
+    }
+    Ok(ServeSummary {
+        generations,
+        stats: counters.snapshot(0),
+    })
+}
+
+/// Everything a connection handler borrows from its generation.
+struct GenCtx<'g> {
+    spec: &'g BundleSpec,
+    cfg: &'g ServeConfig,
+    counters: &'g Counters,
+    shutdown: &'g AtomicBool,
+    gen_exit: &'g AtomicBool,
+    pending_bundle: &'g Mutex<Option<ArtifactBundle>>,
+    admission: &'g Admission,
+    reaper: &'g Mutex<Vec<(Instant, Arc<AtomicBool>)>>,
+    active_conns: &'g AtomicUsize,
+}
+
+/// Runs one generation to completion; returns the next bundle on reload.
+fn run_generation(
+    listener: &TcpListener,
+    bundle: &ArtifactBundle,
+    spec: &BundleSpec,
+    cfg: &ServeConfig,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+) -> Option<ArtifactBundle> {
+    let fsim = bundle.env.fault_sim();
+    let diagnoser = Diagnoser::new(&fsim, &bundle.env.scan, bundle.mode, bundle.diag_cfg);
+    let (admission, jobs_rx) = admission_queue(cfg.admission);
+    let gen_exit = AtomicBool::new(false);
+    let pending_bundle = Mutex::new(None);
+    let reaper = Mutex::new(Vec::new());
+    let active_conns = AtomicUsize::new(0);
+    let ctx = GenCtx {
+        spec,
+        cfg,
+        counters,
+        shutdown,
+        gen_exit: &gen_exit,
+        pending_bundle: &pending_bundle,
+        admission: &admission,
+        reaper: &reaper,
+        active_conns: &active_conns,
+    };
+
+    thread::scope(|s| {
+        // Deadline reaper: sets cancellation flags the instant a budget
+        // expires, so jobs mid-batch stop scoring cooperatively.
+        s.spawn(|| {
+            while !gen_exit.load(Ordering::Relaxed) || active_conns.load(Ordering::Relaxed) > 0 {
+                let now = Instant::now();
+                {
+                    let mut reg = reaper.lock().expect("reaper registry");
+                    reg.retain(|(deadline, flag)| {
+                        if *deadline <= now {
+                            flag.store(true, Ordering::Relaxed);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+        });
+
+        // Batcher: drains admitted jobs across all connections and scores
+        // them together over the worker pool. It owns the receiver
+        // (`Receiver` is `Send` but not `Sync`).
+        let batcher_ctx = &ctx;
+        let batcher_diag = &diagnoser;
+        let batcher_fsim = &fsim;
+        s.spawn(move || {
+            run_batcher(&jobs_rx, batcher_ctx, batcher_diag, bundle, batcher_fsim);
+        });
+
+        // Acceptor: polls the nonblocking listener so it can observe the
+        // exit flags (std offers no unblockable accept).
+        loop {
+            if gen_exit.load(Ordering::Relaxed) || shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    counters.bump(&counters.connections);
+                    active_conns.fetch_add(1, Ordering::Relaxed);
+                    let ctx = &ctx;
+                    let spawned = thread::Builder::new()
+                        .name("m3d-serve-conn".into())
+                        .stack_size(256 * 1024)
+                        .spawn_scoped(s, move || {
+                            let result =
+                                catch_unwind(AssertUnwindSafe(|| handle_conn(stream, ctx)));
+                            if result.is_err() {
+                                // The handler panicked: contained here, so
+                                // one poisoned connection cannot take the
+                                // process (or its siblings) down.
+                                ctx.counters.bump(&ctx.counters.panics_contained);
+                            }
+                            ctx.active_conns.fetch_sub(1, Ordering::Relaxed);
+                        });
+                    if spawned.is_err() {
+                        active_conns.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // The scope now joins the reaper, the batcher, and every live
+        // connection handler before the borrows of `bundle` end.
+    });
+
+    let next = pending_bundle.lock().expect("pending bundle").take();
+    next
+}
+
+/// The batcher loop: deadline-checks, batches, scores, replies.
+fn run_batcher(
+    jobs_rx: &Receiver<Job>,
+    ctx: &GenCtx<'_>,
+    diagnoser: &Diagnoser<'_>,
+    bundle: &ArtifactBundle,
+    fsim: &FaultSim<'_>,
+) {
+    let batch_max = ctx.admission.config().batch_max.max(1);
+    loop {
+        let first = match jobs_rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                // Exit only once no handler can admit another job.
+                if ctx.gen_exit.load(Ordering::Relaxed)
+                    && ctx.active_conns.load(Ordering::Relaxed) == 0
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        ctx.admission.note_dequeued();
+        let mut batch = vec![first];
+        while batch.len() < batch_max {
+            match jobs_rx.try_recv() {
+                Ok(job) => {
+                    ctx.admission.note_dequeued();
+                    batch.push(job);
+                }
+                Err(_) => break,
+            }
+        }
+        process_batch(batch, ctx, diagnoser, bundle, fsim);
+    }
+}
+
+fn process_batch(
+    batch: Vec<Job>,
+    ctx: &GenCtx<'_>,
+    diagnoser: &Diagnoser<'_>,
+    bundle: &ArtifactBundle,
+    fsim: &FaultSim<'_>,
+) {
+    // Jobs that expired while queued are answered without scoring.
+    let now = Instant::now();
+    let (live, expired): (Vec<Job>, Vec<Job>) = batch
+        .into_iter()
+        .partition(|j| j.deadline > now && !j.cancel.load(Ordering::Relaxed));
+    for job in expired {
+        ctx.counters.bump(&ctx.counters.deadline_exceeded);
+        let _ = job.reply.send(Response::DeadlineExceeded {
+            id: job.id,
+            budget_ms: job.budget_ms,
+        });
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let mut sp = m3d_obs::span("serve_batch");
+    sp.add("jobs", live.len() as u64);
+    let width = ctx.cfg.pool_width.max(1);
+    // `with_threads` is a thread-local override, so the batcher must apply
+    // the pool width itself — connection threads never score.
+    let scored = m3d_par::with_threads(width, || {
+        m3d_par::try_par_map(&live, |job| run_job(job, ctx, diagnoser, bundle, fsim))
+    });
+    match scored {
+        Ok(responses) => {
+            for (job, resp) in live.iter().zip(responses) {
+                finish_job(job, resp, ctx);
+            }
+        }
+        Err(_first_panic) => {
+            // A worker panicked. Every sibling's result is discarded with
+            // the batch, so re-run each job alone: the poisoned one (the
+            // chaos hook keys on the stable admission sequence number)
+            // earns a typed internal error, the rest complete normally.
+            for job in &live {
+                let one = std::slice::from_ref(job);
+                let retried = m3d_par::with_threads(width, || {
+                    m3d_par::try_par_map(one, |job| run_job(job, ctx, diagnoser, bundle, fsim))
+                });
+                match retried {
+                    Ok(mut responses) => {
+                        let resp = responses.pop().expect("one job in, one response out");
+                        finish_job(job, resp, ctx);
+                    }
+                    Err(p) => {
+                        ctx.counters.bump(&ctx.counters.panics_contained);
+                        finish_job(
+                            job,
+                            Response::Error {
+                                id: Some(job.id),
+                                kind: "internal".into(),
+                                message: format!("diagnosis worker panicked: {}", p.message),
+                            },
+                            ctx,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scores one job inside a pool worker. Runs under `try_par_map`, so a
+/// panic here (chaos hook included) is contained per job.
+fn run_job(
+    job: &Job,
+    ctx: &GenCtx<'_>,
+    diagnoser: &Diagnoser<'_>,
+    bundle: &ArtifactBundle,
+    fsim: &FaultSim<'_>,
+) -> Response {
+    let mut sp = m3d_obs::span("serve_request");
+    sp.add("entries", job.log.len() as u64);
+    if let Some(every) = ctx.cfg.chaos_panic_every {
+        if every > 0 && job.seq.is_multiple_of(every) {
+            panic!("chaos: injected worker panic (seq {})", job.seq);
+        }
+    }
+    let report = match diagnoser.try_diagnose(&job.log, &job.cancel) {
+        Ok(report) => report,
+        Err(Cancelled) => {
+            return Response::DeadlineExceeded {
+                id: job.id,
+                budget_ms: job.budget_ms,
+            }
+        }
+    };
+    // The budget covers enhancement too.
+    if job.cancel.load(Ordering::Relaxed) {
+        return Response::DeadlineExceeded {
+            id: job.id,
+            budget_ms: job.budget_ms,
+        };
+    }
+    let (report, enhanced, action) = if job.degrade {
+        // Shedding rung two: admitted past the watermark, so the optional
+        // enhancement stage is skipped and the baseline ranking is served,
+        // tagged so the client knows it may retry later for the full path.
+        let mut r = report;
+        r.mark_degraded();
+        sp.add("shed_degraded", 1);
+        (r, false, None)
+    } else {
+        match (&bundle.localizer, job.no_enhance) {
+            (Some(loc), false) => {
+                let sample = bundle.sample_for(fsim, &job.log);
+                let outcome = loc.enhance(&bundle.env.design, &report, &sample);
+                let action = match outcome.action {
+                    PolicyAction::Reorder => "reorder",
+                    PolicyAction::Prune => "prune",
+                    PolicyAction::PassThrough => "pass_through",
+                    PolicyAction::Degraded => "degraded",
+                };
+                (outcome.report, true, Some(action.to_string()))
+            }
+            _ => (report, false, None),
+        }
+    };
+    Response::Report {
+        id: job.id,
+        degraded: report.degraded(),
+        enhanced,
+        action,
+        text: report.to_string(),
+        candidates: wire_candidates(&report),
+    }
+}
+
+/// Accounts for a finished job and hands its response to the connection.
+fn finish_job(job: &Job, resp: Response, ctx: &GenCtx<'_>) {
+    match &resp {
+        Response::Report { degraded, .. } => {
+            ctx.counters.bump(&ctx.counters.completed);
+            if *degraded {
+                ctx.counters.bump(&ctx.counters.degraded);
+            }
+        }
+        Response::DeadlineExceeded { .. } => {
+            ctx.counters.bump(&ctx.counters.deadline_exceeded);
+        }
+        _ => {}
+    }
+    m3d_obs::observe(
+        "serve_latency_ms",
+        job.enqueued.elapsed().as_secs_f64() * 1e3,
+    );
+    // The handler (and its client) may already be gone — that is its
+    // problem, not the batcher's.
+    let _ = job.reply.send(resp);
+}
+
+/// One connection: a poll loop multiplexing socket reads, batcher
+/// replies, and the generation exit flags.
+fn handle_conn(mut stream: TcpStream, ctx: &GenCtx<'_>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(ctx.cfg.poll_ms.max(1))));
+    let (reply_tx, reply_rx) = channel::<Response>();
+    let mut dec = Decoder::new();
+    let mut chunk = [0u8; 4096];
+    let mut pending = 0usize; // outstanding diagnose jobs
+    let mut partial_since: Option<Instant> = None;
+    let mut closing = false; // stop reading, drain replies, then close
+
+    loop {
+        while let Ok(resp) = reply_rx.try_recv() {
+            pending -= 1;
+            if write_frame(&mut stream, &resp.encode()).is_err() {
+                return; // client went away; remaining replies are moot
+            }
+        }
+        if closing || ctx.gen_exit.load(Ordering::Relaxed) {
+            if pending == 0 {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if dec.has_partial() {
+                    // Mid-frame disconnect: a truncated frame.
+                    ctx.counters.bump(&ctx.counters.protocol_errors);
+                }
+                closing = true;
+            }
+            Ok(n) => {
+                dec.push(&chunk[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(frame)) => {
+                            partial_since = None;
+                            if !handle_frame(&frame, &mut stream, ctx, &reply_tx, &mut pending) {
+                                closing = true;
+                                break;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            protocol_reject(&mut stream, ctx, &e);
+                            closing = true;
+                            break;
+                        }
+                    }
+                }
+                if !closing {
+                    if dec.has_partial() {
+                        partial_since.get_or_insert_with(Instant::now);
+                    } else {
+                        partial_since = None;
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle tick. A *partial* frame that has stopped making
+                // progress for longer than the frame timeout is a
+                // slow-writer (slowloris) attack: reject and close.
+                if let Some(since) = partial_since {
+                    if since.elapsed() >= Duration::from_millis(ctx.cfg.frame_timeout_ms) {
+                        protocol_reject(&mut stream, ctx, &ProtoError::Timeout);
+                        closing = true;
+                    }
+                }
+            }
+            Err(_) => closing = true,
+        }
+    }
+}
+
+/// Counts and reports a protocol violation (best-effort) before the
+/// caller closes the connection.
+fn protocol_reject(stream: &mut TcpStream, ctx: &GenCtx<'_>, err: &ProtoError) {
+    ctx.counters.bump(&ctx.counters.protocol_errors);
+    let resp = Response::Error {
+        id: None,
+        kind: "protocol".into(),
+        message: err.to_string(),
+    };
+    let _ = write_frame(stream, &resp.encode());
+}
+
+/// Dispatches one parsed frame; returns `false` when the connection must
+/// close (protocol violation or server wind-down).
+fn handle_frame(
+    frame: &str,
+    stream: &mut TcpStream,
+    ctx: &GenCtx<'_>,
+    reply_tx: &Sender<Response>,
+    pending: &mut usize,
+) -> bool {
+    let req = match Request::parse(frame) {
+        Ok(req) => req,
+        Err(e) => {
+            protocol_reject(stream, ctx, &e);
+            return false;
+        }
+    };
+    match req {
+        Request::Ping { id } => send_now(
+            stream,
+            &Response::Pong {
+                id,
+                generation: ctx.counters.generation.load(Ordering::Relaxed),
+            },
+        ),
+        Request::Stats { id } => {
+            let snapshot = ctx.counters.snapshot(ctx.admission.depth() as u64);
+            send_now(stream, &Response::Stats { id, snapshot })
+        }
+        Request::Shutdown { id } => {
+            ctx.shutdown.store(true, Ordering::Relaxed);
+            ctx.gen_exit.store(true, Ordering::Relaxed);
+            send_now(stream, &Response::ShuttingDown { id });
+            false
+        }
+        Request::Reload { id } => {
+            // Load and validate the *new* bundle before anything changes;
+            // the current generation keeps serving while this runs.
+            match ArtifactBundle::load(ctx.spec) {
+                Ok(fresh) => {
+                    *ctx.pending_bundle.lock().expect("pending bundle") = Some(fresh);
+                    ctx.gen_exit.store(true, Ordering::Relaxed);
+                    send_now(
+                        stream,
+                        &Response::Reloaded {
+                            id,
+                            generation: ctx.counters.generation.load(Ordering::Relaxed) + 1,
+                        },
+                    );
+                    false
+                }
+                Err(message) => send_now(
+                    stream,
+                    &Response::Error {
+                        id: Some(id),
+                        kind: "reload_failed".into(),
+                        message,
+                    },
+                ),
+            }
+        }
+        Request::Diagnose {
+            id,
+            log,
+            deadline_ms,
+            no_enhance,
+        } => {
+            let log: FailureLog = match read_failure_log(&log) {
+                Ok(log) => log,
+                Err(e) => {
+                    // A well-framed request with an unreadable log is a
+                    // client data error, not a protocol violation: answer
+                    // typed and keep the connection.
+                    return send_now(
+                        stream,
+                        &Response::Error {
+                            id: Some(id),
+                            kind: "bad_log".into(),
+                            message: e.to_string(),
+                        },
+                    );
+                }
+            };
+            match ctx
+                .admission
+                .admit(id, log, deadline_ms, no_enhance, reply_tx.clone())
+            {
+                Ok((deadline, cancel)) => {
+                    ctx.reaper
+                        .lock()
+                        .expect("reaper registry")
+                        .push((deadline, cancel));
+                    *pending += 1;
+                    true
+                }
+                Err(resp) => {
+                    if matches!(resp, Response::Overloaded { .. }) {
+                        ctx.counters.bump(&ctx.counters.overloaded);
+                    }
+                    send_now(stream, &resp)
+                }
+            }
+        }
+    }
+}
+
+/// Writes a response inline; `false` (close) on a dead socket.
+fn send_now(stream: &mut TcpStream, resp: &Response) -> bool {
+    write_frame(stream, &resp.encode()).is_ok()
+}

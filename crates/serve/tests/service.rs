@@ -1,0 +1,368 @@
+//! Service-level tests: the chaos invariant, hot reload, typed overload
+//! and deadline outcomes, the shed ladder, and shutdown drain.
+//!
+//! The invariant everything here defends: for every well-formed request,
+//! the served report is **bit-identical** to an offline
+//! [`Diagnoser::diagnose`] run — at any pool width, under any chaos
+//! schedule. Infrastructure failure is only ever visible as a typed
+//! protocol outcome.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use m3d_diagnosis::Diagnoser;
+use m3d_fault_localization::{try_generate_samples, InjectionKind};
+use m3d_netlist::generate::Benchmark;
+use m3d_serve::proto::{read_frame, write_frame, Decoder, Request, Response};
+use m3d_serve::{
+    run_load, spawn_server, AdmissionConfig, ArtifactBundle, BundleSource, BundleSpec, LoadConfig,
+    ServeConfig,
+};
+use m3d_tdf::write_failure_log;
+
+fn spec(target: usize, enhance_samples: usize) -> BundleSpec {
+    BundleSpec {
+        source: BundleSource::Generated {
+            bench: Benchmark::Aes,
+            target: Some(target),
+        },
+        enhance_samples,
+        epochs: 2,
+        ..BundleSpec::default()
+    }
+}
+
+fn cfg_with(admission: AdmissionConfig) -> ServeConfig {
+    ServeConfig {
+        admission,
+        ..ServeConfig::default()
+    }
+}
+
+/// A minimal framed test client.
+struct Client {
+    stream: TcpStream,
+    dec: Decoder,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        // Generous: the server may still be building artifacts in a debug
+        // build when the first request lands.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(300)))
+            .expect("timeout");
+        Client {
+            stream,
+            dec: Decoder::new(),
+        }
+    }
+
+    fn send(&mut self, req: &Request) {
+        write_frame(&mut self.stream, &req.encode()).expect("send");
+    }
+
+    fn recv(&mut self) -> Response {
+        let line = read_frame(&mut self.stream, &mut self.dec)
+            .expect("read frame")
+            .expect("response before EOF");
+        Response::parse(&line).expect("parse response")
+    }
+
+    fn call(&mut self, req: &Request) -> Response {
+        self.send(req);
+        self.recv()
+    }
+}
+
+/// One synthetic failure log plus its offline expected reports.
+struct Offline {
+    log_text: String,
+    plain_text: String,
+    shed_text: String,
+}
+
+/// Computes the offline ground truth the served reports must match.
+fn offline_expected(spec: &BundleSpec) -> Offline {
+    let bundle = ArtifactBundle::load(spec).expect("offline bundle");
+    let fsim = bundle.env.fault_sim();
+    let diagnoser = Diagnoser::new(&fsim, &bundle.env.scan, bundle.mode, bundle.diag_cfg);
+    let sample = &try_generate_samples(
+        &bundle.env,
+        &fsim,
+        bundle.mode,
+        InjectionKind::Single,
+        1,
+        0xBEEF,
+    )
+    .expect("sample")[0];
+    let plain = diagnoser.diagnose(&sample.log);
+    let mut shed = plain.clone();
+    shed.mark_degraded();
+    Offline {
+        log_text: write_failure_log(&sample.log),
+        plain_text: plain.to_string(),
+        shed_text: shed.to_string(),
+    }
+}
+
+/// The tentpole invariant, end to end: ≥ 48 chaos-ridden client sessions
+/// per pool width, every served report bit-compared against the offline
+/// diagnosis, worker panics injected and contained, zero crashed clean
+/// connections.
+#[test]
+fn served_reports_match_offline_at_any_width_under_chaos() {
+    let cfg = LoadConfig {
+        spec: spec(220, 6),
+        clients: 24,
+        requests_per_client: 2,
+        widths: vec![1, 4],
+        chaos_seed: 7,
+        chaos_rate: 0.35,
+        deadline_ms: None,
+        log_pool: 6,
+        server_panic_every: Some(5),
+        admission: AdmissionConfig::default(),
+        frame_timeout_ms: 200,
+        addr: None,
+    };
+    let report = run_load(&cfg).expect("load run");
+    for w in &report.widths {
+        assert_eq!(
+            w.crashed_connections, 0,
+            "width {}: clean connections crashed",
+            w.width
+        );
+        assert_eq!(
+            w.mismatches, 0,
+            "width {}: served report diverged from offline: {:?}",
+            w.width, w.first_mismatch
+        );
+        assert!(w.completed > 0, "width {}: nothing completed", w.width);
+    }
+    let panics: u64 = report.widths.iter().map(|w| w.panics_contained).sum();
+    assert!(panics > 0, "the chaos panic hook never fired");
+    assert!(report.clean());
+}
+
+/// Hot reload is a generation swap: the reloading client gets a typed ack
+/// naming the new generation, fresh connections see it, and diagnoses stay
+/// bit-identical across the swap. Shutdown then drains cleanly.
+#[test]
+fn reload_swaps_generations_and_preserves_reports() {
+    let spec = spec(200, 0);
+    let offline = offline_expected(&spec);
+    let server = spawn_server(&spec, &ServeConfig::default()).expect("spawn");
+    let addr = server.addr();
+
+    let mut c = Client::connect(addr);
+    match c.call(&Request::Ping { id: 1 }) {
+        Response::Pong { generation, .. } => assert_eq!(generation, 1),
+        other => panic!("expected pong, got {other:?}"),
+    }
+    match c.call(&Request::Diagnose {
+        id: 2,
+        log: offline.log_text.clone(),
+        deadline_ms: None,
+        no_enhance: false,
+    }) {
+        Response::Report {
+            text,
+            degraded,
+            enhanced,
+            ..
+        } => {
+            assert_eq!(text, offline.plain_text, "generation 1 diverged");
+            assert!(!degraded && !enhanced);
+        }
+        other => panic!("expected report, got {other:?}"),
+    }
+    match c.call(&Request::Reload { id: 3 }) {
+        Response::Reloaded { generation, .. } => assert_eq!(generation, 2),
+        other => panic!("expected reloaded, got {other:?}"),
+    }
+
+    // The reloading connection closes; the swapped generation serves new
+    // ones, bit-identically (same spec → same bundle).
+    let mut c = Client::connect(addr);
+    match c.call(&Request::Ping { id: 4 }) {
+        Response::Pong { generation, .. } => assert_eq!(generation, 2),
+        other => panic!("expected pong, got {other:?}"),
+    }
+    match c.call(&Request::Diagnose {
+        id: 5,
+        log: offline.log_text.clone(),
+        deadline_ms: None,
+        no_enhance: false,
+    }) {
+        Response::Report { text, .. } => assert_eq!(text, offline.plain_text, "reload diverged"),
+        other => panic!("expected report, got {other:?}"),
+    }
+
+    let mut c = Client::connect(addr);
+    match c.call(&Request::Shutdown { id: 6 }) {
+        Response::ShuttingDown { id } => assert_eq!(id, 6),
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    let summary = server.join().expect("clean shutdown");
+    assert_eq!(summary.generations, 2);
+    assert_eq!(summary.stats.completed, 2);
+}
+
+/// A burst into a capacity-1 queue: most requests are refused with typed
+/// `Overloaded` (with a backoff hint), the rest complete bit-identically —
+/// nothing hangs, nothing is silently dropped.
+#[test]
+fn full_queues_refuse_with_typed_backpressure() {
+    let spec = spec(200, 0);
+    let offline = offline_expected(&spec);
+    let server = spawn_server(
+        &spec,
+        &cfg_with(AdmissionConfig {
+            queue_capacity: 1,
+            shed_watermark: 1,
+            batch_max: 1,
+            ..AdmissionConfig::default()
+        }),
+    )
+    .expect("spawn");
+
+    let mut c = Client::connect(server.addr());
+    const BURST: u64 = 30;
+    for id in 0..BURST {
+        c.send(&Request::Diagnose {
+            id,
+            log: offline.log_text.clone(),
+            deadline_ms: None,
+            no_enhance: false,
+        });
+    }
+    let (mut reports, mut overloaded) = (0u64, 0u64);
+    for _ in 0..BURST {
+        match c.recv() {
+            Response::Report { text, .. } => {
+                // Above the watermark the report is the shed (degraded)
+                // baseline; below it, the plain one. Both must be
+                // bit-identical to their offline variant.
+                assert!(
+                    text == offline.plain_text || text == offline.shed_text,
+                    "burst report diverged from offline:\n{text}"
+                );
+                reports += 1;
+            }
+            Response::Overloaded { retry_after_ms, .. } => {
+                assert!(retry_after_ms >= 10, "hint must scale from the base");
+                overloaded += 1;
+            }
+            Response::DeadlineExceeded { .. } => {}
+            other => panic!("untyped outcome in a burst: {other:?}"),
+        }
+    }
+    assert!(
+        overloaded > 0,
+        "a capacity-1 queue must refuse some of {BURST}"
+    );
+    assert!(reports > 0, "admitted requests must still complete");
+
+    let mut c = Client::connect(server.addr());
+    c.call(&Request::Shutdown { id: 99 });
+    server.join().expect("clean shutdown");
+}
+
+/// Requests carrying a 1 ms budget against a serial (batch_max = 1) queue:
+/// jobs expire while queued or mid-scoring and are answered with typed
+/// `DeadlineExceeded` echoing the budget — never a hang, never a stale
+/// report after cancellation.
+#[test]
+fn expired_budgets_are_typed_deadline_exceeded() {
+    let spec = spec(200, 0);
+    let offline = offline_expected(&spec);
+    let server = spawn_server(
+        &spec,
+        &cfg_with(AdmissionConfig {
+            queue_capacity: 64,
+            shed_watermark: 64,
+            batch_max: 1,
+            ..AdmissionConfig::default()
+        }),
+    )
+    .expect("spawn");
+
+    let mut c = Client::connect(server.addr());
+    const BURST: u64 = 20;
+    for id in 0..BURST {
+        c.send(&Request::Diagnose {
+            id,
+            log: offline.log_text.clone(),
+            deadline_ms: Some(1),
+            no_enhance: false,
+        });
+    }
+    let mut expired = 0u64;
+    for _ in 0..BURST {
+        match c.recv() {
+            Response::DeadlineExceeded { budget_ms, .. } => {
+                assert_eq!(budget_ms, 1, "the response echoes the budget");
+                expired += 1;
+            }
+            Response::Report { text, .. } => {
+                assert_eq!(text, offline.plain_text, "pre-deadline report diverged");
+            }
+            Response::Overloaded { .. } => {}
+            other => panic!("untyped outcome: {other:?}"),
+        }
+    }
+    assert!(
+        expired > 0,
+        "1 ms budgets behind a serial queue must expire some of {BURST}"
+    );
+
+    let mut c = Client::connect(server.addr());
+    c.call(&Request::Shutdown { id: 99 });
+    server.join().expect("clean shutdown");
+}
+
+/// The shed ladder's middle rung: with the watermark at zero every
+/// admitted request skips enhancement and serves the baseline ranking
+/// tagged `degraded` — bit-identical to the offline baseline, never a
+/// half-enhanced hybrid.
+#[test]
+fn shed_requests_serve_the_degraded_baseline() {
+    let spec = spec(220, 6);
+    let offline = offline_expected(&spec);
+    let server = spawn_server(
+        &spec,
+        &cfg_with(AdmissionConfig {
+            shed_watermark: 0,
+            ..AdmissionConfig::default()
+        }),
+    )
+    .expect("spawn");
+
+    let mut c = Client::connect(server.addr());
+    match c.call(&Request::Diagnose {
+        id: 1,
+        log: offline.log_text.clone(),
+        deadline_ms: None,
+        no_enhance: false,
+    }) {
+        Response::Report {
+            degraded,
+            enhanced,
+            action,
+            text,
+            ..
+        } => {
+            assert!(degraded, "shed reports carry the degraded tag");
+            assert!(!enhanced, "shedding skips the enhancement stage");
+            assert_eq!(action, None);
+            assert_eq!(text, offline.shed_text, "shed report diverged from offline");
+        }
+        other => panic!("expected report, got {other:?}"),
+    }
+
+    c.call(&Request::Shutdown { id: 2 });
+    let summary = server.join().expect("clean shutdown");
+    assert_eq!(summary.stats.degraded, 1);
+}

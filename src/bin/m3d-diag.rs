@@ -18,6 +18,10 @@
 //! m3d-diag verify    [--bench all|aes|tate|netcard|leon3mp] [--target N] [--json]
 //!                    [--deny] [--baseline FILE] [--write-baseline FILE]
 //! m3d-diag verify    --netlist F --partition F [--json]
+//! m3d-diag serve     [--addr A] [--bench aes|--design-dir D] [--width N]
+//!                    [--enhance-samples N] [--model-cache F] [--queue N] [--watermark N]
+//! m3d-diag load      [--addr A] [--clients N] [--requests N] [--widths 1,4]
+//!                    [--chaos-seed S] [--chaos-rate X] [-o BENCH_serve.json]
 //! m3d-diag report    FILE.jsonl [MORE.jsonl…]
 //! m3d-diag help      [COMMAND]
 //! ```
@@ -56,6 +60,10 @@ use m3d_fault_diagnosis::netlist::generate::{Benchmark, GenParams};
 use m3d_fault_diagnosis::netlist::io::{read_netlist, write_netlist};
 use m3d_fault_diagnosis::netlist::{Netlist, SiteId};
 use m3d_fault_diagnosis::part::{read_partition, write_partition, M3dDesign, PartitionAlgo};
+use m3d_fault_diagnosis::serve::{
+    render_bench_json, run_load, spawn_server, AdmissionConfig, BundleSource, BundleSpec,
+    LoadConfig, ServeConfig,
+};
 use m3d_fault_diagnosis::tdf::{
     generate_patterns, read_failure_log, write_failure_log, AtpgConfig, FailureLog, Fault,
     FaultSim, Polarity,
@@ -206,6 +214,8 @@ fn run(args: &[String]) -> Result<(), String> {
             "demo" => cmd_demo(rest),
             "lint" => cmd_lint(rest),
             "verify" => cmd_verify(rest),
+            "serve" => cmd_serve(rest),
+            "load" => cmd_load(rest),
             "report" => cmd_report(rest),
             "help" | "--help" | "-h" => cmd_help(rest),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -215,9 +225,23 @@ fn run(args: &[String]) -> Result<(), String> {
     // effect as M3D_THREADS=N, but per invocation). Every parallel stage
     // is bitwise deterministic in the pool width, so this only changes
     // wall time, never output.
-    let result = match threads {
+    //
+    // The command runs under `catch_unwind` so that abnormal termination —
+    // a panic escaping a long-running `serve` loop, say — still flushes the
+    // requested `--trace`/`--metrics` JSONL before the process dies: the
+    // trace of a crash is the most valuable trace there is.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match threads {
         Some(n) => m3d_par::with_threads(n, run_cmd),
         None => run_cmd(),
+    }));
+    let result = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            if sinks.wanted() {
+                let _ = sinks.flush();
+            }
+            std::panic::resume_unwind(payload);
+        }
     };
     let flushed = if sinks.wanted() {
         sinks.flush()
@@ -240,6 +264,8 @@ fn root_span_name(cmd: &str) -> &'static str {
         "demo" => "demo",
         "lint" => "lint",
         "verify" => "verify",
+        "serve" => "serve",
+        "load" => "load",
         "report" => "report",
         _ => "cli",
     }
@@ -369,6 +395,46 @@ const COMMANDS: &[CommandHelp] = &[
                 --deny                exit nonzero on any unwaived finding\n  \
                 --baseline FILE       waive the findings listed in FILE\n  \
                 --write-baseline FILE write the current findings as a baseline",
+    },
+    CommandHelp {
+        name: "serve",
+        summary: "long-running TCP diagnosis service (length-prefixed JSONL)",
+        flags: "  --addr A              bind address (default 127.0.0.1:7433; :0 picks a port)\n  \
+                --bench NAME          generated benchmark source (default aes)\n  \
+                --target N            benchmark gate-count target (default 300)\n  \
+                --design-dir D        CRC-verified bundle directory instead of --bench\n  \
+                --compacted           compacted observation mode\n  \
+                --enhance-samples N   train GNN enhancement on N samples (0 = baseline only)\n  \
+                --epochs N            enhancement training epochs (default 25)\n  \
+                --sample-seed S       training-sample seed (default 1)\n  \
+                --model-seed S        model-init seed (default 7)\n  \
+                --model-cache F       checkpoint file caching the trained weights\n  \
+                --width N             diagnosis pool width (default 1)\n  \
+                --queue N             admission queue capacity (default 64)\n  \
+                --watermark N         shed watermark: degrade past this depth (default 48)\n  \
+                --default-deadline-ms N  budget when the request names none (default 2000)\n  \
+                --max-deadline-ms N   hard cap on requested budgets (default 10000)\n  \
+                --batch-max N         max jobs per scoring batch (default 8)\n  \
+                --frame-timeout-ms N  slow-writer (partial-frame) timeout (default 2000)\n  \
+                --chaos-panic-every N chaos hook: panic every Nth job's worker",
+    },
+    CommandHelp {
+        name: "load",
+        summary: "deterministic load generator + chaos client for the service",
+        flags: "  --addr A              target an external server (default: in-process per width)\n  \
+                --clients N           concurrent client sessions per width (default 1000)\n  \
+                --requests N          clean exchanges per client (default 2)\n  \
+                --widths LIST         pool widths to phase through (default 1,4)\n  \
+                --chaos-seed S        chaos schedule seed (default 1)\n  \
+                --chaos-rate X        per-request fault probability 0..1 (default 0)\n  \
+                --deadline-ms N       per-request budget sent to the server\n  \
+                --log-pool N          distinct synthetic failure logs (default 32)\n  \
+                --server-panic-every N  in-process chaos: panic every Nth job\n  \
+                --queue N / --watermark N / --batch-max N   in-process admission knobs\n  \
+                --frame-timeout-ms N  in-process slow-writer timeout (default 400)\n  \
+                --bench/--target/--design-dir/--compacted/--enhance-samples/...\n                        \
+                artifact spec, as for `serve` (must match an external server)\n  \
+                -o FILE               write the BENCH_serve.json report to FILE",
     },
     CommandHelp {
         name: "report",
@@ -939,5 +1005,169 @@ fn cmd_demo(args: &[String]) -> Result<(), String> {
     }
     println!("action: {:?}", outcome.action);
     print!("{}", outcome.report);
+    Ok(())
+}
+
+/// Builds the serve/load artifact spec from the shared bundle flags.
+fn bundle_spec_of(flags: &Flags) -> Result<BundleSpec, String> {
+    let d = BundleSpec::default();
+    let source = match flags.get("design-dir") {
+        Some(dir) => BundleSource::Directory(dir.into()),
+        None => BundleSource::Generated {
+            bench: parse_bench(flags.get("bench").unwrap_or("aes"))?,
+            target: Some(flags.num("target", 300usize)?),
+        },
+    };
+    Ok(BundleSpec {
+        source,
+        compacted: flags.flag("compacted"),
+        enhance_samples: flags.num("enhance-samples", d.enhance_samples)?,
+        epochs: flags.num("epochs", d.epochs)?,
+        sample_seed: flags.num("sample-seed", d.sample_seed)?,
+        model_seed: flags.num("model-seed", d.model_seed)?,
+        model_path: flags.get("model-cache").map(Into::into),
+    })
+}
+
+/// Builds the admission knobs from flags (shared by `serve` and the
+/// in-process servers `load` spawns).
+fn admission_of(flags: &Flags) -> Result<AdmissionConfig, String> {
+    let d = AdmissionConfig::default();
+    Ok(AdmissionConfig {
+        queue_capacity: flags.num("queue", d.queue_capacity)?,
+        shed_watermark: flags.num("watermark", d.shed_watermark)?,
+        default_deadline_ms: flags.num("default-deadline-ms", d.default_deadline_ms)?,
+        max_deadline_ms: flags.num("max-deadline-ms", d.max_deadline_ms)?,
+        batch_max: flags.num("batch-max", d.batch_max)?,
+    })
+}
+
+/// `m3d-diag serve`: the long-running diagnosis service. Loads (or trains)
+/// the artifact bundle once, then serves framed requests until a client
+/// sends `shutdown`.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["compacted"])?;
+    let spec = bundle_spec_of(&flags)?;
+    let d = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7433").to_owned(),
+        pool_width: flags.num("width", d.pool_width)?,
+        admission: admission_of(&flags)?,
+        poll_ms: d.poll_ms,
+        frame_timeout_ms: flags.num("frame-timeout-ms", d.frame_timeout_ms)?,
+        chaos_panic_every: flags
+            .get("chaos-panic-every")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad --chaos-panic-every `{v}`"))
+            })
+            .transpose()?,
+    };
+    let server = spawn_server(&spec, &cfg)?;
+    eprintln!(
+        "m3d-serve listening on {} (pool width {}, queue {}, watermark {}) — loading artifacts…",
+        server.addr(),
+        cfg.pool_width,
+        cfg.admission.queue_capacity,
+        cfg.admission.shed_watermark
+    );
+    let summary = server.join()?;
+    let s = &summary.stats;
+    println!(
+        "served {} generation(s): {} completed ({} degraded), {} overloaded, \
+         {} deadline-exceeded, {} protocol errors, {} panics contained, {} connections",
+        summary.generations,
+        s.completed,
+        s.degraded,
+        s.overloaded,
+        s.deadline_exceeded,
+        s.protocol_errors,
+        s.panics_contained,
+        s.connections
+    );
+    Ok(())
+}
+
+/// `m3d-diag load`: the deterministic load generator + chaos client.
+/// Exits nonzero when any width phase saw a crashed clean connection or a
+/// report that differs from the offline diagnosis.
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["compacted"])?;
+    let widths = flags
+        .get("widths")
+        .unwrap_or("1,4")
+        .split(',')
+        .map(|w| {
+            w.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("bad --widths entry `{w}`"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let dl = LoadConfig::default();
+    let cfg = LoadConfig {
+        spec: bundle_spec_of(&flags)?,
+        clients: flags.num("clients", dl.clients)?,
+        requests_per_client: flags.num("requests", dl.requests_per_client)?,
+        widths,
+        chaos_seed: flags.num("chaos-seed", dl.chaos_seed)?,
+        chaos_rate: flags.num("chaos-rate", dl.chaos_rate)?,
+        deadline_ms: flags
+            .get("deadline-ms")
+            .map(|v| v.parse().map_err(|_| format!("bad --deadline-ms `{v}`")))
+            .transpose()?,
+        log_pool: flags.num("log-pool", dl.log_pool)?,
+        server_panic_every: flags
+            .get("server-panic-every")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad --server-panic-every `{v}`"))
+            })
+            .transpose()?,
+        admission: admission_of(&flags)?,
+        frame_timeout_ms: flags.num("frame-timeout-ms", dl.frame_timeout_ms)?,
+        addr: flags.get("addr").map(str::to_owned),
+    };
+    eprintln!(
+        "load: {} clients × {} requests over widths {:?} (chaos rate {})…",
+        cfg.clients, cfg.requests_per_client, cfg.widths, cfg.chaos_rate
+    );
+    let report = run_load(&cfg)?;
+    for w in &report.widths {
+        let rate = if w.wall_secs > 0.0 {
+            w.completed as f64 / w.wall_secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "width {}: {} completed in {:.2}s ({:.1} diagnoses/s), p50 {:.1} ms, p99 {:.1} ms, \
+             {} crashed, {} mismatches, {} overloaded, {} deadline-exceeded, {} degraded, \
+             {} protocol rejections, {} panics contained, {} gave up",
+            w.width,
+            w.completed,
+            w.wall_secs,
+            rate,
+            w.p50_ms,
+            w.p99_ms,
+            w.crashed_connections,
+            w.mismatches,
+            w.overloaded,
+            w.deadline_exceeded,
+            w.degraded,
+            w.protocol_rejections,
+            w.panics_contained,
+            w.gave_up
+        );
+    }
+    emit(&flags, &render_bench_json(&report))?;
+    if !report.clean() {
+        let detail = report
+            .widths
+            .iter()
+            .find_map(|w| w.first_mismatch.as_deref())
+            .unwrap_or("crashed clean connections");
+        return Err(format!("chaos invariant violated: {detail}"));
+    }
     Ok(())
 }

@@ -19,4 +19,5 @@ pub use m3d_obs as obs;
 pub use m3d_par as par;
 pub use m3d_part as part;
 pub use m3d_resilient as resilient;
+pub use m3d_serve as serve;
 pub use m3d_tdf as tdf;
