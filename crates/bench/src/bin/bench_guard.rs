@@ -1,6 +1,6 @@
 //! Throughput-regression guard over `BENCH_pipeline.json`.
 //!
-//! Usage: `bench_guard <current.json> [<baseline.json>]`
+//! Usage: `bench_guard [slo] <current.json> [<baseline.json>]`
 //!
 //! With one argument it validates the run's invariants: every stage
 //! reported `deterministic: true`, the file says `all_deterministic:
@@ -31,6 +31,17 @@
 //! floor). Serve stages omit `secs_1t`/`secs_nt`, so the
 //! slower-than-serial rule exempts them automatically.
 //!
+//! The `slo` mode (`bench_guard slo <serve.json> [<baseline.json>]`)
+//! turns the declarative SLO grammar of DESIGN.md §17 into a CI gate:
+//! each serve stage is replayed through [`m3d_obs::slo::evaluate`] with
+//! the spec from `M3D_SLO` (default
+//! `availability>=0.99,p99_ms<=1000,degraded_frac<=0.95` — wide enough
+//! for a chaos run that deliberately sheds). Any burn rate above 1.0
+//! fails the run, as does telemetry exporter overhead above 2% of served
+//! wall time. Against a baseline, a stage's worst burn may grow by at
+//! most `1 / tolerance` — a burn-rate regression fails even while the
+//! absolute objective still holds.
+//!
 //! The parser reads only the fixed line-oriented layout `bench_pipeline`
 //! itself writes (one stage object per line, one scalar key per line)
 //! and ignores keys it does not know, so adding report fields never
@@ -38,6 +49,8 @@
 //! dependency.
 
 use std::process::ExitCode;
+
+use m3d_obs::slo::{evaluate, SloInputs, SloSpec};
 
 /// Stages shorter than this at one thread are exempt from the
 /// slower-than-serial rule: their wall time is timer noise.
@@ -63,6 +76,15 @@ struct StageRow {
     mismatches: u64,
     /// Serve-tier tail latency; zero in the offline tiers.
     p99_ms: f64,
+    /// Serve-tier outcome counts feeding the SLO replay; zero in the
+    /// offline tiers.
+    completed: u64,
+    gave_up: u64,
+    deadline_exceeded: u64,
+    degraded: u64,
+    /// Telemetry exporter overhead as a percentage of served wall time;
+    /// zero when the run had no exporter (or predates the field).
+    exporter_overhead_pct: f64,
 }
 
 #[derive(Debug, Default)]
@@ -156,6 +178,11 @@ fn parse_report(text: &str) -> Result<Report, String> {
                 crashed_connections: count("crashed_connections")?,
                 mismatches: count("mismatches")?,
                 p99_ms: secs("p99_ms")?,
+                completed: count("completed")?,
+                gave_up: count("gave_up")?,
+                deadline_exceeded: count("deadline_exceeded")?,
+                degraded: count("degraded")?,
+                exporter_overhead_pct: secs("exporter_overhead_pct")?,
             });
         } else if trimmed.starts_with("\"name\":") {
             arch = str_field(trimmed, "name");
@@ -272,10 +299,94 @@ fn check(current: &Report, baseline: Option<&Report>, tolerance: f64) -> Result<
     Ok(())
 }
 
+/// Ceiling on the telemetry exporter's self-reported overhead in `slo`
+/// mode: the plane must observe the service, not tax it.
+const OVERHEAD_MAX_PCT: f64 = 2.0;
+
+/// SLO applied when `M3D_SLO` is unset: wide enough for a chaos run that
+/// deliberately overloads and sheds, tight enough that a hung or failing
+/// service cannot pass.
+const DEFAULT_SLO: &str = "availability>=0.99,p99_ms<=1000,degraded_frac<=0.95";
+
+/// Replays each serve stage through the SLO evaluator. A burn rate above
+/// 1.0 on any stage fails; exporter overhead above [`OVERHEAD_MAX_PCT`]
+/// fails; against a baseline, a stage's worst burn growing by more than
+/// `1 / tolerance` fails even below the absolute ceiling.
+fn check_slo(
+    current: &Report,
+    baseline: Option<&Report>,
+    spec: &SloSpec,
+    tolerance: f64,
+) -> Result<(), String> {
+    if current.tier != "serve" {
+        return Err(format!(
+            "slo mode needs a serve-tier report, got tier {:?}",
+            current.tier
+        ));
+    }
+    let burn_of = |s: &StageRow| {
+        evaluate(
+            spec,
+            &SloInputs {
+                completed: s.completed,
+                failed: s.gave_up + s.crashed_connections + s.deadline_exceeded,
+                degraded: s.degraded,
+                p99_ms: (s.p99_ms > 0.0).then_some(s.p99_ms),
+            },
+        )
+    };
+    let mut checked = 0;
+    for s in &current.stages {
+        let status = burn_of(s);
+        if status.breached() {
+            return Err(format!(
+                "stage {}: SLO breached (worst burn {:.2}; availability {:?}, p99 {:?}, degraded {:?})",
+                s.key,
+                status.worst_burn(),
+                status.burn_availability,
+                status.burn_p99,
+                status.burn_degraded
+            ));
+        }
+        if s.exporter_overhead_pct > OVERHEAD_MAX_PCT {
+            return Err(format!(
+                "stage {}: telemetry exporter overhead {:.2}% above {OVERHEAD_MAX_PCT}%",
+                s.key, s.exporter_overhead_pct
+            ));
+        }
+        checked += 1;
+        if let Some(base) = baseline {
+            let Some(b) = base.stages.iter().find(|b| b.key == s.key) else {
+                continue;
+            };
+            let (cur, was) = (status.worst_burn(), burn_of(b).worst_burn());
+            // Burn-rate regression: growing 1/tolerance-fold over the
+            // baseline is a fire even while still inside the objective.
+            if was > 0.0 && cur > was / tolerance {
+                return Err(format!(
+                    "stage {}: worst burn {cur:.3} more than {:.0}x baseline {was:.3}",
+                    s.key,
+                    1.0 / tolerance
+                ));
+            }
+            checked += 1;
+        }
+    }
+    println!(
+        "bench_guard: slo `{}` holds over {checked} check(s)",
+        spec.render()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let slo_mode = args.first().is_some_and(|a| a == "slo");
+    if slo_mode {
+        args.remove(0);
+    }
     if args.is_empty() || args.len() > 2 {
-        eprintln!("usage: bench_guard <current.json> [<baseline.json>]");
+        eprintln!("usage: bench_guard [slo] <current.json> [<baseline.json>]");
         return ExitCode::FAILURE;
     }
     let tolerance = std::env::var("M3D_BENCH_TOLERANCE")
@@ -288,7 +399,16 @@ fn main() -> ExitCode {
     };
     let current = read(&args[0]);
     let baseline = args.get(1).map(|p| read(p));
-    match check(&current, baseline.as_ref(), tolerance) {
+    let result = if slo_mode {
+        let spec_text = std::env::var("M3D_SLO").unwrap_or_else(|_| DEFAULT_SLO.to_string());
+        match SloSpec::parse(&spec_text) {
+            Ok(spec) => check_slo(&current, baseline.as_ref(), &spec, tolerance),
+            Err(e) => Err(format!("M3D_SLO: {e}")),
+        }
+    } else {
+        check(&current, baseline.as_ref(), tolerance)
+    };
+    match result {
         Ok(()) => {
             println!("bench_guard: OK ({})", args[0]);
             ExitCode::SUCCESS
@@ -472,6 +592,54 @@ mod tests {
         // Offline tiers never trip the latency ceiling.
         let dbase = parse_report(DEFAULT_TIER).unwrap();
         check(&dbase, Some(&dbase), 0.25).unwrap();
+    }
+
+    fn default_slo() -> SloSpec {
+        SloSpec::parse(DEFAULT_SLO).unwrap()
+    }
+
+    #[test]
+    fn slo_mode_parses_outcome_counts_and_accepts_a_clean_run() {
+        let r = parse_report(SERVE_TIER).unwrap();
+        assert_eq!(r.stages[0].completed, 2000);
+        assert_eq!(r.stages[0].gave_up, 0);
+        assert_eq!(r.stages[0].deadline_exceeded, 0);
+        assert_eq!(r.stages[0].degraded, 1);
+        // Reports that predate the exporter default to zero overhead.
+        assert_eq!(r.stages[0].exporter_overhead_pct, 0.0);
+        check_slo(&r, Some(&r), &default_slo(), 0.25).unwrap();
+        // Offline tiers have no outcomes to replay.
+        let offline = parse_report(DEFAULT_TIER).unwrap();
+        assert!(check_slo(&offline, None, &default_slo(), 0.25)
+            .unwrap_err()
+            .contains("serve-tier"));
+    }
+
+    #[test]
+    fn slo_mode_fails_burned_objectives_and_exporter_overhead() {
+        let mut cur = parse_report(SERVE_TIER).unwrap();
+        cur.stages[0].degraded = 1990; // 99.5% degraded vs the 95% ceiling
+        assert!(check_slo(&cur, None, &default_slo(), 0.25)
+            .unwrap_err()
+            .contains("breached"));
+        cur.stages[0].degraded = 1;
+        cur.stages[1].exporter_overhead_pct = 3.5; // above the 2% ceiling
+        assert!(check_slo(&cur, None, &default_slo(), 0.25)
+            .unwrap_err()
+            .contains("overhead"));
+    }
+
+    #[test]
+    fn slo_mode_flags_burn_rate_regressions_inside_the_objective() {
+        let base = parse_report(SERVE_TIER).unwrap();
+        let mut cur = parse_report(SERVE_TIER).unwrap();
+        // p99 40ms → 900ms: burn 0.04 → 0.90, still inside the 1000ms
+        // objective but 22x the baseline burn — a fire, not a pass.
+        cur.stages[0].p99_ms = 900.0;
+        assert!(check_slo(&cur, None, &default_slo(), 0.25).is_ok());
+        assert!(check_slo(&cur, Some(&base), &default_slo(), 0.25)
+            .unwrap_err()
+            .contains("baseline"));
     }
 
     #[test]

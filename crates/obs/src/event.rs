@@ -11,6 +11,7 @@
 //! | `gauge`   | final value of a gauge                               |
 //! | `hist`    | a fixed-bucket histogram snapshot                    |
 //! | `series`  | an ordered numeric series (e.g. per-epoch loss)      |
+//! | `flight`  | one flight-recorder event (post-mortem ring dump)    |
 
 use crate::json::{self, Json};
 
@@ -85,6 +86,20 @@ pub enum Event {
         name: String,
         /// Values in record order.
         values: Vec<f64>,
+    },
+    /// One flight-recorder event (see `flight` module): a line in a
+    /// `flight-*.jsonl` post-mortem dump.
+    Flight {
+        /// Globally monotone sequence number (total order across rings).
+        seq: u64,
+        /// Microseconds since the process trace epoch.
+        t_us: u64,
+        /// Originating ring, e.g. `conn-12` or `pool-w3`.
+        source: String,
+        /// Short machine-readable kind, e.g. `frame`, `panic`.
+        kind: String,
+        /// Free-form detail (request ids, error text).
+        detail: String,
     },
 }
 
@@ -175,6 +190,20 @@ impl Event {
                 ("type".into(), Json::Str("series".into())),
                 ("name".into(), Json::Str(name.clone())),
                 ("values".into(), num_arr(values)),
+            ]),
+            Event::Flight {
+                seq,
+                t_us,
+                source,
+                kind,
+                detail,
+            } => Json::Obj(vec![
+                ("type".into(), Json::Str("flight".into())),
+                ("seq".into(), Json::Num(*seq as f64)),
+                ("t_us".into(), Json::Num(*t_us as f64)),
+                ("source".into(), Json::Str(source.clone())),
+                ("kind".into(), Json::Str(kind.clone())),
+                ("detail".into(), Json::Str(detail.clone())),
             ]),
         }
     }
@@ -279,6 +308,21 @@ impl Event {
                 name: name()?,
                 values: fs("values")?,
             }),
+            "flight" => {
+                let s = |key: &str| -> Result<String, String> {
+                    Ok(v.get(key)
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("event missing string `{key}`"))?
+                        .to_string())
+                };
+                Ok(Event::Flight {
+                    seq: u("seq")?,
+                    t_us: u("t_us")?,
+                    source: s("source")?,
+                    kind: s("kind")?,
+                    detail: s("detail")?,
+                })
+            }
             other => Err(format!("unknown event type `{other}`")),
         }
     }
@@ -345,6 +389,13 @@ mod tests {
         round_trip(Event::Series {
             name: "gnn.epoch_loss".into(),
             values: vec![0.9, 0.5, 0.25],
+        });
+        round_trip(Event::Flight {
+            seq: 17,
+            t_us: 456_789,
+            source: "conn-3".into(),
+            kind: "panic".into(),
+            detail: "chaos: injected worker panic (seq 97)".into(),
         });
     }
 

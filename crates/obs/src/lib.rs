@@ -35,13 +35,22 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod rolling;
+pub mod slo;
 
 pub use event::Event;
+pub use flight::{
+    flight_capacity, flight_clear, flight_dropped, flight_enabled, flight_events, flight_record,
+    flight_render, set_flight_capacity, set_flight_enabled, FlightEvent, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use json::Json;
-pub use metrics::{Histogram, Registry, TIME_US_BOUNDS};
+pub use metrics::{Histogram, Registry, LATENCY_MS_BOUNDS, QUEUE_DEPTH_BOUNDS, TIME_US_BOUNDS};
+pub use rolling::{SnapshotRing, Stamped};
+pub use slo::{SloInputs, SloSpec, SloStatus};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -49,6 +58,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(true);
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 static TRACE: Mutex<Vec<Event>> = Mutex::new(Vec::new());
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry::new());
@@ -59,7 +69,7 @@ thread_local! {
 }
 
 /// Shared process-wide time origin for span `t_us` offsets.
-fn epoch() -> Instant {
+pub(crate) fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     *EPOCH.get_or_init(Instant::now)
 }
@@ -79,6 +89,19 @@ pub fn set_enabled(on: bool) {
 /// Whether recording is currently enabled.
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the *trace* sink (span and pool events) on or off without
+/// touching the metrics registry. On by default. A long-running server
+/// sets this off so metrics keep accumulating while the unbounded trace
+/// buffer stays empty.
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the trace sink is currently enabled (and recording overall).
+pub fn trace_enabled() -> bool {
+    enabled() && TRACE_ENABLED.load(Ordering::Relaxed)
 }
 
 /// Clears the trace buffer, the metrics registry, and the id counter.
@@ -146,7 +169,7 @@ impl Drop for SpanGuard {
 /// Opens a span named `name`, nested under the innermost open span on
 /// this thread. Returns an inert guard when recording is disabled.
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
+    if !trace_enabled() {
         return SpanGuard {
             active: false,
             id: 0,
@@ -183,7 +206,7 @@ pub fn current_span() -> Option<&'static str> {
 /// Records one thread-pool dispatch for utilization accounting,
 /// attributed to the innermost open span on the calling thread.
 pub fn record_pool(threads: usize, chunks: usize, items: usize, wall_us: u64, busy_us: u64) {
-    if !enabled() {
+    if !trace_enabled() {
         return;
     }
     let in_span = current_span().unwrap_or("").to_string();
@@ -350,6 +373,23 @@ mod tests {
         assert_eq!(name, "outer");
         assert_eq!(*parent, None);
         assert_eq!(counters, &[("items".to_string(), 5)]);
+    }
+
+    #[test]
+    fn trace_gate_keeps_metrics_but_drops_spans() {
+        let _x = exclusive();
+        reset();
+        set_enabled(true);
+        set_trace_enabled(false);
+        {
+            let _s = span("quiet");
+            counter("served", 3);
+            record_pool(4, 8, 100, 10, 40);
+        }
+        set_trace_enabled(true);
+        set_enabled(false);
+        assert!(trace_events().is_empty());
+        assert_eq!(registry_snapshot().counter_value("served"), Some(3));
     }
 
     #[test]

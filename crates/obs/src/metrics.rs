@@ -27,6 +27,17 @@ pub const TIME_US_BOUNDS: [f64; 12] = [
     5_000_000.0,
 ];
 
+/// Bucket upper bounds (milliseconds) for request-latency histograms,
+/// spanning 250 µs to 5 s — the serving-path mirror of
+/// [`TIME_US_BOUNDS`].
+pub const LATENCY_MS_BOUNDS: [f64; 14] = [
+    0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0,
+];
+
+/// Bucket upper bounds for queue-depth histograms (powers of two up to a
+/// default admission queue's capacity).
+pub const QUEUE_DEPTH_BOUNDS: [f64; 8] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
 /// A fixed-bucket histogram.
 ///
 /// Bucket `i` counts observations `v <= bounds[i]` (upper-bound
@@ -120,6 +131,62 @@ impl Histogram {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`, clamped) as a bucket upper
+    /// bound, or `None` when the histogram is empty.
+    ///
+    /// The estimate is the upper bound of the bucket holding the
+    /// observation of rank `ceil(q × count)` (rank at least 1), walking
+    /// cumulative counts left to right; the overflow bucket reports
+    /// [`Histogram::max`]. Because buckets are upper-bound inclusive, a
+    /// distribution whose values all sit exactly on bucket bounds is
+    /// reported *exactly*, and the estimate is monotone both in `q` and
+    /// under [`Histogram::merge`] (the merged quantile never leaves the
+    /// interval spanned by the operands' quantiles).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The bucketwise difference `self − earlier` between two cumulative
+    /// snapshots of the *same* histogram — the sliding-window view a
+    /// telemetry scraper needs. Returns `None` when the bounds differ
+    /// (not snapshots of one histogram) or when any bucket of `earlier`
+    /// exceeds `self`'s (a registry reset happened in between).
+    ///
+    /// Window `min`/`max` cannot be recovered from cumulative snapshots,
+    /// so the delta conservatively carries the cumulative extremes.
+    pub fn delta_since(&self, earlier: &Histogram) -> Option<Histogram> {
+        if self.bounds != earlier.bounds || self.count < earlier.count {
+            return None;
+        }
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for (c, e) in self.counts.iter().zip(&earlier.counts) {
+            counts.push(c.checked_sub(*e)?);
+        }
+        Some(Histogram {
+            bounds: self.bounds.clone(),
+            counts,
+            count: self.count - earlier.count,
+            sum: self.sum - earlier.sum,
+            min: self.min,
+            max: self.max,
+        })
     }
 }
 
@@ -312,6 +379,41 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), 0.25);
         assert_eq!(a.max(), 2.0);
+    }
+
+    #[test]
+    fn quantile_is_exact_on_bucket_bounds_and_reports_overflow_max() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [1.0, 1.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        // Ranks: p25 → 1st obs (1.0), p50 → 2nd (1.0), p75 → 3rd (2.0),
+        // p100 → 4th (4.0). All values sit on bounds, so all are exact.
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.50), Some(1.0));
+        assert_eq!(h.quantile(0.75), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        // q = 0 clamps to rank 1.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        h.record(100.0); // overflow bucket → reported as max
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(Histogram::new(&[1.0]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn delta_since_recovers_the_window_histogram() {
+        let mut early = Histogram::new(&[1.0, 2.0]);
+        early.record(0.5);
+        let mut late = early.clone();
+        late.record(1.5);
+        late.record(9.0);
+        let win = late.delta_since(&early).expect("same bounds");
+        assert_eq!(win.counts(), &[0, 1, 1]);
+        assert_eq!(win.count(), 2);
+        assert!((win.sum() - 10.5).abs() < 1e-9);
+        // Mismatched bounds or a reset in between yield None.
+        assert!(late.delta_since(&Histogram::new(&[3.0])).is_none());
+        assert!(early.delta_since(&late).is_none());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Profiling-report rendering: turns a JSONL trace/metrics stream back
 //! into a human-readable top-down time breakdown.
 //!
-//! The report has three sections:
+//! The report has four sections:
 //!
 //! 1. **Span breakdown** — spans aggregated by call path (a child
 //!    appears under its parent), with call count, total wall time, and
@@ -9,6 +9,12 @@
 //! 2. **Pool utilization** — `m3d-par` dispatches grouped by enclosing
 //!    span, with busy/(threads × wall) utilization.
 //! 3. **Metrics** — counters, gauges, histogram summaries, and series.
+//! 4. **Flight timeline** — flight-recorder events in global sequence
+//!    order (present only when the stream contains them).
+//!
+//! Multiple JSONL inputs (offline trace + serve telemetry + flight
+//! dumps) merge via [`merge_sources`] into one stream with a stable
+//! total order and per-source tagging; see [`render_merged_report`].
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -26,6 +32,118 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
         events.push(Event::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
     }
     Ok(events)
+}
+
+/// One named input stream for a merged report (tag = file basename).
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// Human-readable origin, prefixed onto metric names when merging
+    /// more than one source.
+    pub tag: String,
+    /// The source's parsed events, in file order.
+    pub events: Vec<Event>,
+}
+
+/// Merges multiple event streams into one with a stable total order:
+/// timed events (spans, flight events) sort by `t_us`, then source
+/// index, then position in their source; untimed registry summaries
+/// keep per-source file order and sort after all timed events. Span ids
+/// are reallocated so ids from different sources never collide (parent
+/// links stay within their source). When more than one source is given,
+/// metric names and flight ring names are prefixed with `tag:` so
+/// same-named streams stay distinguishable.
+pub fn merge_sources(sources: &[Source]) -> Vec<Event> {
+    let tagging = sources.len() > 1;
+    let mut next_id: u64 = 1;
+    // (t_key, source_idx, original_idx, event)
+    let mut merged: Vec<(u64, usize, usize, Event)> = Vec::new();
+    for (si, src) in sources.iter().enumerate() {
+        let mut id_map: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in &src.events {
+            if let Event::Span { id, .. } = e {
+                id_map.insert(*id, next_id);
+                next_id += 1;
+            }
+        }
+        let tag = |name: &str| -> String {
+            if tagging {
+                format!("{}:{}", src.tag, name)
+            } else {
+                name.to_string()
+            }
+        };
+        for (oi, e) in src.events.iter().enumerate() {
+            let remapped = match e {
+                Event::Span {
+                    id,
+                    parent,
+                    name,
+                    t_us,
+                    dur_us,
+                    counters,
+                } => Event::Span {
+                    id: id_map[id],
+                    parent: parent.and_then(|p| id_map.get(&p).copied()),
+                    name: name.clone(),
+                    t_us: *t_us,
+                    dur_us: *dur_us,
+                    counters: counters.clone(),
+                },
+                Event::Counter { name, value } => Event::Counter {
+                    name: tag(name),
+                    value: *value,
+                },
+                Event::Gauge { name, value } => Event::Gauge {
+                    name: tag(name),
+                    value: *value,
+                },
+                Event::Hist {
+                    name,
+                    bounds,
+                    counts,
+                    count,
+                    sum,
+                    min,
+                    max,
+                } => Event::Hist {
+                    name: tag(name),
+                    bounds: bounds.clone(),
+                    counts: counts.clone(),
+                    count: *count,
+                    sum: *sum,
+                    min: *min,
+                    max: *max,
+                },
+                Event::Series { name, values } => Event::Series {
+                    name: tag(name),
+                    values: values.clone(),
+                },
+                Event::Flight {
+                    seq,
+                    t_us,
+                    source,
+                    kind,
+                    detail,
+                } => Event::Flight {
+                    seq: *seq,
+                    t_us: *t_us,
+                    source: tag(source),
+                    kind: kind.clone(),
+                    detail: detail.clone(),
+                },
+                other => other.clone(),
+            };
+            let t_key = match &remapped {
+                Event::Span { t_us, .. } | Event::Flight { t_us, .. } => *t_us,
+                // Registry summaries have no timestamp; sort after all
+                // timed events, preserving per-source file order.
+                _ => u64::MAX,
+            };
+            merged.push((t_key, si, oi, remapped));
+        }
+    }
+    merged.sort_by_key(|a| (a.0, a.1, a.2));
+    merged.into_iter().map(|m| m.3).collect()
 }
 
 /// One span occurrence, extracted for tree building.
@@ -285,6 +403,41 @@ fn render_metrics(events: &[Event], out: &mut String) {
     }
 }
 
+/// Renders the flight-recorder events of a stream as a causal timeline
+/// in global sequence order (ties broken by timestamp).
+pub fn render_flight_timeline(events: &[Event]) -> String {
+    let mut flights: Vec<(u64, u64, &str, &str, &str)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Flight {
+                seq,
+                t_us,
+                source,
+                kind,
+                detail,
+            } => Some((*seq, *t_us, source.as_str(), kind.as_str(), detail.as_str())),
+            _ => None,
+        })
+        .collect();
+    if flights.is_empty() {
+        return "no flight events recorded\n".to_string();
+    }
+    flights.sort();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:>6} {:>12} {:<22} {:<10} detail",
+        "seq", "t_us", "source", "kind"
+    );
+    for (seq, t_us, source, kind, detail) in flights {
+        let _ = writeln!(
+            out,
+            "  {seq:>6} {t_us:>12} {source:<22} {kind:<10} {detail}"
+        );
+    }
+    out
+}
+
 /// Renders the full profiling report for a parsed event stream.
 pub fn render_report(events: &[Event]) -> String {
     let mut out = String::new();
@@ -302,6 +455,25 @@ pub fn render_report(events: &[Event]) -> String {
     }
     render_pools(events, &mut out);
     render_metrics(events, &mut out);
+    if events.iter().any(|e| matches!(e, Event::Flight { .. })) {
+        out.push_str("\nflight timeline:\n");
+        out.push_str(&render_flight_timeline(events));
+    }
+    out
+}
+
+/// Renders a report over several merged sources: a source index header
+/// (when more than one), then [`render_report`] of [`merge_sources`].
+pub fn render_merged_report(sources: &[Source]) -> String {
+    let mut out = String::new();
+    if sources.len() > 1 {
+        out.push_str("sources:\n");
+        for s in sources {
+            let _ = writeln!(out, "  {:<30} {:>6} events", s.tag, s.events.len());
+        }
+        out.push('\n');
+    }
+    out.push_str(&render_report(&merge_sources(sources)));
     out
 }
 
@@ -395,6 +567,110 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn merged_sources_keep_span_ids_apart_and_tag_metrics() {
+        // Both sources use span id 1 and the same counter name; the
+        // merge must not conflate them.
+        let a = Source {
+            tag: "trace".into(),
+            events: vec![
+                span(1, None, "fit", 100),
+                Event::Counter {
+                    name: "hits".into(),
+                    value: 3,
+                },
+            ],
+        };
+        let b = Source {
+            tag: "telemetry".into(),
+            events: vec![
+                span(1, None, "serve", 50),
+                Event::Counter {
+                    name: "hits".into(),
+                    value: 9,
+                },
+            ],
+        };
+        let merged = merge_sources(&[a.clone(), b.clone()]);
+        let ids: Vec<u64> = merged
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 2);
+        assert_ne!(ids[0], ids[1]);
+        let text = render_merged_report(&[a, b]);
+        for needle in ["sources:", "trace:hits", "telemetry:hits", "fit", "serve"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // A single source stays untagged.
+        let solo = merge_sources(&[Source {
+            tag: "only".into(),
+            events: vec![Event::Counter {
+                name: "hits".into(),
+                value: 3,
+            }],
+        }]);
+        assert!(matches!(&solo[0], Event::Counter { name, .. } if name == "hits"));
+    }
+
+    #[test]
+    fn merge_orders_timed_events_before_summaries() {
+        let a = Source {
+            tag: "a".into(),
+            events: vec![
+                Event::Counter {
+                    name: "c".into(),
+                    value: 1,
+                },
+                span(1, None, "late", 10),
+            ],
+        };
+        let b = Source {
+            tag: "b".into(),
+            events: vec![Event::Flight {
+                seq: 5,
+                t_us: 3,
+                source: "conn-1".into(),
+                kind: "frame".into(),
+                detail: "id=7".into(),
+            }],
+        };
+        // Span t_us = 0 < flight t_us = 3 < counter (untimed, last).
+        let merged = merge_sources(&[a, b]);
+        assert!(matches!(merged[0], Event::Span { .. }), "{merged:?}");
+        assert!(matches!(merged[1], Event::Flight { .. }), "{merged:?}");
+        assert!(matches!(merged[2], Event::Counter { .. }), "{merged:?}");
+    }
+
+    #[test]
+    fn flight_timeline_renders_in_sequence_order() {
+        let events = vec![
+            Event::Flight {
+                seq: 9,
+                t_us: 40,
+                source: "pool-w1".into(),
+                kind: "panic".into(),
+                detail: "chaos seq 97".into(),
+            },
+            Event::Flight {
+                seq: 2,
+                t_us: 10,
+                source: "conn-4".into(),
+                kind: "frame".into(),
+                detail: "diagnose id=97".into(),
+            },
+        ];
+        let text = render_report(&events);
+        assert!(text.contains("flight timeline:"), "{text}");
+        let frame_at = text.find("diagnose id=97").unwrap();
+        let panic_at = text.find("chaos seq 97").unwrap();
+        assert!(frame_at < panic_at, "{text}");
+        assert_eq!(render_flight_timeline(&[]), "no flight events recorded\n");
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Rolling-window aggregation over cumulative registry snapshots.
+//!
+//! The live telemetry plane samples [`crate::registry_snapshot`] at a
+//! fixed cadence and pushes each (timestamped) snapshot into a
+//! [`SnapshotRing`]. Because counters and histograms are *cumulative*,
+//! any window aggregate is a difference of two snapshots:
+//!
+//! * a counter's rate over the last `w` ms is
+//!   `(now − then) / elapsed_secs`,
+//! * a histogram's sliding p50/p95/p99 is the
+//!   [`Histogram::delta_since`] of the two snapshots, quantiled.
+//!
+//! The ring holds only what the longest window needs (plus one slot of
+//! slack so a `horizon`-wide window always has a baseline), so memory is
+//! bounded regardless of uptime.
+
+use std::collections::VecDeque;
+
+use crate::metrics::{Histogram, Registry};
+
+/// One timestamped registry snapshot.
+#[derive(Debug, Clone)]
+pub struct Stamped {
+    /// Sample time, milliseconds on the sampler's own monotonic clock.
+    pub t_ms: u64,
+    /// The cumulative registry state at `t_ms`.
+    pub registry: Registry,
+}
+
+/// A bounded ring of cumulative registry snapshots supporting windowed
+/// rates and sliding histogram quantiles.
+#[derive(Debug)]
+pub struct SnapshotRing {
+    horizon_ms: u64,
+    slots: VecDeque<Stamped>,
+}
+
+impl SnapshotRing {
+    /// Creates a ring retaining roughly `horizon_ms` of history (the
+    /// longest window a caller will ask for, e.g. 60 000).
+    pub fn new(horizon_ms: u64) -> Self {
+        SnapshotRing {
+            horizon_ms: horizon_ms.max(1),
+            slots: VecDeque::new(),
+        }
+    }
+
+    /// Pushes one snapshot and evicts slots older than the horizon
+    /// (always keeping one slot at-or-past the horizon so a full-width
+    /// window still has a baseline). `t_ms` must be monotone
+    /// non-decreasing; a regressing stamp clears the ring (the sampler
+    /// restarted).
+    pub fn push(&mut self, t_ms: u64, registry: Registry) {
+        if self.slots.back().is_some_and(|s| s.t_ms > t_ms) {
+            self.slots.clear();
+        }
+        self.slots.push_back(Stamped { t_ms, registry });
+        let cutoff = t_ms.saturating_sub(self.horizon_ms);
+        while self.slots.len() > 2 && self.slots[1].t_ms <= cutoff {
+            self.slots.pop_front();
+        }
+    }
+
+    /// The most recent snapshot.
+    pub fn latest(&self) -> Option<&Stamped> {
+        self.slots.back()
+    }
+
+    /// Number of retained snapshots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the ring holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The baseline slot for a window ending at the newest snapshot: the
+    /// *newest* slot at least `window_ms` older than the latest (so the
+    /// window covers at least the requested span), falling back to the
+    /// oldest slot while the ring is still filling.
+    fn baseline(&self, window_ms: u64) -> Option<&Stamped> {
+        let newest = self.slots.back()?;
+        let target = newest.t_ms.saturating_sub(window_ms);
+        self.slots
+            .iter()
+            .rev()
+            .skip(1)
+            .find(|s| s.t_ms <= target)
+            .or_else(|| {
+                if self.slots.len() >= 2 {
+                    self.slots.front()
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// The increase of counter `name` over the last `window_ms`, as a
+    /// per-second rate. `None` until two snapshots span a nonzero
+    /// interval (or when the counter never appeared).
+    pub fn rate(&self, name: &str, window_ms: u64) -> Option<f64> {
+        let newest = self.slots.back()?;
+        let base = self.baseline(window_ms)?;
+        let dt_ms = newest.t_ms.checked_sub(base.t_ms)?;
+        if dt_ms == 0 {
+            return None;
+        }
+        let now = newest.registry.counter_value(name).unwrap_or(0);
+        let then = base.registry.counter_value(name).unwrap_or(0);
+        Some(now.saturating_sub(then) as f64 / (dt_ms as f64 / 1e3))
+    }
+
+    /// The sliding-window view of histogram `name` over the last
+    /// `window_ms` (difference of cumulative snapshots). `None` until a
+    /// baseline exists or when the histogram is absent.
+    pub fn hist_window(&self, name: &str, window_ms: u64) -> Option<Histogram> {
+        let newest = self.slots.back()?;
+        let now = newest.registry.histogram(name)?;
+        match self
+            .baseline(window_ms)
+            .and_then(|b| b.registry.histogram(name))
+        {
+            Some(then) => now.delta_since(then),
+            // The histogram appeared after the baseline snapshot: the
+            // whole cumulative state is inside the window.
+            None => Some(now.clone()),
+        }
+    }
+
+    /// Sliding-window quantile of histogram `name`: the `q`-quantile of
+    /// [`SnapshotRing::hist_window`]. `None` when the window is empty.
+    pub fn quantile(&self, name: &str, window_ms: u64, q: f64) -> Option<f64> {
+        self.hist_window(name, window_ms)?.quantile(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(completed: u64, lat: &[f64]) -> Registry {
+        let mut r = Registry::new();
+        r.counter("serve.completed", completed);
+        for &v in lat {
+            r.observe_with("lat_ms", &[1.0, 10.0, 100.0], v);
+        }
+        r
+    }
+
+    #[test]
+    fn windowed_rate_diffs_the_right_baseline() {
+        let mut ring = SnapshotRing::new(60_000);
+        let mut r = reg(0, &[]);
+        ring.push(0, r.clone());
+        assert_eq!(ring.rate("serve.completed", 1_000), None);
+        r.counter("serve.completed", 10);
+        ring.push(1_000, r.clone());
+        // 10 completions in 1 s.
+        assert_eq!(ring.rate("serve.completed", 1_000), Some(10.0));
+        r.counter("serve.completed", 50);
+        ring.push(2_000, r.clone());
+        // Last second: 50; last two seconds: 60 total / 2 s.
+        assert_eq!(ring.rate("serve.completed", 1_000), Some(50.0));
+        assert_eq!(ring.rate("serve.completed", 2_000), Some(30.0));
+        // A wider-than-history window falls back to the oldest slot.
+        assert_eq!(ring.rate("serve.completed", 60_000), Some(30.0));
+    }
+
+    #[test]
+    fn sliding_quantiles_see_only_the_window() {
+        let mut ring = SnapshotRing::new(60_000);
+        let mut r = Registry::new();
+        for _ in 0..100 {
+            r.observe_with("lat_ms", &[1.0, 10.0, 100.0], 1.0);
+        }
+        ring.push(0, r.clone());
+        // The next second is all slow requests.
+        for _ in 0..10 {
+            r.observe_with("lat_ms", &[1.0, 10.0, 100.0], 100.0);
+        }
+        ring.push(1_000, r.clone());
+        // Cumulative p50 is still fast; the 1 s window is all slow.
+        assert_eq!(
+            ring.latest()
+                .unwrap()
+                .registry
+                .histogram("lat_ms")
+                .unwrap()
+                .quantile(0.5),
+            Some(1.0)
+        );
+        assert_eq!(ring.quantile("lat_ms", 1_000, 0.5), Some(100.0));
+        assert_eq!(ring.quantile("lat_ms", 1_000, 0.99), Some(100.0));
+    }
+
+    #[test]
+    fn ring_is_bounded_by_the_horizon() {
+        let mut ring = SnapshotRing::new(5_000);
+        for t in 0..100u64 {
+            ring.push(t * 1_000, reg(t, &[]));
+        }
+        // ~5 s of slots plus the baseline slack; far fewer than 100.
+        assert!(ring.len() <= 8, "len {}", ring.len());
+        assert_eq!(ring.latest().unwrap().t_ms, 99_000);
+        // Rates still work over the retained span.
+        assert_eq!(ring.rate("serve.completed", 1_000), Some(1.0));
+    }
+
+    #[test]
+    fn time_regression_resets_the_ring() {
+        let mut ring = SnapshotRing::new(5_000);
+        ring.push(10_000, reg(5, &[]));
+        ring.push(1_000, reg(0, &[]));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.latest().unwrap().t_ms, 1_000);
+    }
+}

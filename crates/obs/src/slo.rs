@@ -1,0 +1,257 @@
+//! Declarative SLO specs and burn-rate evaluation.
+//!
+//! An SLO spec is a comma- (or whitespace-) separated list of clauses in
+//! a tiny fixed grammar (DESIGN.md §17):
+//!
+//! ```text
+//! availability>=0.99, p99_ms<=250, degraded_frac<=0.1
+//! ```
+//!
+//! Every clause is optional; unknown keys or malformed clauses are
+//! errors (a silently ignored SLO is worse than none). Evaluation turns
+//! windowed observations into **burn rates** — observed consumption as a
+//! multiple of what the objective allows, so `burn <= 1.0` means the SLO
+//! holds:
+//!
+//! * `availability`: burn = error fraction ÷ error budget
+//!   (`1 − availability` target). Zero traffic burns nothing.
+//! * `p99_ms`: burn = observed p99 ÷ ceiling.
+//! * `degraded_frac`: burn = observed degraded fraction ÷ ceiling.
+
+/// A parsed SLO spec; `None` fields were not specified.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloSpec {
+    /// Minimum fraction of answered requests that must succeed.
+    pub availability: Option<f64>,
+    /// Ceiling on windowed p99 latency, milliseconds.
+    pub p99_ms: Option<f64>,
+    /// Ceiling on the fraction of completions served degraded.
+    pub degraded_frac: Option<f64>,
+}
+
+impl SloSpec {
+    /// Parses the clause grammar above.
+    ///
+    /// # Errors
+    ///
+    /// Unknown keys, malformed clauses, out-of-range values.
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        let mut spec = SloSpec::default();
+        for clause in text
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+        {
+            let (key, op, value) = clause
+                .find(">=")
+                .map(|i| (&clause[..i], ">=", &clause[i + 2..]))
+                .or_else(|| {
+                    clause
+                        .find("<=")
+                        .map(|i| (&clause[..i], "<=", &clause[i + 2..]))
+                })
+                .ok_or_else(|| format!("SLO clause `{clause}` must use `>=` or `<=`"))?;
+            let v: f64 = value
+                .parse()
+                .map_err(|_| format!("SLO clause `{clause}`: bad number `{value}`"))?;
+            match (key, op) {
+                ("availability", ">=") => {
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(format!("availability target {v} outside [0, 1]"));
+                    }
+                    spec.availability = Some(v);
+                }
+                ("p99_ms", "<=") => {
+                    if v <= 0.0 {
+                        return Err(format!("p99_ms ceiling {v} must be positive"));
+                    }
+                    spec.p99_ms = Some(v);
+                }
+                ("degraded_frac", "<=") => {
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(format!("degraded_frac ceiling {v} outside [0, 1]"));
+                    }
+                    spec.degraded_frac = Some(v);
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown SLO clause `{clause}` (expected availability>=X, p99_ms<=X, or degraded_frac<=X)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Renders the spec back into the clause grammar.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(a) = self.availability {
+            parts.push(format!("availability>={a}"));
+        }
+        if let Some(p) = self.p99_ms {
+            parts.push(format!("p99_ms<={p}"));
+        }
+        if let Some(d) = self.degraded_frac {
+            parts.push(format!("degraded_frac<={d}"));
+        }
+        parts.join(",")
+    }
+
+    /// Whether any objective was specified.
+    pub fn is_empty(&self) -> bool {
+        self.availability.is_none() && self.p99_ms.is_none() && self.degraded_frac.is_none()
+    }
+}
+
+/// Windowed observations an SLO is evaluated against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloInputs {
+    /// Requests answered successfully in the window.
+    pub completed: u64,
+    /// Requests that failed (gave up, crashed, internal errors).
+    pub failed: u64,
+    /// Completions served degraded.
+    pub degraded: u64,
+    /// Windowed p99 latency, when known.
+    pub p99_ms: Option<f64>,
+}
+
+/// Burn rates for one evaluation window; `None` where the spec named no
+/// objective or the window had no signal.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SloStatus {
+    /// Error-budget burn (observed error fraction ÷ allowed).
+    pub burn_availability: Option<f64>,
+    /// Latency burn (observed p99 ÷ ceiling).
+    pub burn_p99: Option<f64>,
+    /// Degradation burn (observed degraded fraction ÷ ceiling).
+    pub burn_degraded: Option<f64>,
+}
+
+impl SloStatus {
+    /// Whether any evaluated objective is burning faster than allowed.
+    pub fn breached(&self) -> bool {
+        [self.burn_availability, self.burn_p99, self.burn_degraded]
+            .iter()
+            .any(|b| b.is_some_and(|v| v > 1.0))
+    }
+
+    /// The largest burn rate across evaluated objectives (0 when none).
+    pub fn worst_burn(&self) -> f64 {
+        [self.burn_availability, self.burn_p99, self.burn_degraded]
+            .iter()
+            .filter_map(|b| *b)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Evaluates `spec` against one window of observations.
+pub fn evaluate(spec: &SloSpec, inputs: &SloInputs) -> SloStatus {
+    let answered = inputs.completed + inputs.failed;
+    let burn_availability = spec.availability.and_then(|target| {
+        if answered == 0 {
+            return None;
+        }
+        let err_frac = inputs.failed as f64 / answered as f64;
+        let budget = 1.0 - target;
+        Some(if budget <= 0.0 {
+            // A 100% objective has no budget: any error burns infinitely.
+            if err_frac > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            err_frac / budget
+        })
+    });
+    let burn_p99 = match (spec.p99_ms, inputs.p99_ms) {
+        (Some(ceiling), Some(p99)) => Some(p99 / ceiling),
+        _ => None,
+    };
+    let burn_degraded = spec.degraded_frac.and_then(|ceiling| {
+        if inputs.completed == 0 {
+            return None;
+        }
+        let frac = inputs.degraded as f64 / inputs.completed as f64;
+        Some(if ceiling <= 0.0 {
+            if frac > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            frac / ceiling
+        })
+    });
+    SloStatus {
+        burn_availability,
+        burn_p99,
+        burn_degraded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_round_trips_and_rejects_nonsense() {
+        let spec = SloSpec::parse("availability>=0.99, p99_ms<=250 degraded_frac<=0.1").unwrap();
+        assert_eq!(spec.availability, Some(0.99));
+        assert_eq!(spec.p99_ms, Some(250.0));
+        assert_eq!(spec.degraded_frac, Some(0.1));
+        assert_eq!(SloSpec::parse(&spec.render()).unwrap(), spec);
+        assert!(SloSpec::parse("").unwrap().is_empty());
+        for bad in [
+            "availability<=0.99", // wrong operator direction
+            "p99_ms>=250",
+            "latency<=5",
+            "availability>=1.5",
+            "p99_ms<=abc",
+        ] {
+            assert!(SloSpec::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn burn_rates_scale_with_budget_consumption() {
+        let spec = SloSpec::parse("availability>=0.99,p99_ms<=100,degraded_frac<=0.5").unwrap();
+        // 0.5% errors against a 1% budget → burn 0.5; p99 at half the
+        // ceiling → 0.5; 25% degraded against 50% allowed → 0.5.
+        let status = evaluate(
+            &spec,
+            &SloInputs {
+                completed: 199,
+                failed: 1,
+                degraded: 50,
+                p99_ms: Some(50.0),
+            },
+        );
+        assert!((status.burn_availability.unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(status.burn_p99, Some(0.5));
+        assert!((status.burn_degraded.unwrap() - 0.502_512).abs() < 1e-3);
+        assert!(!status.breached());
+        // Blowing the latency ceiling breaches.
+        let hot = evaluate(
+            &spec,
+            &SloInputs {
+                completed: 100,
+                failed: 0,
+                degraded: 0,
+                p99_ms: Some(250.0),
+            },
+        );
+        assert!(hot.breached());
+        assert_eq!(hot.worst_burn(), 2.5);
+    }
+
+    #[test]
+    fn empty_windows_burn_nothing() {
+        let spec = SloSpec::parse("availability>=0.99,degraded_frac<=0.1").unwrap();
+        let status = evaluate(&spec, &SloInputs::default());
+        assert_eq!(status, SloStatus::default());
+        assert!(!status.breached());
+        assert_eq!(status.worst_burn(), 0.0);
+    }
+}

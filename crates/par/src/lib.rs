@@ -324,6 +324,12 @@ fn record_dispatch(
     m3d_obs::counter("par.calls", 1);
     m3d_obs::counter("par.chunks", chunks as u64);
     m3d_obs::counter("par.items", items as u64);
+    // Cumulative wall/busy time and the capacity in use: the telemetry
+    // plane diffs these over rolling windows for live pool utilization.
+    m3d_obs::counter("par.wall_us", wall_us);
+    m3d_obs::counter("par.busy_us", busy_us);
+    m3d_obs::counter("par.capacity_us", threads as u64 * wall_us);
+    m3d_obs::gauge("par.threads", threads as f64);
     m3d_obs::record_pool(threads, chunks, items, wall_us, busy_us);
 }
 
@@ -451,12 +457,28 @@ fn try_chunk_results<T: Sync, S, R: Send>(
         })
     });
     // `wrapped` is in chunk order, so the first `Err` has the smallest
-    // chunk index.
+    // chunk index. Panics go to the flight recorder here, on the calling
+    // thread in chunk order, so dump content never depends on worker
+    // interleaving.
     let mut out = Vec::with_capacity(wrapped.len());
+    let mut first_err: Option<WorkerPanic> = None;
     for r in wrapped {
-        out.push(r?);
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => {
+                m3d_obs::flight_record(
+                    "pool",
+                    "panic",
+                    format!("chunk {}: {}", p.chunk, p.message),
+                );
+                first_err.get_or_insert(p);
+            }
+        }
     }
-    Ok(out)
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Order-preserving parallel map: `out[i] = f(&items[i])`.

@@ -385,21 +385,32 @@ impl Reader<'_> {
     }
 }
 
-/// Writes a checkpoint crash-safely: serialize to `<path>.tmp` in the same
-/// directory, `fsync`, then atomically rename over `path`. Readers never
-/// observe a torn file.
+/// Writes arbitrary bytes crash-safely: write to `<path>.tmp` in the
+/// same directory, `fsync`, then atomically rename over `path`. Readers
+/// never observe a torn file. This is the shared atomic-write path used
+/// by checkpoints and by flight-recorder dumps.
+pub fn save_bytes_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// [`save_bytes_atomic`] for text documents (JSONL dumps, reports).
+pub fn save_text_atomic(path: &Path, text: &str) -> io::Result<()> {
+    save_bytes_atomic(path, text.as_bytes())
+}
+
+/// Writes a checkpoint crash-safely via [`save_bytes_atomic`].
 pub fn save_atomic(path: &Path, ckpt: &TrainCheckpoint) -> Result<(), CheckpointError> {
     let mut span = m3d_obs::span("checkpoint_write");
     let start = std::time::Instant::now();
-    let tmp = path.with_extension("tmp");
     let bytes = ckpt.to_bytes();
     span.add("bytes", bytes.len() as u64);
-    {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
+    save_bytes_atomic(path, &bytes)?;
     m3d_obs::counter("resilient.checkpoints_written", 1);
     m3d_obs::observe(
         "resilient.checkpoint_write_us",

@@ -55,7 +55,9 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod trainer;
 
-pub use checkpoint::{crc32, CheckpointError, TensorState, TrainCheckpoint};
+pub use checkpoint::{
+    crc32, save_bytes_atomic, save_text_atomic, CheckpointError, TensorState, TrainCheckpoint,
+};
 pub use trainer::{train_resilient, CheckpointConfig, ResilientError, TrainOutcome};
 
 // The guard types live next to the training loops in `m3d-gnn`;

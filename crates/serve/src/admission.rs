@@ -160,7 +160,8 @@ impl Admission {
         };
         match self.tx.try_send(job) {
             Ok(()) => {
-                self.depth.fetch_add(1, Ordering::Relaxed);
+                let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+                self.sample_depth(depth);
                 Ok((deadline, cancel))
             }
             Err(TrySendError::Full(_)) => Err(Response::Overloaded {
@@ -186,11 +187,35 @@ impl Admission {
     pub fn note_dequeued(&self) {
         // `admit` increments after a successful try_send, so the counter
         // can transiently lag the channel; saturate instead of wrapping.
-        let _ = self
+        let updated = self
             .depth
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
                 Some(d.saturating_sub(1))
             });
+        if let Ok(prev) = updated {
+            self.sample_depth(prev.saturating_sub(1));
+        }
+    }
+
+    /// Exports the instantaneous queue depth on every enqueue/dequeue: a
+    /// depth gauge, the distance to the shed watermark (negative once
+    /// shedding has begun), and a depth histogram so the exporter can
+    /// serve sliding depth quantiles.
+    fn sample_depth(&self, depth: usize) {
+        if !m3d_obs::enabled() {
+            return;
+        }
+        let watermark = self.cfg.shed_watermark.min(self.cfg.queue_capacity);
+        m3d_obs::gauge("serve.queue_depth", depth as f64);
+        m3d_obs::gauge(
+            "serve.shed_watermark_distance",
+            watermark as f64 - depth as f64,
+        );
+        m3d_obs::observe_with(
+            "serve.queue_depth_hist",
+            &m3d_obs::QUEUE_DEPTH_BOUNDS,
+            depth as f64,
+        );
     }
 }
 

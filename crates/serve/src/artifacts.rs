@@ -17,7 +17,8 @@
 //!
 //! Trained model weights are cached in the `resilient` checkpoint format
 //! (CRC-trailered, [`checkpoint::save_atomic`] write). On load the cache
-//! first tries the checkpoint; any [`CheckpointError`] — missing file,
+//! first tries the checkpoint; any
+//! [`CheckpointError`](m3d_resilient::CheckpointError) — missing file,
 //! truncation, bad CRC, shape drift — falls back to a deterministic
 //! retrain, after which the fresh weights are re-saved. A restored
 //! localizer is bit-identical to a freshly trained one (same tensors, same

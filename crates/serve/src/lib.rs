@@ -28,6 +28,11 @@
 //!   thousands of concurrent synthetic tester sessions with seeded fault
 //!   injection, verifying every served report bit-for-bit against an
 //!   offline [`m3d_diagnosis::Diagnoser`] run.
+//! * [`telemetry`] — the live telemetry plane (DESIGN.md §17): a
+//!   streaming exporter serving lock-bounded registry snapshots with
+//!   rolling rates and sliding quantiles over the same wire framing,
+//!   continuous SLO burn-rate evaluation, and flight-recorder dumps on
+//!   panic, frame poison, deadline storms, and shutdown.
 //!
 //! The invariant everything above defends (DESIGN.md §16): **for every
 //! well-formed request, the served report is bit-identical to the offline
@@ -40,9 +45,11 @@ pub mod artifacts;
 pub mod loadgen;
 pub mod proto;
 pub mod server;
+pub mod telemetry;
 
 pub use admission::AdmissionConfig;
 pub use artifacts::{ArtifactBundle, BundleSource, BundleSpec, ModelProvenance};
 pub use loadgen::{render_bench_json, run_load, LoadConfig, LoadReport, WidthResult};
 pub use proto::{ProtoError, Request, Response};
 pub use server::{serve, spawn_server, RunningServer, ServeConfig, ServeSummary};
+pub use telemetry::{dump_flight, scrape, TelemetryConfig};

@@ -21,6 +21,8 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -70,6 +72,15 @@ pub struct LoadConfig {
     /// Target an already-running server instead of spawning one per
     /// width (the width then only labels the phase).
     pub addr: Option<String>,
+    /// Run a telemetry exporter on each in-process server and scrape it
+    /// continuously while the clients storm (mid-load snapshots feed the
+    /// exporter-overhead and bit-neutrality checks).
+    pub telemetry: bool,
+    /// Flight-dump directory for in-process servers (each width phase
+    /// uses a `w<width>` subdirectory). After the phase the harness
+    /// verifies every `flight-panic-*.jsonl` artifact parses and renders
+    /// and that each contained worker panic left one.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for LoadConfig {
@@ -87,6 +98,8 @@ impl Default for LoadConfig {
             admission: AdmissionConfig::default(),
             frame_timeout_ms: 400,
             addr: None,
+            telemetry: false,
+            flight_dir: None,
         }
     }
 }
@@ -122,6 +135,17 @@ pub struct WidthResult {
     /// Requests abandoned after exhausting retries (never silent: each
     /// received only typed Overloaded/DeadlineExceeded answers).
     pub gave_up: u64,
+    /// Telemetry snapshots scraped mid-load (0 when telemetry is off).
+    pub telemetry_scrapes: u64,
+    /// Scrapes that failed to parse, plus flight-dump verification
+    /// failures (missing, unparsable, or unrenderable artifacts) — must
+    /// be zero.
+    pub telemetry_errors: u64,
+    /// `flight-panic-*.jsonl` artifacts found and verified after the
+    /// phase.
+    pub flight_dumps: u64,
+    /// The exporter's self-reported busy percentage from the last scrape.
+    pub exporter_overhead_pct: f64,
     /// First mismatch description, for diagnosis.
     pub first_mismatch: Option<String>,
 }
@@ -243,6 +267,7 @@ fn run_width(
     width: usize,
     expected: &Arc<Vec<Expected>>,
 ) -> Result<WidthResult, String> {
+    let phase_flight_dir = cfg.flight_dir.as_ref().map(|d| d.join(format!("w{width}")));
     let (addr, server): (SocketAddr, Option<RunningServer>) = match &cfg.addr {
         Some(a) => (
             a.parse().map_err(|e| format!("bad --addr `{a}`: {e}"))?,
@@ -254,13 +279,64 @@ fn run_width(
                 admission: cfg.admission,
                 frame_timeout_ms: cfg.frame_timeout_ms,
                 chaos_panic_every: cfg.server_panic_every,
+                telemetry_addr: cfg.telemetry.then(|| "127.0.0.1:0".into()),
+                flight_dir: phase_flight_dir.clone(),
                 ..ServeConfig::default()
             };
             let rs = spawn_server(&cfg.spec, &scfg)?;
             (rs.addr(), Some(rs))
         }
     };
+    let telemetry_addr = server.as_ref().and_then(RunningServer::telemetry_addr);
     wait_ready(addr, Duration::from_secs(600))?;
+
+    // Scrape the exporter continuously while the clients storm: the
+    // snapshots must parse, and serving must stay bit-identical under
+    // concurrent snapshotting.
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = telemetry_addr.map(|taddr| {
+        let stop = Arc::clone(&scrape_stop);
+        thread::spawn(move || {
+            let (mut scrapes, mut errors, mut overhead) = (0u64, 0u64, 0.0f64);
+            let mut req_rate = 0.0f64;
+            while !stop.load(Ordering::Relaxed) {
+                match crate::telemetry::scrape(taddr) {
+                    Ok(snap) => {
+                        // A reply that is not a well-formed snapshot is a
+                        // plane violation, not a scrape.
+                        let shaped = snap.get("type").and_then(m3d_obs::Json::as_str)
+                            == Some("telemetry")
+                            && ["stats", "counters", "rates", "quantiles", "slo"]
+                                .iter()
+                                .all(|k| snap.get(k).is_some());
+                        if !shaped {
+                            errors += 1;
+                        } else {
+                            scrapes += 1;
+                            if let Some(pct) = snap
+                                .get("exporter")
+                                .and_then(|e| e.get("overhead_pct"))
+                                .and_then(m3d_obs::Json::as_f64)
+                            {
+                                overhead = pct;
+                            }
+                            if let Some(r) = snap
+                                .get("rates")
+                                .and_then(|r| r.get("serve.completed"))
+                                .and_then(|w| w.get("10s"))
+                                .and_then(m3d_obs::Json::as_f64)
+                            {
+                                req_rate = req_rate.max(r);
+                            }
+                        }
+                    }
+                    Err(_) => errors += 1,
+                }
+                thread::sleep(Duration::from_millis(50));
+            }
+            (scrapes, errors, overhead, req_rate)
+        })
+    });
 
     let t0 = Instant::now();
     let mut handles = Vec::with_capacity(cfg.clients);
@@ -283,11 +359,33 @@ fn run_width(
     }
     let wall_secs = t0.elapsed().as_secs_f64();
 
+    scrape_stop.store(true, Ordering::Relaxed);
+    let scraping = telemetry_addr.is_some();
+    let (telemetry_scrapes, mut telemetry_errors, exporter_overhead_pct, req_rate) = scraper
+        .and_then(|h| h.join().ok())
+        .unwrap_or((0, 0, 0.0, 0.0));
+    // Liveness, not just well-formedness: a scraped run must land at
+    // least one snapshot, and — once anything completed — at least one
+    // snapshot must have shown a nonzero completion rate.
+    if scraping && (telemetry_scrapes == 0 || (stats.completed > 0 && req_rate <= 0.0)) {
+        telemetry_errors += 1;
+    }
+
     let mut panics_contained = 0;
     if let Some(rs) = server {
         shutdown_server(addr);
         let summary = rs.join()?;
         panics_contained = summary.stats.panics_contained;
+    }
+
+    // Post-mortem: every contained worker panic must have left one
+    // parsable, renderable `flight-panic-*.jsonl` artifact naming the
+    // poisoned request.
+    let mut flight_dumps = 0u64;
+    if let Some(dir) = &phase_flight_dir {
+        let (verified, failures) = verify_flight_dumps(dir, panics_contained);
+        flight_dumps = verified;
+        telemetry_errors += failures;
     }
 
     stats.latencies_us.sort_unstable();
@@ -312,8 +410,52 @@ fn run_width(
         protocol_rejections: stats.protocol_rejections,
         panics_contained: panics_contained + stats.panic_errors,
         gave_up: stats.gave_up,
+        telemetry_scrapes,
+        telemetry_errors,
+        flight_dumps,
+        exporter_overhead_pct,
         first_mismatch: stats.first_mismatch,
     })
+}
+
+/// Counts and verifies `flight-panic-*.jsonl` artifacts in `dir`: each
+/// must parse as flight events, render as a timeline, and contain the
+/// `panic_contained` event naming the poisoned request. Returns
+/// `(verified, failures)`, where `failures` includes a shortfall against
+/// the server's contained-panic count.
+fn verify_flight_dumps(dir: &std::path::Path, panics_contained: u64) -> (u64, u64) {
+    let mut verified = 0u64;
+    let mut failures = 0u64;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        // No directory means no dumps were written: a failure only if
+        // panics were actually contained.
+        Err(_) => return (0, u64::from(panics_contained > 0)),
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("flight-panic-") && name.ends_with(".jsonl")) {
+            continue;
+        }
+        let ok = std::fs::read_to_string(entry.path())
+            .ok()
+            .and_then(|text| m3d_obs::report::parse_jsonl(&text).ok())
+            .is_some_and(|events| {
+                let named = events.iter().any(|e| {
+                    matches!(e, m3d_obs::Event::Flight { kind, .. } if kind == "panic_contained")
+                });
+                named && !m3d_obs::report::render_flight_timeline(&events).is_empty()
+            });
+        if ok {
+            verified += 1;
+        } else {
+            failures += 1;
+        }
+    }
+    if verified < panics_contained {
+        failures += panics_contained - verified;
+    }
+    (verified, failures)
 }
 
 /// Renders the bench file in the line-oriented layout `bench_guard`
@@ -343,7 +485,8 @@ pub fn render_bench_json(report: &LoadReport) -> String {
              \"crashed_connections\": {}, \"mismatches\": {}, \"overloaded\": {}, \
              \"deadline_exceeded\": {}, \"degraded\": {}, \"protocol_rejections\": {}, \
              \"panics_contained\": {}, \"gave_up\": {}, \"completed\": {}, \"wall_secs\": {:.3}, \
-             \"deterministic\": {}}}{}\n",
+             \"telemetry_scrapes\": {}, \"telemetry_errors\": {}, \"flight_dumps\": {}, \
+             \"exporter_overhead_pct\": {:.3}, \"deterministic\": {}}}{}\n",
             w.width,
             w.width,
             throughput,
@@ -359,6 +502,10 @@ pub fn render_bench_json(report: &LoadReport) -> String {
             w.gave_up,
             w.completed,
             w.wall_secs,
+            w.telemetry_scrapes,
+            w.telemetry_errors,
+            w.flight_dumps,
+            w.exporter_overhead_pct,
             deterministic,
             if i + 1 < report.widths.len() { "," } else { "" }
         ));

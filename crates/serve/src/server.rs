@@ -36,6 +36,7 @@
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -44,6 +45,7 @@ use std::time::{Duration, Instant};
 
 use m3d_diagnosis::{Cancelled, Diagnoser};
 use m3d_fault_localization::PolicyAction;
+use m3d_obs::SloSpec;
 use m3d_tdf::{read_failure_log, FailureLog, FaultSim};
 
 use crate::admission::{admission_queue, Admission, AdmissionConfig, Job};
@@ -51,6 +53,7 @@ use crate::artifacts::{ArtifactBundle, BundleSpec};
 use crate::proto::{
     wire_candidates, write_frame, Decoder, ProtoError, Request, Response, StatsSnapshot,
 };
+use crate::telemetry::{self, TelemetryConfig};
 
 /// Server configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,6 +73,16 @@ pub struct ServeConfig {
     /// Chaos hook: every Nth admitted job panics inside its diagnosis
     /// worker (`None` in production). Drives the panic-containment tests.
     pub chaos_panic_every: Option<u64>,
+    /// Bind address for the telemetry exporter (`None` disables it;
+    /// `127.0.0.1:0` picks a free port). See [`crate::telemetry`].
+    pub telemetry_addr: Option<String>,
+    /// Directory for flight-recorder dumps (`None` disables dumping).
+    /// Panics, frame poison, deadline storms, and shutdown each leave a
+    /// `flight-*.jsonl` artifact here via the atomic-write path.
+    pub flight_dir: Option<PathBuf>,
+    /// SLO spec evaluated by the exporter, e.g.
+    /// `availability>=0.99,p99_ms<=250,degraded_frac<=0.1`.
+    pub slo: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +94,9 @@ impl Default for ServeConfig {
             poll_ms: 5,
             frame_timeout_ms: 2_000,
             chaos_panic_every: None,
+            telemetry_addr: None,
+            flight_dir: None,
+            slo: None,
         }
     }
 }
@@ -131,6 +147,7 @@ pub struct ServeSummary {
 /// harness and the service tests use).
 pub struct RunningServer {
     addr: SocketAddr,
+    telemetry_addr: Option<SocketAddr>,
     join: thread::JoinHandle<Result<ServeSummary, String>>,
 }
 
@@ -138,6 +155,11 @@ impl RunningServer {
     /// The bound address (with the real port when `:0` was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The telemetry exporter's bound address, when one was configured.
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.telemetry_addr
     }
 
     /// Waits for the server to shut down (send it a `shutdown` request).
@@ -159,7 +181,8 @@ impl RunningServer {
 /// Bind or initial artifact-load failure.
 pub fn serve(spec: &BundleSpec, cfg: &ServeConfig) -> Result<ServeSummary, String> {
     let listener = bind(cfg)?;
-    serve_on(listener, spec, cfg)
+    let telemetry_listener = bind_telemetry_opt(cfg)?;
+    serve_on(listener, telemetry_listener, spec, cfg)
 }
 
 /// Spawns a server on a background thread, returning once it is bound and
@@ -172,13 +195,22 @@ pub fn serve(spec: &BundleSpec, cfg: &ServeConfig) -> Result<ServeSummary, Strin
 pub fn spawn_server(spec: &BundleSpec, cfg: &ServeConfig) -> Result<RunningServer, String> {
     let listener = bind(cfg)?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let telemetry_listener = bind_telemetry_opt(cfg)?;
+    let telemetry_addr = match &telemetry_listener {
+        Some(l) => Some(l.local_addr().map_err(|e| e.to_string())?),
+        None => None,
+    };
     let spec = spec.clone();
     let cfg = cfg.clone();
     let join = thread::Builder::new()
         .name("m3d-serve".into())
-        .spawn(move || serve_on(listener, &spec, &cfg))
+        .spawn(move || serve_on(listener, telemetry_listener, &spec, &cfg))
         .map_err(|e| e.to_string())?;
-    Ok(RunningServer { addr, join })
+    Ok(RunningServer {
+        addr,
+        telemetry_addr,
+        join,
+    })
 }
 
 fn bind(cfg: &ServeConfig) -> Result<TcpListener, String> {
@@ -190,14 +222,51 @@ fn bind(cfg: &ServeConfig) -> Result<TcpListener, String> {
     Ok(listener)
 }
 
+fn bind_telemetry_opt(cfg: &ServeConfig) -> Result<Option<TcpListener>, String> {
+    cfg.telemetry_addr
+        .as_deref()
+        .map(telemetry::bind_telemetry)
+        .transpose()
+}
+
 fn serve_on(
     listener: TcpListener,
+    telemetry_listener: Option<TcpListener>,
     spec: &BundleSpec,
     cfg: &ServeConfig,
 ) -> Result<ServeSummary, String> {
+    let slo = match &cfg.slo {
+        Some(text) => SloSpec::parse(text).map_err(|e| format!("bad --slo spec: {e}"))?,
+        None => SloSpec::default(),
+    };
     let mut bundle = ArtifactBundle::load(spec)?;
-    let counters = Counters::default();
-    let shutdown = AtomicBool::new(false);
+    let counters = Arc::new(Counters::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    // The telemetry plane needs metrics; a plain server run should not
+    // start accumulating an unbounded trace. Leave everything alone when
+    // the operator already enabled recording (e.g. `--trace`).
+    if telemetry_listener.is_some() || cfg.flight_dir.is_some() {
+        if !m3d_obs::enabled() {
+            m3d_obs::set_enabled(true);
+            m3d_obs::set_trace_enabled(false);
+        }
+        m3d_obs::set_flight_enabled(true);
+    }
+    let telemetry_join = telemetry_listener.map(|tl| {
+        let c = Arc::clone(&counters);
+        telemetry::spawn_telemetry(
+            tl,
+            Arc::new(move || c.snapshot(0)),
+            TelemetryConfig {
+                slo,
+                flight_dir: cfg.flight_dir.clone(),
+                storm_per_s: telemetry::STORM_PER_S,
+            },
+            Arc::clone(&shutdown),
+        )
+    });
+
     let mut generations = 0u64;
     loop {
         generations += 1;
@@ -212,6 +281,15 @@ fn serve_on(
             // reachable if every exit path raced; treat as shutdown.
             None => break,
         }
+    }
+    shutdown.store(true, Ordering::Relaxed);
+    if let Some(j) = telemetry_join {
+        let _ = j.join();
+    }
+    // The drain-path stand-in for a SIGTERM handler (std offers no signal
+    // API): a protocol `shutdown` lands here and leaves a final dump.
+    if let Some(dir) = &cfg.flight_dir {
+        let _ = telemetry::dump_flight(dir, "shutdown");
     }
     Ok(ServeSummary {
         generations,
@@ -299,20 +377,23 @@ fn run_generation(
             }
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    counters.bump(&counters.connections);
+                    let conn_id = counters.connections.fetch_add(1, Ordering::Relaxed) + 1;
+                    m3d_obs::counter("serve.connections", 1);
                     active_conns.fetch_add(1, Ordering::Relaxed);
                     let ctx = &ctx;
                     let spawned = thread::Builder::new()
                         .name("m3d-serve-conn".into())
                         .stack_size(256 * 1024)
                         .spawn_scoped(s, move || {
-                            let result =
-                                catch_unwind(AssertUnwindSafe(|| handle_conn(stream, ctx)));
+                            let result = catch_unwind(AssertUnwindSafe(|| {
+                                handle_conn(stream, ctx, conn_id)
+                            }));
                             if result.is_err() {
                                 // The handler panicked: contained here, so
                                 // one poisoned connection cannot take the
                                 // process (or its siblings) down.
                                 ctx.counters.bump(&ctx.counters.panics_contained);
+                                m3d_obs::counter("serve.panics_contained", 1);
                             }
                             ctx.active_conns.fetch_sub(1, Ordering::Relaxed);
                         });
@@ -386,6 +467,7 @@ fn process_batch(
         .partition(|j| j.deadline > now && !j.cancel.load(Ordering::Relaxed));
     for job in expired {
         ctx.counters.bump(&ctx.counters.deadline_exceeded);
+        m3d_obs::counter("serve.deadline_exceeded", 1);
         let _ = job.reply.send(Response::DeadlineExceeded {
             id: job.id,
             budget_ms: job.budget_ms,
@@ -426,6 +508,19 @@ fn process_batch(
                     }
                     Err(p) => {
                         ctx.counters.bump(&ctx.counters.panics_contained);
+                        m3d_obs::counter("serve.panics_contained", 1);
+                        m3d_obs::counter("serve.internal_errors", 1);
+                        m3d_obs::flight_record(
+                            "serve",
+                            "panic_contained",
+                            format!("id={} seq={}: {}", job.id, job.seq, p.message),
+                        );
+                        // A contained worker panic is exactly what the
+                        // flight recorder exists for: dump unconditionally,
+                        // one artifact per poisoned sequence number.
+                        if let Some(dir) = &ctx.cfg.flight_dir {
+                            let _ = telemetry::dump_flight(dir, &format!("panic-seq{}", job.seq));
+                        }
                         finish_job(
                             job,
                             Response::Error {
@@ -453,6 +548,13 @@ fn run_job(
 ) -> Response {
     let mut sp = m3d_obs::span("serve_request");
     sp.add("entries", job.log.len() as u64);
+    // Recorded *before* the chaos panic point, so a worker that dies here
+    // leaves the identity of the request that killed it in the ring.
+    m3d_obs::flight_record(
+        "pool",
+        "job",
+        format!("id={} seq={} entries={}", job.id, job.seq, job.log.len()),
+    );
     if let Some(every) = ctx.cfg.chaos_panic_every {
         if every > 0 && job.seq.is_multiple_of(every) {
             panic!("chaos: injected worker panic (seq {})", job.seq);
@@ -513,17 +615,21 @@ fn finish_job(job: &Job, resp: Response, ctx: &GenCtx<'_>) {
     match &resp {
         Response::Report { degraded, .. } => {
             ctx.counters.bump(&ctx.counters.completed);
+            m3d_obs::counter("serve.completed", 1);
             if *degraded {
                 ctx.counters.bump(&ctx.counters.degraded);
+                m3d_obs::counter("serve.degraded", 1);
             }
         }
         Response::DeadlineExceeded { .. } => {
             ctx.counters.bump(&ctx.counters.deadline_exceeded);
+            m3d_obs::counter("serve.deadline_exceeded", 1);
         }
         _ => {}
     }
-    m3d_obs::observe(
-        "serve_latency_ms",
+    m3d_obs::observe_with(
+        "serve.latency_ms",
+        &m3d_obs::LATENCY_MS_BOUNDS,
         job.enqueued.elapsed().as_secs_f64() * 1e3,
     );
     // The handler (and its client) may already be gone — that is its
@@ -533,7 +639,7 @@ fn finish_job(job: &Job, resp: Response, ctx: &GenCtx<'_>) {
 
 /// One connection: a poll loop multiplexing socket reads, batcher
 /// replies, and the generation exit flags.
-fn handle_conn(mut stream: TcpStream, ctx: &GenCtx<'_>) {
+fn handle_conn(mut stream: TcpStream, ctx: &GenCtx<'_>, conn_id: u64) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(ctx.cfg.poll_ms.max(1))));
     let (reply_tx, reply_rx) = channel::<Response>();
@@ -562,6 +668,12 @@ fn handle_conn(mut stream: TcpStream, ctx: &GenCtx<'_>) {
                 if dec.has_partial() {
                     // Mid-frame disconnect: a truncated frame.
                     ctx.counters.bump(&ctx.counters.protocol_errors);
+                    m3d_obs::counter("serve.protocol_errors", 1);
+                    m3d_obs::flight_record(
+                        &format!("conn-{conn_id}"),
+                        "reject",
+                        "mid-frame disconnect",
+                    );
                 }
                 closing = true;
             }
@@ -571,14 +683,21 @@ fn handle_conn(mut stream: TcpStream, ctx: &GenCtx<'_>) {
                     match dec.next_frame() {
                         Ok(Some(frame)) => {
                             partial_since = None;
-                            if !handle_frame(&frame, &mut stream, ctx, &reply_tx, &mut pending) {
+                            if !handle_frame(
+                                &frame,
+                                &mut stream,
+                                ctx,
+                                &reply_tx,
+                                &mut pending,
+                                conn_id,
+                            ) {
                                 closing = true;
                                 break;
                             }
                         }
                         Ok(None) => break,
                         Err(e) => {
-                            protocol_reject(&mut stream, ctx, &e);
+                            protocol_reject(&mut stream, ctx, &e, conn_id);
                             closing = true;
                             break;
                         }
@@ -603,7 +722,7 @@ fn handle_conn(mut stream: TcpStream, ctx: &GenCtx<'_>) {
                 // slow-writer (slowloris) attack: reject and close.
                 if let Some(since) = partial_since {
                     if since.elapsed() >= Duration::from_millis(ctx.cfg.frame_timeout_ms) {
-                        protocol_reject(&mut stream, ctx, &ProtoError::Timeout);
+                        protocol_reject(&mut stream, ctx, &ProtoError::Timeout, conn_id);
                         closing = true;
                     }
                 }
@@ -615,8 +734,15 @@ fn handle_conn(mut stream: TcpStream, ctx: &GenCtx<'_>) {
 
 /// Counts and reports a protocol violation (best-effort) before the
 /// caller closes the connection.
-fn protocol_reject(stream: &mut TcpStream, ctx: &GenCtx<'_>, err: &ProtoError) {
+fn protocol_reject(stream: &mut TcpStream, ctx: &GenCtx<'_>, err: &ProtoError, conn_id: u64) {
     ctx.counters.bump(&ctx.counters.protocol_errors);
+    m3d_obs::counter("serve.protocol_errors", 1);
+    m3d_obs::flight_record(&format!("conn-{conn_id}"), "reject", err.to_string());
+    // Frame poison is a dump trigger, rate-limited so a hostile client
+    // spraying garbage cannot turn the recorder into a disk-filler.
+    if let Some(dir) = &ctx.cfg.flight_dir {
+        let _ = telemetry::dump_flight_limited(dir, "poison", Duration::from_millis(500));
+    }
     let resp = Response::Error {
         id: None,
         kind: "protocol".into(),
@@ -633,11 +759,12 @@ fn handle_frame(
     ctx: &GenCtx<'_>,
     reply_tx: &Sender<Response>,
     pending: &mut usize,
+    conn_id: u64,
 ) -> bool {
     let req = match Request::parse(frame) {
         Ok(req) => req,
         Err(e) => {
-            protocol_reject(stream, ctx, &e);
+            protocol_reject(stream, ctx, &e, conn_id);
             return false;
         }
     };
@@ -654,6 +781,11 @@ fn handle_frame(
             send_now(stream, &Response::Stats { id, snapshot })
         }
         Request::Shutdown { id } => {
+            m3d_obs::flight_record(
+                "serve",
+                "shutdown",
+                format!("drain requested by conn-{conn_id}"),
+            );
             ctx.shutdown.store(true, Ordering::Relaxed);
             ctx.gen_exit.store(true, Ordering::Relaxed);
             send_now(stream, &Response::ShuttingDown { id });
@@ -712,6 +844,11 @@ fn handle_frame(
                 .admit(id, log, deadline_ms, no_enhance, reply_tx.clone())
             {
                 Ok((deadline, cancel)) => {
+                    m3d_obs::flight_record(
+                        &format!("conn-{conn_id}"),
+                        "admit",
+                        format!("id={id} deadline_ms={}", deadline_ms.unwrap_or(0)),
+                    );
                     ctx.reaper
                         .lock()
                         .expect("reaper registry")
@@ -722,6 +859,7 @@ fn handle_frame(
                 Err(resp) => {
                     if matches!(resp, Response::Overloaded { .. }) {
                         ctx.counters.bump(&ctx.counters.overloaded);
+                        m3d_obs::counter("serve.overloaded", 1);
                     }
                     send_now(stream, &resp)
                 }

@@ -1,0 +1,499 @@
+//! The live telemetry plane: a streaming exporter, continuous SLO
+//! evaluation, and flight-recorder dumps (DESIGN.md §17).
+//!
+//! # Snapshot consistency model
+//!
+//! The sampler thread calls [`m3d_obs::registry_snapshot`] at a fixed
+//! cadence: the whole registry is cloned under **one** registry lock
+//! (swap-out), and every aggregate — windowed rates, sliding quantiles,
+//! SLO burn — is computed and serialized *outside* that lock. Hot paths
+//! therefore only ever contend on the same single short-lived lock they
+//! already take to record, and a scrape can never observe a torn
+//! registry. Snapshotting is a pure read: it cannot change chunk
+//! boundaries, merge order, or any served byte (the PR 4 determinism
+//! contract extends to the exporter).
+//!
+//! # Wire format
+//!
+//! The exporter reuses the `crates/serve` length-prefixed JSONL framing
+//! ([`crate::proto`]). Any complete frame a scraper sends is answered
+//! with one `{"type":"telemetry",...}` frame; malformed framing closes
+//! the scraper's connection without touching the serving plane.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use m3d_obs::slo::{evaluate, SloInputs, SloSpec, SloStatus};
+use m3d_obs::{Event, Json, SnapshotRing};
+
+use crate::proto::{write_frame, Decoder, StatsSnapshot};
+
+/// Sampler cadence: one registry snapshot per tick.
+pub const SAMPLE_INTERVAL_MS: u64 = 100;
+
+/// Rolling-window horizon retained by the sampler (the longest window).
+pub const HORIZON_MS: u64 = 60_000;
+
+/// The exported rate/quantile windows, milliseconds.
+pub const WINDOWS_MS: [u64; 3] = [1_000, 10_000, 60_000];
+
+/// Default deadline-storm threshold: this many `DeadlineExceeded`
+/// responses per second sustained over 10 s triggers a flight dump.
+pub const STORM_PER_S: f64 = 25.0;
+
+/// Telemetry-plane knobs, derived from [`crate::ServeConfig`].
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryConfig {
+    /// SLO objectives evaluated each tick (empty spec = no objectives).
+    pub slo: SloSpec,
+    /// Where flight dumps land; `None` disables storm dumps.
+    pub flight_dir: Option<PathBuf>,
+    /// Deadline-storm threshold: a 10 s `serve.deadline_exceeded` rate at
+    /// or above this many per second triggers a (rate-limited) dump.
+    pub storm_per_s: f64,
+}
+
+/// Binds the telemetry listener (nonblocking, `:0` picks a free port).
+///
+/// # Errors
+///
+/// Bind failure.
+pub fn bind_telemetry(addr: &str) -> Result<TcpListener, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("binding telemetry {addr}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking telemetry listener: {e}"))?;
+    Ok(listener)
+}
+
+/// Spawns the sampler/exporter thread. It runs until `shutdown` is set,
+/// then drops its listener and exits. `stats_fn` supplies the server's
+/// wire-level counter snapshot (queue depth is filled in from the
+/// registry gauge).
+pub fn spawn_telemetry(
+    listener: TcpListener,
+    stats_fn: Arc<dyn Fn() -> StatsSnapshot + Send + Sync>,
+    cfg: TelemetryConfig,
+    shutdown: Arc<AtomicBool>,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("m3d-telemetry".into())
+        .spawn(move || sampler_loop(&listener, &stats_fn, &cfg, &shutdown))
+        .expect("spawning telemetry thread")
+}
+
+/// One connected scraper.
+struct Scraper {
+    stream: TcpStream,
+    dec: Decoder,
+}
+
+fn sampler_loop(
+    listener: &TcpListener,
+    stats_fn: &Arc<dyn Fn() -> StatsSnapshot + Send + Sync>,
+    cfg: &TelemetryConfig,
+    shutdown: &AtomicBool,
+) {
+    let epoch = Instant::now();
+    let mut ring = SnapshotRing::new(HORIZON_MS);
+    let mut scrapers: Vec<Scraper> = Vec::new();
+    let mut busy = Duration::ZERO;
+    let mut last_storm_dump: Option<Instant> = None;
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let tick = Instant::now();
+
+        // Sample: one clone under one registry lock; everything below
+        // works on the private copy.
+        let t_ms = epoch.elapsed().as_millis() as u64;
+        ring.push(t_ms, m3d_obs::registry_snapshot());
+
+        // Continuous SLO evaluation, exported as burn-rate gauges.
+        let status = slo_over_window(&ring, &cfg.slo, 10_000);
+        export_burn_gauges(&status, "10s");
+        let status_60 = slo_over_window(&ring, &cfg.slo, 60_000);
+        export_burn_gauges(&status_60, "60s");
+
+        // Deadline-storm detection: sustained expiry rate → flight dump.
+        if let (Some(dir), Some(rate)) = (
+            cfg.flight_dir.as_deref(),
+            ring.rate("serve.deadline_exceeded", 10_000),
+        ) {
+            let cooled = last_storm_dump.is_none_or(|t| t.elapsed() >= Duration::from_secs(10));
+            if cfg.storm_per_s > 0.0 && rate >= cfg.storm_per_s && cooled {
+                last_storm_dump = Some(Instant::now());
+                m3d_obs::flight_record(
+                    "telemetry",
+                    "storm",
+                    format!("deadline_exceeded at {rate:.1}/s over 10s"),
+                );
+                let _ = dump_flight(dir, "storm");
+            }
+        }
+
+        // Exporter self-accounting: busy fraction of wall time. This is
+        // the honest overhead number `bench_guard slo` checks.
+        let wall = epoch.elapsed();
+        let overhead_pct = if wall.is_zero() {
+            0.0
+        } else {
+            100.0 * busy.as_secs_f64() / wall.as_secs_f64()
+        };
+
+        // Accept new scrapers (nonblocking).
+        while let Ok((stream, _peer)) = listener.accept() {
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_ok() {
+                scrapers.push(Scraper {
+                    stream,
+                    dec: Decoder::new(),
+                });
+            }
+        }
+
+        // Answer every complete frame with one snapshot frame. The reply
+        // is rendered at most once per tick, lazily.
+        let mut rendered: Option<String> = None;
+        scrapers.retain_mut(|s| {
+            let mut chunk = [0u8; 1024];
+            loop {
+                match s.stream.read(&mut chunk) {
+                    Ok(0) => return false,
+                    Ok(n) => s.dec.push(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => return false,
+                }
+            }
+            loop {
+                match s.dec.next_frame() {
+                    Ok(Some(_request)) => {
+                        let line = rendered.get_or_insert_with(|| {
+                            snapshot_json(&ring, &stats_fn(), &status, overhead_pct).render()
+                        });
+                        if write_frame(&mut s.stream, line).is_err() {
+                            return false;
+                        }
+                    }
+                    Ok(None) => return true,
+                    Err(_) => return false, // desynchronized scraper
+                }
+            }
+        });
+
+        busy += tick.elapsed();
+        let spent = tick.elapsed().as_millis() as u64;
+        thread::sleep(Duration::from_millis(
+            SAMPLE_INTERVAL_MS.saturating_sub(spent).max(1),
+        ));
+    }
+}
+
+/// Evaluates the SLO spec over one rolling window of the ring.
+fn slo_over_window(ring: &SnapshotRing, spec: &SloSpec, window_ms: u64) -> SloStatus {
+    if spec.is_empty() {
+        return SloStatus::default();
+    }
+    let delta = |name: &str| -> u64 {
+        ring.rate(name, window_ms)
+            .map_or(0.0, |r| r * (window_ms as f64 / 1e3))
+            .round() as u64
+    };
+    let inputs = SloInputs {
+        completed: delta("serve.completed"),
+        failed: delta("serve.deadline_exceeded") + delta("serve.internal_errors"),
+        degraded: delta("serve.degraded"),
+        p99_ms: ring.quantile("serve.latency_ms", window_ms, 0.99),
+    };
+    evaluate(spec, &inputs)
+}
+
+fn export_burn_gauges(status: &SloStatus, suffix: &str) {
+    if let Some(b) = status.burn_availability {
+        m3d_obs::gauge(&format!("slo.burn_availability_{suffix}"), b);
+    }
+    if let Some(b) = status.burn_p99 {
+        m3d_obs::gauge(&format!("slo.burn_p99_{suffix}"), b);
+    }
+    if let Some(b) = status.burn_degraded {
+        m3d_obs::gauge(&format!("slo.burn_degraded_{suffix}"), b);
+    }
+}
+
+/// Assembles the `{"type":"telemetry",...}` snapshot object: raw
+/// counters and gauges, windowed per-second rates for every counter,
+/// sliding p50/p95/p99 for every histogram, the server's wire stats,
+/// SLO burn, pool utilization, and exporter overhead.
+pub fn snapshot_json(
+    ring: &SnapshotRing,
+    stats: &StatsSnapshot,
+    slo: &SloStatus,
+    overhead_pct: f64,
+) -> Json {
+    let latest = ring.latest();
+    let t_ms = latest.map_or(0, |s| s.t_ms);
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut hist_names = Vec::new();
+    if let Some(s) = latest {
+        for e in s.registry.events() {
+            match e {
+                Event::Counter { name, value } => counters.push((name, Json::Num(value as f64))),
+                Event::Gauge { name, value } => gauges.push((name, Json::Num(value))),
+                Event::Hist { name, .. } => hist_names.push(name),
+                _ => {}
+            }
+        }
+    }
+
+    let mut rates = Vec::new();
+    for (name, _) in &counters {
+        let mut per_window = Vec::new();
+        for w in WINDOWS_MS {
+            if let Some(r) = ring.rate(name, w) {
+                per_window.push((format!("{}s", w / 1_000), Json::Num(r)));
+            }
+        }
+        if !per_window.is_empty() {
+            rates.push((name.clone(), Json::Obj(per_window)));
+        }
+    }
+
+    let mut quantiles = Vec::new();
+    for name in &hist_names {
+        if let Some(win) = ring.hist_window(name, 10_000) {
+            let mut o = vec![("count".to_string(), Json::Num(win.count() as f64))];
+            for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                if let Some(v) = win.quantile(q) {
+                    o.push((label.to_string(), Json::Num(v)));
+                }
+            }
+            quantiles.push((name.clone(), Json::Obj(o)));
+        }
+    }
+
+    // Windowed pool utilization: busy time vs capacity (threads × wall)
+    // over the last 10 s, both recorded as cumulative counters by
+    // `m3d_par::record_dispatch`.
+    let utilization = match (
+        ring.rate("par.busy_us", 10_000),
+        ring.rate("par.capacity_us", 10_000),
+    ) {
+        (Some(busy), Some(cap)) if cap > 0.0 => Some(100.0 * busy / cap),
+        _ => None,
+    };
+
+    let mut queue_depth = stats.queue_depth;
+    if let Some(s) = latest {
+        if let Some(d) = s.registry.gauge_value("serve.queue_depth") {
+            queue_depth = d.max(0.0) as u64;
+        }
+    }
+
+    let stats_obj = Json::Obj(vec![
+        ("generation".into(), Json::Num(stats.generation as f64)),
+        ("completed".into(), Json::Num(stats.completed as f64)),
+        ("degraded".into(), Json::Num(stats.degraded as f64)),
+        ("overloaded".into(), Json::Num(stats.overloaded as f64)),
+        (
+            "deadline_exceeded".into(),
+            Json::Num(stats.deadline_exceeded as f64),
+        ),
+        (
+            "protocol_errors".into(),
+            Json::Num(stats.protocol_errors as f64),
+        ),
+        (
+            "panics_contained".into(),
+            Json::Num(stats.panics_contained as f64),
+        ),
+        ("connections".into(), Json::Num(stats.connections as f64)),
+        ("queue_depth".into(), Json::Num(queue_depth as f64)),
+    ]);
+
+    let mut slo_obj = Vec::new();
+    if let Some(b) = slo.burn_availability {
+        slo_obj.push(("burn_availability".to_string(), Json::Num(b)));
+    }
+    if let Some(b) = slo.burn_p99 {
+        slo_obj.push(("burn_p99".to_string(), Json::Num(b)));
+    }
+    if let Some(b) = slo.burn_degraded {
+        slo_obj.push(("burn_degraded".to_string(), Json::Num(b)));
+    }
+    slo_obj.push(("breached".to_string(), Json::Bool(slo.breached())));
+
+    let mut pool = Vec::new();
+    if let Some(u) = utilization {
+        pool.push(("utilization_10s_pct".to_string(), Json::Num(u)));
+    }
+
+    Json::Obj(vec![
+        ("type".into(), Json::Str("telemetry".into())),
+        ("t_ms".into(), Json::Num(t_ms as f64)),
+        ("stats".into(), stats_obj),
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+        ("rates".into(), Json::Obj(rates)),
+        ("quantiles".into(), Json::Obj(quantiles)),
+        ("slo".into(), Json::Obj(slo_obj)),
+        ("pool".into(), Json::Obj(pool)),
+        (
+            "exporter".into(),
+            Json::Obj(vec![("overhead_pct".into(), Json::Num(overhead_pct))]),
+        ),
+    ])
+}
+
+/// Scrapes one telemetry snapshot from a running exporter.
+///
+/// # Errors
+///
+/// Connect, framing, or parse failure.
+pub fn scrape(addr: SocketAddr) -> Result<Json, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write_frame(&mut stream, "{\"type\":\"snapshot\"}").map_err(|e| e.to_string())?;
+    let mut dec = Decoder::new();
+    let line = crate::proto::read_frame(&mut stream, &mut dec)
+        .map_err(|e| format!("scrape {addr}: {e}"))?
+        .ok_or_else(|| format!("scrape {addr}: connection closed"))?;
+    m3d_obs::json::parse(&line).map_err(|e| format!("scrape {addr}: bad snapshot: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Flight dumps
+// ---------------------------------------------------------------------------
+
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+static DUMP_LAST: Mutex<BTreeMap<String, Instant>> = Mutex::new(BTreeMap::new());
+
+/// Dumps the flight recorder to `dir/flight-<trigger>-<n>.jsonl` through
+/// the `m3d-resilient` atomic-write path (tmp + fsync + rename), so a
+/// crash mid-dump never leaves a torn artifact.
+///
+/// # Errors
+///
+/// Directory creation or write failure.
+pub fn dump_flight(dir: &Path, trigger: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let n = DUMP_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    let path = dir.join(format!("flight-{trigger}-{n:04}.jsonl"));
+    m3d_resilient::save_text_atomic(&path, &m3d_obs::flight_render())?;
+    m3d_obs::counter("serve.flight_dumps", 1);
+    Ok(path)
+}
+
+/// Rate-limited [`dump_flight`]: at most one dump per `min_gap` for each
+/// distinct `trigger` (poison storms must not flood the disk). Returns
+/// `None` when suppressed.
+pub fn dump_flight_limited(dir: &Path, trigger: &str, min_gap: Duration) -> Option<PathBuf> {
+    {
+        let mut last = DUMP_LAST
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(t) = last.get(trigger) {
+            if t.elapsed() < min_gap {
+                return None;
+            }
+        }
+        last.insert(trigger.to_string(), Instant::now());
+    }
+    dump_flight(dir, trigger).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3d_obs::Registry;
+
+    fn ring_with(completed: u64, lat_ms: &[f64]) -> SnapshotRing {
+        let mut ring = SnapshotRing::new(HORIZON_MS);
+        ring.push(0, Registry::new());
+        let mut r = Registry::new();
+        r.counter("serve.completed", completed);
+        for &v in lat_ms {
+            r.observe_with("serve.latency_ms", &m3d_obs::LATENCY_MS_BOUNDS, v);
+        }
+        ring.push(10_000, r);
+        ring
+    }
+
+    #[test]
+    fn snapshot_renders_rates_quantiles_and_parses_back() {
+        let ring = ring_with(100, &[1.0, 1.0, 200.0]);
+        let json = snapshot_json(&ring, &StatsSnapshot::default(), &SloStatus::default(), 0.5);
+        let line = json.render();
+        let back = m3d_obs::json::parse(&line).expect("snapshot parses");
+        assert_eq!(back.get("type").and_then(Json::as_str), Some("telemetry"));
+        // 100 completions over 10 s.
+        let rate = back
+            .get("rates")
+            .and_then(|r| r.get("serve.completed"))
+            .and_then(|w| w.get("10s"))
+            .and_then(Json::as_f64)
+            .expect("completed 10s rate");
+        assert!((rate - 10.0).abs() < 1e-9, "rate {rate}");
+        let p99 = back
+            .get("quantiles")
+            .and_then(|q| q.get("serve.latency_ms"))
+            .and_then(|q| q.get("p99"))
+            .and_then(Json::as_f64)
+            .expect("latency p99");
+        assert!(p99 >= 200.0, "p99 {p99}");
+        let overhead = back
+            .get("exporter")
+            .and_then(|e| e.get("overhead_pct"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((overhead - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slo_window_burns_from_windowed_counters() {
+        let mut ring = SnapshotRing::new(HORIZON_MS);
+        ring.push(0, Registry::new());
+        let mut r = Registry::new();
+        r.counter("serve.completed", 99);
+        r.counter("serve.deadline_exceeded", 1);
+        ring.push(10_000, r);
+        let spec = SloSpec::parse("availability>=0.99").unwrap();
+        let status = slo_over_window(&ring, &spec, 10_000);
+        // 1% errors against a 1% budget: burn = 1.0, not breached.
+        let burn = status.burn_availability.unwrap();
+        assert!((burn - 1.0).abs() < 1e-9, "burn {burn}");
+        assert!(!status.breached());
+    }
+
+    #[test]
+    fn flight_dumps_are_atomic_files_and_rate_limited() {
+        let dir = std::env::temp_dir().join(format!("m3d_flight_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        m3d_obs::set_flight_enabled(true);
+        m3d_obs::flight_record("conn-1", "frame", "diagnose id=1");
+        m3d_obs::set_flight_enabled(false);
+        let p1 = dump_flight(&dir, "panic-seq8").expect("dump");
+        assert!(p1
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("flight-panic-seq8-"));
+        let text = std::fs::read_to_string(&p1).expect("dump readable");
+        m3d_obs::report::parse_jsonl(&text).expect("dump parses as events");
+        // Rate limiting: the second poison dump inside the gap is
+        // suppressed, panic-style unique triggers are not.
+        assert!(dump_flight_limited(&dir, "poison", Duration::from_secs(60)).is_some());
+        assert!(dump_flight_limited(&dir, "poison", Duration::from_secs(60)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -125,7 +125,7 @@ fn served_reports_match_offline_at_any_width_under_chaos() {
         server_panic_every: Some(5),
         admission: AdmissionConfig::default(),
         frame_timeout_ms: 200,
-        addr: None,
+        ..LoadConfig::default()
     };
     let report = run_load(&cfg).expect("load run");
     for w in &report.widths {

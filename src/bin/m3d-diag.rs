@@ -20,9 +20,12 @@
 //! m3d-diag verify    --netlist F --partition F [--json]
 //! m3d-diag serve     [--addr A] [--bench aes|--design-dir D] [--width N]
 //!                    [--enhance-samples N] [--model-cache F] [--queue N] [--watermark N]
+//!                    [--telemetry-addr A] [--flight-dir D] [--slo SPEC]
 //! m3d-diag load      [--addr A] [--clients N] [--requests N] [--widths 1,4]
-//!                    [--chaos-seed S] [--chaos-rate X] [-o BENCH_serve.json]
-//! m3d-diag report    FILE.jsonl [MORE.jsonl…]
+//!                    [--chaos-seed S] [--chaos-rate X] [--telemetry] [--flight-dir D]
+//!                    [-o BENCH_serve.json]
+//! m3d-diag watch     --addr A [--interval-ms N] [--once]
+//! m3d-diag report    [--flight] FILE.jsonl [MORE.jsonl…]
 //! m3d-diag help      [COMMAND]
 //! ```
 //!
@@ -216,6 +219,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "verify" => cmd_verify(rest),
             "serve" => cmd_serve(rest),
             "load" => cmd_load(rest),
+            "watch" => cmd_watch(rest),
             "report" => cmd_report(rest),
             "help" | "--help" | "-h" => cmd_help(rest),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
@@ -266,6 +270,7 @@ fn root_span_name(cmd: &str) -> &'static str {
         "verify" => "verify",
         "serve" => "serve",
         "load" => "load",
+        "watch" => "watch",
         "report" => "report",
         _ => "cli",
     }
@@ -416,7 +421,10 @@ const COMMANDS: &[CommandHelp] = &[
                 --max-deadline-ms N   hard cap on requested budgets (default 10000)\n  \
                 --batch-max N         max jobs per scoring batch (default 8)\n  \
                 --frame-timeout-ms N  slow-writer (partial-frame) timeout (default 2000)\n  \
-                --chaos-panic-every N chaos hook: panic every Nth job's worker",
+                --chaos-panic-every N chaos hook: panic every Nth job's worker\n  \
+                --telemetry-addr A    bind the live telemetry exporter (:0 picks a port)\n  \
+                --flight-dir D        flight-recorder dump directory (panic/poison/storm/shutdown)\n  \
+                --slo SPEC            SLO spec, e.g. availability>=0.99,p99_ms<=250,degraded_frac<=0.1",
     },
     CommandHelp {
         name: "load",
@@ -432,16 +440,27 @@ const COMMANDS: &[CommandHelp] = &[
                 --server-panic-every N  in-process chaos: panic every Nth job\n  \
                 --queue N / --watermark N / --batch-max N   in-process admission knobs\n  \
                 --frame-timeout-ms N  in-process slow-writer timeout (default 400)\n  \
+                --telemetry           run + scrape a telemetry exporter on in-process servers\n  \
+                --flight-dir D        verify flight dumps land here (w<width> subdirs)\n  \
                 --bench/--target/--design-dir/--compacted/--enhance-samples/...\n                        \
                 artifact spec, as for `serve` (must match an external server)\n  \
                 -o FILE               write the BENCH_serve.json report to FILE",
     },
     CommandHelp {
+        name: "watch",
+        summary: "live terminal view over a server's telemetry exporter",
+        flags: "  --addr A          the exporter address printed by `serve` (required)\n  \
+                --interval-ms N   scrape cadence (default 1000)\n  \
+                --once            print one snapshot and exit",
+    },
+    CommandHelp {
         name: "report",
-        summary: "render --trace/--metrics JSONL into a profiling report",
+        summary: "render --trace/--metrics/flight JSONL into a profiling report",
         flags:
-            "  FILE.jsonl…       one or more JSONL files written by --trace\n                    \
-                and/or --metrics; events are merged before rendering",
+            "  FILE.jsonl…       one or more JSONL files written by --trace,\n                    \
+                --metrics, or the flight recorder; files are merged as\n                    \
+                tagged sources with a stable total order\n  \
+                --flight          render only the causal flight timeline",
     },
     CommandHelp {
         name: "help",
@@ -475,25 +494,124 @@ fn cmd_help(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// `m3d-diag report`: renders JSONL trace/metrics files into the
-/// top-down profiling report of `m3d_obs::report`.
+/// `m3d-diag watch`: a live terminal view over a running server's
+/// telemetry exporter — request rates, queue depth, shed/degraded and
+/// deadline counters, sliding latency quantiles, pool utilization, and
+/// SLO burn, one block per scrape.
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["once"])?;
+    let addr: std::net::SocketAddr = flags
+        .require("addr")?
+        .parse()
+        .map_err(|e| format!("bad --addr: {e}"))?;
+    let interval_ms: u64 = flags.num("interval-ms", 1_000u64)?;
+    loop {
+        match m3d_fault_diagnosis::serve::scrape(addr) {
+            Ok(snap) => print!("{}", render_watch(&snap)),
+            // A single-shot scrape that fails is a failure; the live
+            // view keeps retrying through exporter restarts.
+            Err(e) if flags.flag("once") => return Err(format!("watch {addr}: {e}")),
+            Err(e) => eprintln!("watch: {e}"),
+        }
+        if flags.flag("once") {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+/// Formats one telemetry snapshot as the `watch` terminal block.
+fn render_watch(snap: &m3d_fault_diagnosis::obs::Json) -> String {
+    let num = |path: &[&str]| -> f64 {
+        let mut cur = snap;
+        for k in path {
+            match cur.get(k) {
+                Some(v) => cur = v,
+                None => return 0.0,
+            }
+        }
+        cur.as_f64().unwrap_or(0.0)
+    };
+    let breached = snap
+        .get("slo")
+        .and_then(|s| s.get("breached"))
+        .is_some_and(|b| matches!(b, m3d_fault_diagnosis::obs::Json::Bool(true)));
+    let mut out = format!(
+        "t={:.1}s gen {} | req/s 1s/10s/60s: {:.1}/{:.1}/{:.1} | queue {} (watermark dist {})\n",
+        num(&["t_ms"]) / 1e3,
+        num(&["stats", "generation"]),
+        num(&["rates", "serve.completed", "1s"]),
+        num(&["rates", "serve.completed", "10s"]),
+        num(&["rates", "serve.completed", "60s"]),
+        num(&["stats", "queue_depth"]),
+        num(&["gauges", "serve.shed_watermark_distance"]),
+    );
+    out.push_str(&format!(
+        "completed {} (degraded {}) | shed {} | deadline {} | proto-errs {} | panics {} | conns {}\n",
+        num(&["stats", "completed"]),
+        num(&["stats", "degraded"]),
+        num(&["stats", "overloaded"]),
+        num(&["stats", "deadline_exceeded"]),
+        num(&["stats", "protocol_errors"]),
+        num(&["stats", "panics_contained"]),
+        num(&["stats", "connections"]),
+    ));
+    out.push_str(&format!(
+        "latency ms p50/p95/p99: {:.2}/{:.2}/{:.2} | stage us queue/exec p50: {:.0}/{:.0} | \
+         pool util {:.1}% | exporter {:.2}%\n",
+        num(&["quantiles", "serve.latency_ms", "p50"]),
+        num(&["quantiles", "serve.latency_ms", "p95"]),
+        num(&["quantiles", "serve.latency_ms", "p99"]),
+        num(&["quantiles", "par.queue_us", "p50"]),
+        num(&["quantiles", "par.exec_us", "p50"]),
+        num(&["pool", "utilization_10s_pct"]),
+        num(&["exporter", "overhead_pct"]),
+    ));
+    out.push_str(&format!(
+        "slo burn avail/p99/degraded: {:.2}/{:.2}/{:.2} [{}]\n\n",
+        num(&["slo", "burn_availability"]),
+        num(&["slo", "burn_p99"]),
+        num(&["slo", "burn_degraded"]),
+        if breached { "BREACHED" } else { "OK" },
+    ));
+    out
+}
+
+/// `m3d-diag report`: renders JSONL trace/metrics/flight files into the
+/// top-down profiling report of `m3d_obs::report`. Multiple inputs are
+/// merged with a stable total order: each file becomes a tagged
+/// [`Source`](m3d_obs::report::Source), span ids are re-allocated so
+/// sources can never collide, and metric names gain a `tag:` prefix when
+/// more than one file is given. `--flight` renders only the causal
+/// flight-recorder timeline (for `flight-*.jsonl` crash artifacts).
 fn cmd_report(args: &[String]) -> Result<(), String> {
+    let flight_only = args.iter().any(|a| a == "--flight");
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
     if paths.is_empty() {
-        return Err("usage: m3d-diag report FILE.jsonl [MORE.jsonl…]".to_owned());
+        return Err("usage: m3d-diag report [--flight] FILE.jsonl [MORE.jsonl…]".to_owned());
     }
-    let mut events = Vec::new();
+    let mut sources = Vec::new();
     for path in paths {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        events.extend(
-            m3d_fault_diagnosis::obs::report::parse_jsonl(&text)
-                .map_err(|e| format!("{path}: {e}"))?,
+        let events = m3d_fault_diagnosis::obs::report::parse_jsonl(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let tag = std::path::Path::new(path)
+            .file_stem()
+            .map_or_else(|| path.to_string(), |s| s.to_string_lossy().into_owned());
+        sources.push(m3d_fault_diagnosis::obs::report::Source { tag, events });
+    }
+    if flight_only {
+        let merged = m3d_fault_diagnosis::obs::report::merge_sources(&sources);
+        print!(
+            "{}",
+            m3d_fault_diagnosis::obs::report::render_flight_timeline(&merged)
+        );
+    } else {
+        print!(
+            "{}",
+            m3d_fault_diagnosis::obs::report::render_merged_report(&sources)
         );
     }
-    print!(
-        "{}",
-        m3d_fault_diagnosis::obs::report::render_report(&events)
-    );
     Ok(())
 }
 
@@ -1062,6 +1180,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| format!("bad --chaos-panic-every `{v}`"))
             })
             .transpose()?,
+        telemetry_addr: flags.get("telemetry-addr").map(str::to_owned),
+        flight_dir: flags.get("flight-dir").map(Into::into),
+        slo: flags.get("slo").map(str::to_owned),
     };
     let server = spawn_server(&spec, &cfg)?;
     eprintln!(
@@ -1071,6 +1192,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cfg.admission.queue_capacity,
         cfg.admission.shed_watermark
     );
+    if let Some(taddr) = server.telemetry_addr() {
+        eprintln!("telemetry exporter on {taddr} (scrape with `m3d-diag watch --addr {taddr}`)");
+    }
     let summary = server.join()?;
     let s = &summary.stats;
     println!(
@@ -1092,7 +1216,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 /// Exits nonzero when any width phase saw a crashed clean connection or a
 /// report that differs from the offline diagnosis.
 fn cmd_load(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["compacted"])?;
+    let flags = Flags::parse(args, &["compacted", "telemetry"])?;
     let widths = flags
         .get("widths")
         .unwrap_or("1,4")
@@ -1128,6 +1252,8 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
         admission: admission_of(&flags)?,
         frame_timeout_ms: flags.num("frame-timeout-ms", dl.frame_timeout_ms)?,
         addr: flags.get("addr").map(str::to_owned),
+        telemetry: flags.flag("telemetry"),
+        flight_dir: flags.get("flight-dir").map(Into::into),
     };
     eprintln!(
         "load: {} clients × {} requests over widths {:?} (chaos rate {})…",
@@ -1159,6 +1285,17 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
             w.panics_contained,
             w.gave_up
         );
+        if w.telemetry_scrapes > 0 || w.flight_dumps > 0 || w.telemetry_errors > 0 {
+            eprintln!(
+                "width {}: {} telemetry scrapes ({} errors), {} flight dumps, \
+                 exporter overhead {:.2}%",
+                w.width,
+                w.telemetry_scrapes,
+                w.telemetry_errors,
+                w.flight_dumps,
+                w.exporter_overhead_pct
+            );
+        }
     }
     emit(&flags, &render_bench_json(&report))?;
     if !report.clean() {
@@ -1168,6 +1305,12 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
             .find_map(|w| w.first_mismatch.as_deref())
             .unwrap_or("crashed clean connections");
         return Err(format!("chaos invariant violated: {detail}"));
+    }
+    if let Some(w) = report.widths.iter().find(|w| w.telemetry_errors > 0) {
+        return Err(format!(
+            "telemetry plane violated at width {}: {} scrape/flight-dump errors",
+            w.width, w.telemetry_errors
+        ));
     }
     Ok(())
 }
